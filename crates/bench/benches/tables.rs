@@ -1,0 +1,28 @@
+//! One bench per table of the paper's evaluation (miniaturized; see the
+//! `table1`/`table2` binaries for the full artifacts).
+
+use bc_bench::bench_campaign;
+use bc_experiments::{table1, table2};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let campaign = bench_campaign(4, 800);
+    c.bench_function("table1_buffer_thresholds", |b| {
+        b.iter(|| black_box(table1::run(black_box(&campaign))))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let campaign = bench_campaign(2, 800);
+    c.bench_function("table2_growth_by_ratio_class", |b| {
+        b.iter(|| black_box(table2::run(black_box(&campaign))))
+    });
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2
+);
+criterion_main!(tables);

@@ -1,0 +1,30 @@
+//! # bc-bench — shared configuration for the Criterion benchmarks
+//!
+//! Every table and figure of the paper has a bench target that runs a
+//! scaled-down version of its experiment (small enough for Criterion's
+//! repeated sampling, large enough to preserve each artifact's shape).
+//! The ablation benches isolate design decisions called out in DESIGN.md.
+
+use bc_experiments::campaign::CampaignConfig;
+use bc_metrics::OnsetConfig;
+use bc_platform::RandomTreeConfig;
+
+/// A miniature campaign sized for repeated Criterion sampling.
+pub fn bench_campaign(trees: usize, tasks: u64) -> CampaignConfig {
+    CampaignConfig {
+        trees,
+        tasks,
+        seed: 2003,
+        tree_config: RandomTreeConfig {
+            min_nodes: 10,
+            max_nodes: 80,
+            comm_min: 1,
+            comm_max: 50,
+            compute_scale: 2_000,
+        },
+        onset: OnsetConfig {
+            window_threshold: 100,
+            crossings: 2,
+        },
+    }
+}

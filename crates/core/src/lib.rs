@@ -1,0 +1,27 @@
+//! # bc-core — the autonomous protocol policies
+//!
+//! The paper's primary contribution, as pure decision logic with no
+//! simulator types: child-selection policies (bandwidth-centric plus the
+//! baselines it is compared against), local latency observation, and the
+//! buffer ledger implementing the §3.1 growth rules. `bc-engine` drives
+//! these components from a discrete-event loop; the same code could drive
+//! a real transport, which is the point of an *autonomous* protocol —
+//! every decision consumes only locally measurable state.
+//!
+//! ```
+//! use bc_core::{ChildInfo, ChildSelector};
+//!
+//! let mut policy = ChildSelector::BandwidthCentric;
+//! let fast_link_slow_cpu = ChildInfo { index: 0, comm_estimate: 1, compute_estimate: 900 };
+//! let slow_link_fast_cpu = ChildInfo { index: 1, comm_estimate: 8, compute_estimate: 2 };
+//! // Bandwidth-centric: the link decides, not the CPU.
+//! assert_eq!(policy.select(&[fast_link_slow_cpu, slow_link_fast_cpu]), Some(0));
+//! ```
+
+pub mod buffers;
+pub mod observer;
+pub mod priority;
+
+pub use buffers::{BufferLedger, BufferPolicy, GrowthEvent, GrowthGate};
+pub use observer::{LatencyObserver, ObserverKind};
+pub use priority::{ChildInfo, ChildSelector};

@@ -1,0 +1,267 @@
+//! Simulation configuration: protocol variant, buffer policy, scheduling
+//! policy, observation mode, workload size, and planned platform changes.
+
+use bc_core::{BufferPolicy, GrowthGate, ObserverKind};
+use bc_platform::NodeId;
+
+/// Communication discipline (§3.1 vs §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// §3.1: a started transfer always runs to completion.
+    NonInterruptible,
+    /// §3.2: a request from a higher-priority child preempts the transfer
+    /// to a lower-priority child; the partial transfer is shelved in a
+    /// per-child slot and later resumed where it left off.
+    Interruptible,
+}
+
+/// Which child-selection policy nodes use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectorKind {
+    /// The paper's policy: prioritize by communication time.
+    BandwidthCentric,
+    /// Baseline: prioritize by the child's computation time.
+    ComputeCentric,
+    /// Baseline: round-robin over requesting children.
+    RoundRobin,
+}
+
+/// A scripted platform mutation (the §4.2.3 adaptability experiment and
+/// the dynamic-overlay extension): applied as soon as `after_tasks`
+/// tasks have completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedChange {
+    /// Completion count that triggers the change.
+    pub after_tasks: u64,
+    /// The node the change targets. For [`ChangeKind::Join`] this is the
+    /// *parent* the new node attaches under; for [`ChangeKind::Leave`]
+    /// the root of the departing subtree; otherwise the node whose
+    /// weight changes.
+    pub node: NodeId,
+    /// What changes.
+    pub kind: ChangeKind,
+}
+
+/// The mutable quantity of a [`PlannedChange`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// Set `c_node` (communication contention).
+    CommTime(u64),
+    /// Set `w_node` (processor contention).
+    ComputeTime(u64),
+    /// A new node joins the overlay under `node` — the §3 scalability
+    /// property ("it is very straightforward to add subtrees of nodes
+    /// below any currently connected node"). The joined node's id is the
+    /// next arena index, deterministically, so later changes can target
+    /// it.
+    Join {
+        /// Edge weight of the new uplink.
+        comm: u64,
+        /// The new node's compute time.
+        compute: u64,
+    },
+    /// The subtree rooted at `node` departs. Tasks it held (buffered,
+    /// computing, or in flight toward it) return to the repository for
+    /// re-dispatch — the master-reissue semantics of volunteer-computing
+    /// systems.
+    Leave,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Communication discipline.
+    pub protocol: Protocol,
+    /// Buffer sizing at every non-root node.
+    pub buffers: BufferPolicy,
+    /// Child-selection policy.
+    pub selector: SelectorKind,
+    /// How nodes estimate per-child communication times.
+    pub observer: ObserverKind,
+    /// Feed the local processor before children when both want the same
+    /// buffered task (the default; delegating to self costs no link time).
+    pub self_first: bool,
+    /// Number of application tasks.
+    pub total_tasks: u64,
+    /// Completion counts at which the global buffer high-water mark is
+    /// snapshotted (Table 2).
+    pub checkpoints: Vec<u64>,
+    /// Scripted platform mutations, sorted by `after_tasks`.
+    pub changes: Vec<PlannedChange>,
+    /// Safety valve: abort (panic) if the event count exceeds this.
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// The paper's interruptible protocol with `fb` fixed buffers per node.
+    pub fn interruptible(fb: u32, total_tasks: u64) -> Self {
+        SimConfig {
+            protocol: Protocol::Interruptible,
+            buffers: BufferPolicy::Fixed(fb),
+            ..Self::base(total_tasks)
+        }
+    }
+
+    /// The paper's non-interruptible protocol with `ib` initial buffers
+    /// and unbounded growth. The default growth gate is the calibrated
+    /// choice (see DESIGN.md); use [`SimConfig::non_interruptible_gated`]
+    /// to ablate.
+    pub fn non_interruptible(ib: u32, total_tasks: u64) -> Self {
+        Self::non_interruptible_gated(ib, GrowthGate::default(), total_tasks)
+    }
+
+    /// Non-interruptible with an explicit growth gate.
+    pub fn non_interruptible_gated(ib: u32, gate: GrowthGate, total_tasks: u64) -> Self {
+        SimConfig {
+            protocol: Protocol::NonInterruptible,
+            buffers: BufferPolicy::Growable {
+                initial: ib,
+                cap: None,
+                gate,
+                decay_after: None,
+            },
+            ..Self::base(total_tasks)
+        }
+    }
+
+    /// Non-interruptible with a *fixed* pool (Fig 7 uses non-IC, FB=2).
+    pub fn non_interruptible_fixed(fb: u32, total_tasks: u64) -> Self {
+        SimConfig {
+            protocol: Protocol::NonInterruptible,
+            buffers: BufferPolicy::Fixed(fb),
+            ..Self::base(total_tasks)
+        }
+    }
+
+    fn base(total_tasks: u64) -> Self {
+        SimConfig {
+            protocol: Protocol::Interruptible,
+            buffers: BufferPolicy::Fixed(3),
+            selector: SelectorKind::BandwidthCentric,
+            observer: ObserverKind::Oracle,
+            self_first: true,
+            total_tasks,
+            checkpoints: Vec::new(),
+            changes: Vec::new(),
+            max_events: 500_000_000,
+        }
+    }
+
+    /// Adds a scripted change (keeps `changes` sorted by trigger count).
+    pub fn with_change(mut self, change: PlannedChange) -> Self {
+        self.changes.push(change);
+        self.changes.sort_by_key(|c| c.after_tasks);
+        self
+    }
+
+    /// Sets the Table-2 style snapshot checkpoints.
+    pub fn with_checkpoints(mut self, checkpoints: Vec<u64>) -> Self {
+        self.checkpoints = checkpoints;
+        self.checkpoints.sort_unstable();
+        self
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_tasks == 0 {
+            return Err("total_tasks must be >= 1".into());
+        }
+        if self.buffers.initial() == 0 {
+            return Err("buffer pools must start with >= 1 buffer".into());
+        }
+        for c in &self.changes {
+            match c.kind {
+                ChangeKind::CommTime(0) => return Err("change to comm_time 0".into()),
+                ChangeKind::ComputeTime(0) => return Err("change to compute_time 0".into()),
+                ChangeKind::Join { comm: 0, .. } => return Err("join with comm_time 0".into()),
+                ChangeKind::Join { compute: 0, .. } => {
+                    return Err("join with compute_time 0".into())
+                }
+                ChangeKind::Leave if c.node == NodeId::ROOT => {
+                    return Err("the repository cannot leave".into())
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let ic = SimConfig::interruptible(3, 1000);
+        assert_eq!(ic.protocol, Protocol::Interruptible);
+        assert_eq!(ic.buffers, BufferPolicy::Fixed(3));
+        ic.validate().unwrap();
+
+        let nic = SimConfig::non_interruptible(1, 1000);
+        assert_eq!(nic.protocol, Protocol::NonInterruptible);
+        assert!(nic.buffers.growable());
+        nic.validate().unwrap();
+
+        let fixed = SimConfig::non_interruptible_fixed(2, 1000);
+        assert_eq!(fixed.protocol, Protocol::NonInterruptible);
+        assert_eq!(fixed.buffers, BufferPolicy::Fixed(2));
+    }
+
+    #[test]
+    fn changes_sorted() {
+        let cfg = SimConfig::interruptible(3, 100)
+            .with_change(PlannedChange {
+                after_tasks: 50,
+                node: NodeId(1),
+                kind: ChangeKind::CommTime(3),
+            })
+            .with_change(PlannedChange {
+                after_tasks: 20,
+                node: NodeId(1),
+                kind: ChangeKind::ComputeTime(1),
+            });
+        assert_eq!(cfg.changes[0].after_tasks, 20);
+        assert_eq!(cfg.changes[1].after_tasks, 50);
+    }
+
+    #[test]
+    fn topology_change_validation() {
+        let ok = SimConfig::interruptible(2, 10).with_change(PlannedChange {
+            after_tasks: 5,
+            node: NodeId::ROOT,
+            kind: ChangeKind::Join {
+                comm: 2,
+                compute: 7,
+            },
+        });
+        ok.validate().unwrap();
+        let bad = SimConfig::interruptible(2, 10).with_change(PlannedChange {
+            after_tasks: 5,
+            node: NodeId::ROOT,
+            kind: ChangeKind::Join {
+                comm: 0,
+                compute: 7,
+            },
+        });
+        assert!(bad.validate().is_err());
+        let bad = SimConfig::interruptible(2, 10).with_change(PlannedChange {
+            after_tasks: 5,
+            node: NodeId::ROOT,
+            kind: ChangeKind::Leave,
+        });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(SimConfig::interruptible(3, 0).validate().is_err());
+        assert!(SimConfig::interruptible(0, 10).validate().is_err());
+        let bad = SimConfig::interruptible(1, 10).with_change(PlannedChange {
+            after_tasks: 1,
+            node: NodeId(1),
+            kind: ChangeKind::CommTime(0),
+        });
+        assert!(bad.validate().is_err());
+    }
+}

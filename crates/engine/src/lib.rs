@@ -1,0 +1,22 @@
+//! # bc-engine — the autonomous-protocol simulator
+//!
+//! Runs the bandwidth-centric autonomous protocols (and their baselines)
+//! over a platform tree on the `bc-simcore` discrete-event kernel: the
+//! role SimGrid played in the paper's evaluation (§4.1).
+//!
+//! ```
+//! use bc_engine::{SimConfig, Simulation};
+//! use bc_platform::examples::fig1_tree;
+//!
+//! // Interruptible communication, 3 fixed buffers, 200 tasks.
+//! let result = Simulation::new(fig1_tree(), SimConfig::interruptible(3, 200)).run();
+//! assert_eq!(result.tasks_completed(), 200);
+//! ```
+
+pub mod config;
+pub mod result;
+pub mod sim;
+
+pub use config::{ChangeKind, PlannedChange, Protocol, SelectorKind, SimConfig};
+pub use result::RunResult;
+pub use sim::Simulation;

@@ -1,0 +1,137 @@
+//! Outputs of a simulation run.
+
+use bc_simcore::Time;
+
+/// Everything the experiment harness needs from one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// `completion_times[k]` = timestep at which the `(k+1)`-th task
+    /// completed (completions are globally ordered by the event loop).
+    pub completion_times: Vec<Time>,
+    /// Time of the last completion.
+    pub end_time: Time,
+    /// Tasks computed by each node (arena order).
+    pub tasks_per_node: Vec<u64>,
+    /// Per-node high-water buffer-pool size (the paper's "buffers used").
+    /// Entry 0 (the root, which has no buffer pool) is 0.
+    pub max_buffers_per_node: Vec<u32>,
+    /// Per-node pool size at the end of the run (differs from the max
+    /// only when buffer decay is enabled).
+    pub final_buffers_per_node: Vec<u32>,
+    /// Per-node peak simultaneously-held task count.
+    pub peak_held_per_node: Vec<u32>,
+    /// Per-node accumulated processor busy time (timesteps).
+    pub busy_compute_per_node: Vec<u64>,
+    /// Per-node accumulated outbound-link transmitting time (timesteps).
+    pub busy_link_per_node: Vec<u64>,
+    /// `(tasks_completed, global max buffers so far)` at each configured
+    /// checkpoint (Table 2).
+    pub checkpoint_max_buffers: Vec<(u64, u32)>,
+    /// Discrete events processed (simulation effort, for the benches).
+    pub events_processed: u64,
+    /// Transfers preempted (interruptible protocol; 0 under non-IC).
+    pub preemptions: u64,
+    /// Task transfers started toward children.
+    pub transfers_started: u64,
+    /// Request control messages sent upward.
+    pub requests_sent: u64,
+}
+
+impl RunResult {
+    /// Tasks completed over the whole run.
+    pub fn tasks_completed(&self) -> u64 {
+        self.completion_times.len() as u64
+    }
+
+    /// Which nodes computed at least one task — Fig 6's "used nodes".
+    pub fn used_nodes(&self) -> Vec<bool> {
+        self.tasks_per_node.iter().map(|&t| t > 0).collect()
+    }
+
+    /// Largest buffer pool any node ever reached.
+    pub fn max_buffers(&self) -> u32 {
+        self.max_buffers_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-node processor utilization over the whole run, in [0, 1].
+    pub fn compute_utilization(&self, node: usize) -> f64 {
+        if self.end_time == 0 {
+            return 0.0;
+        }
+        self.busy_compute_per_node[node] as f64 / self.end_time as f64
+    }
+
+    /// Per-node outbound-link utilization over the whole run, in [0, 1].
+    pub fn link_utilization(&self, node: usize) -> f64 {
+        if self.end_time == 0 {
+            return 0.0;
+        }
+        self.busy_link_per_node[node] as f64 / self.end_time as f64
+    }
+
+    /// Per-node measured compute rate over the whole run (tasks per
+    /// timestep) — comparable to the theory's optimal allocation.
+    pub fn node_rate(&self, node: usize) -> f64 {
+        if self.end_time == 0 {
+            return 0.0;
+        }
+        self.tasks_per_node[node] as f64 / self.end_time as f64
+    }
+
+    /// Mean throughput over the entire run (tasks per timestep), as a
+    /// float for reporting.
+    pub fn overall_rate(&self) -> f64 {
+        if self.end_time == 0 {
+            return 0.0;
+        }
+        self.tasks_completed() as f64 / self.end_time as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunResult {
+        RunResult {
+            completion_times: vec![2, 4, 6, 8],
+            end_time: 8,
+            tasks_per_node: vec![2, 2, 0],
+            max_buffers_per_node: vec![0, 3, 1],
+            final_buffers_per_node: vec![0, 3, 1],
+            peak_held_per_node: vec![0, 2, 1],
+            busy_compute_per_node: vec![4, 4, 0],
+            busy_link_per_node: vec![6, 0, 0],
+            checkpoint_max_buffers: vec![(2, 2), (4, 3)],
+            events_processed: 42,
+            preemptions: 1,
+            transfers_started: 2,
+            requests_sent: 3,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample();
+        assert_eq!(r.tasks_completed(), 4);
+        assert_eq!(r.used_nodes(), vec![true, true, false]);
+        assert_eq!(r.max_buffers(), 3);
+        assert!((r.overall_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_accessors() {
+        let r = sample();
+        assert!((r.compute_utilization(0) - 0.5).abs() < 1e-12);
+        assert!((r.link_utilization(0) - 0.75).abs() < 1e-12);
+        assert_eq!(r.compute_utilization(2), 0.0);
+        assert!((r.node_rate(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_rate() {
+        let mut r = sample();
+        r.end_time = 0;
+        assert_eq!(r.overall_rate(), 0.0);
+    }
+}

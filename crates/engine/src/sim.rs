@@ -1,0 +1,799 @@
+//! The event-driven protocol simulator.
+//!
+//! One [`Simulation`] runs one application (a finite count of identical,
+//! independent tasks) over one platform tree under one protocol
+//! configuration. The base model of §2.1 is enforced structurally: each
+//! node owns three independent resources — a processor (one task at a
+//! time), an inbound link from its parent (the parent serializes sends,
+//! so at most one task is ever inbound), and an outbound link shared by
+//! its children (one active transmission at a time).
+//!
+//! ## Protocol flow (both variants)
+//!
+//! * A node keeps one outstanding request to its parent per uncovered
+//!   empty buffer; requests are instantaneous control messages.
+//! * Buffers empty at compute *start* and send *start* (§3.1), which is
+//!   also the moment the freed buffer is re-requested.
+//! * **Non-interruptible**: the outbound link serves one transfer to
+//!   completion; buffer growth follows the three §3.1 rules.
+//! * **Interruptible**: a delegated task moves into the destination
+//!   child's transfer slot; the link always transmits the slot of the
+//!   highest-priority occupied child, preempting (shelving) lower-priority
+//!   partial transfers, which resume where they left off (§3.2).
+//!
+//! ## Wind-down and accounting
+//!
+//! The root dispenses exactly `total_tasks` tasks; the run ends at the
+//! `total_tasks`-th completion. A task "completes" when its computation
+//! finishes (the edge weight folds the result's return trip into the
+//! downward transfer; see DESIGN.md).
+
+use crate::config::{ChangeKind, Protocol, SelectorKind, SimConfig};
+use crate::result::RunResult;
+use bc_core::{BufferLedger, ChildInfo, ChildSelector, GrowthEvent, LatencyObserver};
+use bc_platform::{NodeId, Tree};
+use bc_simcore::{Agenda, EventHandle, Time};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)] // the Done suffix is the domain vocabulary
+enum Event {
+    ComputeDone {
+        node: usize,
+    },
+    /// Non-interruptible send completion.
+    SendDone {
+        node: usize,
+    },
+    /// Interruptible active-transfer completion.
+    TransferDone {
+        node: usize,
+    },
+}
+
+/// Non-IC: the single in-flight outbound transfer.
+struct Sending {
+    child_pos: usize,
+    started_at: Time,
+    handle: EventHandle,
+}
+
+/// IC: a task parked in (or transmitting from) a per-child transfer slot.
+struct SlotTransfer {
+    /// Transmission work left, in timesteps.
+    remaining: u64,
+    /// Total transmission work (the edge weight at delegation time) —
+    /// reported to the latency observer on completion.
+    total: u64,
+}
+
+/// IC: the currently transmitting slot.
+struct ActiveTransfer {
+    child_pos: usize,
+    started_at: Time,
+    remaining_at_start: u64,
+    handle: EventHandle,
+}
+
+struct NodeRt {
+    /// Buffer ledger; `None` at the root (the repository draws from the
+    /// task source directly).
+    ledger: Option<BufferLedger>,
+    observer: LatencyObserver,
+    selector: ChildSelector,
+    /// Outstanding requests per child position.
+    pending_requests: Vec<u32>,
+    /// Start time of the in-progress computation, if any.
+    computing_since: Option<Time>,
+    sending: Option<Sending>,
+    slots: Vec<Option<SlotTransfer>>,
+    active: Option<ActiveTransfer>,
+    tasks_computed: u64,
+    /// True once the node has left the overlay (dynamic-topology
+    /// extension); departed nodes ignore events and are never selected.
+    departed: bool,
+    /// Accumulated processor busy time.
+    busy_compute: u64,
+    /// Accumulated outbound-link busy (transmitting) time.
+    busy_link: u64,
+    /// Last time a growth rule fired (drives the optional decay
+    /// extension).
+    last_pressure: Time,
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+pub struct Simulation {
+    tree: Tree,
+    cfg: SimConfig,
+    agenda: Agenda<Event>,
+    nodes: Vec<NodeRt>,
+    parent_of: Vec<Option<usize>>,
+    /// Position of node `i` within its parent's child list.
+    child_pos: Vec<usize>,
+    children: Vec<Vec<usize>>,
+    /// Tasks the root has not yet dispensed (to itself or a child).
+    remaining: u64,
+    completed: u64,
+    completion_times: Vec<Time>,
+    checkpoint_records: Vec<(u64, u32)>,
+    next_checkpoint: usize,
+    next_change: usize,
+    service_queue: VecDeque<usize>,
+    queued: Vec<bool>,
+    events_processed: u64,
+    /// Preemptions performed (interruptible protocol only).
+    preemptions: u64,
+    /// Task transfers started (both protocols).
+    transfers_started: u64,
+    /// Request messages sent upward.
+    requests_sent: u64,
+    finished: bool,
+}
+
+impl Simulation {
+    /// Builds a simulation. Panics on invalid configuration or tree
+    /// (programming errors; experiment inputs are validated upstream).
+    pub fn new(tree: Tree, cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid SimConfig");
+        tree.validate().expect("invalid Tree");
+        let n = tree.len();
+        let mut parent_of = vec![None; n];
+        let mut child_pos = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for id in tree.ids() {
+            for (pos, &ch) in tree.children(id).iter().enumerate() {
+                parent_of[ch.index()] = Some(id.index());
+                child_pos[ch.index()] = pos;
+                children[id.index()].push(ch.index());
+            }
+        }
+        let nodes = (0..n)
+            .map(|i| {
+                let kids = children[i].len();
+                NodeRt {
+                    ledger: (i != 0).then(|| BufferLedger::new(cfg.buffers)),
+                    observer: LatencyObserver::new(cfg.observer, kids),
+                    selector: match cfg.selector {
+                        SelectorKind::BandwidthCentric => ChildSelector::BandwidthCentric,
+                        SelectorKind::ComputeCentric => ChildSelector::ComputeCentric,
+                        SelectorKind::RoundRobin => ChildSelector::round_robin(),
+                    },
+                    pending_requests: vec![0; kids],
+                    computing_since: None,
+                    sending: None,
+                    slots: (0..kids).map(|_| None).collect(),
+                    active: None,
+                    tasks_computed: 0,
+                    departed: false,
+                    busy_compute: 0,
+                    busy_link: 0,
+                    last_pressure: 0,
+                }
+            })
+            .collect();
+        let remaining = cfg.total_tasks;
+        let qcap = n;
+        Simulation {
+            tree,
+            cfg,
+            agenda: Agenda::new(),
+            nodes,
+            parent_of,
+            child_pos,
+            children,
+            remaining,
+            completed: 0,
+            completion_times: Vec::new(),
+            checkpoint_records: Vec::new(),
+            next_checkpoint: 0,
+            next_change: 0,
+            service_queue: VecDeque::with_capacity(qcap),
+            queued: vec![false; n],
+            events_processed: 0,
+            preemptions: 0,
+            transfers_started: 0,
+            requests_sent: 0,
+            finished: false,
+        }
+    }
+
+    /// Runs to the final task completion and returns the trace.
+    pub fn run(mut self) -> RunResult {
+        // Start-up: every node issues its initial requests; the cascade
+        // reaches the root, which begins computing and sending.
+        for i in 0..self.nodes.len() {
+            self.enqueue(i);
+        }
+        self.drain();
+
+        while !self.finished {
+            let Some((_, ev)) = self.agenda.next() else {
+                panic!(
+                    "simulation deadlock: {}/{} tasks completed with an empty agenda",
+                    self.completed, self.cfg.total_tasks
+                );
+            };
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.cfg.max_events,
+                "event budget exceeded ({}); runaway simulation",
+                self.cfg.max_events
+            );
+            self.handle(ev);
+            self.drain();
+        }
+
+        let end_time = self.completion_times.last().copied().unwrap_or(0);
+        RunResult {
+            end_time,
+            tasks_per_node: self.nodes.iter().map(|n| n.tasks_computed).collect(),
+            max_buffers_per_node: self
+                .nodes
+                .iter()
+                .map(|n| n.ledger.as_ref().map_or(0, |l| l.max_capacity()))
+                .collect(),
+            final_buffers_per_node: self
+                .nodes
+                .iter()
+                .map(|n| n.ledger.as_ref().map_or(0, |l| l.capacity()))
+                .collect(),
+            peak_held_per_node: self
+                .nodes
+                .iter()
+                .map(|n| n.ledger.as_ref().map_or(0, |l| l.peak_held()))
+                .collect(),
+            busy_compute_per_node: self.nodes.iter().map(|n| n.busy_compute).collect(),
+            busy_link_per_node: self.nodes.iter().map(|n| n.busy_link).collect(),
+            checkpoint_max_buffers: self.checkpoint_records,
+            events_processed: self.events_processed,
+            preemptions: self.preemptions,
+            transfers_started: self.transfers_started,
+            requests_sent: self.requests_sent,
+            completion_times: self.completion_times,
+        }
+    }
+
+    // ----- event handling -------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        let node = match ev {
+            Event::ComputeDone { node }
+            | Event::SendDone { node }
+            | Event::TransferDone { node } => node,
+        };
+        if self.nodes[node].departed {
+            // Stale event of a node that left; its task was already
+            // reclaimed by the repository.
+            return;
+        }
+        match ev {
+            Event::ComputeDone { node } => self.on_compute_done(node),
+            Event::SendDone { node } => self.on_send_done(node),
+            Event::TransferDone { node } => self.on_transfer_done(node),
+        }
+    }
+
+    fn on_compute_done(&mut self, i: usize) {
+        let started = self.nodes[i]
+            .computing_since
+            .take()
+            .expect("ComputeDone on idle processor");
+        self.nodes[i].busy_compute += self.agenda.now() - started;
+        self.nodes[i].tasks_computed += 1;
+        self.record_completion();
+        if self.finished {
+            return;
+        }
+        // §3.1 growth rule 3: computation completed with all buffers empty.
+        let now = self.agenda.now();
+        if let Some(ledger) = &mut self.nodes[i].ledger {
+            if ledger.try_grow(GrowthEvent::ComputeCompleted, true) {
+                self.nodes[i].last_pressure = now;
+            }
+        }
+        self.enqueue(i);
+    }
+
+    fn on_send_done(&mut self, i: usize) {
+        let s = self.nodes[i]
+            .sending
+            .take()
+            .expect("SendDone without in-flight send");
+        let now = self.agenda.now();
+        let duration = now - s.started_at;
+        self.nodes[i].busy_link += duration;
+        self.nodes[i].observer.observe(s.child_pos, duration);
+        let child = self.children[i][s.child_pos];
+        self.deliver(child);
+        // §3.1 growth rule 2: send completed, buffers empty, child request
+        // outstanding.
+        let pressure = self.has_child_requests(i);
+        if let Some(ledger) = &mut self.nodes[i].ledger {
+            if ledger.try_grow(GrowthEvent::SendCompleted, pressure) {
+                self.nodes[i].last_pressure = now;
+            }
+        }
+        self.enqueue(i);
+    }
+
+    fn on_transfer_done(&mut self, i: usize) {
+        let a = self.nodes[i]
+            .active
+            .take()
+            .expect("TransferDone without active transfer");
+        self.nodes[i].busy_link += self.agenda.now() - a.started_at;
+        // The event firing means the remaining work ran to zero.
+        self.nodes[i].slots[a.child_pos]
+            .as_mut()
+            .expect("active transfer without slot")
+            .remaining = 0;
+        self.finish_slot(i, a.child_pos);
+        // Growth rule 2 applies to completed communications in general.
+        let pressure = self.has_child_requests(i);
+        let now = self.agenda.now();
+        if let Some(ledger) = &mut self.nodes[i].ledger {
+            if ledger.try_grow(GrowthEvent::SendCompleted, pressure) {
+                self.nodes[i].last_pressure = now;
+            }
+        }
+        self.reconcile_link(i);
+        self.enqueue(i);
+    }
+
+    /// Completes the (already inactive) transfer in `child_pos`'s slot:
+    /// records the observation and delivers the task.
+    fn finish_slot(&mut self, i: usize, child_pos: usize) {
+        let t = self.nodes[i].slots[child_pos]
+            .take()
+            .expect("completing an empty slot");
+        debug_assert_eq!(
+            t.remaining, 0,
+            "transfer completed with {} timesteps of work left",
+            t.remaining
+        );
+        self.nodes[i].observer.observe(child_pos, t.total);
+        let child = self.children[i][child_pos];
+        self.deliver(child);
+    }
+
+    fn deliver(&mut self, child: usize) {
+        self.nodes[child]
+            .ledger
+            .as_mut()
+            .expect("delivery to the root")
+            .task_arrived();
+        self.enqueue(child);
+    }
+
+    fn record_completion(&mut self) {
+        let now = self.agenda.now();
+        self.completed += 1;
+        self.completion_times.push(now);
+        while self.next_checkpoint < self.cfg.checkpoints.len()
+            && self.completed >= self.cfg.checkpoints[self.next_checkpoint]
+        {
+            let max = self
+                .nodes
+                .iter()
+                .map(|n| n.ledger.as_ref().map_or(0, |l| l.max_capacity()))
+                .max()
+                .unwrap_or(0);
+            self.checkpoint_records
+                .push((self.cfg.checkpoints[self.next_checkpoint], max));
+            self.next_checkpoint += 1;
+        }
+        while self.next_change < self.cfg.changes.len()
+            && self.cfg.changes[self.next_change].after_tasks <= self.completed
+        {
+            let ch = self.cfg.changes[self.next_change];
+            self.next_change += 1;
+            match ch.kind {
+                ChangeKind::CommTime(c) => self.tree.set_comm_time(ch.node, c),
+                ChangeKind::ComputeTime(w) => self.tree.set_compute_time(ch.node, w),
+                ChangeKind::Join { comm, compute } => {
+                    self.apply_join(ch.node, comm, compute);
+                    continue;
+                }
+                ChangeKind::Leave => {
+                    self.apply_leave(ch.node);
+                    continue;
+                }
+            }
+            // Re-examine the neighborhood under the new weights. In-flight
+            // work keeps its old duration (a transfer/computation started
+            // under the old conditions finishes under them).
+            self.enqueue(ch.node.index());
+            if let Some(p) = self.parent_of[ch.node.index()] {
+                self.enqueue(p);
+            }
+        }
+        if self.completed >= self.cfg.total_tasks {
+            self.finished = true;
+        }
+    }
+
+    // ----- dynamic topology (extension) -------------------------------------
+
+    /// A new node joins under `parent` — §3's scalability property in
+    /// action: the parent only gains one more child to prioritize; no
+    /// other node learns anything.
+    fn apply_join(&mut self, parent: NodeId, comm: u64, compute: u64) {
+        let p = parent.index();
+        assert!(p < self.nodes.len(), "join under unknown parent {parent}");
+        if self.nodes[p].departed {
+            // The contact node left before the newcomer arrived; in a
+            // real overlay the join simply fails.
+            return;
+        }
+        let id = self.tree.add_child(parent, comm, compute);
+        let i = id.index();
+        debug_assert_eq!(i, self.nodes.len());
+        self.parent_of.push(Some(p));
+        self.child_pos.push(self.children[p].len());
+        self.children[p].push(i);
+        self.children.push(Vec::new());
+        self.nodes.push(NodeRt {
+            ledger: Some(BufferLedger::new(self.cfg.buffers)),
+            observer: LatencyObserver::new(self.cfg.observer, 0),
+            selector: match self.cfg.selector {
+                SelectorKind::BandwidthCentric => ChildSelector::BandwidthCentric,
+                SelectorKind::ComputeCentric => ChildSelector::ComputeCentric,
+                SelectorKind::RoundRobin => ChildSelector::round_robin(),
+            },
+            pending_requests: Vec::new(),
+            computing_since: None,
+            sending: None,
+            slots: Vec::new(),
+            active: None,
+            tasks_computed: 0,
+            departed: false,
+            busy_compute: 0,
+            busy_link: 0,
+            last_pressure: self.agenda.now(),
+        });
+        // Parent-side per-child state.
+        self.nodes[p].pending_requests.push(0);
+        self.nodes[p].slots.push(None);
+        self.nodes[p].observer.add_child();
+        self.queued.push(false);
+        // The newcomer requests its initial tasks; the parent re-evaluates.
+        self.enqueue(i);
+        self.enqueue(p);
+    }
+
+    /// The subtree rooted at `node` departs. Every task it holds — in
+    /// buffers, on a processor, or in flight toward it — returns to the
+    /// repository for re-dispatch.
+    fn apply_leave(&mut self, node: NodeId) {
+        let d0 = node.index();
+        assert!(d0 < self.nodes.len(), "leave of unknown node {node}");
+        assert!(d0 != 0, "the repository cannot leave");
+        if self.nodes[d0].departed {
+            return; // already gone (idempotent)
+        }
+        // Reclaim from the boundary edge: the still-present parent may be
+        // mid-transfer toward the departing subtree root.
+        let mut reclaimed: u64 = 0;
+        let p = self.parent_of[d0].expect("non-root has parent");
+        let pos = self.child_pos[d0];
+        self.nodes[p].pending_requests[pos] = 0;
+        if let Some(sending) = &self.nodes[p].sending {
+            if sending.child_pos == pos {
+                let s = self.nodes[p].sending.take().expect("checked above");
+                self.nodes[p].busy_link += self.agenda.now() - s.started_at;
+                self.agenda.cancel(s.handle);
+                reclaimed += 1;
+            }
+        }
+        if let Some(active) = &self.nodes[p].active {
+            if active.child_pos == pos {
+                let a = self.nodes[p].active.take().expect("checked above");
+                self.nodes[p].busy_link += self.agenda.now() - a.started_at;
+                self.agenda.cancel(a.handle);
+            }
+        }
+        if self.nodes[p].slots[pos].take().is_some() {
+            reclaimed += 1;
+        }
+
+        // Walk the departing subtree, reclaiming everything it holds.
+        let mut stack = vec![d0];
+        while let Some(d) = stack.pop() {
+            stack.extend(self.children[d].iter().copied());
+            let n = &mut self.nodes[d];
+            n.departed = true;
+            if n.computing_since.take().is_some() {
+                reclaimed += 1; // its ComputeDone event will be ignored
+            }
+            if n.sending.take().is_some() {
+                reclaimed += 1; // SendDone ignored; task vanishes with d
+            }
+            n.active = None;
+            reclaimed += n.slots.iter_mut().filter_map(Option::take).count() as u64;
+            reclaimed += n.ledger.as_ref().map_or(0, |l| l.held()) as u64;
+            n.pending_requests.iter_mut().for_each(|r| *r = 0);
+        }
+
+        self.remaining += reclaimed;
+        // The parent's link may have freed; the repository has new work.
+        if matches!(self.cfg.protocol, Protocol::Interruptible) {
+            self.reconcile_link(p);
+        }
+        self.enqueue(p);
+        self.enqueue(0);
+    }
+
+    // ----- service pass ---------------------------------------------------
+
+    fn enqueue(&mut self, i: usize) {
+        if !self.queued[i] {
+            self.queued[i] = true;
+            self.service_queue.push_back(i);
+        }
+    }
+
+    fn drain(&mut self) {
+        while let Some(i) = self.service_queue.pop_front() {
+            self.queued[i] = false;
+            if self.finished {
+                continue;
+            }
+            self.service(i);
+        }
+    }
+
+    fn service(&mut self, i: usize) {
+        if self.nodes[i].departed {
+            return;
+        }
+        if self.cfg.self_first {
+            self.fill_processor(i);
+            self.fill_link(i);
+        } else {
+            self.fill_link(i);
+            self.fill_processor(i);
+        }
+        self.issue_requests(i);
+    }
+
+    fn fill_processor(&mut self, i: usize) {
+        if self.nodes[i].computing_since.is_some() || !self.take_task(i) {
+            return;
+        }
+        self.nodes[i].computing_since = Some(self.agenda.now());
+        let w = self.tree.compute_time(NodeId(i as u32));
+        self.agenda.schedule(w, Event::ComputeDone { node: i });
+    }
+
+    /// Takes one task for local use (compute or send start). Returns false
+    /// if none is available. Applies §3.1 growth rule 1 on the transition
+    /// to empty.
+    fn take_task(&mut self, i: usize) -> bool {
+        if i == 0 {
+            if self.remaining == 0 {
+                return false;
+            }
+            self.remaining -= 1;
+            return true;
+        }
+        let pressure = self.has_child_requests(i);
+        let now = self.agenda.now();
+        let ledger = self.nodes[i].ledger.as_mut().expect("non-root has ledger");
+        if ledger.held() == 0 {
+            return false;
+        }
+        ledger.take_task();
+        if ledger.try_grow(GrowthEvent::ChildRequestPressure, pressure) {
+            self.nodes[i].last_pressure = now;
+        }
+        true
+    }
+
+    fn has_task(&self, i: usize) -> bool {
+        if i == 0 {
+            self.remaining > 0
+        } else {
+            self.nodes[i].ledger.as_ref().is_some_and(|l| l.held() > 0)
+        }
+    }
+
+    fn has_child_requests(&self, i: usize) -> bool {
+        self.nodes[i].pending_requests.iter().any(|&r| r > 0)
+    }
+
+    fn child_info(&self, i: usize, pos: usize) -> ChildInfo {
+        let child = self.children[i][pos];
+        let comm = if self.nodes[i].observer.is_oracle() {
+            self.tree.comm_time(NodeId(child as u32))
+        } else {
+            self.nodes[i].observer.estimate(pos)
+        };
+        ChildInfo {
+            index: pos,
+            comm_estimate: comm,
+            compute_estimate: self.tree.compute_time(NodeId(child as u32)),
+        }
+    }
+
+    fn fill_link(&mut self, i: usize) {
+        match self.cfg.protocol {
+            Protocol::NonInterruptible => self.fill_link_nonic(i),
+            Protocol::Interruptible => {
+                self.fill_slots(i);
+                self.reconcile_link(i);
+            }
+        }
+    }
+
+    fn fill_link_nonic(&mut self, i: usize) {
+        if self.nodes[i].sending.is_some() || !self.has_task(i) {
+            return;
+        }
+        let candidates: Vec<ChildInfo> = (0..self.children[i].len())
+            .filter(|&p| {
+                self.nodes[i].pending_requests[p] > 0 && !self.nodes[self.children[i][p]].departed
+            })
+            .map(|p| self.child_info(i, p))
+            .collect();
+        let Some(pos) = self.nodes[i].selector.select(&candidates) else {
+            return;
+        };
+        if !self.take_task(i) {
+            return;
+        }
+        self.nodes[i].pending_requests[pos] -= 1;
+        let child = self.children[i][pos];
+        let c = self.tree.comm_time(NodeId(child as u32));
+        let now = self.agenda.now();
+        self.transfers_started += 1;
+        let handle = self.agenda.schedule(c, Event::SendDone { node: i });
+        self.nodes[i].sending = Some(Sending {
+            child_pos: pos,
+            started_at: now,
+            handle,
+        });
+    }
+
+    /// IC: delegate buffered tasks into empty slots of requesting
+    /// children, best-priority first, while tasks last.
+    fn fill_slots(&mut self, i: usize) {
+        loop {
+            if !self.has_task(i) {
+                return;
+            }
+            let candidates: Vec<ChildInfo> = (0..self.children[i].len())
+                .filter(|&p| {
+                    self.nodes[i].pending_requests[p] > 0
+                        && self.nodes[i].slots[p].is_none()
+                        && !self.nodes[self.children[i][p]].departed
+                })
+                .map(|p| self.child_info(i, p))
+                .collect();
+            let Some(pos) = self.nodes[i].selector.select(&candidates) else {
+                return;
+            };
+            if !self.take_task(i) {
+                return;
+            }
+            self.nodes[i].pending_requests[pos] -= 1;
+            self.transfers_started += 1;
+            let child = self.children[i][pos];
+            let c = self.tree.comm_time(NodeId(child as u32));
+            self.nodes[i].slots[pos] = Some(SlotTransfer {
+                remaining: c,
+                total: c,
+            });
+        }
+    }
+
+    /// IC: ensure the link transmits the highest-priority occupied slot,
+    /// preempting if a better slot appeared (§3.2).
+    fn reconcile_link(&mut self, i: usize) {
+        let occupied: Vec<ChildInfo> = (0..self.children[i].len())
+            .filter(|&p| self.nodes[i].slots[p].is_some())
+            .map(|p| self.child_info(i, p))
+            .collect();
+        let best = {
+            let ranked = self.nodes[i].selector.rank(&occupied);
+            ranked.first().copied()
+        };
+        match (&self.nodes[i].active, best) {
+            (_, None) => {
+                debug_assert!(self.nodes[i].active.is_none(), "active without slots");
+            }
+            (None, Some(b)) => self.activate(i, b),
+            (Some(a), Some(b)) if b != a.child_pos => {
+                let a_info = self.child_info(i, a.child_pos);
+                let b_info = self.child_info(i, b);
+                if self.nodes[i].selector.outranks(&b_info, &a_info) {
+                    self.preempt(i);
+                    // The preempted transfer may have completed at this
+                    // exact instant; re-rank rather than assuming `b`.
+                    self.reconcile_link(i);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn activate(&mut self, i: usize, pos: usize) {
+        debug_assert!(self.nodes[i].active.is_none());
+        let remaining = self.nodes[i].slots[pos]
+            .as_ref()
+            .expect("activating an empty slot")
+            .remaining;
+        let now = self.agenda.now();
+        let handle = self
+            .agenda
+            .schedule(remaining, Event::TransferDone { node: i });
+        self.nodes[i].active = Some(ActiveTransfer {
+            child_pos: pos,
+            started_at: now,
+            remaining_at_start: remaining,
+            handle,
+        });
+    }
+
+    /// Shelves the active transfer (or finishes it inline if it has
+    /// exactly zero work left at this instant).
+    fn preempt(&mut self, i: usize) {
+        self.preemptions += 1;
+        let a = self.nodes[i].active.take().expect("preempting idle link");
+        self.agenda.cancel(a.handle);
+        let elapsed = self.agenda.now() - a.started_at;
+        self.nodes[i].busy_link += elapsed;
+        let remaining = a
+            .remaining_at_start
+            .checked_sub(elapsed)
+            .expect("transfer ran past its completion");
+        let slot = self.nodes[i].slots[a.child_pos]
+            .as_mut()
+            .expect("active transfer without slot");
+        slot.remaining = remaining;
+        if remaining == 0 {
+            self.finish_slot(i, a.child_pos);
+        }
+    }
+
+    // ----- requests -------------------------------------------------------
+
+    fn issue_requests(&mut self, i: usize) {
+        if i == 0 {
+            return;
+        }
+        let now = self.agenda.now();
+        // Decay (extension): reclaim an idle grown buffer after a quiet
+        // window, before covering it with a fresh request.
+        let last_pressure = self.nodes[i].last_pressure;
+        if let Some(ledger) = &mut self.nodes[i].ledger {
+            if let Some(window) = ledger.decay_after() {
+                if now.saturating_sub(last_pressure) >= window && ledger.try_shrink() {
+                    self.nodes[i].last_pressure = now;
+                }
+            }
+        }
+        let ledger = self.nodes[i].ledger.as_mut().expect("non-root has ledger");
+        let n = ledger.uncovered();
+        if n == 0 {
+            return;
+        }
+        ledger.note_requests_sent(n);
+        self.requests_sent += n as u64;
+        let parent = self.parent_of[i].expect("non-root has parent");
+        let pos = self.child_pos[i];
+        self.nodes[parent].pending_requests[pos] += n;
+        self.enqueue(parent);
+    }
+
+    // ----- introspection (for tests) ---------------------------------------
+
+    /// Tasks completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.agenda.now()
+    }
+}

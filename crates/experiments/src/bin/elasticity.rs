@@ -1,0 +1,25 @@
+//! Runs the elasticity extension experiment (join/leave tracking).
+
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::elasticity::{self, ElasticityConfig};
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 40,
+            full_trees: 400,
+            tasks: 6_000,
+        },
+    );
+    let cfg = ElasticityConfig {
+        trees: cli.trees,
+        tasks: cli.tasks,
+        seed: cli.seed,
+        ..ElasticityConfig::default()
+    };
+    let e = elasticity::run(&cfg);
+    let text = elasticity::render(&e);
+    println!("{text}");
+    write_artifact(&cli, "elasticity.txt", &text);
+}

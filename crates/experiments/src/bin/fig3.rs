@@ -1,0 +1,35 @@
+//! Regenerates Figure 3 (normalized window rates of illustrative trees).
+
+use bc_experiments::campaign::CampaignConfig;
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::fig3;
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 200,
+            full_trees: 1_000,
+            tasks: 2_000,
+        },
+    );
+    let campaign = CampaignConfig::paper(cli.trees, cli.tasks, cli.seed);
+    let fig = fig3::run(&campaign);
+    let text = fig3::render(&fig, 200);
+    println!("{text}");
+    write_artifact(&cli, "fig3.txt", &text);
+    if cli.out.is_some() {
+        for t in &fig.trees {
+            let rows: Vec<Vec<String>> = t
+                .curve
+                .iter()
+                .map(|&(w, v)| vec![w.to_string(), format!("{v:.6}")])
+                .collect();
+            write_artifact(
+                &cli,
+                &format!("fig3_tree{}.csv", t.index),
+                &bc_metrics::csv(&["window", "normalized_rate"], &rows),
+            );
+        }
+    }
+}

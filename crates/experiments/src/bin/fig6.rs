@@ -1,0 +1,28 @@
+//! Regenerates Figure 6 (tree size/depth PDFs, all vs used nodes).
+
+use bc_experiments::campaign::CampaignConfig;
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::fig6;
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 300,
+            full_trees: 25_000,
+            tasks: 10_000,
+        },
+    );
+    let campaign = CampaignConfig::paper(cli.trees, cli.tasks, cli.seed);
+    let fig = fig6::run(&campaign);
+    let text = fig6::render(&fig, 25, 4);
+    println!("{text}");
+    let (all_s, all_d) = fig6::means(&fig.all);
+    let (ns, nd) = fig6::means(&fig.nonic_used);
+    let (is_, id) = fig6::means(&fig.ic_used);
+    println!(
+        "\nmeans — all: {all_s:.1} nodes / depth {all_d:.1}; \
+         used non-IC: {ns:.1} / {nd:.1}; used IC FB=3: {is_:.1} / {id:.1}"
+    );
+    write_artifact(&cli, "fig6.txt", &text);
+}

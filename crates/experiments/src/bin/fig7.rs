@@ -1,0 +1,34 @@
+//! Regenerates Figure 7 (adaptability on the Fig 1 platform).
+
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::fig7;
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 1,
+            full_trees: 1,
+            tasks: 1_000,
+        },
+    );
+    let fig = fig7::run(cli.tasks, 200);
+    let text = fig7::render(&fig);
+    println!("{text}");
+    write_artifact(&cli, "fig7.txt", &text);
+    if cli.out.is_some() {
+        for s in &fig.scenarios {
+            let rows: Vec<Vec<String>> = s
+                .completion_times
+                .iter()
+                .enumerate()
+                .map(|(k, &t)| vec![t.to_string(), (k + 1).to_string()])
+                .collect();
+            let name = format!(
+                "fig7_{}.csv",
+                s.label.replace([' ', ',', '='], "_").replace("__", "_")
+            );
+            write_artifact(&cli, &name, &bc_metrics::csv(&["timestep", "tasks"], &rows));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Runs the §6 overlay-construction extension experiment.
+
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::overlay::{self, OverlayConfig};
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 50,
+            full_trees: 500,
+            tasks: 2_000,
+        },
+    );
+    let cfg = OverlayConfig {
+        graphs: cli.trees,
+        tasks: cli.tasks,
+        seed: cli.seed,
+        ..OverlayConfig::default()
+    };
+    let e = overlay::run(&cfg);
+    let text = overlay::render(&e);
+    println!("{text}");
+    write_artifact(&cli, "overlay.txt", &text);
+}

@@ -1,0 +1,83 @@
+//! Regenerates every table and figure in one run (laptop-sized defaults;
+//! pass --full for paper scale — expect a long run on one core).
+
+use bc_experiments::campaign::CampaignConfig;
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::{
+    elasticity, fig3, fig4, fig5, fig6, fig7, overlay, startup, table1, table2, utilization,
+};
+use std::time::Instant;
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 300,
+            full_trees: 25_000,
+            tasks: 10_000,
+        },
+    );
+    let t0 = Instant::now();
+    let mut all = String::new();
+    let mut section = |title: &str, body: String| {
+        println!("\n=== {title} ===\n{body}");
+        all.push_str(&format!("\n=== {title} ===\n{body}\n"));
+    };
+
+    let c_fig3 = CampaignConfig::paper(cli.trees.min(200), 2_000, cli.seed);
+    section("Figure 3", fig3::render(&fig3::run(&c_fig3), 200));
+
+    let c_main = CampaignConfig::paper(cli.trees, cli.tasks, cli.seed);
+    section("Figure 4", fig4::render(&fig4::run(&c_main)));
+
+    let c_classes = CampaignConfig::paper(cli.trees.min(200), 4_000, cli.seed);
+    section("Figure 5", fig5::render(&fig5::run(&c_classes)));
+
+    let c_fig6 = CampaignConfig::paper(cli.trees.min(300), cli.tasks, cli.seed);
+    section("Figure 6", fig6::render(&fig6::run(&c_fig6), 25, 4));
+
+    section("Figure 7", fig7::render(&fig7::run(1_000, 200)));
+
+    section("Table 1", table1::render(&table1::run(&c_main)));
+
+    section("Table 2", table2::render(&table2::run(&c_classes)));
+
+    let overlay_cfg = overlay::OverlayConfig {
+        graphs: cli.trees.min(50),
+        seed: cli.seed,
+        ..overlay::OverlayConfig::default()
+    };
+    section(
+        "Overlay extension",
+        overlay::render(&overlay::run(&overlay_cfg)),
+    );
+
+    let c_startup = CampaignConfig::paper(cli.trees.min(60), 4_000, cli.seed);
+    section(
+        "Startup-time extension",
+        startup::render(&startup::run(&c_startup)),
+    );
+
+    let util_cfg = utilization::UtilizationConfig {
+        trees: cli.trees.min(30),
+        seed: cli.seed,
+        ..utilization::UtilizationConfig::default()
+    };
+    section(
+        "Per-node rate validation",
+        utilization::render(&utilization::run(&util_cfg)),
+    );
+
+    let elastic_cfg = elasticity::ElasticityConfig {
+        trees: cli.trees.min(30),
+        seed: cli.seed,
+        ..elasticity::ElasticityConfig::default()
+    };
+    section(
+        "Elasticity extension",
+        elasticity::render(&elasticity::run(&elastic_cfg)),
+    );
+
+    println!("\ntotal: {:.1?}", t0.elapsed());
+    write_artifact(&cli, "repro_all.txt", &all);
+}

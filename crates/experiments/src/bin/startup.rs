@@ -1,0 +1,21 @@
+//! Runs the startup-time extension experiment.
+
+use bc_experiments::campaign::CampaignConfig;
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::startup;
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 100,
+            full_trees: 1_000,
+            tasks: 4_000,
+        },
+    );
+    let campaign = CampaignConfig::paper(cli.trees, cli.tasks, cli.seed);
+    let s = startup::run(&campaign);
+    let text = startup::render(&s);
+    println!("{text}");
+    write_artifact(&cli, "startup.txt", &text);
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 1 (% reaching optimal using at most n buffers).
+
+use bc_experiments::campaign::CampaignConfig;
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::table1;
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 400,
+            full_trees: 25_000,
+            tasks: 10_000,
+        },
+    );
+    let campaign = CampaignConfig::paper(cli.trees, cli.tasks, cli.seed);
+    let t = table1::run(&campaign);
+    let text = table1::render(&t);
+    println!("{text}");
+    write_artifact(&cli, "table1.txt", &text);
+}

@@ -1,0 +1,25 @@
+//! Runs the per-node rate validation extension experiment.
+
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::utilization::{self, UtilizationConfig};
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 40,
+            full_trees: 400,
+            tasks: 8_000,
+        },
+    );
+    let cfg = UtilizationConfig {
+        trees: cli.trees,
+        tasks: cli.tasks,
+        seed: cli.seed,
+        ..UtilizationConfig::default()
+    };
+    let u = utilization::run(&cfg);
+    let text = utilization::render(&u);
+    println!("{text}");
+    write_artifact(&cli, "utilization.txt", &text);
+}

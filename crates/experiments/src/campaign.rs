@@ -1,0 +1,185 @@
+//! Shared campaign infrastructure: run one protocol over many random
+//! trees in parallel and summarize each run.
+//!
+//! Reproducibility: tree `i` of a campaign is generated from
+//! `split_seed(campaign_seed, i)`, so any subset of a campaign can be
+//! re-run independently and results never depend on thread scheduling.
+
+use bc_engine::{RunResult, SimConfig, Simulation};
+use bc_metrics::{detect_onset, OnsetConfig};
+use bc_platform::{RandomTreeConfig, Tree, UsedStats};
+use bc_rational::Rational;
+use bc_simcore::split_seed;
+use bc_steady::SteadyState;
+use rayon::prelude::*;
+
+/// Configuration of a multi-tree campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of random trees.
+    pub trees: usize,
+    /// Tasks per application run.
+    pub tasks: u64,
+    /// Campaign seed (tree `i` uses `split_seed(seed, i)`).
+    pub seed: u64,
+    /// Random-tree generator parameters (§4.1).
+    pub tree_config: RandomTreeConfig,
+    /// Onset-detection parameters (§4.1 heuristic).
+    pub onset: OnsetConfig,
+}
+
+impl CampaignConfig {
+    /// The paper's campaign shape with a configurable tree count
+    /// (25 000 at full paper scale).
+    pub fn paper(trees: usize, tasks: u64, seed: u64) -> Self {
+        CampaignConfig {
+            trees,
+            tasks,
+            seed,
+            tree_config: RandomTreeConfig::default(),
+            onset: OnsetConfig::default(),
+        }
+    }
+
+    /// The tree for campaign index `i`.
+    pub fn tree(&self, i: usize) -> Tree {
+        self.tree_config.generate(split_seed(self.seed, i as u64))
+    }
+}
+
+/// Summary of one simulated tree (completion times are reduced to the
+/// onset verdict and buffer statistics to keep big campaigns in memory).
+#[derive(Clone, Debug)]
+pub struct TreeRun {
+    /// Campaign index of the tree.
+    pub index: usize,
+    /// Node count.
+    pub nodes: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Exact optimal steady-state rate from Theorem 1.
+    pub optimal_rate: Rational,
+    /// Onset window (None = never reached optimal steady state).
+    pub onset: Option<u64>,
+    /// Global max buffer-pool size across nodes.
+    pub max_buffers: u32,
+    /// `(tasks_completed, global max buffers so far)` checkpoints.
+    pub checkpoint_max_buffers: Vec<(u64, u32)>,
+    /// Size/depth of the ancestor-closed hull of nodes that computed ≥ 1
+    /// task (Fig 6's "used nodes").
+    pub used: UsedStats,
+    /// Wall-clock of the simulated run in timesteps.
+    pub end_time: u64,
+    /// Simulator effort.
+    pub events: u64,
+}
+
+impl TreeRun {
+    /// Did this run reach the optimal steady-state rate?
+    pub fn reached(&self) -> bool {
+        self.onset.is_some()
+    }
+}
+
+/// Runs `make_config(tasks)`-configured simulations over every tree of
+/// the campaign, in parallel, and summarizes each.
+pub fn run_campaign(
+    campaign: &CampaignConfig,
+    make_config: impl Fn(u64) -> SimConfig + Sync,
+) -> Vec<TreeRun> {
+    (0..campaign.trees)
+        .into_par_iter()
+        .map(|i| {
+            let tree = campaign.tree(i);
+            let analysis = SteadyState::analyze(&tree);
+            let result = Simulation::new(tree.clone(), make_config(campaign.tasks)).run();
+            summarize(i, &tree, &analysis, &result, campaign.onset)
+        })
+        .collect()
+}
+
+/// Summarizes one finished run.
+pub fn summarize(
+    index: usize,
+    tree: &Tree,
+    analysis: &SteadyState,
+    result: &RunResult,
+    onset_cfg: OnsetConfig,
+) -> TreeRun {
+    let optimal = analysis.optimal_rate();
+    let onset = detect_onset(&result.completion_times, &optimal, onset_cfg);
+    TreeRun {
+        index,
+        nodes: tree.len(),
+        depth: tree.depth(),
+        optimal_rate: optimal,
+        onset,
+        max_buffers: result.max_buffers(),
+        checkpoint_max_buffers: result.checkpoint_max_buffers.clone(),
+        used: tree.used_subtree_stats(&result.used_nodes()),
+        end_time: result.end_time,
+        events: result.events_processed,
+    }
+}
+
+/// Fraction of runs that reached the optimal steady state.
+pub fn fraction_reached(runs: &[TreeRun]) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter().filter(|r| r.reached()).count() as f64 / runs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> CampaignConfig {
+        CampaignConfig {
+            trees: 8,
+            tasks: 800,
+            seed: 42,
+            tree_config: RandomTreeConfig {
+                min_nodes: 5,
+                max_nodes: 30,
+                comm_min: 1,
+                comm_max: 10,
+                compute_scale: 100,
+            },
+            onset: OnsetConfig {
+                window_threshold: 100,
+                crossings: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_parallel_safe() {
+        let c = tiny_campaign();
+        let a = run_campaign(&c, |t| SimConfig::interruptible(3, t));
+        let b = run_campaign(&c, |t| SimConfig::interruptible(3, t));
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.onset, y.onset);
+            assert_eq!(x.end_time, y.end_time);
+            assert_eq!(x.events, y.events);
+        }
+    }
+
+    #[test]
+    fn trees_differ_across_indices() {
+        let c = tiny_campaign();
+        assert_ne!(
+            (c.tree(0).len(), c.tree(0).depth()),
+            (c.tree(1).len(), c.tree(1).depth()),
+        );
+    }
+
+    #[test]
+    fn ic3_reaches_optimal_on_most_small_trees() {
+        let c = tiny_campaign();
+        let runs = run_campaign(&c, |t| SimConfig::interruptible(3, t));
+        let frac = fraction_reached(&runs);
+        assert!(frac >= 0.5, "IC/FB=3 reached only {frac}");
+    }
+}

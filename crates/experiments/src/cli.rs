@@ -1,0 +1,145 @@
+//! Minimal flag parsing shared by the experiment binaries.
+//!
+//! Flags: `--trees N`, `--tasks N`, `--seed N`, `--full` (paper-scale
+//! campaign), `--out DIR` (also write CSV artifacts there).
+
+use bc_core::GrowthGate;
+use std::path::PathBuf;
+
+/// Parsed command line for an experiment binary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cli {
+    /// Number of trees (or graphs) to simulate.
+    pub trees: usize,
+    /// Tasks per run.
+    pub tasks: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Paper-scale run requested.
+    pub full: bool,
+    /// Non-IC growth gate (see `bc_core::GrowthGate`; DESIGN.md §6).
+    pub gate: GrowthGate,
+    /// Directory for CSV artifacts.
+    pub out: Option<PathBuf>,
+}
+
+/// Defaults an experiment passes to [`parse`].
+#[derive(Clone, Copy, Debug)]
+pub struct Defaults {
+    /// Default tree count.
+    pub trees: usize,
+    /// Tree count under `--full` (paper scale).
+    pub full_trees: usize,
+    /// Default (and paper) task count.
+    pub tasks: u64,
+}
+
+/// Parses `args` (without the program name). Panics with a usage message
+/// on unknown flags — these are developer-facing binaries.
+pub fn parse(args: impl IntoIterator<Item = String>, defaults: Defaults) -> Cli {
+    let mut cli = Cli {
+        trees: defaults.trees,
+        tasks: defaults.tasks,
+        seed: 2003, // IPDPS'03
+        full: false,
+        gate: GrowthGate::default(),
+        out: None,
+    };
+    let mut it = args.into_iter();
+    let mut explicit_trees = false;
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--trees" => {
+                cli.trees = value("--trees").parse().expect("--trees must be a number");
+                explicit_trees = true;
+            }
+            "--tasks" => cli.tasks = value("--tasks").parse().expect("--tasks must be a number"),
+            "--seed" => cli.seed = value("--seed").parse().expect("--seed must be a number"),
+            "--full" => cli.full = true,
+            "--gate" => {
+                cli.gate = match value("--gate").as_str() {
+                    "every" => GrowthGate::EveryEvent,
+                    "arrival" => GrowthGate::OncePerArrival,
+                    "filled" => GrowthGate::AfterPoolFilled,
+                    other => panic!("unknown gate {other}; use every|arrival|filled"),
+                };
+            }
+            "--out" => cli.out = Some(PathBuf::from(value("--out"))),
+            "--help" | "-h" => {
+                println!(
+                    "flags: --trees N --tasks N --seed N --full --gate every|arrival|filled --out DIR\n\
+                     defaults: trees={} (full: {}), tasks={}, seed=2003",
+                    defaults.trees, defaults.full_trees, defaults.tasks
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    if cli.full && !explicit_trees {
+        cli.trees = defaults.full_trees;
+    }
+    cli
+}
+
+/// Writes `content` as `<out>/<name>` when `--out` was given.
+pub fn write_artifact(cli: &Cli, name: &str, content: &str) {
+    if let Some(dir) = &cli.out {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        let path = dir.join(name);
+        std::fs::write(&path, content).expect("write artifact");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: Defaults = Defaults {
+        trees: 100,
+        full_trees: 25_000,
+        tasks: 10_000,
+    };
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cli = parse(args(&[]), D);
+        assert_eq!(cli.trees, 100);
+        assert_eq!(cli.tasks, 10_000);
+        assert_eq!(cli.seed, 2003);
+        assert!(!cli.full);
+        assert!(cli.out.is_none());
+    }
+
+    #[test]
+    fn flags_override() {
+        let cli = parse(args(&["--trees", "7", "--tasks", "55", "--seed", "9"]), D);
+        assert_eq!((cli.trees, cli.tasks, cli.seed), (7, 55, 9));
+        assert_eq!(cli.gate, GrowthGate::EveryEvent);
+        let cli = parse(args(&["--gate", "filled"]), D);
+        assert_eq!(cli.gate, GrowthGate::AfterPoolFilled);
+    }
+
+    #[test]
+    fn full_scales_trees_unless_explicit() {
+        let cli = parse(args(&["--full"]), D);
+        assert_eq!(cli.trees, 25_000);
+        let cli = parse(args(&["--full", "--trees", "12"]), D);
+        assert_eq!(cli.trees, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(args(&["--bogus"]), D);
+    }
+}

@@ -1,0 +1,147 @@
+//! Extension experiment: startup-time analysis.
+//!
+//! §4.2.1 reports, from "other simulations not displayed here", that
+//! *"for all protocols the startup time increases as the computation-to-
+//! communication ratio increases"*, and that non-IC has much longer
+//! startup phases than IC. This experiment makes that claim a measured
+//! artifact: the distribution of onset windows per ratio class per
+//! protocol.
+
+use crate::campaign::{run_campaign, CampaignConfig, TreeRun};
+use bc_engine::SimConfig;
+use bc_metrics::{ascii_table, median, percentile};
+
+/// One (class, protocol) cell's startup distribution.
+#[derive(Clone, Debug)]
+pub struct StartupCell {
+    /// Computation scale `x`.
+    pub compute_scale: u64,
+    /// Protocol label.
+    pub protocol: String,
+    /// Onset windows of the runs that reached optimal steady state.
+    pub onsets: Vec<u64>,
+    /// Number of runs in the cell.
+    pub total_runs: usize,
+}
+
+impl StartupCell {
+    /// Median onset window (startup length proxy) among reaching runs.
+    pub fn median_onset(&self) -> Option<f64> {
+        median(&self.onsets)
+    }
+
+    /// 90th percentile onset window.
+    pub fn p90_onset(&self) -> Option<u64> {
+        percentile(&self.onsets, 90.0)
+    }
+}
+
+/// Experiment output.
+#[derive(Clone, Debug)]
+pub struct Startup {
+    /// All cells: classes outer, protocols inner.
+    pub cells: Vec<StartupCell>,
+}
+
+fn onsets(runs: &[TreeRun]) -> Vec<u64> {
+    runs.iter().filter_map(|r| r.onset).collect()
+}
+
+/// Runs the experiment over the Fig 5 ratio classes.
+pub fn run(campaign: &CampaignConfig) -> Startup {
+    let mut cells = Vec::new();
+    for &x in &crate::fig5::CLASSES {
+        let mut class_campaign = campaign.clone();
+        class_campaign.tree_config = campaign.tree_config.with_compute_scale(x);
+        class_campaign.seed = campaign.seed.wrapping_add(x);
+        for (protocol, cfg) in [
+            ("IC, FB=3", SimConfig::interruptible(3, campaign.tasks)),
+            (
+                "non-IC, IB=1",
+                SimConfig::non_interruptible(1, campaign.tasks),
+            ),
+        ] {
+            let runs = run_campaign(&class_campaign, |_| cfg.clone());
+            cells.push(StartupCell {
+                compute_scale: x,
+                protocol: protocol.to_string(),
+                onsets: onsets(&runs),
+                total_runs: runs.len(),
+            });
+        }
+    }
+    Startup { cells }
+}
+
+/// Renders the startup table.
+pub fn render(s: &Startup) -> String {
+    let mut out = String::new();
+    out.push_str("Startup time by ratio class (onset window of runs that reached optimal)\n\n");
+    let rows: Vec<Vec<String>> = s
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("x={}", c.compute_scale),
+                c.protocol.clone(),
+                format!("{}/{}", c.onsets.len(), c.total_runs),
+                c.median_onset().map_or("-".into(), |m| format!("{m:.0}")),
+                c.p90_onset().map_or("-".into(), |p| p.to_string()),
+            ]
+        })
+        .collect();
+    out.push_str(&ascii_table(
+        &["class", "protocol", "reached", "median onset", "p90 onset"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_metrics::OnsetConfig;
+    use bc_platform::RandomTreeConfig;
+
+    #[test]
+    fn startup_grows_with_ratio_for_ic() {
+        let campaign = CampaignConfig {
+            trees: 16,
+            tasks: 2_000,
+            seed: 77,
+            tree_config: RandomTreeConfig {
+                min_nodes: 10,
+                max_nodes: 80,
+                comm_min: 1,
+                comm_max: 100,
+                compute_scale: 0, // per class
+            },
+            onset: OnsetConfig {
+                window_threshold: 150,
+                crossings: 2,
+            },
+        };
+        let s = run(&campaign);
+        assert_eq!(s.cells.len(), 8);
+        // Compare IC cells at the lowest and highest ratio classes: the
+        // median onset should not shrink as x rises (the paper's claim).
+        let ic_low = s
+            .cells
+            .iter()
+            .find(|c| c.compute_scale == 500 && c.protocol.starts_with("IC"))
+            .unwrap();
+        let ic_high = s
+            .cells
+            .iter()
+            .find(|c| c.compute_scale == 10_000 && c.protocol.starts_with("IC"))
+            .unwrap();
+        if let (Some(low), Some(high)) = (ic_low.median_onset(), ic_high.median_onset()) {
+            assert!(
+                high >= low * 0.8,
+                "startup should not collapse with ratio: low {low} high {high}"
+            );
+        }
+        let rendered = render(&s);
+        assert!(rendered.contains("median onset"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the simplex solver on randomly generated capacity
+//! LPs: the returned assignment must be feasible, and the objective must
+//! match a brute-force vertex enumeration on tiny instances.
+
+use bc_lp::{LpError, Problem};
+use bc_rational::Rational;
+use proptest::prelude::*;
+
+fn ri(n: i128) -> Rational {
+    Rational::from_integer(n)
+}
+
+fn dot(row: &[Rational], x: &[Rational]) -> Rational {
+    row.iter()
+        .zip(x)
+        .fold(Rational::zero(), |acc, (a, b)| acc.add_ref(&a.mul_ref(b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any solved LP's assignment satisfies its own constraints and
+    /// nonnegativity, and achieves exactly the reported objective.
+    #[test]
+    fn solution_is_feasible_and_consistent(
+        n in 1usize..5,
+        obj in prop::collection::vec(0i128..10, 1..5),
+        rows in prop::collection::vec((prop::collection::vec(0i128..10, 1..5), 1i128..20), 1..6),
+    ) {
+        let obj: Vec<i128> = obj.into_iter().cycle().take(n).collect();
+        let mut p = Problem::new(n);
+        p.set_objective(obj.iter().map(|&v| ri(v)).collect());
+        let mut bounded = vec![false; n];
+        let mut constraints = Vec::new();
+        for (row, rhs) in &rows {
+            let row: Vec<i128> = row.iter().copied().cycle().take(n).collect();
+            for (j, &a) in row.iter().enumerate() {
+                if a > 0 {
+                    bounded[j] = true;
+                }
+            }
+            let r: Vec<Rational> = row.iter().map(|&v| ri(v)).collect();
+            p.add_constraint(r.clone(), ri(*rhs));
+            constraints.push((r, ri(*rhs)));
+        }
+        // Guarantee boundedness so solve() must succeed.
+        for (j, b) in bounded.iter().enumerate() {
+            if !b && obj[j] > 0 {
+                let mut row = vec![Rational::zero(); n];
+                row[j] = ri(1);
+                p.add_constraint(row.clone(), ri(1000));
+                constraints.push((row, ri(1000)));
+            }
+        }
+        let s = p.solve().unwrap();
+        for x in &s.assignment {
+            prop_assert!(!x.is_negative());
+        }
+        for (row, rhs) in &constraints {
+            prop_assert!(dot(row, &s.assignment) <= *rhs);
+        }
+        let objective: Vec<Rational> = obj.iter().map(|&v| ri(v)).collect();
+        prop_assert_eq!(dot(&objective, &s.assignment), s.objective);
+    }
+
+    /// On 2-variable problems, compare against brute-force enumeration of
+    /// all candidate vertices (constraint pair intersections + axis cuts).
+    #[test]
+    fn two_var_matches_vertex_enumeration(
+        c0 in 1i128..8, c1 in 1i128..8,
+        rows in prop::collection::vec((0i128..6, 0i128..6, 1i128..15), 2..5),
+    ) {
+        // Ensure boundedness: add box constraints.
+        let mut all_rows: Vec<(i128, i128, i128)> = rows.clone();
+        all_rows.push((1, 0, 50));
+        all_rows.push((0, 1, 50));
+
+        let mut p = Problem::new(2);
+        p.set_objective(vec![ri(c0), ri(c1)]);
+        for &(a, b, rhs) in &all_rows {
+            p.add_constraint(vec![ri(a), ri(b)], ri(rhs));
+        }
+        let s = p.solve().unwrap();
+
+        // Brute force: candidate points are intersections of every pair of
+        // constraint lines plus each line with each axis, plus the origin.
+        let feasible = |x: &Rational, y: &Rational| {
+            !x.is_negative()
+                && !y.is_negative()
+                && all_rows.iter().all(|&(a, b, rhs)| {
+                    ri(a).mul_ref(x).add_ref(&ri(b).mul_ref(y)) <= ri(rhs)
+                })
+        };
+        let mut best = Rational::zero(); // origin
+        let mut consider = |x: Rational, y: Rational| {
+            if feasible(&x, &y) {
+                let v = ri(c0).mul_ref(&x).add_ref(&ri(c1).mul_ref(&y));
+                if v > best {
+                    best = v;
+                }
+            }
+        };
+        for i in 0..all_rows.len() {
+            let (a1, b1, r1) = all_rows[i];
+            // Axis intersections.
+            if a1 != 0 {
+                consider(Rational::new(r1, a1), Rational::zero());
+            }
+            if b1 != 0 {
+                consider(Rational::zero(), Rational::new(r1, b1));
+            }
+            for &(a2, b2, r2) in &all_rows[i + 1..] {
+                let det = a1 * b2 - a2 * b1;
+                if det != 0 {
+                    consider(
+                        Rational::new(r1 * b2 - r2 * b1, det),
+                        Rational::new(a1 * r2 - a2 * r1, det),
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(s.objective, best);
+    }
+}
+
+#[test]
+fn unbounded_when_variable_uncovered() {
+    let mut p = Problem::new(3);
+    p.set_objective(vec![ri(0), ri(0), ri(1)]);
+    p.add_constraint(vec![ri(1), ri(1), ri(0)], ri(4));
+    assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+}

@@ -1,0 +1,26 @@
+//! # bc-metrics — measurement methodology of the paper's evaluation
+//!
+//! The sliding growing window of §4.1 ([`windows`]), the empirical
+//! onset-of-optimal-steady-state heuristic ([`onset`]), and the statistics
+//! helpers (medians, histograms, table/CSV rendering) the experiment
+//! harness builds tables and figures from ([`stats`]).
+//!
+//! ```
+//! use bc_metrics::{detect_onset, OnsetConfig};
+//! use bc_rational::Rational;
+//!
+//! // A run completing one task every 3 timesteps, 1000 tasks.
+//! let times: Vec<u64> = (1..=1000).map(|k| 3 * k).collect();
+//! let onset = detect_onset(&times, &Rational::new(1, 3), OnsetConfig::default());
+//! assert_eq!(onset, Some(302)); // 2nd qualifying window past 300
+//! ```
+
+pub mod onset;
+pub mod plot;
+pub mod stats;
+pub mod windows;
+
+pub use onset::{detect_onset, onset_cdf, reached_optimal, OnsetConfig};
+pub use plot::Chart;
+pub use stats::{ascii_table, csv, median, percentile, Histogram};
+pub use windows::{normalized_curve, window_rates, WindowRate};

@@ -1,0 +1,183 @@
+//! Terminal line charts for the figure binaries.
+//!
+//! The experiment harness is terminal-first: tables carry the exact
+//! numbers, and these charts give the figures their *shape* (the curve
+//! crossings and plateaus the paper's claims are about) without any
+//! plotting dependency.
+
+/// A multi-series scatter/line chart rendered with Unicode braille-free
+/// ASCII, one glyph per series.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    width: usize,
+    height: usize,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    y_max_hint: Option<f64>,
+}
+
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+impl Chart {
+    /// Creates an empty chart of `width`×`height` character cells
+    /// (plot area, excluding axes).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 10 && height >= 4, "chart too small to read");
+        Chart {
+            width,
+            height,
+            series: Vec::new(),
+            y_max_hint: None,
+        }
+    }
+
+    /// Fixes the y-axis maximum (otherwise auto-scaled to the data).
+    pub fn y_max(mut self, y: f64) -> Self {
+        assert!(y > 0.0, "y_max must be positive");
+        self.y_max_hint = Some(y);
+        self
+    }
+
+    /// Adds a named series.
+    pub fn series(mut self, label: impl Into<String>, points: &[(f64, f64)]) -> Self {
+        assert!(
+            self.series.len() < GLYPHS.len(),
+            "too many series for distinct glyphs"
+        );
+        self.series.push((label.into(), points.to_vec()));
+        self
+    }
+
+    /// Renders the chart. Points outside the axis ranges are clamped to
+    /// the border; NaN/infinite values are skipped.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return "(empty chart)\n".to_string();
+        }
+        let x_min = all.iter().map(|&(x, _)| x).fold(f64::INFINITY, f64::min);
+        let x_max = all
+            .iter()
+            .map(|&(x, _)| x)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let y_min = 0.0f64;
+        let y_max = self
+            .y_max_hint
+            .unwrap_or_else(|| {
+                all.iter()
+                    .map(|&(_, y)| y)
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .max(1e-12);
+        let x_span = (x_max - x_min).max(1e-12);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si];
+            for &(x, y) in pts {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = (((x - x_min) / x_span) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y.clamp(y_min, y_max) / y_max) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                let col = cx.min(self.width - 1);
+                // First-come glyph wins so overlapping series stay legible.
+                if grid[row][col] == ' ' {
+                    grid[row][col] = glyph;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        for (r, row) in grid.iter().enumerate() {
+            let y_label = if r == 0 {
+                format!("{y_max:8.3}")
+            } else if r == self.height - 1 {
+                format!("{y_min:8.3}")
+            } else {
+                " ".repeat(8)
+            };
+            out.push_str(&y_label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(8));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:8} {:<.3}{}{:>.3}\n",
+            "",
+            x_min,
+            " ".repeat(self.width.saturating_sub(14)),
+            x_max
+        ));
+        for (si, (label, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", GLYPHS[si], label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_single_series() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64 / 100.0)).collect();
+        let s = Chart::new(60, 10).series("ramp", &pts).render();
+        assert!(s.contains('*'));
+        assert!(s.contains("ramp"));
+        // Rough shape: the ramp touches near the bottom-left and the
+        // top-right.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains('*'), "top row should contain the peak");
+    }
+
+    #[test]
+    fn distinct_glyphs_per_series() {
+        let a = [(0.0, 1.0), (1.0, 1.0)];
+        let b = [(0.0, 0.5), (1.0, 0.5)];
+        let s = Chart::new(20, 6).series("a", &a).series("b", &b).render();
+        assert!(s.contains('*') && s.contains('o'));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let s = Chart::new(20, 6).render();
+        assert_eq!(s, "(empty chart)\n");
+        let s = Chart::new(20, 6).series("nan", &[(f64::NAN, 1.0)]).render();
+        assert_eq!(s, "(empty chart)\n");
+    }
+
+    #[test]
+    fn y_max_clamps() {
+        let pts = [(0.0, 5.0), (1.0, 0.5)];
+        let s = Chart::new(20, 6).y_max(1.0).series("spike", &pts).render();
+        // The spike is clamped to the top row, not off-grid.
+        assert!(s.lines().next().unwrap().contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_rejected() {
+        let _ = Chart::new(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many series")]
+    fn series_limit_enforced() {
+        let mut c = Chart::new(20, 6);
+        for i in 0..9 {
+            c = c.series(format!("s{i}"), &[(0.0, 1.0)]);
+        }
+    }
+}

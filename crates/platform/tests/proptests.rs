@@ -1,0 +1,132 @@
+//! Property tests for the platform layer: generator invariants, overlay
+//! builders, serialization round trips, and tree-query consistency over
+//! arbitrary inputs.
+
+use bc_platform::{io, NodeId, PlatformGraph, RandomTreeConfig, Tree};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid tree built by attaching each node to a
+/// uniformly chosen earlier node.
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (
+        1u64..100,
+        prop::collection::vec((any::<u32>(), 1u64..50, 1u64..200), 0..40),
+    )
+        .prop_map(|(root_w, nodes)| {
+            let mut t = Tree::new(root_w);
+            for (pick, c, w) in nodes {
+                let parent = NodeId(pick % t.len() as u32);
+                t.add_child(parent, c, w);
+            }
+            t
+        })
+}
+
+proptest! {
+    /// Builders only produce valid trees.
+    #[test]
+    fn built_trees_validate(t in arb_tree()) {
+        prop_assert!(t.validate().is_ok());
+    }
+
+    /// JSON round trips exactly.
+    #[test]
+    fn json_round_trip(t in arb_tree()) {
+        let back = io::from_json(&io::to_json(&t)).unwrap();
+        prop_assert_eq!(back.len(), t.len());
+        for id in t.ids() {
+            prop_assert_eq!(back.parent(id), t.parent(id));
+            prop_assert_eq!(back.comm_time(id), t.comm_time(id));
+            prop_assert_eq!(back.compute_time(id), t.compute_time(id));
+        }
+    }
+
+    /// Depth equals the longest root path computed independently.
+    #[test]
+    fn depth_matches_naive(t in arb_tree()) {
+        let naive = t.ids().map(|id| t.node_depth(id)).max().unwrap();
+        prop_assert_eq!(t.depth(), naive);
+    }
+
+    /// Pre/postorder are permutations with the defining order property.
+    #[test]
+    fn traversals_are_consistent(t in arb_tree()) {
+        let pre = t.preorder();
+        let post = t.postorder();
+        prop_assert_eq!(pre.len(), t.len());
+        prop_assert_eq!(post.len(), t.len());
+        let pos_pre: std::collections::HashMap<_, _> =
+            pre.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let pos_post: std::collections::HashMap<_, _> =
+            post.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for id in t.ids() {
+            if let Some(p) = t.parent(id) {
+                prop_assert!(pos_pre[&p] < pos_pre[&id], "preorder violated");
+                prop_assert!(pos_post[&id] < pos_post[&p], "postorder violated");
+            }
+        }
+    }
+
+    /// The §4.1 generator always respects its parameter envelope.
+    #[test]
+    fn generator_envelope(seed in any::<u64>(), m in 1usize..20, span in 0usize..60,
+                          b in 1u64..20, d_extra in 0u64..50, x in 1u64..5_000) {
+        let cfg = RandomTreeConfig {
+            min_nodes: m,
+            max_nodes: m + span,
+            comm_min: b,
+            comm_max: b + d_extra,
+            compute_scale: x,
+        };
+        let t = cfg.generate(seed);
+        prop_assert!(t.validate().is_ok());
+        prop_assert!(t.len() >= m && t.len() <= m + span);
+        for id in t.ids() {
+            if id != NodeId::ROOT {
+                let c = t.comm_time(id);
+                prop_assert!(c >= b && c <= b + d_extra);
+            }
+            let w = t.compute_time(id);
+            prop_assert!(w >= (x / 100).max(1) && w <= x);
+        }
+    }
+
+    /// Used-subtree stats are monotone in the used set and bounded by the
+    /// whole tree.
+    #[test]
+    fn used_stats_monotone(t in arb_tree(), bits in prop::collection::vec(any::<bool>(), 40)) {
+        let mut used: Vec<bool> = (0..t.len()).map(|i| bits[i % bits.len()]) .collect();
+        let small = t.used_subtree_stats(&used);
+        // Add one more used node: the hull can only grow.
+        if let Some(slot) = used.iter().position(|&u| !u) {
+            used[slot] = true;
+            let bigger = t.used_subtree_stats(&used);
+            prop_assert!(bigger.size >= small.size);
+            prop_assert!(bigger.depth >= small.depth);
+        }
+        prop_assert!(small.size <= t.len());
+        prop_assert!(small.depth <= t.depth());
+    }
+
+    /// Every overlay strategy yields a valid spanning tree over the same
+    /// vertex set, and min-comm's total link cost is minimal among them.
+    #[test]
+    fn overlays_span_and_min_comm_is_cheapest(
+        n in 2usize..25, extra in 0usize..30, seed in any::<u64>(),
+    ) {
+        let g = PlatformGraph::random(n, extra, (1, 30), (5, 500), seed);
+        let total_c = |t: &Tree| -> u64 { t.ids().map(|id| t.comm_time(id)).sum() };
+        let bfs = g.bfs_overlay();
+        let prim = g.min_comm_overlay();
+        let rand = g.random_overlay(seed ^ 1);
+        for t in [&bfs, &prim, &rand] {
+            prop_assert!(t.validate().is_ok());
+            prop_assert_eq!(t.len(), n);
+        }
+        prop_assert!(total_c(&prim) <= total_c(&bfs));
+        prop_assert!(total_c(&prim) <= total_c(&rand));
+        // BFS minimizes hops: its depth is minimal.
+        prop_assert!(bfs.depth() <= prim.depth());
+        prop_assert!(bfs.depth() <= rand.depth());
+    }
+}

@@ -1,0 +1,29 @@
+//! # bc-rational — exact arithmetic for bandwidth-centric scheduling
+//!
+//! Exact rational numbers over arbitrary-precision integers.
+//!
+//! The steady-state theory of bandwidth-centric scheduling (Beaumont et al.
+//! IPDPS'02, Theorem 1 in Kreaseck et al. IPDPS'03) defines the optimal task
+//! rate of a tree as a nested rational expression. On the random trees of
+//! the paper's campaign (up to 500 nodes, depth past 80) the reduced
+//! denominators routinely exceed 128 bits, so this crate provides
+//! [`BigUint`] / [`BigInt`] magnitudes and an always-normalized [`Rational`]
+//! on top. All optimality verdicts in the workspace use these exact types;
+//! `f64` appears only at the display/plotting boundary.
+//!
+//! ```
+//! use bc_rational::Rational;
+//!
+//! let half = Rational::new(1, 2);
+//! let third = Rational::new(1, 3);
+//! assert_eq!(&half + &third, Rational::new(5, 6));
+//! assert!(half > third);
+//! ```
+
+pub mod bigint;
+pub mod biguint;
+pub mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use rational::{sum, Rational};

@@ -1,0 +1,540 @@
+//! Exact rational numbers.
+//!
+//! Steady-state rates, tree weights, and ε-allocations are all rationals;
+//! keeping them exact means the "did this tree reach the optimal rate?"
+//! verdict in the experiment harness is a true comparison, never a float
+//! tolerance.
+
+use crate::bigint::{BigInt, Sign};
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// Invariants: the denominator is strictly positive and `gcd(|num|, den) = 1`
+/// (zero is stored as `0/1`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Rational {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Rational {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Builds `num/den` from machine integers. Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        let mut n = BigInt::from_i128(num);
+        if den < 0 {
+            n = n.neg();
+        }
+        Self::from_parts(n, BigUint::from_u128(den.unsigned_abs()))
+    }
+
+    /// Builds from big parts, normalizing. Panics if `den == 0`.
+    pub fn from_parts(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "Rational with zero denominator");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            Rational { num, den }
+        } else {
+            let mag = num.magnitude().divrem(&g).0;
+            Rational {
+                num: BigInt::from_sign_mag(num.sign(), mag),
+                den: den.divrem(&g).0,
+            }
+        }
+    }
+
+    /// Builds the integer `v`.
+    pub fn from_integer(v: i128) -> Self {
+        Rational {
+            num: BigInt::from_i128(v),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// True if the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// True if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational {
+            num: BigInt::from_sign_mag(self.num.sign(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// Exact sum.
+    pub fn add_ref(&self, other: &Rational) -> Rational {
+        // a/b + c/d = (a*d + c*b) / (b*d)
+        let num = self
+            .num
+            .mul(&big(&other.den))
+            .add(&other.num.mul(&big(&self.den)));
+        Rational::from_parts(num, self.den.mul(&other.den))
+    }
+
+    /// Exact difference.
+    pub fn sub_ref(&self, other: &Rational) -> Rational {
+        self.add_ref(&other.neg_ref())
+    }
+
+    /// Exact product.
+    pub fn mul_ref(&self, other: &Rational) -> Rational {
+        Rational::from_parts(self.num.mul(&other.num), self.den.mul(&other.den))
+    }
+
+    /// Exact quotient. Panics if `other` is zero.
+    pub fn div_ref(&self, other: &Rational) -> Rational {
+        self.mul_ref(&other.recip())
+    }
+
+    /// Negation.
+    pub fn neg_ref(&self) -> Rational {
+        Rational {
+            num: self.num.neg(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Floor (largest integer ≤ self).
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self
+            .num
+            .divrem(&BigInt::from_sign_mag(Sign::Positive, self.den.clone()));
+        if self.num.is_negative() && !r.is_zero() {
+            q.sub(&BigInt::one())
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling (smallest integer ≥ self).
+    pub fn ceil(&self) -> BigInt {
+        self.neg_ref().floor().neg()
+    }
+
+    /// Approximates as `f64` (display / plotting only — never used in
+    /// optimality decisions).
+    pub fn to_f64(&self) -> f64 {
+        let n = self.num.to_f64();
+        let d = self.den.to_f64();
+        if d.is_infinite() || n.is_infinite() {
+            // Scale both sides down by a common power of two first.
+            let nb = self.num.magnitude().bit_len();
+            let db = self.den.bit_len();
+            let shift = nb.max(db).saturating_sub(512);
+            let ns = self.num.magnitude().shr(shift).to_f64();
+            let ds = self.den.shr(shift).to_f64();
+            let v = ns / ds;
+            return if self.num.is_negative() { -v } else { v };
+        }
+        n / d
+    }
+
+    /// `min` by value.
+    pub fn min_ref(&self, other: &Rational) -> Rational {
+        if self <= other {
+            self.clone()
+        } else {
+            other.clone()
+        }
+    }
+
+    /// `max` by value.
+    pub fn max_ref(&self, other: &Rational) -> Rational {
+        if self >= other {
+            self.clone()
+        } else {
+            other.clone()
+        }
+    }
+}
+
+fn big(u: &BigUint) -> BigInt {
+    if u.is_zero() {
+        BigInt::zero()
+    } else {
+        BigInt::from_sign_mag(Sign::Positive, u.clone())
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  ⇔  a*d vs c*b   (b, d > 0)
+        self.num
+            .mul(&big(&other.den))
+            .cmp(&other.num.mul(&big(&self.den)))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        self.add_ref(rhs)
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self.sub_ref(rhs)
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        self.div_ref(rhs)
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        self.neg_ref()
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.add_ref(&rhs)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self.sub_ref(&rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self.div_ref(&rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        self.neg_ref()
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(v: i128) -> Self {
+        Rational::from_integer(v)
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(v: u64) -> Self {
+        Rational::from_integer(v as i128)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+/// Sums an iterator of rationals exactly.
+pub fn sum<'a, I: IntoIterator<Item = &'a Rational>>(iter: I) -> Rational {
+    iter.into_iter()
+        .fold(Rational::zero(), |acc, r| acc.add_ref(r))
+}
+
+/// Error from parsing a [`Rational`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRationalError {
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"n"`, `"-n"`, or `"n/d"` forms (the [`fmt::Display`]
+    /// output round-trips). Components must fit in `i128`; larger values
+    /// arise only as computation results, never as user input.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (num_str, den_str) = match s.split_once('/') {
+            Some((n, d)) => (n.trim(), Some(d.trim())),
+            None => (s, None),
+        };
+        let num: i128 = num_str.parse().map_err(|_| ParseRationalError {
+            reason: "numerator is not an integer",
+        })?;
+        let den: i128 = match den_str {
+            Some(d) => d.parse().map_err(|_| ParseRationalError {
+                reason: "denominator is not an integer",
+            })?,
+            None => 1,
+        };
+        if den == 0 {
+            return Err(ParseRationalError {
+                reason: "denominator is zero",
+            });
+        }
+        Ok(Rational::new(num, den))
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, r| acc.add_ref(&r))
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, r| acc.add_ref(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 5), Rational::zero());
+        assert_eq!(r(6, 3), Rational::from_integer(2));
+        assert!(r(6, 3).is_integer());
+        assert!(!r(1, 3).is_integer());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+        assert_eq!(r(-3, 7).recip(), r(-7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::zero().recip();
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < r(1, 1000));
+        assert_eq!(r(2, 6).cmp(&r(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor().to_i128(), Some(3));
+        assert_eq!(r(7, 2).ceil().to_i128(), Some(4));
+        assert_eq!(r(-7, 2).floor().to_i128(), Some(-4));
+        assert_eq!(r(-7, 2).ceil().to_i128(), Some(-3));
+        assert_eq!(r(4, 2).floor().to_i128(), Some(2));
+        assert_eq!(r(4, 2).ceil().to_i128(), Some(2));
+    }
+
+    #[test]
+    fn to_f64() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(-3, 4).to_f64(), -0.75);
+        assert_eq!(Rational::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn to_f64_huge_components() {
+        // Both numerator and denominator far beyond f64 range, ratio ~ 2.
+        let big = Rational::from_parts(
+            BigInt::from_sign_mag(Sign::Positive, BigUint::one().shl(3000)),
+            BigUint::one().shl(2999),
+        );
+        assert!((big.to_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_helper() {
+        let xs = [r(1, 2), r(1, 3), r(1, 6)];
+        assert_eq!(sum(xs.iter()), Rational::one());
+        assert_eq!(sum([].iter()), Rational::zero());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(r(1, 2).min_ref(&r(1, 3)), r(1, 3));
+        assert_eq!(r(1, 2).max_ref(&r(1, 3)), r(1, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(3, 4).to_string(), "3/4");
+        assert_eq!(r(-3, 4).to_string(), "-3/4");
+        assert_eq!(r(8, 4).to_string(), "2");
+    }
+
+    #[test]
+    fn parses_display_forms() {
+        for s in ["3/4", "-3/4", "2", "-2", "0", " 5 / 10 "] {
+            let r: Rational = s.parse().unwrap();
+            let back: Rational = r.to_string().parse().unwrap();
+            assert_eq!(r, back, "{s}");
+        }
+        assert_eq!("5/10".parse::<Rational>().unwrap(), r(1, 2));
+        assert_eq!("7".parse::<Rational>().unwrap(), r(7, 1));
+        assert_eq!("1/-2".parse::<Rational>().unwrap(), r(-1, 2));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Rational>().is_err());
+        assert!("abc".parse::<Rational>().is_err());
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("1/2/3".parse::<Rational>().is_err());
+        assert!("1.5".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn iterator_sum() {
+        let xs = vec![r(1, 2), r(1, 3), r(1, 6)];
+        let owned: Rational = xs.clone().into_iter().sum();
+        let borrowed: Rational = xs.iter().sum();
+        assert_eq!(owned, Rational::one());
+        assert_eq!(borrowed, Rational::one());
+    }
+
+    #[test]
+    fn deep_nesting_does_not_overflow() {
+        // Emulates a deep bottom-up tree-weight computation:
+        // w <- 1 / (1/w + 1/(w+1)) with fresh primes mixed in so the
+        // denominators genuinely grow. i128 arithmetic would overflow
+        // long before 90 levels.
+        let mut w = r(10007, 3);
+        for k in 0..90 {
+            let other = r(9973 + k, 7);
+            w = (w.recip() + other.recip()).recip() + r(1, 10007);
+            assert!(w.is_positive());
+        }
+        // The value stays in a sane range even though its representation
+        // is enormous.
+        let f = w.to_f64();
+        assert!(f > 0.0 && f < 10000.0, "f = {f}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for bc-rational: the big-integer layer is checked
+//! against native 128-bit arithmetic on values where both apply, and the
+//! rational layer against field axioms.
+
+use bc_rational::{BigInt, BigUint, Rational};
+use proptest::prelude::*;
+
+fn bu(v: u128) -> BigUint {
+    BigUint::from_u128(v)
+}
+
+proptest! {
+    #[test]
+    fn biguint_add_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+        prop_assert_eq!(bu(a).add(&bu(b)), bu(a + b));
+    }
+
+    #[test]
+    fn biguint_sub_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(bu(hi).sub(&bu(lo)), bu(hi - lo));
+    }
+
+    #[test]
+    fn biguint_mul_matches_u128(a in 0u128..u64::MAX as u128, b in 0u128..u64::MAX as u128) {
+        prop_assert_eq!(bu(a).mul(&bu(b)), bu(a * b));
+    }
+
+    #[test]
+    fn biguint_divrem_matches_u128(a in 0u128..u128::MAX, b in 1u128..u128::MAX) {
+        let (q, r) = bu(a).divrem(&bu(b));
+        prop_assert_eq!(q, bu(a / b));
+        prop_assert_eq!(r, bu(a % b));
+    }
+
+    #[test]
+    fn biguint_divrem_reconstructs(a in prop::collection::vec(any::<u64>(), 1..6),
+                                   b in prop::collection::vec(any::<u64>(), 1..4)) {
+        // Build multi-limb values from random limbs via shifts and adds.
+        let build = |limbs: &[u64]| {
+            limbs.iter().enumerate().fold(BigUint::zero(), |acc, (i, &l)| {
+                acc.add(&BigUint::from_u64(l).shl(64 * i))
+            })
+        };
+        let n = build(&a);
+        let d = build(&b);
+        prop_assume!(!d.is_zero());
+        let (q, r) = n.divrem(&d);
+        prop_assert_eq!(q.mul(&d).add(&r), n);
+        prop_assert!(r < d);
+    }
+
+    #[test]
+    fn biguint_gcd_properties(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+        let g = bu(a).gcd(&bu(b));
+        if a == 0 && b == 0 {
+            prop_assert!(g.is_zero());
+        } else {
+            prop_assert!(!g.is_zero());
+            if a != 0 {
+                prop_assert!(bu(a).divrem(&g).1.is_zero());
+            }
+            if b != 0 {
+                prop_assert!(bu(b).divrem(&g).1.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn biguint_shift_round_trip(a in 0u128..u128::MAX, s in 0usize..200) {
+        prop_assert_eq!(bu(a).shl(s).shr(s), bu(a));
+    }
+
+    #[test]
+    fn bigint_add_matches_i128(a in i64::MIN..i64::MAX, b in i64::MIN..i64::MAX) {
+        let (a, b) = (a as i128, b as i128);
+        prop_assert_eq!(BigInt::from_i128(a).add(&BigInt::from_i128(b)).to_i128(), Some(a + b));
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128(a in i64::MIN..i64::MAX, b in i64::MIN..i64::MAX) {
+        let (a, b) = (a as i128, b as i128);
+        prop_assert_eq!(BigInt::from_i128(a).mul(&BigInt::from_i128(b)).to_i128(), Some(a * b));
+    }
+
+    #[test]
+    fn bigint_divrem_matches_i128(a in i64::MIN..i64::MAX, b in i64::MIN..i64::MAX) {
+        prop_assume!(b != 0);
+        let (a, b) = (a as i128, b as i128);
+        let (q, r) = BigInt::from_i128(a).divrem(&BigInt::from_i128(b));
+        prop_assert_eq!(q.to_i128(), Some(a / b));
+        prop_assert_eq!(r.to_i128(), Some(a % b));
+    }
+
+    #[test]
+    fn bigint_ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(
+            BigInt::from_i128(a as i128).cmp(&BigInt::from_i128(b as i128)),
+            a.cmp(&b)
+        );
+    }
+
+    #[test]
+    fn rational_add_commutes(an in -1000i128..1000, ad in 1i128..1000,
+                             bn in -1000i128..1000, bd in 1i128..1000) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        prop_assert_eq!(a.add_ref(&b), b.add_ref(&a));
+    }
+
+    #[test]
+    fn rational_add_associates(an in -100i128..100, ad in 1i128..100,
+                               bn in -100i128..100, bd in 1i128..100,
+                               cn in -100i128..100, cd in 1i128..100) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let c = Rational::new(cn, cd);
+        prop_assert_eq!(a.add_ref(&b).add_ref(&c), a.add_ref(&b.add_ref(&c)));
+    }
+
+    #[test]
+    fn rational_mul_distributes(an in -100i128..100, ad in 1i128..100,
+                                bn in -100i128..100, bd in 1i128..100,
+                                cn in -100i128..100, cd in 1i128..100) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let c = Rational::new(cn, cd);
+        prop_assert_eq!(
+            a.mul_ref(&b.add_ref(&c)),
+            a.mul_ref(&b).add_ref(&a.mul_ref(&c))
+        );
+    }
+
+    #[test]
+    fn rational_additive_inverse(an in -1000i128..1000, ad in 1i128..1000) {
+        let a = Rational::new(an, ad);
+        prop_assert!(a.add_ref(&a.neg_ref()).is_zero());
+    }
+
+    #[test]
+    fn rational_multiplicative_inverse(an in 1i128..1000, ad in 1i128..1000) {
+        let a = Rational::new(an, ad);
+        prop_assert_eq!(a.mul_ref(&a.recip()), Rational::one());
+    }
+
+    #[test]
+    fn rational_ordering_matches_f64(an in -1000i128..1000, ad in 1i128..1000,
+                                     bn in -1000i128..1000, bd in 1i128..1000) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        // Only check when the float comparison is unambiguous.
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn rational_sub_then_add_round_trips(an in -1000i128..1000, ad in 1i128..1000,
+                                         bn in -1000i128..1000, bd in 1i128..1000) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        prop_assert_eq!(a.sub_ref(&b).add_ref(&b), a);
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(an in -1000i128..1000, ad in 1i128..1000) {
+        let a = Rational::new(an, ad);
+        let fl = Rational::from_parts(a.floor(), BigUint::one());
+        let ce = Rational::from_parts(a.ceil(), BigUint::one());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(ce.sub_ref(&fl) <= Rational::one());
+    }
+}

@@ -1,0 +1,314 @@
+//! The event agenda: a deterministic discrete-event scheduler.
+//!
+//! Replaces the role SimGrid played in the paper's evaluation. Design
+//! points that matter for reproducibility:
+//!
+//! * **Total determinism.** Events at equal times pop in scheduling order
+//!   (a monotone sequence number breaks ties), so a simulation is a pure
+//!   function of its inputs. The experiment campaign relies on this: every
+//!   figure regenerates bit-for-bit from the same seeds.
+//! * **O(log n) cancellation.** Interruptible communication cancels and
+//!   reschedules transfer-completion events constantly; cancellation here
+//!   is a generation bump plus lazy removal at pop time, the standard
+//!   "tombstone" technique.
+//! * **Integer time.** All paper parameters are integer timesteps and
+//!   preemptions happen at event times, so `u64` time is exact — no float
+//!   drift anywhere in the simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in integer timesteps.
+pub type Time = u64;
+
+/// Handle to a scheduled event; survives the event firing (becomes stale).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventHandle {
+    slot: u32,
+    generation: u32,
+}
+
+struct Slot<E> {
+    generation: u32,
+    payload: Option<E>,
+}
+
+/// A discrete-event agenda over payload type `E`.
+pub struct Agenda<E> {
+    heap: BinaryHeap<Reverse<(Time, u64, u32, u32)>>, // (time, seq, slot, gen)
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    now: Time,
+    seq: u64,
+    live: usize,
+}
+
+impl<E> Default for Agenda<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Agenda<E> {
+    /// An empty agenda at time 0.
+    pub fn new() -> Self {
+        Agenda {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            now: 0,
+            seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `payload` to fire `delay` timesteps from now.
+    pub fn schedule(&mut self, delay: Time, payload: E) -> EventHandle {
+        let time = self
+            .now
+            .checked_add(delay)
+            .expect("simulation time overflow");
+        self.schedule_at(time, payload)
+    }
+
+    /// Schedules `payload` at an absolute time (≥ now).
+    pub fn schedule_at(&mut self, time: Time, payload: E) -> EventHandle {
+        assert!(time >= self.now, "cannot schedule into the past");
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].payload = Some(payload);
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    payload: Some(payload),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.seq += 1;
+        self.heap.push(Reverse((time, self.seq, slot, generation)));
+        self.live += 1;
+        EventHandle { slot, generation }
+    }
+
+    /// Cancels a pending event, returning its payload. Returns `None` if
+    /// the event already fired or was already cancelled (both are normal
+    /// in protocol code; not an error).
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
+        let slot = self.slots.get_mut(handle.slot as usize)?;
+        if slot.generation != handle.generation || slot.payload.is_none() {
+            return None;
+        }
+        slot.generation += 1;
+        self.live -= 1;
+        // The heap entry remains as a tombstone; reuse of the slot is
+        // deferred until the tombstone pops, so the heap never refers to
+        // a recycled slot with a matching generation.
+        slot.payload.take()
+    }
+
+    /// True if the handle still refers to a pending event.
+    pub fn is_pending(&self, handle: EventHandle) -> bool {
+        self.slots
+            .get(handle.slot as usize)
+            .is_some_and(|s| s.generation == handle.generation && s.payload.is_some())
+    }
+
+    /// Time of the next pending event without firing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.skim_tombstones();
+        self.heap.peek().map(|Reverse((t, ..))| *t)
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    #[allow(clippy::should_implement_trait)] // a DES agenda is not an Iterator: popping mutates the clock
+    pub fn next(&mut self) -> Option<(Time, E)> {
+        loop {
+            let Reverse((time, _seq, slot, generation)) = self.heap.pop()?;
+            let s = &mut self.slots[slot as usize];
+            if s.generation == generation {
+                if let Some(payload) = s.payload.take() {
+                    s.generation += 1;
+                    self.free.push(slot);
+                    self.live -= 1;
+                    debug_assert!(time >= self.now, "heap produced time travel");
+                    self.now = time;
+                    return Some((time, payload));
+                }
+            } else if s.payload.is_none() {
+                // Cancelled tombstone: the slot can now be reused safely.
+                self.free.push(slot);
+            }
+        }
+    }
+
+    fn skim_tombstones(&mut self) {
+        while let Some(Reverse((_, _, slot, generation))) = self.heap.peek() {
+            let s = &self.slots[*slot as usize];
+            if s.generation == *generation && s.payload.is_some() {
+                break;
+            }
+            let slot = *slot;
+            self.heap.pop();
+            if self.slots[slot as usize].payload.is_none() {
+                self.free.push(slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut a = Agenda::new();
+        a.schedule(30, "c");
+        a.schedule(10, "a");
+        a.schedule(20, "b");
+        assert_eq!(a.next(), Some((10, "a")));
+        assert_eq!(a.next(), Some((20, "b")));
+        assert_eq!(a.next(), Some((30, "c")));
+        assert_eq!(a.next(), None);
+        assert_eq!(a.now(), 30);
+    }
+
+    #[test]
+    fn equal_times_fire_in_schedule_order() {
+        let mut a = Agenda::new();
+        for i in 0..100 {
+            a.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(a.next(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut a = Agenda::new();
+        a.schedule(10, 1);
+        assert_eq!(a.next(), Some((10, 1)));
+        a.schedule(0, 2); // same instant is allowed
+        assert_eq!(a.next(), Some((10, 2)));
+        a.schedule(5, 3);
+        assert_eq!(a.next(), Some((15, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut a = Agenda::new();
+        a.schedule(10, 1);
+        a.next();
+        a.schedule_at(5, 2);
+    }
+
+    #[test]
+    fn cancel_returns_payload_once() {
+        let mut a = Agenda::new();
+        let h = a.schedule(10, "x");
+        assert_eq!(a.cancel(h), Some("x"));
+        assert_eq!(a.cancel(h), None);
+        assert_eq!(a.next(), None);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn stale_handle_after_fire() {
+        let mut a = Agenda::new();
+        let h = a.schedule(1, "x");
+        assert!(a.is_pending(h));
+        assert_eq!(a.next(), Some((1, "x")));
+        assert!(!a.is_pending(h));
+        assert_eq!(a.cancel(h), None);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_handles() {
+        let mut a = Agenda::new();
+        let h1 = a.schedule(10, 1);
+        assert_eq!(a.cancel(h1), Some(1));
+        // Force the tombstone out and reuse the slot.
+        a.schedule(1, 2);
+        assert_eq!(a.next(), Some((1, 2)));
+        let _h2 = a.schedule(5, 3);
+        // The old handle must stay dead even though its slot may be live
+        // again.
+        assert_eq!(a.cancel(h1), None);
+        assert!(!a.is_pending(h1));
+        assert_eq!(a.next(), Some((6, 3)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut a = Agenda::new();
+        let h = a.schedule(5, 1);
+        a.schedule(10, 2);
+        a.cancel(h);
+        assert_eq!(a.peek_time(), Some(10));
+        assert_eq!(a.next(), Some((10, 2)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut a = Agenda::new();
+        let h1 = a.schedule(1, 1);
+        let _h2 = a.schedule(2, 2);
+        assert_eq!(a.len(), 2);
+        a.cancel(h1);
+        assert_eq!(a.len(), 1);
+        a.next();
+        assert_eq!(a.len(), 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn interleaved_cancel_reschedule_storm() {
+        // Emulates interruptible-communication churn: repeatedly cancel
+        // and reschedule, checking order integrity throughout.
+        let mut a = Agenda::new();
+        let mut handles = Vec::new();
+        for i in 0..50u64 {
+            handles.push(a.schedule(100 + i, i));
+        }
+        // Cancel evens, reschedule them later.
+        for (i, &h) in handles.iter().enumerate() {
+            if i % 2 == 0 {
+                let v = a.cancel(h).unwrap();
+                a.schedule(200 + v, v);
+            }
+        }
+        let mut fired = Vec::new();
+        while let Some((_, v)) = a.next() {
+            fired.push(v);
+        }
+        assert_eq!(fired.len(), 50);
+        // Odds first (at 100+i), then evens (at 200+i), each in order.
+        let odds: Vec<u64> = fired[..25].to_vec();
+        assert!(odds.iter().all(|v| v % 2 == 1));
+        assert!(odds.windows(2).all(|w| w[0] < w[1]));
+        let evens: Vec<u64> = fired[25..].to_vec();
+        assert!(evens.iter().all(|v| v % 2 == 0));
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+    }
+}

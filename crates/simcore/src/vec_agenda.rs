@@ -1,0 +1,187 @@
+//! A sorted-`Vec` agenda: the naive alternative to the binary-heap
+//! [`Agenda`](crate::Agenda), kept for the event-queue ablation bench.
+//!
+//! Insertion is O(n) (binary search + shift) and pop is O(1) from the
+//! tail; for the small-to-mid event populations of protocol simulation
+//! this is sometimes competitive with the heap, which is exactly what the
+//! ablation measures. Semantics (time order, schedule-order ties,
+//! cancellation) are identical to [`Agenda`](crate::Agenda) and are
+//! property-tested to match.
+
+use crate::agenda::Time;
+
+/// Handle to a scheduled event in a [`VecAgenda`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VecEventHandle {
+    seq: u64,
+}
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: Option<E>,
+}
+
+/// A sorted-vector discrete-event agenda (drop-in semantic equivalent of
+/// [`Agenda`](crate::Agenda)).
+pub struct VecAgenda<E> {
+    /// Sorted by `(time, seq)` DESCENDING so pops come from the tail.
+    entries: Vec<Entry<E>>,
+    now: Time,
+    seq: u64,
+    live: usize,
+}
+
+impl<E> Default for VecAgenda<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> VecAgenda<E> {
+    /// An empty agenda at time 0.
+    pub fn new() -> Self {
+        VecAgenda {
+            entries: Vec::new(),
+            now: 0,
+            seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `payload` to fire `delay` steps from now.
+    pub fn schedule(&mut self, delay: Time, payload: E) -> VecEventHandle {
+        let time = self.now.checked_add(delay).expect("time overflow");
+        self.seq += 1;
+        let seq = self.seq;
+        // Descending (time, seq): find insertion point.
+        let pos = self
+            .entries
+            .partition_point(|e| (e.time, e.seq) > (time, seq));
+        self.entries.insert(
+            pos,
+            Entry {
+                time,
+                seq,
+                payload: Some(payload),
+            },
+        );
+        self.live += 1;
+        VecEventHandle { seq }
+    }
+
+    /// Cancels a pending event.
+    pub fn cancel(&mut self, handle: VecEventHandle) -> Option<E> {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.seq == handle.seq && e.payload.is_some())?;
+        self.live -= 1;
+        e.payload.take()
+    }
+
+    /// Pops the next event, advancing the clock.
+    #[allow(clippy::should_implement_trait)] // a DES agenda is not an Iterator: popping mutates the clock
+    pub fn next(&mut self) -> Option<(Time, E)> {
+        while let Some(e) = self.entries.pop() {
+            if let Some(payload) = e.payload {
+                debug_assert!(e.time >= self.now);
+                self.now = e.time;
+                self.live -= 1;
+                return Some((e.time, payload));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Agenda;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_order_and_cancel() {
+        let mut a = VecAgenda::new();
+        a.schedule(5, "b");
+        a.schedule(1, "a");
+        let h = a.schedule(3, "x");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.cancel(h), Some("x"));
+        assert_eq!(a.cancel(h), None);
+        assert_eq!(a.next(), Some((1, "a")));
+        assert_eq!(a.next(), Some((5, "b")));
+        assert_eq!(a.next(), None);
+    }
+
+    #[test]
+    fn equal_times_fire_in_schedule_order() {
+        let mut a = VecAgenda::new();
+        for i in 0..50 {
+            a.schedule(7, i);
+        }
+        for i in 0..50 {
+            assert_eq!(a.next(), Some((7, i)));
+        }
+    }
+
+    proptest! {
+        /// The two agenda implementations produce identical event
+        /// sequences under arbitrary schedule/cancel/pop interleavings.
+        #[test]
+        fn equivalent_to_heap_agenda(ops in prop::collection::vec((0u8..3, 0u64..50), 1..200)) {
+            let mut heap = Agenda::new();
+            let mut vec = VecAgenda::new();
+            let mut heap_handles = Vec::new();
+            let mut vec_handles = Vec::new();
+            let mut next_id = 0u64;
+            for (op, arg) in ops {
+                match op {
+                    0 => {
+                        next_id += 1;
+                        heap_handles.push(heap.schedule(arg, next_id));
+                        vec_handles.push(vec.schedule(arg, next_id));
+                    }
+                    1 if !heap_handles.is_empty() => {
+                        let i = (arg as usize) % heap_handles.len();
+                        let a = heap.cancel(heap_handles[i]);
+                        let b = vec.cancel(vec_handles[i]);
+                        prop_assert_eq!(a, b);
+                    }
+                    _ => {
+                        let a = heap.next();
+                        let b = vec.next();
+                        prop_assert_eq!(a, b);
+                        prop_assert_eq!(heap.now(), vec.now());
+                    }
+                }
+                prop_assert_eq!(heap.len(), vec.len());
+            }
+            // Drain both to the end.
+            loop {
+                let a = heap.next();
+                let b = vec.next();
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Makespan bounds for finite applications.
+//!
+//! §2.1: *"we can create a schedule that can process a fixed number of
+//! tasks within an additive constant of the optimal schedule"* — the
+//! steady-state rate governs the makespan up to startup/wind-down terms.
+//! These bounds sandwich any legal execution and are asserted against
+//! every simulation in the test suite:
+//!
+//! * **lower bound** — `n` tasks cannot finish before `⌈n · w_tree⌉`
+//!   (rate optimality), nor before the root's first task could possibly
+//!   complete;
+//! * **serial baseline** — the root alone computes everything in
+//!   `n · w_0`. This is *not* an upper bound on protocol executions (a
+//!   task delegated to a fast-link/slow-CPU child can finish after the
+//!   serial schedule would have), but it is the number a deployment beats
+//!   by distributing at all.
+
+use crate::analysis::SteadyState;
+use bc_platform::{NodeId, Tree};
+use bc_rational::Rational;
+
+/// The rate-based lower bound on completing `n` tasks: no schedule
+/// finishes `n` tasks before this timestep.
+pub fn makespan_lower_bound(tree: &Tree, n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let w_tree = SteadyState::analyze(tree).tree_weight().clone();
+    let rate_bound = Rational::from_integer(n as i128)
+        .mul_ref(&w_tree)
+        .ceil()
+        .to_i128()
+        .expect("task counts and weights are machine-sized") as u64;
+    // Nothing can complete before the fastest single task completes: the
+    // minimum over nodes of (path communication + compute).
+    let mut first_task = u64::MAX;
+    for id in tree.ids() {
+        let mut path = tree.compute_time(id);
+        let mut cur = id;
+        while let Some(p) = tree.parent(cur) {
+            path += tree.comm_time(cur);
+            cur = p;
+        }
+        first_task = first_task.min(path);
+    }
+    rate_bound.max(first_task)
+}
+
+/// The serial baseline: the repository alone computes all `n` tasks.
+/// Distribution is worthwhile exactly when an execution beats this.
+pub fn makespan_serial_bound(tree: &Tree, n: u64) -> u64 {
+    n.saturating_mul(tree.compute_time(NodeId::ROOT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_platform::examples::fig1_tree;
+
+    #[test]
+    fn zero_tasks() {
+        assert_eq!(makespan_lower_bound(&fig1_tree(), 0), 0);
+    }
+
+    #[test]
+    fn single_node_bounds_are_tight() {
+        let t = Tree::new(7);
+        assert_eq!(makespan_lower_bound(&t, 10), 70);
+        assert_eq!(makespan_serial_bound(&t, 10), 70);
+    }
+
+    #[test]
+    fn first_task_term_dominates_small_n() {
+        // One task on the Fig 1 tree: the rate bound (⌈45/49⌉ = 1) is far
+        // below the physical minimum of completing any single task.
+        let t = fig1_tree();
+        let lb = makespan_lower_bound(&t, 1);
+        // Fastest single task: root computes one itself in w0 = 5? No —
+        // P1 path: c=1 + w=3 = 4 < 5.
+        assert_eq!(lb, 4);
+    }
+
+    #[test]
+    fn rate_term_dominates_large_n() {
+        let t = fig1_tree();
+        // 980 · 45/49 = 900 exactly.
+        assert_eq!(makespan_lower_bound(&t, 980), 900);
+    }
+
+    #[test]
+    fn lower_bound_below_serial_bound() {
+        let t = fig1_tree();
+        for n in [1u64, 10, 100, 1000] {
+            assert!(makespan_lower_bound(&t, n) <= makespan_serial_bound(&t, n));
+        }
+    }
+}

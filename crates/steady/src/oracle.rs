@@ -1,0 +1,124 @@
+//! LP formulation of the steady-state scheduling problem — an independent
+//! oracle for the Theorem 1 recursion.
+//!
+//! Variables: one compute rate `x_i` per node (tasks per timestep).
+//! Constraints, from the base model of §2.1:
+//!
+//! * compute capacity: `w_i · x_i ≤ 1` for every node;
+//! * outgoing-link capacity (single-port send): for every node `u`,
+//!   `Σ_{v child of u} c_v · S_v ≤ 1`, where `S_v` is the total rate of
+//!   subtree `v` (everything shipped to `v` is consumed inside `v`'s
+//!   subtree at steady state);
+//! * the per-child receive limit `c_v · S_v ≤ 1` is implied by the send
+//!   constraint of the parent, all terms being nonnegative.
+//!
+//! Maximizing `Σ x_i` yields `1 / w_tree`. The property tests in this
+//! crate assert agreement with [`crate::SteadyState`] on thousands of
+//! random trees; disagreement in either direction would expose a bug in
+//! the closed form or the simplex.
+
+use bc_lp::Problem;
+use bc_platform::Tree;
+use bc_rational::Rational;
+
+/// Computes the optimal steady-state rate of `tree` by LP. Exponentially
+/// slower than [`crate::SteadyState::analyze`] in practice — intended for
+/// verification on small trees, not for the experiment campaign.
+pub fn lp_optimal_rate(tree: &Tree) -> Rational {
+    let n = tree.len();
+    let mut p = Problem::new(n);
+    p.set_objective(vec![Rational::one(); n]);
+
+    // Compute capacity rows.
+    for (id, node) in tree.iter() {
+        let mut row = vec![Rational::zero(); n];
+        row[id.index()] = Rational::from_integer(node.compute_time as i128);
+        p.add_constraint(row, Rational::one());
+    }
+
+    // Subtree membership: for the link rows we need, for each child v,
+    // the set of nodes inside v's subtree. One DFS per child is O(n²)
+    // worst case but n is small for oracle use.
+    for (u, node) in tree.iter() {
+        if node.children.is_empty() {
+            continue;
+        }
+        let mut row = vec![Rational::zero(); n];
+        for &v in &node.children {
+            let c = Rational::from_integer(tree.comm_time(v) as i128);
+            // Everything in v's subtree contributes c_v per task.
+            let mut stack = vec![v];
+            while let Some(x) = stack.pop() {
+                row[x.index()] = c.clone();
+                stack.extend(tree.children(x).iter().copied());
+            }
+        }
+        let _ = u;
+        p.add_constraint(row, Rational::one());
+    }
+
+    p.solve()
+        .expect("steady-state LP is always bounded: every x_i has a capacity row")
+        .objective
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SteadyState;
+    use bc_platform::examples::fig1_tree;
+    use bc_platform::{NodeId, RandomTreeConfig};
+
+    #[test]
+    fn lp_matches_closed_form_on_fig1() {
+        let t = fig1_tree();
+        assert_eq!(lp_optimal_rate(&t), SteadyState::analyze(&t).optimal_rate());
+    }
+
+    #[test]
+    fn lp_matches_closed_form_on_small_random_trees() {
+        let cfg = RandomTreeConfig {
+            min_nodes: 2,
+            max_nodes: 12,
+            comm_min: 1,
+            comm_max: 10,
+            compute_scale: 30,
+        };
+        for seed in 0..60 {
+            let t = cfg.generate(seed);
+            let lp = lp_optimal_rate(&t);
+            let cf = SteadyState::analyze(&t).optimal_rate();
+            assert_eq!(lp, cf, "seed {seed}: LP {lp} vs closed form {cf}");
+        }
+    }
+
+    #[test]
+    fn lp_matches_on_pathological_shapes() {
+        // Star with many children.
+        let mut star = Tree::new(3);
+        for i in 0..10 {
+            star.add_child(NodeId::ROOT, 1 + i % 4, 2 + i % 5);
+        }
+        assert_eq!(
+            lp_optimal_rate(&star),
+            SteadyState::analyze(&star).optimal_rate()
+        );
+
+        // Deep chain.
+        let mut chain = Tree::new(5);
+        let mut cur = NodeId::ROOT;
+        for i in 0..12 {
+            cur = chain.add_child(cur, 1 + i % 3, 4 + i % 7);
+        }
+        assert_eq!(
+            lp_optimal_rate(&chain),
+            SteadyState::analyze(&chain).optimal_rate()
+        );
+    }
+
+    #[test]
+    fn lp_single_node() {
+        let t = Tree::new(9);
+        assert_eq!(lp_optimal_rate(&t), Rational::new(1, 9));
+    }
+}

@@ -1,0 +1,65 @@
+//! The schedule-period bound the paper calls "impractically large".
+//!
+//! §2.2: *"The number of buffers can be bounded by the least common
+//! multiple of all the node and edge weights of the entire tree. However,
+//! this bound is very large in practice and can lead to prohibitive
+//! startup and wind-down times."* This module computes that LCM so the
+//! experiments can quote it next to the 3 buffers the IC protocol actually
+//! needs.
+
+use bc_platform::{NodeId, Tree};
+use bc_rational::BigUint;
+
+/// LCM of every node weight and every edge weight in the tree: an upper
+/// bound on the steady-state period (and hence on the buffers needed by a
+/// schedule built directly from Theorem 1).
+pub fn period_bound(tree: &Tree) -> BigUint {
+    let mut acc = BigUint::one();
+    for (id, node) in tree.iter() {
+        acc = acc.lcm(&BigUint::from_u64(node.compute_time));
+        if id != NodeId::ROOT {
+            acc = acc.lcm(&BigUint::from_u64(node.comm_time));
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_platform::RandomTreeConfig;
+
+    #[test]
+    fn single_node() {
+        let t = Tree::new(12);
+        assert_eq!(period_bound(&t), BigUint::from_u64(12));
+    }
+
+    #[test]
+    fn small_fork() {
+        let mut t = Tree::new(4); // lcm so far 4
+        t.add_child(NodeId::ROOT, 6, 10); // lcm(4,6,10) = 60
+        assert_eq!(period_bound(&t), BigUint::from_u64(60));
+    }
+
+    #[test]
+    fn bound_is_huge_on_paper_scale_trees() {
+        // The point of the paper: this bound is astronomically larger than
+        // the 3 buffers the IC protocol needs.
+        let t = RandomTreeConfig::default().generate(1);
+        let bound = period_bound(&t);
+        assert!(
+            bound.bit_len() > 64,
+            "expected a >64-bit period bound, got {} bits",
+            bound.bit_len()
+        );
+    }
+
+    #[test]
+    fn divisible_weights_collapse() {
+        let mut t = Tree::new(8);
+        t.add_child(NodeId::ROOT, 2, 4);
+        t.add_child(NodeId::ROOT, 8, 2);
+        assert_eq!(period_bound(&t), BigUint::from_u64(8));
+    }
+}

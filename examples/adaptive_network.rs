@@ -1,0 +1,68 @@
+//! Adaptive network: the §4.2.3 scenario as an application. A volunteer-
+//! computing platform (the Fig 1 tree) degrades and recovers mid-run; the
+//! autonomous protocol adapts with no global coordination because every
+//! decision reads only locally observable state.
+//!
+//! Run with: `cargo run --release --example adaptive_network`
+
+use bandwidth_centric::platform::examples::{fig1_p1, fig1_tree};
+use bandwidth_centric::prelude::*;
+
+fn phase_rate(times: &[u64], from_task: usize, to_task: usize) -> f64 {
+    (to_task - from_task) as f64 / (times[to_task - 1] - times[from_task - 1]) as f64
+}
+
+fn main() {
+    let tasks = 1_200u64;
+
+    // Scenario: after 300 tasks the link to P1 congests (c1: 1 → 3);
+    // after 800 tasks the congestion clears.
+    let cfg = SimConfig::non_interruptible_fixed(2, tasks)
+        .with_change(PlannedChange {
+            after_tasks: 300,
+            node: fig1_p1(),
+            kind: ChangeKind::CommTime(3),
+        })
+        .with_change(PlannedChange {
+            after_tasks: 800,
+            node: fig1_p1(),
+            kind: ChangeKind::CommTime(1),
+        });
+
+    // Reference optima for the two platform states.
+    let healthy = SteadyState::analyze(&fig1_tree()).optimal_rate();
+    let mut congested_tree = fig1_tree();
+    congested_tree.set_comm_time(fig1_p1(), 3);
+    let congested = SteadyState::analyze(&congested_tree).optimal_rate();
+
+    println!("platform: the Figure 1 tree; perturbing P1's uplink mid-run");
+    println!(
+        "optimal rate healthy:   {} ≈ {:.3}",
+        healthy,
+        healthy.to_f64()
+    );
+    println!(
+        "optimal rate congested: {} ≈ {:.3}\n",
+        congested,
+        congested.to_f64()
+    );
+
+    let run = Simulation::new(fig1_tree(), cfg).run();
+    let t = &run.completion_times;
+
+    for (label, from, to, reference) in [
+        ("healthy   (tasks 100–300)", 100usize, 300usize, &healthy),
+        ("congested (tasks 450–750)", 450, 750, &congested),
+        ("recovered (tasks 950–1150)", 950, 1150, &healthy),
+    ] {
+        let measured = phase_rate(t, from, to);
+        println!(
+            "{label}: measured {:.3} tasks/step vs optimal {:.3} ({:.1}%)",
+            measured,
+            reference.to_f64(),
+            100.0 * measured / reference.to_f64()
+        );
+    }
+    println!("\ntotal: {} tasks in {} timesteps", tasks, run.end_time);
+    println!("the protocol re-prioritized P1 locally — no node ever saw the whole tree");
+}

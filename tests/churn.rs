@@ -1,0 +1,127 @@
+//! Failure injection / platform churn: storms of weight changes mid-run.
+//! The protocol must stay live (every task completes), conserve tasks,
+//! and re-converge to the final platform's optimum.
+
+use bandwidth_centric::prelude::*;
+use proptest::prelude::*;
+
+fn churn_changes(tree: &Tree, total_tasks: u64, specs: &[(u64, u8, u64)]) -> Vec<PlannedChange> {
+    // specs: (after_tasks_fraction ‰, node selector, new weight 1..=200)
+    specs
+        .iter()
+        .map(|&(frac, which, weight)| {
+            let after_tasks = (total_tasks * (frac % 1000) / 1000).max(1);
+            // Pick a non-root node deterministically.
+            let idx = 1 + (which as usize % (tree.len() - 1));
+            let node = NodeId(idx as u32);
+            let kind = if weight % 2 == 0 {
+                ChangeKind::CommTime(weight.clamp(1, 200))
+            } else {
+                ChangeKind::ComputeTime(weight.clamp(1, 200))
+            };
+            PlannedChange {
+                after_tasks,
+                node,
+                kind,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary change storms never deadlock or lose tasks, under either
+    /// protocol.
+    #[test]
+    fn change_storms_stay_live(
+        seed in 0u64..3_000,
+        specs in prop::collection::vec((0u64..1000, any::<u8>(), 1u64..200), 1..12),
+        interruptible in any::<bool>(),
+    ) {
+        let tree = RandomTreeConfig {
+            min_nodes: 4,
+            max_nodes: 40,
+            comm_min: 1,
+            comm_max: 20,
+            compute_scale: 150,
+        }
+        .generate(seed);
+        let tasks = 600;
+        let mut cfg = if interruptible {
+            SimConfig::interruptible(2, tasks)
+        } else {
+            SimConfig::non_interruptible(1, tasks)
+        };
+        for ch in churn_changes(&tree, tasks, &specs) {
+            cfg = cfg.with_change(ch);
+        }
+        let run = Simulation::new(tree, cfg).run();
+        prop_assert_eq!(run.tasks_completed(), tasks);
+        prop_assert_eq!(run.tasks_per_node.iter().sum::<u64>(), tasks);
+        prop_assert!(run.completion_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// After the last change, the protocol converges to the *final*
+    /// platform's optimal rate (single early change, long tail).
+    #[test]
+    fn reconverges_to_final_platform(seed in 0u64..2_000, new_c in 1u64..30) {
+        let tree = RandomTreeConfig {
+            min_nodes: 4,
+            max_nodes: 25,
+            comm_min: 1,
+            comm_max: 10,
+            compute_scale: 100,
+        }
+        .generate(seed);
+        let tasks = 3_000u64;
+        let node = NodeId(1);
+        let cfg = SimConfig::interruptible(3, tasks).with_change(PlannedChange {
+            after_tasks: 200,
+            node,
+            kind: ChangeKind::CommTime(new_c),
+        });
+        let mut final_tree = tree.clone();
+        final_tree.set_comm_time(node, new_c);
+        let final_opt = SteadyState::analyze(&final_tree).optimal_rate().to_f64();
+
+        let run = Simulation::new(tree, cfg).run();
+        // Measured rate over the last third (well past the change).
+        let n = run.completion_times.len();
+        let (lo, hi) = (n * 2 / 3, n - 1);
+        let span = (run.completion_times[hi] - run.completion_times[lo]).max(1);
+        let measured = (hi - lo) as f64 / span as f64;
+        prop_assert!(
+            measured <= final_opt * 1.05,
+            "seed {}: measured {} above final optimum {}", seed, measured, final_opt
+        );
+        prop_assert!(
+            measured >= final_opt * 0.75,
+            "seed {}: measured {} far below final optimum {}", seed, measured, final_opt
+        );
+    }
+}
+
+#[test]
+fn oscillating_link_is_survivable() {
+    // A link that flips every 50 tasks between fast and slow.
+    let tree = RandomTreeConfig {
+        min_nodes: 6,
+        max_nodes: 20,
+        comm_min: 1,
+        comm_max: 5,
+        compute_scale: 60,
+    }
+    .generate(17);
+    let tasks = 1_000u64;
+    let mut cfg = SimConfig::interruptible(2, tasks);
+    for k in 1..18 {
+        cfg = cfg.with_change(PlannedChange {
+            after_tasks: k * 50,
+            node: NodeId(1),
+            kind: ChangeKind::CommTime(if k % 2 == 0 { 2 } else { 40 }),
+        });
+    }
+    let run = Simulation::new(tree, cfg).run();
+    assert_eq!(run.tasks_completed(), tasks);
+}

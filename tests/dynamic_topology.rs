@@ -1,0 +1,176 @@
+//! Dynamic overlay reconfiguration (the §3 scalability/adaptivity claims
+//! and the §6 "dynamically evolving pools of resources" future work):
+//! nodes join and leave mid-run; the protocol stays live, conserves
+//! tasks, and tracks the changing optimum.
+
+use bandwidth_centric::prelude::*;
+use proptest::prelude::*;
+
+fn join(after_tasks: u64, parent: NodeId, comm: u64, compute: u64) -> PlannedChange {
+    PlannedChange {
+        after_tasks,
+        node: parent,
+        kind: ChangeKind::Join { comm, compute },
+    }
+}
+
+fn leave(after_tasks: u64, node: NodeId) -> PlannedChange {
+    PlannedChange {
+        after_tasks,
+        node,
+        kind: ChangeKind::Leave,
+    }
+}
+
+fn phase_rate(times: &[u64], from: usize, to: usize) -> f64 {
+    (to - from) as f64 / (times[to - 1] - times[from - 1]) as f64
+}
+
+#[test]
+fn joining_a_fast_worker_raises_the_rate() {
+    // A lone repository (w=10) completes 1 task per 10 steps. A fast
+    // worker (c=1, w=2) joins after 100 tasks; the rate must climb
+    // toward the new optimum.
+    let tree = Tree::new(10);
+    let mut expected = Tree::new(10);
+    expected.add_child(NodeId::ROOT, 1, 2);
+    let after_opt = SteadyState::analyze(&expected).optimal_rate().to_f64();
+
+    let cfg = SimConfig::interruptible(3, 1_200).with_change(join(100, NodeId::ROOT, 1, 2));
+    let run = Simulation::new(tree, cfg).run();
+    assert_eq!(run.tasks_completed(), 1_200);
+
+    let before = phase_rate(&run.completion_times, 20, 90);
+    let after = phase_rate(&run.completion_times, 600, 1_150);
+    assert!((before - 0.1).abs() < 0.01, "pre-join rate {before}");
+    assert!(
+        (after - after_opt).abs() / after_opt < 0.05,
+        "post-join rate {after} vs optimum {after_opt}"
+    );
+    // The joined node exists and did most of the work.
+    assert_eq!(run.tasks_per_node.len(), 2);
+    assert!(run.tasks_per_node[1] > run.tasks_per_node[0]);
+}
+
+#[test]
+fn join_targets_a_previously_joined_node() {
+    // Chain growth: node 1 joins under the root, node 2 joins under
+    // node 1 (its id is deterministic: the next arena index).
+    let tree = Tree::new(4);
+    let cfg = SimConfig::interruptible(2, 800)
+        .with_change(join(50, NodeId::ROOT, 1, 4))
+        .with_change(join(100, NodeId(1), 1, 4));
+    let run = Simulation::new(tree, cfg).run();
+    assert_eq!(run.tasks_per_node.len(), 3);
+    assert!(run.tasks_per_node[2] > 0, "grandchild never computed");
+}
+
+#[test]
+fn leaving_worker_returns_its_tasks() {
+    // Two workers; the faster-link one departs mid-run. All tasks still
+    // complete (the repository re-dispenses reclaimed ones).
+    let mut tree = Tree::new(50);
+    let fast = tree.add_child(NodeId::ROOT, 1, 3);
+    let _slow = tree.add_child(NodeId::ROOT, 2, 5);
+    let cfg = SimConfig::interruptible(3, 1_000).with_change(leave(300, fast));
+    let run = Simulation::new(tree, cfg).run();
+    assert_eq!(run.tasks_completed(), 1_000);
+    assert_eq!(run.tasks_per_node.iter().sum::<u64>(), 1_000);
+    // After departure the remaining platform's rate applies.
+    let mut remaining = Tree::new(50);
+    remaining.add_child(NodeId::ROOT, 2, 5);
+    let opt = SteadyState::analyze(&remaining).optimal_rate().to_f64();
+    let tail = phase_rate(&run.completion_times, 700, 980);
+    assert!(
+        (tail - opt).abs() / opt < 0.08,
+        "tail rate {tail} vs post-leave optimum {opt}"
+    );
+}
+
+#[test]
+fn subtree_leave_reclaims_deep_tasks() {
+    // A deep, well-buffered subtree departs while full of tasks.
+    let mut tree = Tree::new(1_000);
+    let mid = tree.add_child(NodeId::ROOT, 1, 1_000);
+    let deep = tree.add_child(mid, 1, 4);
+    let _leaf = tree.add_child(deep, 1, 4);
+    let _other = tree.add_child(NodeId::ROOT, 3, 6);
+    let cfg = SimConfig::interruptible(3, 600).with_change(leave(150, mid));
+    let run = Simulation::new(tree, cfg).run();
+    assert_eq!(run.tasks_completed(), 600);
+    assert_eq!(run.tasks_per_node.iter().sum::<u64>(), 600);
+}
+
+#[test]
+fn leave_then_rejoin_pattern() {
+    // Volunteer churn: the worker leaves, a replacement joins later.
+    let mut tree = Tree::new(20);
+    let w = tree.add_child(NodeId::ROOT, 1, 2);
+    let cfg = SimConfig::interruptible(2, 900)
+        .with_change(leave(200, w))
+        .with_change(join(400, NodeId::ROOT, 1, 2));
+    let run = Simulation::new(tree, cfg).run();
+    assert_eq!(run.tasks_completed(), 900);
+    // The replacement (arena index 2) picked up the load.
+    assert!(run.tasks_per_node[2] > 100);
+    // The departed node computed nothing after task ~200.
+    assert!(run.tasks_per_node[1] < 450);
+}
+
+#[test]
+fn non_interruptible_supports_topology_changes_too() {
+    let mut tree = Tree::new(30);
+    let a = tree.add_child(NodeId::ROOT, 2, 4);
+    let cfg = SimConfig::non_interruptible(1, 700)
+        .with_change(join(100, NodeId::ROOT, 1, 3))
+        .with_change(leave(300, a));
+    let run = Simulation::new(tree, cfg).run();
+    assert_eq!(run.tasks_completed(), 700);
+    assert_eq!(run.tasks_per_node.iter().sum::<u64>(), 700);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random join/leave storms: liveness and conservation always hold.
+    #[test]
+    fn churn_with_topology_changes_stays_live(
+        seed in 0u64..2_000,
+        events in prop::collection::vec((10u64..500, any::<bool>(), 1u64..20, 1u64..50), 1..8),
+        interruptible in any::<bool>(),
+    ) {
+        let tree = RandomTreeConfig {
+            min_nodes: 3,
+            max_nodes: 20,
+            comm_min: 1,
+            comm_max: 10,
+            compute_scale: 60,
+        }
+        .generate(seed);
+        let base_len = tree.len() as u32;
+        let tasks = 600;
+        let mut cfg = if interruptible {
+            SimConfig::interruptible(2, tasks)
+        } else {
+            SimConfig::non_interruptible(1, tasks)
+        };
+        let mut next_join_id = base_len;
+        for (at, is_join, comm, compute) in events {
+            if is_join {
+                // Join under a node guaranteed present from the start.
+                cfg = cfg.with_change(join(at, NodeId(at as u32 % base_len), comm, compute));
+                next_join_id += 1;
+            } else if base_len > 1 {
+                // Leave a non-root original node (may already be gone —
+                // idempotent).
+                let victim = 1 + (at as u32 % (base_len - 1));
+                cfg = cfg.with_change(leave(at, NodeId(victim)));
+            }
+        }
+        let _ = next_join_id;
+        let run = Simulation::new(tree, cfg).run();
+        prop_assert_eq!(run.tasks_completed(), tasks);
+        prop_assert_eq!(run.tasks_per_node.iter().sum::<u64>(), tasks);
+        prop_assert!(run.completion_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 2's case studies, verified by simulation: the buffer-growth
+//! problem that motivates interruptible communication.
+
+use bandwidth_centric::platform::examples::{fig2a_b, fig2a_tree, fig2b_b, fig2b_tree};
+use bandwidth_centric::prelude::*;
+
+/// Steady rate over the 20–80% completion quantiles (skips startup and
+/// the deliberately slow root's single straggler task).
+fn mid_rate(times: &[u64]) -> f64 {
+    let (lo, hi) = (times.len() / 5, times.len() * 4 / 5);
+    (hi - lo) as f64 / (times[hi] - times[lo]) as f64
+}
+
+#[test]
+fn fig2a_one_buffer_does_not_suffice_under_nonic() {
+    // "B takes 2 time units to compute a task and would need at least 3
+    // buffered tasks to maintain its rate while node A is sending to node
+    // C for 5 time units."
+    let optimal = SteadyState::analyze(&fig2a_tree()).optimal_rate().to_f64();
+    let one = Simulation::new(fig2a_tree(), SimConfig::non_interruptible_fixed(1, 800)).run();
+    assert!(
+        mid_rate(&one.completion_times) < 0.95 * optimal,
+        "one fixed buffer should be insufficient under non-IC"
+    );
+
+    // With 3 fixed buffers, non-IC sustains the optimum on this tree.
+    let three = Simulation::new(fig2a_tree(), SimConfig::non_interruptible_fixed(3, 800)).run();
+    assert!(
+        mid_rate(&three.completion_times) > 0.97 * optimal,
+        "three buffers restore the optimal rate (got {:.4} vs {:.4})",
+        mid_rate(&three.completion_times),
+        optimal
+    );
+}
+
+#[test]
+fn fig2a_growth_discovers_the_needed_buffers() {
+    let run = Simulation::new(fig2a_tree(), SimConfig::non_interruptible(1, 800)).run();
+    assert!(
+        run.max_buffers_per_node[fig2a_b().index()] >= 3,
+        "B must grow to ≥ 3 buffers, grew {}",
+        run.max_buffers_per_node[fig2a_b().index()]
+    );
+}
+
+#[test]
+fn fig2b_for_every_k_some_tree_needs_more_than_k_buffers() {
+    // The theorem-shaped claim of Fig 2(b), tested constructively: under
+    // non-IC with k fixed buffers the rate is sub-optimal, while k+1
+    // (k scaled by the tree's construction) recovers it.
+    for k in [2u64, 4] {
+        let x = 5;
+        let tree = fig2b_tree(k, x);
+        let optimal = SteadyState::analyze(&tree).optimal_rate().to_f64();
+
+        let capped = Simulation::new(
+            tree.clone(),
+            SimConfig::non_interruptible_fixed(k as u32, 1_000),
+        )
+        .run();
+        let roomy = Simulation::new(
+            tree,
+            SimConfig::non_interruptible_fixed(k as u32 + 1, 1_000),
+        )
+        .run();
+        let capped_rate = mid_rate(&capped.completion_times);
+        let roomy_rate = mid_rate(&roomy.completion_times);
+        assert!(
+            capped_rate < 0.99 * optimal,
+            "k={k}: {k} buffers should starve B (rate {capped_rate:.4} vs {optimal:.4})"
+        );
+        assert!(
+            roomy_rate > capped_rate,
+            "k={k}: one more buffer must help ({roomy_rate:.4} vs {capped_rate:.4})"
+        );
+    }
+}
+
+#[test]
+fn fig2b_growth_tracks_k() {
+    for k in [2u64, 5] {
+        let run = Simulation::new(fig2b_tree(k, 5), SimConfig::non_interruptible(1, 1_500)).run();
+        let b = run.max_buffers_per_node[fig2b_b().index()] as u64;
+        assert!(b >= k, "k={k}: B grew only {b} buffers");
+    }
+}
+
+#[test]
+fn interruptible_voids_the_case_studies() {
+    // §3.2: "A high priority node like node B in Figure 2(a) will not
+    // need to stockpile tasks... interruptible communications alleviate
+    // the undesirable characteristics found in Section 3.1."
+    let optimal = SteadyState::analyze(&fig2a_tree()).optimal_rate().to_f64();
+    let ic = Simulation::new(fig2a_tree(), SimConfig::interruptible(1, 800)).run();
+    assert!(
+        mid_rate(&ic.completion_times) > 0.97 * optimal,
+        "IC with a single buffer should reach the optimum on Fig 2(a)"
+    );
+
+    for k in [2u64, 5] {
+        let tree = fig2b_tree(k, 5);
+        let optimal = SteadyState::analyze(&tree).optimal_rate().to_f64();
+        let ic = Simulation::new(tree, SimConfig::interruptible(2, 1_000)).run();
+        assert!(
+            mid_rate(&ic.completion_times) > 0.95 * optimal,
+            "k={k}: IC/FB=2 should void the k-buffer requirement"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end integration: platform → theory → simulation → metrics, all
+//! through the public facade API.
+
+use bandwidth_centric::metrics::{ascii_table, csv};
+use bandwidth_centric::platform::io;
+use bandwidth_centric::prelude::*;
+
+#[test]
+fn full_pipeline_on_random_platform() {
+    // Generate, validate, serialize, reload.
+    let tree = RandomTreeConfig::default().generate(123);
+    let json = io::to_json(&tree);
+    let tree = io::from_json(&json).expect("round trip");
+
+    // Theory.
+    let analysis = SteadyState::analyze(&tree);
+    let optimal = analysis.optimal_rate();
+    assert!(optimal.is_positive());
+
+    // Simulation under the paper's recommended protocol.
+    let tasks = 4_000;
+    let run = Simulation::new(tree.clone(), SimConfig::interruptible(3, tasks)).run();
+    assert_eq!(run.tasks_completed(), tasks);
+    assert!(run.max_buffers() <= 3);
+
+    // Metrics: windows exist and the normalized curve is sane.
+    let curve = normalized_curve(&run.completion_times, &optimal);
+    assert_eq!(curve.len() as u64, tasks / 2);
+    let tail_mean: f64 = curve[curve.len() - 100..]
+        .iter()
+        .map(|&(_, v)| v)
+        .sum::<f64>()
+        / 100.0;
+    assert!(
+        tail_mean > 0.5 && tail_mean < 1.5,
+        "tail of normalized curve at {tail_mean}"
+    );
+
+    // Used nodes form a meaningful subtree.
+    let used = run.used_nodes();
+    let stats = tree.used_subtree_stats(&used);
+    assert!(stats.size >= 1 && stats.size <= tree.len());
+}
+
+#[test]
+fn simulated_rate_never_beats_theory() {
+    // The steady measured rate can wiggle above optimal within a window,
+    // but the whole-run mean rate (excluding startup) must not exceed the
+    // optimum meaningfully.
+    for seed in [1u64, 7, 31] {
+        let tree = RandomTreeConfig {
+            min_nodes: 10,
+            max_nodes: 80,
+            comm_min: 1,
+            comm_max: 30,
+            compute_scale: 500,
+        }
+        .generate(seed);
+        let optimal = SteadyState::analyze(&tree).optimal_rate().to_f64();
+        let run = Simulation::new(tree, SimConfig::interruptible(3, 3_000)).run();
+        let n = run.completion_times.len();
+        let mid = (n / 10, n - 1);
+        let rate = (mid.1 - mid.0) as f64
+            / (run.completion_times[mid.1] - run.completion_times[mid.0]) as f64;
+        assert!(
+            rate <= optimal * 1.02,
+            "seed {seed}: measured {rate} exceeds optimal {optimal}"
+        );
+    }
+}
+
+#[test]
+fn lp_theorem_and_simulation_triangle() {
+    // Three independent implementations must tell one story: the LP
+    // optimum equals the Theorem 1 recursion, and the protocol attains it.
+    let mut tree = Tree::new(4);
+    let a = tree.add_child(NodeId::ROOT, 1, 3);
+    tree.add_child(a, 2, 5);
+    tree.add_child(NodeId::ROOT, 2, 4);
+
+    let theorem = SteadyState::analyze(&tree).optimal_rate();
+    let lp = lp_optimal_rate(&tree);
+    assert_eq!(theorem, lp);
+
+    let run = Simulation::new(tree, SimConfig::interruptible(3, 4_000)).run();
+    let onset = detect_onset(&run.completion_times, &theorem, OnsetConfig::default());
+    assert!(onset.is_some(), "protocol failed to attain the optimum");
+}
+
+#[test]
+fn report_rendering_helpers_work_end_to_end() {
+    let rows = vec![vec!["IC, FB=3".to_string(), "99.5%".to_string()]];
+    let table = ascii_table(&["variant", "reached"], &rows);
+    assert!(table.contains("IC, FB=3"));
+    let csv_text = csv(&["variant", "reached"], &rows);
+    assert!(csv_text.starts_with("variant,reached\n"));
+}
+
+#[test]
+fn period_bound_motivates_the_protocols() {
+    // The paper's argument in one assertion: the schedule-period bound is
+    // astronomically larger than the 3 buffers IC needs.
+    let tree = RandomTreeConfig::default().generate(5);
+    let bound = period_bound(&tree);
+    assert!(bound.bit_len() > 32);
+    let run = Simulation::new(tree, SimConfig::interruptible(3, 500)).run();
+    assert!(run.max_buffers() <= 3);
+}

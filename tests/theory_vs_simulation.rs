@@ -1,0 +1,129 @@
+//! Property-based agreement between the analytic layer and the
+//! simulator: on random platforms the IC/FB=3 protocol's measured steady
+//! rate approaches — and never exceeds — the Theorem 1 optimum.
+
+use bandwidth_centric::prelude::*;
+use bandwidth_centric::steady::makespan_lower_bound;
+use proptest::prelude::*;
+
+fn mid_rate(times: &[u64]) -> f64 {
+    let (lo, hi) = (times.len() / 4, times.len() * 3 / 4);
+    (hi - lo) as f64 / ((times[hi] - times[lo]).max(1)) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The simulated rate is bounded by the optimum (up to windowing
+    /// noise) on arbitrary random platforms.
+    #[test]
+    fn simulation_respects_the_upper_bound(seed in 0u64..5_000) {
+        let tree = RandomTreeConfig {
+            min_nodes: 5,
+            max_nodes: 60,
+            comm_min: 1,
+            comm_max: 25,
+            compute_scale: 300,
+        }
+        .generate(seed);
+        let optimal = SteadyState::analyze(&tree).optimal_rate().to_f64();
+        let run = Simulation::new(tree, SimConfig::interruptible(3, 2_000)).run();
+        let measured = mid_rate(&run.completion_times);
+        prop_assert!(
+            measured <= optimal * 1.03,
+            "seed {}: measured {} vs optimal {}", seed, measured, optimal
+        );
+    }
+
+    /// On bandwidth-ample platforms (every child's link fast relative to
+    /// its compute), FB=3 attains ≥ 90% of the optimum within 2 000 tasks.
+    #[test]
+    fn simulation_approaches_the_bound_when_bandwidth_is_ample(seed in 0u64..5_000) {
+        let tree = RandomTreeConfig {
+            min_nodes: 5,
+            max_nodes: 40,
+            comm_min: 1,
+            comm_max: 5,
+            compute_scale: 400,
+        }
+        .generate(seed);
+        let optimal = SteadyState::analyze(&tree).optimal_rate().to_f64();
+        let run = Simulation::new(tree, SimConfig::interruptible(3, 2_000)).run();
+        let measured = mid_rate(&run.completion_times);
+        prop_assert!(
+            measured >= 0.9 * optimal,
+            "seed {}: measured {} of optimal {}", seed, measured, optimal
+        );
+    }
+
+    /// No execution beats the rate-based makespan lower bound.
+    #[test]
+    fn makespan_lower_bound_holds(seed in 0u64..5_000, fb in 1u32..4) {
+        let tree = RandomTreeConfig {
+            min_nodes: 3,
+            max_nodes: 30,
+            comm_min: 1,
+            comm_max: 15,
+            compute_scale: 100,
+        }
+        .generate(seed);
+        let tasks = 500;
+        let bound = makespan_lower_bound(&tree, tasks);
+        let run = Simulation::new(tree, SimConfig::interruptible(fb, tasks)).run();
+        prop_assert!(
+            run.end_time >= bound,
+            "seed {}: finished at {} before the bound {}", seed, run.end_time, bound
+        );
+    }
+
+    /// Task conservation and trace sanity hold for every protocol variant.
+    #[test]
+    fn conservation_across_variants(seed in 0u64..5_000, variant in 0usize..4) {
+        let tree = RandomTreeConfig {
+            min_nodes: 3,
+            max_nodes: 30,
+            comm_min: 1,
+            comm_max: 15,
+            compute_scale: 100,
+        }
+        .generate(seed);
+        let tasks = 400;
+        let cfg = match variant {
+            0 => SimConfig::interruptible(1, tasks),
+            1 => SimConfig::interruptible(3, tasks),
+            2 => SimConfig::non_interruptible(1, tasks),
+            _ => SimConfig::non_interruptible_fixed(2, tasks),
+        };
+        let run = Simulation::new(tree, cfg).run();
+        prop_assert_eq!(run.tasks_completed(), tasks);
+        prop_assert_eq!(run.tasks_per_node.iter().sum::<u64>(), tasks);
+        prop_assert!(run.completion_times.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*run.completion_times.last().unwrap(), run.end_time);
+    }
+
+    /// The optimal rate is monotone under platform improvements: speeding
+    /// up a node or a link never lowers the Theorem 1 rate. (A pure
+    /// theory property, but one the simulator's adaptability experiment
+    /// depends on.)
+    #[test]
+    fn optimum_is_monotone_in_weights(seed in 0u64..5_000) {
+        let tree = RandomTreeConfig {
+            min_nodes: 3,
+            max_nodes: 25,
+            comm_min: 2,
+            comm_max: 20,
+            compute_scale: 60,
+        }
+        .generate(seed);
+        let base = SteadyState::analyze(&tree).optimal_rate();
+        // Halve the compute time of node 1 (always exists: min 3 nodes).
+        let node = NodeId(1);
+        let mut faster = tree.clone();
+        faster.set_compute_time(node, (tree.compute_time(node) / 2).max(1));
+        prop_assert!(SteadyState::analyze(&faster).optimal_rate() >= base);
+        // Halve its link time too.
+        let mut faster_link = tree.clone();
+        faster_link.set_comm_time(node, (tree.comm_time(node) / 2).max(1));
+        prop_assert!(SteadyState::analyze(&faster_link).optimal_rate() >= base);
+    }
+}
