@@ -1,0 +1,68 @@
+//! Simplex benchmarks: the LP oracle dominated by exact-rational pivot
+//! sweeps. The in-place small-path arithmetic (split-borrow pivot rows,
+//! fused `sub_mul_assign_ref`) is what this measures end to end.
+
+use bandwidth_centric::lp::Problem;
+use bandwidth_centric::prelude::*;
+use bandwidth_centric::rational::Rational;
+use bandwidth_centric::steady::lp_optimal_rate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A dense random LP with word-sized coefficients (the regime the small
+/// tier accelerates).
+fn dense_problem(vars: usize, cons: usize) -> Problem {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 19) as i128 + 1
+    };
+    let mut p = Problem::new(vars);
+    p.set_objective((0..vars).map(|_| Rational::from_integer(next())).collect());
+    for _ in 0..cons {
+        let row = (0..vars).map(|_| Rational::from_integer(next())).collect();
+        p.add_constraint(row, Rational::from_integer(next() * 50));
+    }
+    p
+}
+
+fn bench_dense_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_pivot_dense");
+    for (vars, cons) in [(8usize, 8usize), (16, 16), (24, 24)] {
+        let p = dense_problem(vars, cons);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}x{cons}")),
+            &p,
+            |b, p| b.iter(|| black_box(p.solve().expect("bounded feasible LP"))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_tree_oracle(c: &mut Criterion) {
+    // The steady-state LP built from a tree — the campaign's oracle side.
+    let mut g = c.benchmark_group("lp_tree_oracle");
+    for nodes in [8usize, 12, 16] {
+        let t = RandomTreeConfig {
+            min_nodes: nodes,
+            max_nodes: nodes + 2,
+            comm_min: 1,
+            comm_max: 10,
+            compute_scale: 50,
+        }
+        .generate(42);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &t, |b, t| {
+            b.iter(|| black_box(lp_optimal_rate(t)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = lp_pivot;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dense_simplex, bench_tree_oracle
+);
+criterion_main!(lp_pivot);

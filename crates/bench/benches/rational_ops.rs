@@ -1,0 +1,159 @@
+//! Microbenchmarks for the two-tier `Rational` representation.
+//!
+//! Each group pits the inline small-word fast path against a baseline that
+//! forces every intermediate through the `BigInt`/`BigUint` machinery via
+//! the public constructors — the arithmetic the pre-fast-path code
+//! performed on every operation. The `bench_report` binary consumes these
+//! numbers to document the measured speedup in `BENCH_rational.json`.
+
+use bandwidth_centric::rational::{BigInt, BigUint, Rational};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Deterministic stream of word-sized rationals (LCG; no RNG dependency).
+fn small_operands(n: usize) -> Vec<Rational> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let num = (state >> 16) as i64 % 10_000 - 5_000;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let den = (state >> 16) % 10_000 + 1;
+            Rational::new(num as i128, den as i128)
+        })
+        .collect()
+}
+
+fn bigint_of(r: &Rational) -> (BigInt, BigUint) {
+    (r.numer(), r.denom())
+}
+
+/// `a + b` computed the way the old always-bignum path did: cross
+/// products, limb addition, full gcd reduction, all through heap limbs.
+fn big_add(a: &Rational, b: &Rational) -> Rational {
+    let (an, ad) = bigint_of(a);
+    let (bn, bd) = bigint_of(b);
+    let num = an
+        .mul(&BigInt::from_sign_mag(
+            bandwidth_centric::rational::Sign::Positive,
+            bd.clone(),
+        ))
+        .add(&bn.mul(&BigInt::from_sign_mag(
+            bandwidth_centric::rational::Sign::Positive,
+            ad.clone(),
+        )));
+    Rational::from_parts(num, ad.mul(&bd))
+}
+
+fn big_mul(a: &Rational, b: &Rational) -> Rational {
+    let (an, ad) = bigint_of(a);
+    let (bn, bd) = bigint_of(b);
+    Rational::from_parts(an.mul(&bn), ad.mul(&bd))
+}
+
+fn bench_add(c: &mut Criterion) {
+    // Pairwise ops: every input and result is word-sized, the regime the
+    // fast path exists for (an accumulating fold grows lcm-like
+    // denominators and degrades both paths to bignum within a few terms).
+    let xs = small_operands(256);
+    let mut g = c.benchmark_group("rational_add");
+    g.bench_function("small_path", |b| {
+        b.iter(|| {
+            for pair in xs.windows(2) {
+                black_box(pair[0].add_ref(&pair[1]));
+            }
+        })
+    });
+    g.bench_function("bignum_baseline", |b| {
+        b.iter(|| {
+            for pair in xs.windows(2) {
+                black_box(big_add(&pair[0], &pair[1]));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let xs = small_operands(256);
+    let mut g = c.benchmark_group("rational_mul");
+    g.bench_function("small_path", |b| {
+        b.iter(|| {
+            for pair in xs.windows(2) {
+                black_box(pair[0].mul_ref(&pair[1]));
+            }
+        })
+    });
+    g.bench_function("bignum_baseline", |b| {
+        b.iter(|| {
+            for pair in xs.windows(2) {
+                black_box(big_mul(&pair[0], &pair[1]));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_fused(c: &mut Criterion) {
+    // The simplex inner loop shape: cell -= factor * pivot.
+    let xs = small_operands(128);
+    let factor = Rational::new(7, 3);
+    let mut g = c.benchmark_group("rational_sub_mul");
+    g.bench_function("small_path", |b| {
+        b.iter(|| {
+            let mut row = xs.clone();
+            for (cell, pv) in row.iter_mut().zip(xs.iter().rev()) {
+                cell.sub_mul_assign_ref(&factor, pv);
+            }
+            black_box(row)
+        })
+    });
+    g.bench_function("bignum_baseline", |b| {
+        b.iter(|| {
+            let mut row = xs.clone();
+            for (cell, pv) in row.iter_mut().zip(xs.iter().rev()) {
+                let prod = big_mul(&factor, pv);
+                let (cn, cd) = bigint_of(cell);
+                let (pn, pd) = bigint_of(&prod);
+                let num = cn
+                    .mul(&BigInt::from_sign_mag(
+                        bandwidth_centric::rational::Sign::Positive,
+                        pd.clone(),
+                    ))
+                    .sub(&pn.mul(&BigInt::from_sign_mag(
+                        bandwidth_centric::rational::Sign::Positive,
+                        cd.clone(),
+                    )));
+                *cell = Rational::from_parts(num, cd.mul(&pd));
+            }
+            black_box(row)
+        })
+    });
+    g.finish();
+}
+
+fn bench_to_f64(c: &mut Criterion) {
+    let xs = small_operands(256);
+    let mut g = c.benchmark_group("rational_to_f64");
+    g.bench_function("small_path", |b| {
+        b.iter(|| {
+            let mut s = 0.0f64;
+            for x in &xs {
+                s += x.to_f64();
+            }
+            black_box(s)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = rational_ops;
+    config = Criterion::default().sample_size(20);
+    targets = bench_add, bench_mul, bench_fused, bench_to_f64
+);
+criterion_main!(rational_ops);

@@ -1,0 +1,335 @@
+//! Emits the committed benchmark artifacts:
+//!
+//! * `BENCH_rational.json` — the small-word fast path of `Rational`
+//!   against a baseline that forces every intermediate through the
+//!   `BigInt`/`BigUint` machinery (the arithmetic every operation
+//!   performed before the two-tier representation).
+//! * `BENCH_campaign.json` — campaign-scale end-to-end numbers: the
+//!   Theorem 1 fold over a tree population, the LP oracle, and a full
+//!   simulation campaign.
+//!
+//! Flags: `--samples N` (timing samples per workload, default 15),
+//! `--out DIR` (default `.`).
+
+use bc_experiments::campaign::{run_campaign, CampaignConfig};
+use bc_metrics::OnsetConfig;
+use bc_platform::RandomTreeConfig;
+use bc_rational::{BigInt, BigUint, Rational, Sign};
+use bc_steady::{lp_optimal_rate, SteadyState};
+use serde::{object, Value};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Median wall time of `samples` runs of `f`, in nanoseconds.
+fn time_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm up
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as f64
+}
+
+fn small_operands(n: usize) -> Vec<Rational> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let num = (state >> 16) as i64 % 10_000 - 5_000;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let den = (state >> 16) % 10_000 + 1;
+            Rational::new(num as i128, den as i128)
+        })
+        .collect()
+}
+
+fn big_of(mag: BigUint) -> BigInt {
+    BigInt::from_sign_mag(Sign::Positive, mag)
+}
+
+/// `a + b` the way the pre-fast-path code computed it: heap-limb cross
+/// products plus a full bignum gcd reduction.
+fn big_add(a: &Rational, b: &Rational) -> Rational {
+    let (an, ad) = (a.numer(), a.denom());
+    let (bn, bd) = (b.numer(), b.denom());
+    let num = an
+        .mul(&big_of(bd.clone()))
+        .add(&bn.mul(&big_of(ad.clone())));
+    Rational::from_parts(num, ad.mul(&bd))
+}
+
+fn big_mul(a: &Rational, b: &Rational) -> Rational {
+    Rational::from_parts(a.numer().mul(&b.numer()), a.denom().mul(&b.denom()))
+}
+
+fn big_sub_mul(cell: &Rational, factor: &Rational, pv: &Rational) -> Rational {
+    let prod = big_mul(factor, pv);
+    let (cn, cd) = (cell.numer(), cell.denom());
+    let (pn, pd) = (prod.numer(), prod.denom());
+    let num = cn
+        .mul(&big_of(pd.clone()))
+        .sub(&pn.mul(&big_of(cd.clone())));
+    Rational::from_parts(num, cd.mul(&pd))
+}
+
+struct Workload {
+    name: &'static str,
+    small_ns: f64,
+    big_ns: f64,
+}
+
+impl Workload {
+    fn speedup(&self) -> f64 {
+        self.big_ns / self.small_ns
+    }
+
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("name", Value::Str(self.name.to_string())),
+            ("small_path_ns", Value::Float(self.small_ns)),
+            ("bignum_baseline_ns", Value::Float(self.big_ns)),
+            ("speedup", Value::Float(self.speedup())),
+        ])
+    }
+}
+
+fn rational_report(samples: usize) -> (Value, f64) {
+    let xs = small_operands(4096);
+    let mut workloads = Vec::new();
+
+    // Pairwise ops over adjacent operands: every input and result is
+    // word-sized, the regime the fast path exists for (an accumulating
+    // fold instead grows lcm-like denominators and degrades both paths
+    // to bignum within a few terms).
+    let small = time_ns(samples, || {
+        let mut touched = 0usize;
+        for pair in xs.windows(2) {
+            touched += usize::from(!pair[0].add_ref(&pair[1]).is_zero());
+        }
+        assert!(touched > 0);
+    });
+    let big = time_ns(samples, || {
+        let mut touched = 0usize;
+        for pair in xs.windows(2) {
+            touched += usize::from(!big_add(&pair[0], &pair[1]).is_zero());
+        }
+        assert!(touched > 0);
+    });
+    workloads.push(Workload {
+        name: "add_pairwise_4096",
+        small_ns: small,
+        big_ns: big,
+    });
+
+    let small = time_ns(samples, || {
+        let mut touched = 0usize;
+        for pair in xs.windows(2) {
+            touched += usize::from(!pair[0].mul_ref(&pair[1]).is_zero());
+        }
+        assert!(touched > 0);
+    });
+    let big = time_ns(samples, || {
+        let mut touched = 0usize;
+        for pair in xs.windows(2) {
+            touched += usize::from(!big_mul(&pair[0], &pair[1]).is_zero());
+        }
+        assert!(touched > 0);
+    });
+    workloads.push(Workload {
+        name: "mul_pairwise_4096",
+        small_ns: small,
+        big_ns: big,
+    });
+
+    let factor = Rational::new(7, 3);
+    let row: Vec<Rational> = xs[..512].to_vec();
+    let small = time_ns(samples, || {
+        let mut r = row.clone();
+        for (cell, pv) in r.iter_mut().zip(row.iter().rev()) {
+            cell.sub_mul_assign_ref(&factor, pv);
+        }
+    });
+    let big = time_ns(samples, || {
+        let mut r = row.clone();
+        for (cell, pv) in r.iter_mut().zip(row.iter().rev()) {
+            *cell = big_sub_mul(cell, &factor, pv);
+        }
+    });
+    workloads.push(Workload {
+        name: "pivot_sweep_512",
+        small_ns: small,
+        big_ns: big,
+    });
+
+    let geomean =
+        (workloads.iter().map(|w| w.speedup().ln()).sum::<f64>() / workloads.len() as f64).exp();
+
+    let report = object(vec![
+        ("generated_by", Value::Str("bench_report".to_string())),
+        ("samples_per_workload", Value::Int(samples as i128)),
+        (
+            "baseline",
+            Value::Str("same values routed through BigInt/BigUint via from_parts".to_string()),
+        ),
+        (
+            "workloads",
+            Value::Array(workloads.iter().map(Workload::to_value).collect()),
+        ),
+        ("geomean_speedup", Value::Float(geomean)),
+    ]);
+    (report, geomean)
+}
+
+fn campaign_report(samples: usize) -> Value {
+    // Theorem 1 fold over a population slice.
+    let cfg = RandomTreeConfig {
+        min_nodes: 20,
+        max_nodes: 80,
+        comm_min: 1,
+        comm_max: 30,
+        compute_scale: 500,
+    };
+    let trees: Vec<_> = (0..100).map(|s| cfg.generate(s)).collect();
+    let analyze_ns = time_ns(samples, || {
+        let mut acc = 0.0;
+        for t in &trees {
+            acc += SteadyState::analyze(t).optimal_rate().to_f64();
+        }
+        assert!(acc > 0.0);
+    });
+
+    // Paper-scale single analysis (deep trees promote to the big tier).
+    let paper_tree = RandomTreeConfig::default().generate(7);
+    let paper_ns = time_ns(samples, || {
+        assert!(SteadyState::analyze(&paper_tree)
+            .optimal_rate()
+            .is_positive());
+    });
+
+    // LP oracle on a small tree (exact simplex, pivot-sweep bound).
+    let lp_tree = RandomTreeConfig {
+        min_nodes: 14,
+        max_nodes: 16,
+        comm_min: 1,
+        comm_max: 10,
+        compute_scale: 50,
+    }
+    .generate(42);
+    let lp_ns = time_ns(samples, || {
+        assert!(lp_optimal_rate(&lp_tree).is_positive());
+    });
+
+    // Full simulation campaign (generation + oracle + protocol).
+    let campaign = CampaignConfig {
+        trees: 64,
+        tasks: 2_000,
+        seed: 2003,
+        tree_config: RandomTreeConfig {
+            min_nodes: 10,
+            max_nodes: 60,
+            comm_min: 1,
+            comm_max: 20,
+            compute_scale: 500,
+        },
+        onset: OnsetConfig::default(),
+    };
+    let t0 = Instant::now();
+    let runs = run_campaign(&campaign, |t| bc_engine::SimConfig::interruptible(3, t));
+    let campaign_ns = t0.elapsed().as_nanos() as f64;
+    let events: u64 = runs.iter().map(|r| r.events).sum();
+    let reached = runs.iter().filter(|r| r.reached()).count();
+
+    object(vec![
+        ("generated_by", Value::Str("bench_report".to_string())),
+        ("samples_per_workload", Value::Int(samples as i128)),
+        (
+            "steady_analyze_100_trees",
+            object(vec![
+                ("wall_ms", Value::Float(analyze_ns / 1e6)),
+                (
+                    "per_tree_us",
+                    Value::Float(analyze_ns / 1e3 / trees.len() as f64),
+                ),
+            ]),
+        ),
+        (
+            "steady_analyze_paper_scale_tree",
+            object(vec![
+                ("nodes", Value::Int(paper_tree.len() as i128)),
+                ("wall_ms", Value::Float(paper_ns / 1e6)),
+            ]),
+        ),
+        (
+            "lp_oracle_16_nodes",
+            object(vec![("wall_ms", Value::Float(lp_ns / 1e6))]),
+        ),
+        (
+            "simulation_campaign",
+            object(vec![
+                ("trees", Value::Int(campaign.trees as i128)),
+                ("tasks_per_tree", Value::Int(campaign.tasks as i128)),
+                ("wall_ms", Value::Float(campaign_ns / 1e6)),
+                ("events_total", Value::Int(events as i128)),
+                (
+                    "events_per_sec",
+                    Value::Float(events as f64 / (campaign_ns / 1e9)),
+                ),
+                (
+                    "fraction_reached_optimal",
+                    Value::Float(reached as f64 / runs.len() as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let mut samples = 15usize;
+    let mut out = PathBuf::from(".");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--samples" => {
+                samples = it
+                    .next()
+                    .expect("--samples requires a value")
+                    .parse()
+                    .expect("--samples must be a number");
+                assert!(samples > 0, "--samples must be at least 1");
+            }
+            "--out" => out = PathBuf::from(it.next().expect("--out requires a value")),
+            other => panic!("unknown flag {other}; flags: --samples N --out DIR"),
+        }
+    }
+
+    std::fs::create_dir_all(&out).expect("create --out directory");
+    let (rational, geomean) = rational_report(samples);
+    let path = out.join("BENCH_rational.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&rational).unwrap() + "\n",
+    )
+    .expect("write BENCH_rational.json");
+    println!(
+        "wrote {} (geomean small-path speedup: {:.2}x)",
+        path.display(),
+        geomean
+    );
+
+    let campaign = campaign_report(samples);
+    let path = out.join("BENCH_campaign.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&campaign).unwrap() + "\n",
+    )
+    .expect("write BENCH_campaign.json");
+    println!("wrote {}", path.display());
+}

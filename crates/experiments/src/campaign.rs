@@ -43,8 +43,48 @@ impl CampaignConfig {
 
     /// The tree for campaign index `i`.
     pub fn tree(&self, i: usize) -> Tree {
-        self.tree_config.generate(split_seed(self.seed, i as u64))
+        campaign_tree(&self.tree_config, self.seed, i)
     }
+
+    /// Generates and analyzes tree `i` exactly once; the result is shared
+    /// by the Theorem 1 oracle and every simulation run over the tree.
+    pub fn prepare(&self, i: usize) -> PreparedTree {
+        let tree = self.tree(i);
+        let analysis = SteadyState::analyze(&tree);
+        PreparedTree {
+            index: i,
+            tree,
+            analysis,
+        }
+    }
+
+    /// Prepares the whole campaign population in parallel.
+    pub fn prepare_all(&self) -> Vec<PreparedTree> {
+        (0..self.trees)
+            .into_par_iter()
+            .map(|i| self.prepare(i))
+            .collect()
+    }
+}
+
+/// The canonical campaign indexing scheme: tree `i` of a population
+/// seeded by `seed`. Every experiment that walks a tree population uses
+/// this one function, so index `i` names the same platform everywhere.
+pub fn campaign_tree(tree_config: &RandomTreeConfig, seed: u64, i: usize) -> Tree {
+    tree_config.generate(split_seed(seed, i as u64))
+}
+
+/// A campaign tree plus its steady-state analysis, generated once and
+/// reused across protocols (multi-protocol experiments like Table 1 and
+/// Fig 6 previously regenerated and re-analyzed every tree per protocol).
+#[derive(Clone, Debug)]
+pub struct PreparedTree {
+    /// Campaign index of the tree.
+    pub index: usize,
+    /// The generated platform.
+    pub tree: Tree,
+    /// Theorem 1 analysis of the tree (the oracle side).
+    pub analysis: SteadyState,
 }
 
 /// Summary of one simulated tree (completion times are reduced to the
@@ -87,13 +127,23 @@ pub fn run_campaign(
     campaign: &CampaignConfig,
     make_config: impl Fn(u64) -> SimConfig + Sync,
 ) -> Vec<TreeRun> {
-    (0..campaign.trees)
-        .into_par_iter()
-        .map(|i| {
-            let tree = campaign.tree(i);
-            let analysis = SteadyState::analyze(&tree);
-            let result = Simulation::new(tree.clone(), make_config(campaign.tasks)).run();
-            summarize(i, &tree, &analysis, &result, campaign.onset)
+    run_campaign_prepared(&campaign.prepare_all(), campaign, make_config)
+}
+
+/// Like [`run_campaign`], but over an already-prepared population: the
+/// trees and their oracle analyses are shared, not regenerated. Callers
+/// running several protocols over the same population should prepare once
+/// and call this per protocol.
+pub fn run_campaign_prepared(
+    prepared: &[PreparedTree],
+    campaign: &CampaignConfig,
+    make_config: impl Fn(u64) -> SimConfig + Sync,
+) -> Vec<TreeRun> {
+    prepared
+        .par_iter()
+        .map(|p| {
+            let result = Simulation::new(p.tree.clone(), make_config(campaign.tasks)).run();
+            summarize(p.index, &p.tree, &p.analysis, &result, campaign.onset)
         })
         .collect()
 }

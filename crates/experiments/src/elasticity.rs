@@ -12,7 +12,6 @@
 use bc_engine::{ChangeKind, PlannedChange, SimConfig, Simulation};
 use bc_metrics::ascii_table;
 use bc_platform::{NodeId, RandomTreeConfig};
-use bc_simcore::split_seed;
 use bc_steady::{without_subtree, SteadyState};
 use rayon::prelude::*;
 
@@ -76,7 +75,7 @@ fn phase_rate(times: &[u64], from: usize, to: usize) -> f64 {
 }
 
 fn run_one(cfg: &ElasticityConfig, index: usize) -> TreeElasticity {
-    let tree = cfg.tree_config.generate(split_seed(cfg.seed, index as u64));
+    let tree = crate::campaign::campaign_tree(&cfg.tree_config, cfg.seed, index);
     let t_join = cfg.tasks / 3;
     let t_leave = 2 * cfg.tasks / 3;
     // The departing subtree: node 1 (always exists; trees have ≥ 5 nodes).

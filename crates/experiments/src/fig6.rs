@@ -7,7 +7,7 @@
 //! — typically >50 nodes and depth ≈18 — and non-IC occasionally uses a
 //! slightly larger/deeper subtree than IC/FB=3.
 
-use crate::campaign::{run_campaign, CampaignConfig, TreeRun};
+use crate::campaign::{run_campaign_prepared, CampaignConfig, TreeRun};
 use bc_engine::SimConfig;
 use bc_metrics::{ascii_table, Histogram};
 
@@ -29,9 +29,11 @@ fn used_stats(runs: &[TreeRun]) -> Vec<(u64, u64)> {
 }
 
 /// Runs both protocols over the campaign and collects the populations.
+/// The tree population is generated and analyzed once, shared by both.
 pub fn run(campaign: &CampaignConfig) -> Fig6 {
-    let nonic = run_campaign(campaign, |t| SimConfig::non_interruptible(1, t));
-    let ic = run_campaign(campaign, |t| SimConfig::interruptible(3, t));
+    let prepared = campaign.prepare_all();
+    let nonic = run_campaign_prepared(&prepared, campaign, |t| SimConfig::non_interruptible(1, t));
+    let ic = run_campaign_prepared(&prepared, campaign, |t| SimConfig::interruptible(3, t));
     let all = nonic
         .iter()
         .map(|r| (r.nodes as u64, r.depth as u64))

@@ -14,7 +14,7 @@
 //! fraction of trees that both reached the optimal rate *and* whose
 //! largest grown pool stayed ≤ n.
 
-use crate::campaign::{run_campaign, CampaignConfig, TreeRun};
+use crate::campaign::{run_campaign_prepared, CampaignConfig, TreeRun};
 use bc_engine::SimConfig;
 use bc_metrics::ascii_table;
 
@@ -30,11 +30,13 @@ pub struct Table1 {
     pub ic: Vec<Vec<TreeRun>>,
 }
 
-/// Runs both protocols over the campaign.
+/// Runs both protocols over the campaign. The tree population is
+/// generated and analyzed once and shared by all four protocol runs.
 pub fn run(campaign: &CampaignConfig) -> Table1 {
-    let nonic = run_campaign(campaign, |t| SimConfig::non_interruptible(1, t));
+    let prepared = campaign.prepare_all();
+    let nonic = run_campaign_prepared(&prepared, campaign, |t| SimConfig::non_interruptible(1, t));
     let ic = (1..=3)
-        .map(|fb| run_campaign(campaign, |t| SimConfig::interruptible(fb, t)))
+        .map(|fb| run_campaign_prepared(&prepared, campaign, |t| SimConfig::interruptible(fb, t)))
         .collect();
     Table1 { nonic, ic }
 }

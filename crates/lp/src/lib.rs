@@ -183,21 +183,30 @@ impl Problem {
                 return Err(LpError::Unbounded);
             };
 
-            // Pivot on (leave, enter).
+            // Pivot on (leave, enter). All updates run in place on the
+            // tableau cells; the pivot row is read through a split
+            // borrow rather than cloned per target row.
             pivots += 1;
             let piv = t[leave][enter].clone();
             for v in t[leave].iter_mut() {
-                *v = v.div_ref(&piv);
+                v.div_assign_ref(&piv);
             }
             for i in 0..=m {
                 if i == leave || t[i][enter].is_zero() {
                     continue;
                 }
-                let factor = t[i][enter].clone();
-                let pivot_row = t[leave].clone();
-                for (cell, pv) in t[i].iter_mut().zip(&pivot_row) {
-                    let delta = factor.mul_ref(pv);
-                    *cell = cell.sub_ref(&delta);
+                let (row_i, pivot_row) = if i < leave {
+                    let (lo, hi) = t.split_at_mut(leave);
+                    (&mut lo[i], &hi[0])
+                } else {
+                    let (lo, hi) = t.split_at_mut(i);
+                    (&mut hi[0], &lo[leave])
+                };
+                // Only the scalar multiplier is copied; after the sweep
+                // row_i[enter] = factor − factor·1 = 0 as required.
+                let factor = row_i[enter].clone();
+                for (cell, pv) in row_i.iter_mut().zip(pivot_row.iter()) {
+                    cell.sub_mul_assign_ref(&factor, pv);
                 }
             }
             basis[leave] = enter;

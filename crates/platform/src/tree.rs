@@ -7,12 +7,26 @@
 //! edge from the parent. Both are integer timesteps, matching the paper's
 //! simulation parameters.
 
-use serde::{Deserialize, Serialize};
+use serde::{object, DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Index of a node in a [`Tree`] arena. The root is always `NodeId(0)`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
+
+// Wire format: a `NodeId` is a bare JSON number (as the real serde derive
+// produces for a newtype struct).
+impl Serialize for NodeId {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for NodeId {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        u32::from_value(v).map(NodeId)
+    }
+}
 
 impl NodeId {
     /// The root node's id.
@@ -37,7 +51,7 @@ impl fmt::Display for NodeId {
 }
 
 /// One compute resource in the platform tree.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Node {
     /// Parent in the overlay; `None` only for the root.
     pub parent: Option<NodeId>,
@@ -50,6 +64,28 @@ pub struct Node {
     pub comm_time: u64,
 }
 
+impl Serialize for Node {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("parent", self.parent.to_value()),
+            ("children", self.children.to_value()),
+            ("compute_time", self.compute_time.to_value()),
+            ("comm_time", self.comm_time.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Node {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Node {
+            parent: serde::field(v, "parent")?,
+            children: serde::field(v, "children")?,
+            compute_time: serde::field(v, "compute_time")?,
+            comm_time: serde::field(v, "comm_time")?,
+        })
+    }
+}
+
 /// A node-weighted, edge-weighted platform tree.
 ///
 /// Invariants (checked by [`Tree::validate`], and preserved by every
@@ -57,9 +93,23 @@ pub struct Node {
 /// arena position only by construction of the builders (not required),
 /// parent/child links are mutually consistent, `compute_time ≥ 1`
 /// everywhere, `comm_time ≥ 1` on non-root nodes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Tree {
     nodes: Vec<Node>,
+}
+
+impl Serialize for Tree {
+    fn to_value(&self) -> Value {
+        object(vec![("nodes", self.nodes.to_value())])
+    }
+}
+
+impl Deserialize for Tree {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Tree {
+            nodes: serde::field(v, "nodes")?,
+        })
+    }
 }
 
 /// Errors surfaced by [`Tree::validate`] (after deserializing untrusted

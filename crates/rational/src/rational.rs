@@ -4,158 +4,392 @@
 //! keeping them exact means the "did this tree reach the optimal rate?"
 //! verdict in the experiment harness is a true comparison, never a float
 //! tolerance.
+//!
+//! # Two-tier representation
+//!
+//! Almost every rational this codebase touches has a numerator and
+//! denominator that fit in one machine word: tree weights start as small
+//! integers, and the Theorem 1 fold / simplex pivots only grow them
+//! slowly. The representation therefore has two tiers:
+//!
+//! * **Small** — `i64` numerator over `u64` denominator, all arithmetic
+//!   in widened `i128`/`u128` intermediates with a word-level binary GCD.
+//!   No heap allocation at all.
+//! * **Big** — the original [`BigInt`]/[`BigUint`] pair, used only when a
+//!   reduced result genuinely does not fit the small tier.
+//!
+//! Construction and every operation **canonicalize**: a value is stored
+//! small if and only if its reduced numerator fits `i64` and denominator
+//! fits `u64`. Promotion happens exactly at overflow, and any big result
+//! that shrinks back demotes again. Because the mapping value → variant
+//! is injective, the derived `Eq`/`Hash` remain consistent, and results
+//! are bit-for-bit identical whichever path computed them.
 
 use crate::bigint::{BigInt, Sign};
 use crate::biguint::BigUint;
 use std::cmp::Ordering;
 use std::fmt;
-use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use std::str::FromStr;
+
+/// Internal storage. `Small` holds a reduced `num/den` with `den ≥ 1`;
+/// `Big` is used only for values whose reduced form does not fit, so the
+/// derived equality never has to compare across variants.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Small { num: i64, den: u64 },
+    Big { num: BigInt, den: BigUint },
+}
 
 /// An exact rational number.
 ///
 /// Invariants: the denominator is strictly positive and `gcd(|num|, den) = 1`
-/// (zero is stored as `0/1`).
+/// (zero is stored as `0/1`); the small representation is used whenever
+/// the reduced value fits it (see the module docs).
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Rational {
-    num: BigInt,
-    den: BigUint,
+    repr: Repr,
+}
+
+/// Word-level binary GCD. `gcd(x, 0) = x`.
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Does a reduced magnitude pair fit the small tier?
+fn fits_small(negative: bool, nmag: u128, dmag: u128) -> bool {
+    let num_limit = if negative {
+        1u128 << 63 // |i64::MIN|
+    } else {
+        i64::MAX as u128
+    };
+    nmag <= num_limit && dmag <= u64::MAX as u128
+}
+
+/// Signed `i64` from a magnitude known to fit (`nmag ≤ 2^63` when
+/// negative, `≤ 2^63 − 1` otherwise).
+fn small_num(negative: bool, nmag: u128) -> i64 {
+    if negative {
+        (nmag as u64).wrapping_neg() as i64
+    } else {
+        nmag as i64
+    }
 }
 
 impl Rational {
     /// The value 0.
     pub fn zero() -> Self {
         Rational {
-            num: BigInt::zero(),
-            den: BigUint::one(),
+            repr: Repr::Small { num: 0, den: 1 },
         }
     }
 
     /// The value 1.
     pub fn one() -> Self {
         Rational {
-            num: BigInt::one(),
-            den: BigUint::one(),
+            repr: Repr::Small { num: 1, den: 1 },
         }
+    }
+
+    /// Builds a canonical value from an already-reduced sign/magnitude
+    /// pair: small if it fits, big otherwise.
+    fn from_reduced(negative: bool, nmag: u128, dmag: u128) -> Self {
+        if nmag == 0 {
+            return Rational::zero();
+        }
+        if fits_small(negative, nmag, dmag) {
+            Rational {
+                repr: Repr::Small {
+                    num: small_num(negative, nmag),
+                    den: dmag as u64,
+                },
+            }
+        } else {
+            let sign = if negative {
+                Sign::Negative
+            } else {
+                Sign::Positive
+            };
+            Rational {
+                repr: Repr::Big {
+                    num: BigInt::from_sign_mag(sign, BigUint::from_u128(nmag)),
+                    den: BigUint::from_u128(dmag),
+                },
+            }
+        }
+    }
+
+    /// Reduces a word-sized sign/magnitude pair and canonicalizes.
+    fn reduce128(negative: bool, nmag: u128, dmag: u128) -> Self {
+        debug_assert!(dmag != 0);
+        if nmag == 0 {
+            return Rational::zero();
+        }
+        let g = gcd_u128(nmag, dmag);
+        Rational::from_reduced(negative, nmag / g, dmag / g)
     }
 
     /// Builds `num/den` from machine integers. Panics if `den == 0`.
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "Rational with zero denominator");
-        let mut n = BigInt::from_i128(num);
-        if den < 0 {
-            n = n.neg();
-        }
-        Self::from_parts(n, BigUint::from_u128(den.unsigned_abs()))
+        Rational::reduce128(
+            (num < 0) != (den < 0),
+            num.unsigned_abs(),
+            den.unsigned_abs(),
+        )
     }
 
-    /// Builds from big parts, normalizing. Panics if `den == 0`.
+    /// Builds from big parts, normalizing (and demoting to the small
+    /// tier when the reduced value fits). Panics if `den == 0`.
     pub fn from_parts(num: BigInt, den: BigUint) -> Self {
         assert!(!den.is_zero(), "Rational with zero denominator");
         if num.is_zero() {
             return Rational::zero();
         }
         let g = num.magnitude().gcd(&den);
-        if g.is_one() {
-            Rational { num, den }
+        let (num, den) = if g.is_one() {
+            (num, den)
         } else {
             let mag = num.magnitude().divrem(&g).0;
-            Rational {
-                num: BigInt::from_sign_mag(num.sign(), mag),
-                den: den.divrem(&g).0,
+            (BigInt::from_sign_mag(num.sign(), mag), den.divrem(&g).0)
+        };
+        // Demote when the reduced value fits one word per component.
+        if let (Some(n), Some(d)) = (num.magnitude().to_u128(), den.to_u128()) {
+            if fits_small(num.is_negative(), n, d) {
+                return Rational {
+                    repr: Repr::Small {
+                        num: small_num(num.is_negative(), n),
+                        den: d as u64,
+                    },
+                };
             }
+        }
+        Rational {
+            repr: Repr::Big { num, den },
         }
     }
 
     /// Builds the integer `v`.
     pub fn from_integer(v: i128) -> Self {
-        Rational {
-            num: BigInt::from_i128(v),
-            den: BigUint::one(),
+        Rational::reduce128(v < 0, v.unsigned_abs(), 1)
+    }
+
+    /// Numerator (sign-carrying). Materialized on the small path, so the
+    /// return is owned.
+    pub fn numer(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small { num, .. } => BigInt::from_i128(*num as i128),
+            Repr::Big { num, .. } => num.clone(),
         }
     }
 
-    /// Numerator (sign-carrying).
-    pub fn numer(&self) -> &BigInt {
-        &self.num
+    /// Denominator (always positive). Materialized on the small path, so
+    /// the return is owned.
+    pub fn denom(&self) -> BigUint {
+        match &self.repr {
+            Repr::Small { den, .. } => BigUint::from_u64(*den),
+            Repr::Big { den, .. } => den.clone(),
+        }
     }
 
-    /// Denominator (always positive).
-    pub fn denom(&self) -> &BigUint {
-        &self.den
+    /// True if this value is held in the inline word-sized
+    /// representation (introspection for tests and benchmarks; the
+    /// numeric behavior of the two tiers is identical).
+    pub fn is_small(&self) -> bool {
+        matches!(self.repr, Repr::Small { .. })
+    }
+
+    /// Both components as big integers (promotion for mixed-tier ops).
+    fn big_parts(&self) -> (BigInt, BigUint) {
+        match &self.repr {
+            Repr::Small { num, den } => (BigInt::from_i128(*num as i128), BigUint::from_u64(*den)),
+            Repr::Big { num, den } => (num.clone(), den.clone()),
+        }
     }
 
     /// True if the value is 0.
     pub fn is_zero(&self) -> bool {
-        self.num.is_zero()
+        match &self.repr {
+            Repr::Small { num, .. } => *num == 0,
+            Repr::Big { num, .. } => num.is_zero(),
+        }
     }
 
     /// True if strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.num.is_positive()
+        match &self.repr {
+            Repr::Small { num, .. } => *num > 0,
+            Repr::Big { num, .. } => num.is_positive(),
+        }
     }
 
     /// True if strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.num.is_negative()
+        match &self.repr {
+            Repr::Small { num, .. } => *num < 0,
+            Repr::Big { num, .. } => num.is_negative(),
+        }
     }
 
     /// True if the value is an integer.
     pub fn is_integer(&self) -> bool {
-        self.den.is_one()
+        match &self.repr {
+            Repr::Small { den, .. } => *den == 1,
+            Repr::Big { den, .. } => den.is_one(),
+        }
     }
 
     /// Multiplicative inverse. Panics on zero.
     pub fn recip(&self) -> Rational {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rational {
-            num: BigInt::from_sign_mag(self.num.sign(), self.den.clone()),
-            den: self.num.magnitude().clone(),
+        match &self.repr {
+            Repr::Small { num, den } => {
+                // Already reduced; swapping keeps it reduced but the new
+                // numerator (old denominator) may exceed the i64 range.
+                Rational::from_reduced(*num < 0, *den as u128, num.unsigned_abs() as u128)
+            }
+            Repr::Big { num, den } => Rational::from_parts(
+                BigInt::from_sign_mag(num.sign(), den.clone()),
+                num.magnitude().clone(),
+            ),
         }
     }
 
     /// Exact sum.
     pub fn add_ref(&self, other: &Rational) -> Rational {
-        // a/b + c/d = (a*d + c*b) / (b*d)
-        let num = self
-            .num
-            .mul(&big(&other.den))
-            .add(&other.num.mul(&big(&self.den)));
-        Rational::from_parts(num, self.den.mul(&other.den))
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &other.repr)
+        {
+            // a/b + c/d = (a·d + c·b) / (b·d). Each cross product is at
+            // most 2^63·(2^64−1) < 2^127, so it fits i128; only the final
+            // sum can overflow, checked below.
+            let n1 = (*a as i128) * (*d as i128);
+            let n2 = (*c as i128) * (*b as i128);
+            if let Some(n) = n1.checked_add(n2) {
+                return Rational::reduce128(n < 0, n.unsigned_abs(), (*b as u128) * (*d as u128));
+            }
+        }
+        let (an, ad) = self.big_parts();
+        let (bn, bd) = other.big_parts();
+        let num = an.mul(&big(&bd)).add(&bn.mul(&big(&ad)));
+        Rational::from_parts(num, ad.mul(&bd))
     }
 
     /// Exact difference.
     pub fn sub_ref(&self, other: &Rational) -> Rational {
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &other.repr)
+        {
+            let n1 = (*a as i128) * (*d as i128);
+            let n2 = (*c as i128) * (*b as i128);
+            if let Some(n) = n1.checked_sub(n2) {
+                return Rational::reduce128(n < 0, n.unsigned_abs(), (*b as u128) * (*d as u128));
+            }
+        }
         self.add_ref(&other.neg_ref())
     }
 
     /// Exact product.
     pub fn mul_ref(&self, other: &Rational) -> Rational {
-        Rational::from_parts(self.num.mul(&other.num), self.den.mul(&other.den))
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &other.repr)
+        {
+            // |a·c| ≤ 2^126 and b·d < 2^128: neither product can
+            // overflow its widened type.
+            let n = (*a as i128) * (*c as i128);
+            return Rational::reduce128(n < 0, n.unsigned_abs(), (*b as u128) * (*d as u128));
+        }
+        let (an, ad) = self.big_parts();
+        let (bn, bd) = other.big_parts();
+        Rational::from_parts(an.mul(&bn), ad.mul(&bd))
     }
 
     /// Exact quotient. Panics if `other` is zero.
     pub fn div_ref(&self, other: &Rational) -> Rational {
+        assert!(!other.is_zero(), "reciprocal of zero");
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &other.repr)
+        {
+            // a/b ÷ c/d = (a·d) / (b·|c|) with the sign of a·c.
+            // a·d ≤ 2^63·(2^64−1) < 2^127 and b·|c| ≤ (2^64−1)·2^63 <
+            // 2^127: both fit their widened types.
+            let nmag = (a.unsigned_abs() as u128) * (*d as u128);
+            let dmag = (*b as u128) * (c.unsigned_abs() as u128);
+            return Rational::reduce128((*a < 0) != (*c < 0), nmag, dmag);
+        }
         self.mul_ref(&other.recip())
     }
 
     /// Negation.
     pub fn neg_ref(&self) -> Rational {
-        Rational {
-            num: self.num.neg(),
-            den: self.den.clone(),
+        match &self.repr {
+            Repr::Small { num, den } => {
+                // i64::MIN negates out of range; reroute through the
+                // canonicalizing constructor.
+                Rational::from_reduced(*num > 0, num.unsigned_abs() as u128, *den as u128)
+            }
+            // from_parts re-canonicalizes: flipping the sign can move a
+            // magnitude-2^63 numerator across the small-tier boundary.
+            Repr::Big { num, den } => Rational::from_parts(num.neg(), den.clone()),
         }
+    }
+
+    /// In-place sum: `self += other`. On the small path this allocates
+    /// nothing; hot loops should prefer it over `add_ref`.
+    pub fn add_assign_ref(&mut self, other: &Rational) {
+        *self = self.add_ref(other);
+    }
+
+    /// In-place difference: `self -= other`.
+    pub fn sub_assign_ref(&mut self, other: &Rational) {
+        *self = self.sub_ref(other);
+    }
+
+    /// In-place product: `self *= other`.
+    pub fn mul_assign_ref(&mut self, other: &Rational) {
+        *self = self.mul_ref(other);
+    }
+
+    /// In-place quotient: `self /= other`. Panics if `other` is zero.
+    pub fn div_assign_ref(&mut self, other: &Rational) {
+        *self = self.div_ref(other);
+    }
+
+    /// Fused update `self -= a · b` — the simplex pivot's row operation.
+    pub fn sub_mul_assign_ref(&mut self, a: &Rational, b: &Rational) {
+        let prod = a.mul_ref(b);
+        self.sub_assign_ref(&prod);
     }
 
     /// Floor (largest integer ≤ self).
     pub fn floor(&self) -> BigInt {
-        let (q, r) = self
-            .num
-            .divrem(&BigInt::from_sign_mag(Sign::Positive, self.den.clone()));
-        if self.num.is_negative() && !r.is_zero() {
-            q.sub(&BigInt::one())
-        } else {
-            q
+        match &self.repr {
+            Repr::Small { num, den } => BigInt::from_i128((*num as i128).div_euclid(*den as i128)),
+            Repr::Big { num, den } => {
+                let (q, r) = num.divrem(&BigInt::from_sign_mag(Sign::Positive, den.clone()));
+                if num.is_negative() && !r.is_zero() {
+                    q.sub(&BigInt::one())
+                } else {
+                    q
+                }
+            }
         }
     }
 
@@ -164,22 +398,32 @@ impl Rational {
         self.neg_ref().floor().neg()
     }
 
-    /// Approximates as `f64` (display / plotting only — never used in
-    /// optimality decisions).
+    /// Approximates as the **nearest** `f64` (round-half-even), exact in
+    /// the IEEE sense even when components exceed 2^53.
     pub fn to_f64(&self) -> f64 {
-        let n = self.num.to_f64();
-        let d = self.den.to_f64();
-        if d.is_infinite() || n.is_infinite() {
-            // Scale both sides down by a common power of two first.
-            let nb = self.num.magnitude().bit_len();
-            let db = self.den.bit_len();
-            let shift = nb.max(db).saturating_sub(512);
-            let ns = self.num.magnitude().shr(shift).to_f64();
-            let ds = self.den.shr(shift).to_f64();
-            let v = ns / ds;
-            return if self.num.is_negative() { -v } else { v };
+        let (negative, value) = match &self.repr {
+            Repr::Small { num, den } => {
+                if *num == 0 {
+                    return 0.0;
+                }
+                let nmag = num.unsigned_abs();
+                if nmag <= (1 << 53) && *den <= (1 << 53) {
+                    // Both operands convert exactly; IEEE division then
+                    // rounds the quotient correctly in one step.
+                    return *num as f64 / *den as f64;
+                }
+                (
+                    *num < 0,
+                    ratio_to_f64(&BigUint::from_u64(nmag), &BigUint::from_u64(*den)),
+                )
+            }
+            Repr::Big { num, den } => (num.is_negative(), ratio_to_f64(num.magnitude(), den)),
+        };
+        if negative {
+            -value
+        } else {
+            value
         }
-        n / d
     }
 
     /// `min` by value.
@@ -201,6 +445,54 @@ impl Rational {
     }
 }
 
+/// Correctly-rounded `n/d` for positive big integers (round-half-even).
+///
+/// Scales the numerator so the integer quotient carries 55–56 bits, keeps
+/// the division remainder as a sticky bit, and rounds the excess bits off
+/// the quotient — one rounding step total, like hardware division.
+fn ratio_to_f64(n: &BigUint, d: &BigUint) -> f64 {
+    debug_assert!(!n.is_zero() && !d.is_zero());
+    let nb = n.bit_len() as i64;
+    let db = d.bit_len() as i64;
+    // After scaling by 2^shift the quotient lies in [2^54, 2^56).
+    let shift = 55 - (nb - db);
+    let (sn, sd) = if shift >= 0 {
+        (n.shl(shift as usize), d.clone())
+    } else {
+        (n.clone(), d.shl((-shift) as usize))
+    };
+    let (q, r) = sn.divrem(&sd);
+    let q64 = q.to_u64().expect("scaled quotient fits one limb");
+    let mut sticky = !r.is_zero();
+    // Round the quotient down to 53 bits.
+    let extra = (64 - q64.leading_zeros()) as i64 - 53;
+    debug_assert!((2..=3).contains(&extra));
+    let round = (q64 >> (extra - 1)) & 1 == 1;
+    sticky |= q64 & ((1 << (extra - 1)) - 1) != 0;
+    let mut m = q64 >> extra;
+    if round && (sticky || m & 1 == 1) {
+        m += 1;
+    }
+    let mut e2 = extra - shift;
+    if m == 1 << 53 {
+        m >>= 1;
+        e2 += 1;
+    }
+    // m · 2^e2, stepping the exponent to avoid spurious overflow. Each
+    // step multiplies by an exactly-representable power of two, so no
+    // extra rounding occurs for normal results.
+    let mut v = m as f64;
+    while e2 > 1000 {
+        v *= 2f64.powi(1000);
+        e2 -= 1000;
+    }
+    while e2 < -1000 {
+        v *= 2f64.powi(-1000);
+        e2 += 1000;
+    }
+    v * 2f64.powi(e2 as i32)
+}
+
 fn big(u: &BigUint) -> BigInt {
     if u.is_zero() {
         BigInt::zero()
@@ -212,9 +504,15 @@ fn big(u: &BigUint) -> BigInt {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d  ⇔  a*d vs c*b   (b, d > 0)
-        self.num
-            .mul(&big(&other.den))
-            .cmp(&other.num.mul(&big(&self.den)))
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &other.repr)
+        {
+            // Cross products are bounded by 2^63·(2^64−1) < 2^127.
+            return ((*a as i128) * (*d as i128)).cmp(&((*c as i128) * (*b as i128)));
+        }
+        let (an, ad) = self.big_parts();
+        let (bn, bd) = other.big_parts();
+        an.mul(&big(&bd)).cmp(&bn.mul(&big(&ad)))
     }
 }
 
@@ -294,6 +592,54 @@ impl Neg for Rational {
     }
 }
 
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        self.sub_assign_ref(rhs);
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        self.mul_assign_ref(rhs);
+    }
+}
+
+impl DivAssign<&Rational> for Rational {
+    fn div_assign(&mut self, rhs: &Rational) {
+        self.div_assign_ref(rhs);
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        self.add_assign_ref(&rhs);
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        self.sub_assign_ref(&rhs);
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        self.mul_assign_ref(&rhs);
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        self.div_assign_ref(&rhs);
+    }
+}
+
 impl From<i128> for Rational {
     fn from(v: i128) -> Self {
         Rational::from_integer(v)
@@ -308,10 +654,21 @@ impl From<u64> for Rational {
 
 impl fmt::Display for Rational {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.den.is_one() {
-            write!(f, "{}", self.num)
-        } else {
-            write!(f, "{}/{}", self.num, self.den)
+        match &self.repr {
+            Repr::Small { num, den } => {
+                if *den == 1 {
+                    write!(f, "{num}")
+                } else {
+                    write!(f, "{num}/{den}")
+                }
+            }
+            Repr::Big { num, den } => {
+                if den.is_one() {
+                    write!(f, "{num}")
+                } else {
+                    write!(f, "{num}/{den}")
+                }
+            }
         }
     }
 }
@@ -330,8 +687,11 @@ impl Default for Rational {
 
 /// Sums an iterator of rationals exactly.
 pub fn sum<'a, I: IntoIterator<Item = &'a Rational>>(iter: I) -> Rational {
-    iter.into_iter()
-        .fold(Rational::zero(), |acc, r| acc.add_ref(r))
+    let mut acc = Rational::zero();
+    for r in iter {
+        acc.add_assign_ref(r);
+    }
+    acc
 }
 
 /// Error from parsing a [`Rational`].
@@ -380,13 +740,21 @@ impl FromStr for Rational {
 
 impl std::iter::Sum for Rational {
     fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
-        iter.fold(Rational::zero(), |acc, r| acc.add_ref(&r))
+        let mut acc = Rational::zero();
+        for r in iter {
+            acc.add_assign_ref(&r);
+        }
+        acc
     }
 }
 
 impl<'a> std::iter::Sum<&'a Rational> for Rational {
     fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
-        iter.fold(Rational::zero(), |acc, r| acc.add_ref(r))
+        let mut acc = Rational::zero();
+        for r in iter {
+            acc.add_assign_ref(r);
+        }
+        acc
     }
 }
 
@@ -424,6 +792,21 @@ mod tests {
     }
 
     #[test]
+    fn assign_ops_match_binary_ops() {
+        let mut x = r(1, 2);
+        x += &r(1, 3);
+        assert_eq!(x, r(5, 6));
+        x -= r(1, 6);
+        assert_eq!(x, r(2, 3));
+        x *= &r(3, 4);
+        assert_eq!(x, r(1, 2));
+        x /= r(1, 4);
+        assert_eq!(x, r(2, 1));
+        x.sub_mul_assign_ref(&r(1, 2), &r(3, 1));
+        assert_eq!(x, r(1, 2));
+    }
+
+    #[test]
     fn recip() {
         assert_eq!(r(3, 7).recip(), r(7, 3));
         assert_eq!(r(-3, 7).recip(), r(-7, 3));
@@ -433,6 +816,12 @@ mod tests {
     #[should_panic(expected = "reciprocal of zero")]
     fn recip_zero_panics() {
         let _ = Rational::zero().recip();
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn div_by_zero_panics() {
+        let _ = r(1, 2).div_ref(&Rational::zero());
     }
 
     #[test]
@@ -458,6 +847,60 @@ mod tests {
         assert_eq!(r(1, 2).to_f64(), 0.5);
         assert_eq!(r(-3, 4).to_f64(), -0.75);
         assert_eq!(Rational::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn to_f64_rounds_to_nearest_beyond_53_bits() {
+        // 2^53 + 1 is exactly halfway between representable neighbors
+        // 2^53 and 2^53 + 2: round-half-even takes the even one.
+        assert_eq!(r((1 << 53) + 1, 1).to_f64(), (1u64 << 53) as f64);
+        // 2^53 + 3 is halfway between 2^53 + 2 and 2^53 + 4: even is +4.
+        assert_eq!(r((1 << 53) + 3, 1).to_f64(), ((1u64 << 53) + 4) as f64);
+        // Bits below the 53-bit mantissa must round, not truncate:
+        // 2^60 + 384 sits past the midpoint 2^60 + 256, so it rounds up
+        // to 2^60 + 512 (a truncating conversion yields 2^60 + 256's
+        // floor, 2^60).
+        assert_eq!(r((1 << 60) + 384, 1).to_f64(), ((1u64 << 60) + 512) as f64);
+        // (2^64 − 1)/2^64 = 1 − 2^−64 is within half an ulp of 1.0.
+        assert_eq!(r((1 << 64) - 1, 1 << 64).to_f64(), 1.0);
+        // Denominator beyond 2^53: 1/(2^64 − 1) rounds to 2^−64.
+        assert_eq!(r(1, (1 << 64) - 1).to_f64(), 2f64.powi(-64));
+        // Sign carries through the big-component path.
+        assert_eq!(
+            r(-((1 << 60) + 384), 1).to_f64(),
+            -(((1u64 << 60) + 512) as f64)
+        );
+    }
+
+    #[test]
+    fn to_f64_exact_and_halfway_cases_over_random_mantissas() {
+        // Deterministic LCG over (mantissa, exponent, denominator) cases.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..200 {
+            let m = (1u64 << 52) | (next() >> 12); // 53-bit mantissa
+            let e = (next() % 40) as i32; // value = m · 2^e
+            let d = (next() >> 1) | 1; // odd denominator
+                                       // Exactly representable: (m·2^e·d)/d must convert to m·2^e.
+            let scaled = BigUint::from_u64(m).shl(e as usize);
+            let n = scaled.mul(&BigUint::from_u64(d));
+            let q = Rational::from_parts(big(&n), BigUint::from_u64(d));
+            let expect = m as f64 * 2f64.powi(e);
+            assert_eq!(q.to_f64(), expect, "m={m} e={e} d={d}");
+            // Exactly halfway: (2m+1)·2^(e−1) must round to even mantissa.
+            let half = Rational::from_parts(
+                big(&BigUint::from_u128(2 * m as u128 + 1).shl(e as usize)),
+                BigUint::from_u64(2),
+            );
+            let rounded = if m.is_multiple_of(2) { m } else { m + 1 };
+            let expect_half = rounded as f64 * 2f64.powi(e);
+            assert_eq!(half.to_f64(), expect_half, "halfway m={m} e={e}");
+        }
     }
 
     #[test]
@@ -521,6 +964,86 @@ mod tests {
     }
 
     #[test]
+    fn small_values_stay_small() {
+        assert!(r(1, 2).is_small());
+        assert!(Rational::zero().is_small());
+        assert!(r(i64::MAX as i128, 1).is_small());
+        assert!(r(i64::MIN as i128, 1).is_small());
+        assert!(r(1, u64::MAX as i128).is_small());
+        let x = r(1, 3) + r(1, 7) * r(100, 13);
+        assert!(x.is_small());
+    }
+
+    #[test]
+    fn promotion_at_overflow_and_demotion_back() {
+        // i64::MAX/1 + i64::MAX/1 overflows the small numerator.
+        let max = r(i64::MAX as i128, 1);
+        let doubled = max.add_ref(&max);
+        assert!(!doubled.is_small());
+        assert_eq!(doubled, r(2 * (i64::MAX as i128), 1));
+        // Subtracting back demotes to the small tier again, and the
+        // result is bit-for-bit the original.
+        let back = doubled.sub_ref(&max);
+        assert!(back.is_small());
+        assert_eq!(back, max);
+        // Denominator overflow: 1/u64::MAX squared.
+        let tiny = r(1, u64::MAX as i128);
+        let sq = tiny.mul_ref(&tiny);
+        assert!(!sq.is_small());
+        assert_eq!(
+            sq.recip(),
+            r(u64::MAX as i128, 1).mul_ref(&r(u64::MAX as i128, 1))
+        );
+        // Dividing the square by one factor demotes again.
+        let back = sq.div_ref(&tiny);
+        assert!(back.is_small());
+        assert_eq!(back, tiny);
+    }
+
+    #[test]
+    fn from_parts_demotes_small_values() {
+        let v = Rational::from_parts(BigInt::from_i128(6), BigUint::from_u64(4));
+        assert!(v.is_small());
+        assert_eq!(v, r(3, 2));
+    }
+
+    #[test]
+    fn extreme_small_bounds() {
+        // i64::MIN is representable and negates across the boundary.
+        let min = r(i64::MIN as i128, 1);
+        assert!(min.is_small());
+        let negated = min.neg_ref();
+        assert!(!negated.is_small(), "|i64::MIN| exceeds i64::MAX");
+        assert_eq!(negated, r(-(i64::MIN as i128), 1));
+        assert_eq!(negated.neg_ref(), min);
+        // recip of a value whose denominator exceeds i64::MAX promotes.
+        let v = r(1, u64::MAX as i128);
+        let flipped = v.recip();
+        assert!(!flipped.is_small());
+        assert_eq!(flipped, r(u64::MAX as i128, 1));
+        let neg = r(-1, u64::MAX as i128).recip();
+        assert!(!neg.is_small(), "2^64 − 1 exceeds |i64::MIN|");
+        assert_eq!(neg, r(-(u64::MAX as i128), 1));
+        // The negative side fits exactly one more magnitude (2^63): the
+        // reciprocal of -1/2^63 stays small as i64::MIN.
+        let boundary = r(-1, 1i128 << 63).recip();
+        assert!(boundary.is_small());
+        assert_eq!(boundary, r(i64::MIN as i128, 1));
+    }
+
+    #[test]
+    fn mixed_tier_arithmetic() {
+        let small = r(3, 7);
+        let big = r(i64::MAX as i128, 1) + r(i64::MAX as i128, 1);
+        assert!(!big.is_small());
+        let sum = small.add_ref(&big);
+        assert_eq!(sum.sub_ref(&big), small);
+        assert_eq!(big.mul_ref(&small).div_ref(&small), big);
+        assert!(small < big);
+        assert!(big > small);
+    }
+
+    #[test]
     fn deep_nesting_does_not_overflow() {
         // Emulates a deep bottom-up tree-weight computation:
         // w <- 1 / (1/w + 1/(w+1)) with fresh primes mixed in so the
@@ -536,5 +1059,15 @@ mod tests {
         // is enormous.
         let f = w.to_f64();
         assert!(f > 0.0 && f < 10000.0, "f = {f}");
+    }
+
+    #[test]
+    fn word_gcd() {
+        assert_eq!(gcd_u128(0, 5), 5);
+        assert_eq!(gcd_u128(5, 0), 5);
+        assert_eq!(gcd_u128(12, 18), 6);
+        assert_eq!(gcd_u128(1 << 70, 1 << 65), 1 << 65);
+        assert_eq!(gcd_u128(u128::MAX, u128::MAX), u128::MAX);
+        assert_eq!(gcd_u128(7, 13), 1);
     }
 }

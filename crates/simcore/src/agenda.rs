@@ -122,7 +122,41 @@ impl<E> Agenda<E> {
         // The heap entry remains as a tombstone; reuse of the slot is
         // deferred until the tombstone pops, so the heap never refers to
         // a recycled slot with a matching generation.
-        slot.payload.take()
+        let payload = slot.payload.take();
+        // Compact when tombstones dominate: interruptible-communication
+        // churn can cancel far more events than ever fire, and popping
+        // each dead entry through the heap costs O(log n) apiece. The
+        // 2× threshold amortizes the O(n) rebuild; the size floor keeps
+        // tiny agendas on the simple path.
+        if self.heap.len() > 64 && self.heap.len() > 2 * self.live {
+            self.purge_tombstones();
+        }
+        payload
+    }
+
+    /// Number of heap entries, live plus tombstones (capacity
+    /// introspection for tests and benchmarks).
+    pub fn heap_entries(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Rebuilds the heap keeping only live entries, freeing the slots of
+    /// dropped tombstones. Safe because each slot has at most one
+    /// outstanding heap entry (a slot is never reused until its previous
+    /// entry leaves the heap).
+    fn purge_tombstones(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut kept = Vec::with_capacity(self.live);
+        for entry in entries {
+            let Reverse((_, _, slot, generation)) = entry;
+            let s = &self.slots[slot as usize];
+            if s.generation == generation && s.payload.is_some() {
+                kept.push(entry);
+            } else if s.payload.is_none() {
+                self.free.push(slot);
+            }
+        }
+        self.heap = BinaryHeap::from(kept);
     }
 
     /// True if the handle still refers to a pending event.
@@ -280,6 +314,59 @@ mod tests {
         a.next();
         assert_eq!(a.len(), 0);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn purge_compacts_tombstone_heavy_heaps() {
+        let mut a = Agenda::new();
+        let handles: Vec<_> = (0..1000u64).map(|i| a.schedule(10 + i, i)).collect();
+        // Cancel all but the last 10: the dead entries must not linger
+        // in the heap until pop time.
+        for &h in &handles[..990] {
+            a.cancel(h);
+        }
+        assert_eq!(a.len(), 10);
+        assert!(
+            a.heap_entries() <= 2 * a.len().max(64),
+            "heap kept {} entries for {} live events",
+            a.heap_entries(),
+            a.len()
+        );
+        // Cancelled handles stay dead, live events still fire in order,
+        // and freed slots are reusable.
+        assert_eq!(a.cancel(handles[0]), None);
+        let h = a.schedule(1, 5000);
+        assert_eq!(a.next(), Some((1, 5000)));
+        assert!(!a.is_pending(h));
+        let mut fired = Vec::new();
+        while let Some((_, v)) = a.next() {
+            fired.push(v);
+        }
+        assert_eq!(fired, (990..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn purge_preserves_cancel_reschedule_semantics() {
+        // Heavy churn crossing the purge threshold repeatedly.
+        let mut a = Agenda::new();
+        let mut pending = Vec::new();
+        for round in 0..20u64 {
+            for i in 0..100u64 {
+                pending.push(a.schedule(1000 + round * 100 + i, round * 100 + i));
+            }
+            // Cancel ~95% of what's pending.
+            let keep = pending.len() / 20;
+            for h in pending.drain(keep..) {
+                a.cancel(h);
+            }
+        }
+        let live = a.len();
+        let mut fired = Vec::new();
+        while let Some((t, v)) = a.next() {
+            fired.push((t, v));
+        }
+        assert_eq!(fired.len(), live);
+        assert!(fired.windows(2).all(|w| w[0].0 <= w[1].0), "time order");
     }
 
     #[test]

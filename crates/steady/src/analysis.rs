@@ -79,8 +79,11 @@ impl SteadyState {
         while let Some((id, inflow)) = stack.pop() {
             let own = Rational::from_integer(tree.compute_time(id) as i128);
             let self_rate = own.recip().min_ref(&inflow);
-            node_rates[id.index()] = self_rate.clone();
-            let mut remaining = inflow.sub_ref(&self_rate);
+            // The budget accumulators update in place — word arithmetic
+            // with no allocation while the rates stay in the small tier.
+            let mut remaining = inflow;
+            remaining.sub_assign_ref(&self_rate);
+            node_rates[id.index()] = self_rate;
             let mut link_left = Rational::one();
             let children = tree.children(id);
             let fork = &forks[id.index()];
@@ -94,8 +97,8 @@ impl SteadyState {
                 let cap_subtree = subtree_weights[ch.index()].recip();
                 let cap_link = link_left.div_ref(&c);
                 let grant = cap_subtree.min_ref(&remaining).min_ref(&cap_link);
-                remaining = remaining.sub_ref(&grant);
-                link_left = link_left.sub_ref(&grant.mul_ref(&c));
+                remaining.sub_assign_ref(&grant);
+                link_left.sub_mul_assign_ref(&grant, &c);
                 stack.push((ch, grant));
             }
         }
@@ -238,7 +241,7 @@ mod tests {
             for id in t.postorder() {
                 let mut s = ss.node_rate(id).clone();
                 for &ch in t.children(id) {
-                    s = s.add_ref(&subtree_rate[ch.index()]);
+                    s.add_assign_ref(&subtree_rate[ch.index()]);
                 }
                 subtree_rate[id.index()] = s;
             }
@@ -246,7 +249,7 @@ mod tests {
                 let mut link = Rational::zero();
                 for &ch in t.children(id) {
                     let c = Rational::from_integer(t.comm_time(ch) as i128);
-                    link = link.add_ref(&c.mul_ref(&subtree_rate[ch.index()]));
+                    link.add_assign_ref(&c.mul_ref(&subtree_rate[ch.index()]));
                 }
                 assert!(link <= Rational::one(), "seed {seed}: link overcommitted");
             }

@@ -89,12 +89,14 @@ pub fn solve_fork(
     order.sort_by(|&a, &b| children[a].comm.cmp(&children[b].comm).then(a.cmp(&b)));
 
     // Largest prefix the link can keep fully busy: Σ c_i / w_i ≤ 1.
+    // The accumulators update in place: on the small representation tier
+    // each step is pure word arithmetic with no allocation.
     let one = Rational::one();
     let mut used = Rational::zero();
     let mut saturated = 0;
     for &i in &order {
-        let share = children[i].comm.div_ref(&children[i].weight);
-        let next = used.add_ref(&share);
+        let mut next = children[i].comm.div_ref(&children[i].weight);
+        next.add_assign_ref(&used);
         if next <= one {
             used = next;
             saturated += 1;
@@ -111,11 +113,11 @@ pub fn solve_fork(
     // Aggregate consumption rate: self + saturated children + the ε share.
     let mut rate = own_weight.recip();
     for &i in &order[..saturated] {
-        rate = rate.add_ref(&children[i].weight.recip());
+        rate.add_assign_ref(&children[i].weight.recip());
     }
     if saturated < order.len() && !epsilon.is_zero() {
         let next = &children[order[saturated]];
-        rate = rate.add_ref(&epsilon.div_ref(&next.comm));
+        rate.add_assign_ref(&epsilon.div_ref(&next.comm));
     }
     let inner = rate.recip();
 

@@ -2,9 +2,7 @@
 //! verified against this implementation at reduced (but shape-preserving)
 //! scale. Quotes are verbatim from Kreaseck et al., IPDPS 2003.
 
-use bandwidth_centric::experiments::campaign::{
-    fraction_reached, run_campaign, CampaignConfig,
-};
+use bandwidth_centric::experiments::campaign::{fraction_reached, run_campaign, CampaignConfig};
 use bandwidth_centric::platform::examples::{fig1_p1, fig1_tree};
 use bandwidth_centric::prelude::*;
 use bandwidth_centric::steady::period_bound;
@@ -51,9 +49,7 @@ fn claim_nonic_is_the_clear_loser() {
     let nonic = fraction_reached(&run_campaign(&campaign, |t| {
         SimConfig::non_interruptible(1, t)
     }));
-    let ic1 = fraction_reached(&run_campaign(&campaign, |t| {
-        SimConfig::interruptible(1, t)
-    }));
+    let ic1 = fraction_reached(&run_campaign(&campaign, |t| SimConfig::interruptible(1, t)));
     assert!(
         nonic < ic1,
         "non-IC ({nonic}) must trail even IC/FB=1 ({ic1})"
@@ -151,8 +147,7 @@ fn claim_interruption_protects_the_fastest_child() {
         "expected frequent preemptions, saw {}",
         ic.preemptions
     );
-    let nonic =
-        Simulation::new(fig2a_tree(), SimConfig::non_interruptible_fixed(1, 400)).run();
+    let nonic = Simulation::new(fig2a_tree(), SimConfig::non_interruptible_fixed(1, 400)).run();
     assert_eq!(nonic.preemptions, 0, "non-IC must never preempt");
 }
 
@@ -166,12 +161,18 @@ fn claim_overlay_grows_dynamically() {
         .with_change(PlannedChange {
             after_tasks: 100,
             node: NodeId::ROOT,
-            kind: ChangeKind::Join { comm: 1, compute: 5 },
+            kind: ChangeKind::Join {
+                comm: 1,
+                compute: 5,
+            },
         })
         .with_change(PlannedChange {
             after_tasks: 200,
             node: NodeId(1),
-            kind: ChangeKind::Join { comm: 1, compute: 5 },
+            kind: ChangeKind::Join {
+                comm: 1,
+                compute: 5,
+            },
         });
     let run = Simulation::new(tree, cfg).run();
     assert_eq!(run.tasks_per_node.len(), 3);

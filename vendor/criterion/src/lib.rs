@@ -1,0 +1,320 @@
+//! Offline shim of the Criterion benchmarking API used by this workspace.
+//!
+//! Implements the measurement loop (warmup, auto-scaled batching, median
+//! of timed samples) and the `criterion_group!`/`criterion_main!` macros.
+//! Honors the harness flags cargo passes through: `--test` runs each
+//! benchmark body once as a smoke test, name arguments filter which
+//! benchmarks run. Statistical machinery (outlier classification, HTML
+//! reports) is intentionally absent.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark runner: holds configuration and the CLI filter.
+pub struct Criterion {
+    sample_size: usize,
+    /// When set, run each body exactly once and report `ok` (the
+    /// `cargo bench -- --test` smoke mode).
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            test_mode: false,
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, `--bench`, name filters).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" | "-v" => {}
+                s if s.starts_with("--") => {}
+                s => self.filters.push(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.matches(id) {
+            run_one(id, self.sample_size, self.test_mode, &mut f);
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix (`group/bench`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_one(
+                &full,
+                self.effective_sample_size(),
+                self.criterion.test_mode,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<P, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_one(
+                &full,
+                self.effective_sample_size(),
+                self.criterion.test_mode,
+                &mut |b| f(b, input),
+            );
+        }
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Median nanoseconds per iteration, recorded by `iter`.
+    result_ns: f64,
+}
+
+enum BenchMode {
+    /// Run the body once, don't time (smoke test).
+    Test,
+    /// Time `samples` batches.
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Measures a workload: warm up, pick a batch size targeting ~5 ms
+    /// per sample, then time `sample_size` batches and keep the median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Test => {
+                std::hint::black_box(routine());
+            }
+            BenchMode::Measure { samples } => {
+                // Warmup + batch-size calibration: run until 50 ms or
+                // 10k iterations, whichever comes first.
+                let warmup_start = Instant::now();
+                let mut warmup_iters: u64 = 0;
+                while warmup_start.elapsed() < Duration::from_millis(50) && warmup_iters < 10_000 {
+                    std::hint::black_box(routine());
+                    warmup_iters += 1;
+                }
+                let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+                let batch = ((5_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 10_000);
+
+                let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    sample_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+                }
+                sample_ns.sort_by(|a, b| a.total_cmp(b));
+                self.result_ns = sample_ns[sample_ns.len() / 2];
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(id: &str, samples: usize, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mode = if test_mode {
+        BenchMode::Test
+    } else {
+        BenchMode::Measure { samples }
+    };
+    let mut bencher = Bencher {
+        mode,
+        result_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("Testing {id} ... ok");
+    } else if bencher.result_ns.is_nan() {
+        println!("{id}: no measurement (body never called iter)");
+    } else {
+        println!("{id}: time [{} / iter]", format_ns(bencher.result_ns));
+    }
+}
+
+/// Defines a benchmark group function, with or without custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_workload() {
+        let mut b = Bencher {
+            mode: BenchMode::Measure { samples: 5 },
+            result_ns: f64::NAN,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.result_ns.is_finite() && b.result_ns >= 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut b = Bencher {
+            mode: BenchMode::Test,
+            result_ns: f64::NAN,
+        };
+        let mut count = 0;
+        b.iter(|| {
+            count += 1;
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn group_ids_filter() {
+        let c = Criterion {
+            sample_size: 10,
+            test_mode: false,
+            filters: vec!["pivot".into()],
+        };
+        assert!(c.matches("lp_pivot/dense"));
+        assert!(!c.matches("steady_rate"));
+        let none = Criterion::default();
+        assert!(none.matches("anything"));
+    }
+}

@@ -1,0 +1,445 @@
+//! Offline shim of the proptest API surface used by this workspace.
+//!
+//! Provides the `proptest!` test macro, `Strategy` (ranges, tuples,
+//! `any`, `Just`, `prop_map`, `prop::collection::vec`) and the
+//! `prop_assert*` family. Sampling is random (seeded deterministically
+//! per test from the test's module path) rather than shrink-guided:
+//! failures panic with the standard assertion message instead of
+//! reporting a minimized counterexample, which keeps the dependency
+//! surface at zero while preserving the tests' checking power.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The sampling source handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic per-test seeding: the same test name always replays
+    /// the same case sequence.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.random()
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        (self.next_u64() as u128) << 64 | self.next_u64() as u128
+    }
+
+    /// Uniform-enough value in `[0, span)`; `span == 0` means the full
+    /// 128-bit range. (Modulo bias is ≤ 2^-64 for every span this
+    /// workspace uses — irrelevant for property sampling.)
+    fn below(&mut self, span: u128) -> u128 {
+        let v = self.next_u128();
+        if span == 0 {
+            v
+        } else {
+            v % span
+        }
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    type Value;
+
+    /// Draws one random value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy producing one constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128).wrapping_add(rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u128).wrapping_add(1);
+                (lo as i128).wrapping_add(rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// u128/i128 ranges need the span computed in u128 directly.
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn sample(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<i128> {
+    type Value = i128;
+    fn sample(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start.wrapping_add(rng.below(span) as i128)
+    }
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over every value of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// The `prop::collection::vec` entry point.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u128 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::prelude` equivalent: everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Mirror of proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("property assertion failed: {}", format_args!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    panic!("property assertion failed: {:?} != {:?}", __l, __r);
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    panic!(
+                        "property assertion failed: {:?} != {:?}: {}",
+                        __l, __r, format_args!($($fmt)+)
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    panic!("property assertion failed: {:?} == {:?}", __l, __r);
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// The `proptest!` test-definition macro: each `fn name(x in strategy)`
+/// item becomes a `#[test]` that samples its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident(
+            $($arg:ident in $strat:expr),+ $(,)?
+        ) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let __body = move || { $body };
+                    __body();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 10u64..20, b in -5i64..=5, c in 0u128..1000) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!(c < 1000);
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in prop::collection::vec((any::<u32>(), 1u64..50), 0..40)) {
+            prop_assert!(v.len() < 40);
+            for (_, x) in v {
+                prop_assert!((1..50).contains(&x));
+            }
+        }
+
+        #[test]
+        fn map_and_just(x in (1u64..10).prop_map(|v| v * 2), y in Just(7u8)) {
+            prop_assert!(x % 2 == 0 && x < 20);
+            prop_assert_eq!(y, 7);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Doc comments on property functions must parse.
+        #[test]
+        fn config_is_honored(x in any::<bool>()) {
+            prop_assert!(u8::from(x) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        let mut c = crate::TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn full_range_sampling_varies() {
+        let mut rng = crate::TestRng::for_test("full");
+        let strat = 0u128..u128::MAX;
+        let a = crate::Strategy::sample(&strat, &mut rng);
+        let b = crate::Strategy::sample(&strat, &mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,241 @@
+//! Offline shim of the `rand 0.9` API surface used by this workspace.
+//!
+//! The build container has no network access and no cached registry, so
+//! the real crate cannot be fetched; this shim re-implements exactly the
+//! pieces the workspace calls (`SmallRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::random`, `Rng::random_range`, `SliceRandom::shuffle`) with the
+//! same algorithms rand 0.9 uses on 64-bit targets — Xoshiro256++ seeded
+//! via SplitMix64, Lemire widening-multiply range sampling, and the
+//! rand-style Fisher–Yates shuffle — so seeded streams stay deterministic
+//! and statistically sound.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high half of `next_u64`,
+    /// matching rand's xoshiro wrappers).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64`, stretching it with
+    /// SplitMix64 exactly as `rand_xoshiro` does.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Value types samplable uniformly from the full bit pattern
+/// (`rng.random()`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable via `rng.random_range(..)`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Lemire's widening-multiply method over a `u64` span (`span == 0` means
+/// the full 2^64 range). This is the unbiased rejection sampler rand 0.9
+/// uses for integer ranges.
+fn sample_span<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let zone = (span << span.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (span as u128);
+        if (m as u64) <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                (self.start as $u).wrapping_add(sample_span(rng, span) as $u) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as $u).wrapping_sub(lo as $u).wrapping_add(1) as u64;
+                (lo as $u).wrapping_add(sample_span(rng, span) as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u64 => u64, u32 => u32, usize => usize, i64 => u64, i32 => u32);
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Xoshiro256++ — the algorithm behind `rand 0.9`'s `SmallRng` on
+    /// 64-bit platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// Construct from a raw xoshiro state (reference-vector tests).
+        #[cfg(test)]
+        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64, the xoshiro authors' recommended seeder (and
+            // what rand_xoshiro ships).
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the all-[1,2,3,4] state, per
+        // the reference implementation.
+        let mut rng = SmallRng::from_state([1, 2, 3, 4]);
+        assert_eq!(rng.random::<u64>(), 41943041);
+        assert_eq!(rng.random::<u64>(), 58720359);
+        assert_eq!(rng.random::<u64>(), 3588806011781223);
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_decorrelated() {
+        let a: u64 = SmallRng::seed_from_u64(7).random();
+        let b: u64 = SmallRng::seed_from_u64(7).random();
+        let c: u64 = SmallRng::seed_from_u64(8).random();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(3usize..=5);
+            assert!((3..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice untouched");
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline shim of the `rayon` API surface used by this workspace.
+//!
+//! The workspace only uses the `into_par_iter().map(..).collect()`
+//! pipeline (campaign fan-out over independent simulations). This shim
+//! keeps that API but executes on scoped `std::thread`s: the input is
+//! split into contiguous chunks, one per available core, each chunk is
+//! mapped on its own thread, and the per-chunk outputs are concatenated —
+//! preserving input order exactly like rayon's indexed collect.
+
+use std::num::NonZeroUsize;
+
+/// Entry point trait, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// By-reference entry point, mirroring
+/// `rayon::iter::IntoParallelRefIterator` (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    /// Parallel iterator over references into `self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// A materialized parallel iterator (items are split across threads when
+/// a consuming operation runs).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator; execution happens at `collect`.
+pub struct MapParIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item; the closure runs on worker threads at collect
+    /// time, so it must be `Sync` (shared) and side-effect free like any
+    /// rayon closure.
+    pub fn map<R, F>(self, f: F) -> MapParIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MapParIter {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> MapParIter<T, F> {
+    /// Runs the map in parallel and gathers results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn threads_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+fn run_parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let workers = threads_for(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    // Split back-to-front so each split is O(chunk).
+    while items.len() > chunk {
+        let tail = items.split_off(items.len() - chunk);
+        chunks.push(tail);
+    }
+    chunks.push(items);
+    chunks.reverse();
+
+    let mut outputs: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_vec_input() {
+        let v = vec!["a", "bb", "ccc"];
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_iter_borrows_in_order() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, v.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = (0..0u64).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_closures_from_multiple_threads_or_one() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+}
