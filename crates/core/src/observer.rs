@@ -63,6 +63,27 @@ impl LatencyObserver {
         }
     }
 
+    /// Reinitializes in place for a new run, keeping the vectors'
+    /// capacity (the engine's workspace reuse relies on this being
+    /// allocation-free once capacities are warm).
+    pub fn reset(&mut self, kind: ObserverKind, children: usize) {
+        if let ObserverKind::Ema { num, den, .. } = kind {
+            assert!(
+                den > 0 && num > 0 && num <= den,
+                "EMA weight must be in (0, 1]"
+            );
+        }
+        let initial = match kind {
+            ObserverKind::Oracle => 0,
+            ObserverKind::LastSample { initial } | ObserverKind::Ema { initial, .. } => initial,
+        };
+        self.kind = kind;
+        self.estimates.clear();
+        self.estimates.resize(children, initial);
+        self.samples.clear();
+        self.samples.resize(children, 0);
+    }
+
     /// Whether the engine should bypass estimates and read true weights.
     pub fn is_oracle(&self) -> bool {
         matches!(self.kind, ObserverKind::Oracle)

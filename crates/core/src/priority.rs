@@ -97,6 +97,24 @@ impl ChildSelector {
         }
     }
 
+    /// The highest-priority candidate — `rank(..).first()` without the
+    /// allocation. This is the hot-path query of interruptible
+    /// communication (every link reconciliation asks it), so it must not
+    /// touch the heap.
+    pub fn best(&self, candidates: &[ChildInfo]) -> Option<usize> {
+        match self {
+            ChildSelector::BandwidthCentric => candidates
+                .iter()
+                .min_by_key(|c| (c.comm_estimate, c.index))
+                .map(|c| c.index),
+            ChildSelector::ComputeCentric => candidates
+                .iter()
+                .min_by_key(|c| (c.compute_estimate, c.index))
+                .map(|c| c.index),
+            ChildSelector::RoundRobin { .. } => candidates.iter().map(|c| c.index).min(),
+        }
+    }
+
     /// Full priority ranking of `candidates`, best first. (Used to pick
     /// which shelved transfer resumes when the active one completes.)
     pub fn rank(&self, candidates: &[ChildInfo]) -> Vec<usize> {
@@ -195,6 +213,19 @@ mod tests {
         let s = ChildSelector::BandwidthCentric;
         let order = s.rank(&[ci(0, 9, 1), ci(1, 3, 1), ci(2, 6, 1)]);
         assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn best_matches_rank_head() {
+        let cands = [ci(0, 9, 4), ci(1, 3, 8), ci(2, 6, 2), ci(3, 3, 1)];
+        for s in [
+            ChildSelector::BandwidthCentric,
+            ChildSelector::ComputeCentric,
+            ChildSelector::round_robin(),
+        ] {
+            assert_eq!(s.best(&cands), s.rank(&cands).first().copied());
+            assert_eq!(s.best(&[]), None);
+        }
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod sim;
 
 pub use config::{ChangeKind, PlannedChange, Protocol, SelectorKind, SimConfig};
 pub use result::RunResult;
-pub use sim::Simulation;
+pub use sim::{SimWorkspace, Simulation};

@@ -27,6 +27,16 @@
 //! `total_tasks`-th completion. A task "completes" when its computation
 //! finishes (the edge weight folds the result's return trip into the
 //! downward transfer; see DESIGN.md).
+//!
+//! ## Workspace reuse (campaign engine)
+//!
+//! All of a simulation's runtime containers — agenda, per-node state,
+//! topology arrays, scratch buffers — live in a [`SimWorkspace`]. A
+//! campaign worker constructs each simulation
+//! [with the same workspace](Simulation::with_workspace) and takes it
+//! back from [`Simulation::run_reusing`], so after the first few runs
+//! warm the capacities, subsequent runs perform **no steady-state heap
+//! allocation at all** (verified by the `alloc_free` integration test).
 
 use crate::config::{ChangeKind, Protocol, SelectorKind, SimConfig};
 use crate::result::RunResult;
@@ -101,25 +111,106 @@ struct NodeRt {
     last_pressure: Time,
 }
 
-/// A configured simulation, ready to [`run`](Simulation::run).
-pub struct Simulation {
-    tree: Tree,
-    cfg: SimConfig,
+fn make_selector(kind: SelectorKind) -> ChildSelector {
+    match kind {
+        SelectorKind::BandwidthCentric => ChildSelector::BandwidthCentric,
+        SelectorKind::ComputeCentric => ChildSelector::ComputeCentric,
+        SelectorKind::RoundRobin => ChildSelector::round_robin(),
+    }
+}
+
+impl NodeRt {
+    fn fresh(index: usize, kids: usize, cfg: &SimConfig) -> NodeRt {
+        NodeRt {
+            ledger: (index != 0).then(|| BufferLedger::new(cfg.buffers)),
+            observer: LatencyObserver::new(cfg.observer, kids),
+            selector: make_selector(cfg.selector),
+            pending_requests: vec![0; kids],
+            computing_since: None,
+            sending: None,
+            slots: (0..kids).map(|_| None).collect(),
+            active: None,
+            tasks_computed: 0,
+            departed: false,
+            busy_compute: 0,
+            busy_link: 0,
+            last_pressure: 0,
+        }
+    }
+
+    /// Reinitializes this node for a new run, keeping the per-child
+    /// vectors' capacity.
+    fn reset(&mut self, index: usize, kids: usize, cfg: &SimConfig) {
+        self.ledger = (index != 0).then(|| BufferLedger::new(cfg.buffers));
+        self.observer.reset(cfg.observer, kids);
+        self.selector = make_selector(cfg.selector);
+        self.pending_requests.clear();
+        self.pending_requests.resize(kids, 0);
+        self.computing_since = None;
+        self.sending = None;
+        self.slots.clear();
+        self.slots.resize_with(kids, || None);
+        self.active = None;
+        self.tasks_computed = 0;
+        self.departed = false;
+        self.busy_compute = 0;
+        self.busy_link = 0;
+        self.last_pressure = 0;
+    }
+}
+
+/// Reusable simulation runtime state: every container a run needs, kept
+/// between runs with capacity intact.
+///
+/// One workspace serves one worker thread: construct simulations with
+/// [`Simulation::with_workspace`], get the workspace back from
+/// [`Simulation::run_reusing`], and the steady-state event loop stops
+/// allocating after the first few runs warm the arenas.
+#[derive(Default)]
+pub struct SimWorkspace {
     agenda: Agenda<Event>,
     nodes: Vec<NodeRt>,
     parent_of: Vec<Option<usize>>,
     /// Position of node `i` within its parent's child list.
     child_pos: Vec<usize>,
     children: Vec<Vec<usize>>,
+    service_queue: VecDeque<usize>,
+    queued: Vec<bool>,
+    completion_times: Vec<Time>,
+    checkpoint_records: Vec<(u64, u32)>,
+    /// Scratch for candidate lists (child selection / link reconciling);
+    /// taken and restored around each use so the event loop never
+    /// allocates.
+    candidates: Vec<ChildInfo>,
+}
+
+impl SimWorkspace {
+    /// An empty workspace (allocations happen lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: run one simulation in this workspace. Equivalent to
+    /// `Simulation::with_workspace` + `run_reusing`, with the workspace
+    /// automatically returned to `self`.
+    pub fn run(&mut self, tree: Tree, cfg: SimConfig) -> RunResult {
+        let ws = std::mem::take(self);
+        let (result, ws) = Simulation::with_workspace(tree, cfg, ws).run_reusing();
+        *self = ws;
+        result
+    }
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+pub struct Simulation {
+    tree: Tree,
+    cfg: SimConfig,
+    ws: SimWorkspace,
     /// Tasks the root has not yet dispensed (to itself or a child).
     remaining: u64,
     completed: u64,
-    completion_times: Vec<Time>,
-    checkpoint_records: Vec<(u64, u32)>,
     next_checkpoint: usize,
     next_change: usize,
-    service_queue: VecDeque<usize>,
-    queued: Vec<bool>,
     events_processed: u64,
     /// Preemptions performed (interruptible protocol only).
     preemptions: u64,
@@ -127,130 +218,171 @@ pub struct Simulation {
     transfers_started: u64,
     /// Request messages sent upward.
     requests_sent: u64,
+    started: bool,
     finished: bool,
 }
 
 impl Simulation {
-    /// Builds a simulation. Panics on invalid configuration or tree
-    /// (programming errors; experiment inputs are validated upstream).
+    /// Builds a simulation with a fresh workspace. Panics on invalid
+    /// configuration or tree (programming errors; experiment inputs are
+    /// validated upstream).
     pub fn new(tree: Tree, cfg: SimConfig) -> Self {
+        Self::with_workspace(tree, cfg, SimWorkspace::new())
+    }
+
+    /// Builds a simulation reusing `ws`'s allocations (returned by
+    /// [`Simulation::run_reusing`]). Any state from a previous run is
+    /// cleared; capacities are kept.
+    pub fn with_workspace(tree: Tree, cfg: SimConfig, mut ws: SimWorkspace) -> Self {
         cfg.validate().expect("invalid SimConfig");
         tree.validate().expect("invalid Tree");
         let n = tree.len();
-        let mut parent_of = vec![None; n];
-        let mut child_pos = vec![0usize; n];
-        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        ws.agenda.reset();
+        ws.service_queue.clear();
+        ws.queued.clear();
+        ws.queued.resize(n, false);
+        ws.completion_times.clear();
+        ws.completion_times.reserve(cfg.total_tasks as usize);
+        ws.checkpoint_records.clear();
+        ws.checkpoint_records.reserve(cfg.checkpoints.len());
+        ws.candidates.clear();
+
+        ws.parent_of.clear();
+        ws.parent_of.resize(n, None);
+        ws.child_pos.clear();
+        ws.child_pos.resize(n, 0);
+        ws.children.truncate(n);
+        for c in &mut ws.children {
+            c.clear();
+        }
+        ws.children.resize_with(n, Vec::new);
         for id in tree.ids() {
             for (pos, &ch) in tree.children(id).iter().enumerate() {
-                parent_of[ch.index()] = Some(id.index());
-                child_pos[ch.index()] = pos;
-                children[id.index()].push(ch.index());
+                ws.parent_of[ch.index()] = Some(id.index());
+                ws.child_pos[ch.index()] = pos;
+                ws.children[id.index()].push(ch.index());
             }
         }
-        let nodes = (0..n)
-            .map(|i| {
-                let kids = children[i].len();
-                NodeRt {
-                    ledger: (i != 0).then(|| BufferLedger::new(cfg.buffers)),
-                    observer: LatencyObserver::new(cfg.observer, kids),
-                    selector: match cfg.selector {
-                        SelectorKind::BandwidthCentric => ChildSelector::BandwidthCentric,
-                        SelectorKind::ComputeCentric => ChildSelector::ComputeCentric,
-                        SelectorKind::RoundRobin => ChildSelector::round_robin(),
-                    },
-                    pending_requests: vec![0; kids],
-                    computing_since: None,
-                    sending: None,
-                    slots: (0..kids).map(|_| None).collect(),
-                    active: None,
-                    tasks_computed: 0,
-                    departed: false,
-                    busy_compute: 0,
-                    busy_link: 0,
-                    last_pressure: 0,
-                }
-            })
-            .collect();
+
+        // Rebuild per-node runtime state in place where possible.
+        let reusable = ws.nodes.len().min(n);
+        for i in 0..reusable {
+            let kids = ws.children[i].len();
+            ws.nodes[i].reset(i, kids, &cfg);
+        }
+        for i in reusable..n {
+            let kids = ws.children[i].len();
+            ws.nodes.push(NodeRt::fresh(i, kids, &cfg));
+        }
+        ws.nodes.truncate(n);
+
         let remaining = cfg.total_tasks;
-        let qcap = n;
         Simulation {
             tree,
             cfg,
-            agenda: Agenda::new(),
-            nodes,
-            parent_of,
-            child_pos,
-            children,
+            ws,
             remaining,
             completed: 0,
-            completion_times: Vec::new(),
-            checkpoint_records: Vec::new(),
             next_checkpoint: 0,
             next_change: 0,
-            service_queue: VecDeque::with_capacity(qcap),
-            queued: vec![false; n],
             events_processed: 0,
             preemptions: 0,
             transfers_started: 0,
             requests_sent: 0,
+            started: false,
             finished: false,
         }
     }
 
-    /// Runs to the final task completion and returns the trace.
-    pub fn run(mut self) -> RunResult {
-        // Start-up: every node issues its initial requests; the cascade
-        // reaches the root, which begins computing and sending.
-        for i in 0..self.nodes.len() {
+    /// Start-up: every node issues its initial requests; the cascade
+    /// reaches the root, which begins computing and sending. Idempotent;
+    /// [`Simulation::step`] calls it automatically.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.ws.nodes.len() {
             self.enqueue(i);
         }
         self.drain();
+    }
 
-        while !self.finished {
-            let Some((_, ev)) = self.agenda.next() else {
-                panic!(
-                    "simulation deadlock: {}/{} tasks completed with an empty agenda",
-                    self.completed, self.cfg.total_tasks
-                );
-            };
-            self.events_processed += 1;
-            assert!(
-                self.events_processed <= self.cfg.max_events,
-                "event budget exceeded ({}); runaway simulation",
-                self.cfg.max_events
-            );
-            self.handle(ev);
-            self.drain();
+    /// Processes exactly one event (plus the resulting service cascade).
+    /// Returns `false` once the final task has completed. Panics on
+    /// deadlock (empty agenda before the last completion) or event-budget
+    /// exhaustion, like [`Simulation::run`].
+    pub fn step(&mut self) -> bool {
+        self.start();
+        if self.finished {
+            return false;
         }
+        let Some((_, ev)) = self.ws.agenda.next() else {
+            panic!(
+                "simulation deadlock: {}/{} tasks completed with an empty agenda",
+                self.completed, self.cfg.total_tasks
+            );
+        };
+        self.events_processed += 1;
+        assert!(
+            self.events_processed <= self.cfg.max_events,
+            "event budget exceeded ({}); runaway simulation",
+            self.cfg.max_events
+        );
+        self.handle(ev);
+        self.drain();
+        !self.finished
+    }
 
-        let end_time = self.completion_times.last().copied().unwrap_or(0);
-        RunResult {
+    /// Runs to the final task completion and returns the trace.
+    pub fn run(self) -> RunResult {
+        self.run_reusing().0
+    }
+
+    /// Runs to completion, returning the trace *and* the workspace so
+    /// the next simulation can reuse its allocations.
+    pub fn run_reusing(mut self) -> (RunResult, SimWorkspace) {
+        self.start();
+        while self.step() {}
+        self.into_result()
+    }
+
+    fn into_result(mut self) -> (RunResult, SimWorkspace) {
+        let completion_times = std::mem::take(&mut self.ws.completion_times);
+        let checkpoint_records = std::mem::take(&mut self.ws.checkpoint_records);
+        let end_time = completion_times.last().copied().unwrap_or(0);
+        let result = RunResult {
             end_time,
-            tasks_per_node: self.nodes.iter().map(|n| n.tasks_computed).collect(),
+            tasks_per_node: self.ws.nodes.iter().map(|n| n.tasks_computed).collect(),
             max_buffers_per_node: self
+                .ws
                 .nodes
                 .iter()
                 .map(|n| n.ledger.as_ref().map_or(0, |l| l.max_capacity()))
                 .collect(),
             final_buffers_per_node: self
+                .ws
                 .nodes
                 .iter()
                 .map(|n| n.ledger.as_ref().map_or(0, |l| l.capacity()))
                 .collect(),
             peak_held_per_node: self
+                .ws
                 .nodes
                 .iter()
                 .map(|n| n.ledger.as_ref().map_or(0, |l| l.peak_held()))
                 .collect(),
-            busy_compute_per_node: self.nodes.iter().map(|n| n.busy_compute).collect(),
-            busy_link_per_node: self.nodes.iter().map(|n| n.busy_link).collect(),
-            checkpoint_max_buffers: self.checkpoint_records,
+            busy_compute_per_node: self.ws.nodes.iter().map(|n| n.busy_compute).collect(),
+            busy_link_per_node: self.ws.nodes.iter().map(|n| n.busy_link).collect(),
+            checkpoint_max_buffers: checkpoint_records,
             events_processed: self.events_processed,
             preemptions: self.preemptions,
             transfers_started: self.transfers_started,
             requests_sent: self.requests_sent,
-            completion_times: self.completion_times,
-        }
+            completion_times,
+        };
+        (result, self.ws)
     }
 
     // ----- event handling -------------------------------------------------
@@ -261,7 +393,7 @@ impl Simulation {
             | Event::SendDone { node }
             | Event::TransferDone { node } => node,
         };
-        if self.nodes[node].departed {
+        if self.ws.nodes[node].departed {
             // Stale event of a node that left; its task was already
             // reclaimed by the repository.
             return;
@@ -274,66 +406,66 @@ impl Simulation {
     }
 
     fn on_compute_done(&mut self, i: usize) {
-        let started = self.nodes[i]
+        let started = self.ws.nodes[i]
             .computing_since
             .take()
             .expect("ComputeDone on idle processor");
-        self.nodes[i].busy_compute += self.agenda.now() - started;
-        self.nodes[i].tasks_computed += 1;
+        self.ws.nodes[i].busy_compute += self.ws.agenda.now() - started;
+        self.ws.nodes[i].tasks_computed += 1;
         self.record_completion();
         if self.finished {
             return;
         }
         // §3.1 growth rule 3: computation completed with all buffers empty.
-        let now = self.agenda.now();
-        if let Some(ledger) = &mut self.nodes[i].ledger {
+        let now = self.ws.agenda.now();
+        if let Some(ledger) = &mut self.ws.nodes[i].ledger {
             if ledger.try_grow(GrowthEvent::ComputeCompleted, true) {
-                self.nodes[i].last_pressure = now;
+                self.ws.nodes[i].last_pressure = now;
             }
         }
         self.enqueue(i);
     }
 
     fn on_send_done(&mut self, i: usize) {
-        let s = self.nodes[i]
+        let s = self.ws.nodes[i]
             .sending
             .take()
             .expect("SendDone without in-flight send");
-        let now = self.agenda.now();
+        let now = self.ws.agenda.now();
         let duration = now - s.started_at;
-        self.nodes[i].busy_link += duration;
-        self.nodes[i].observer.observe(s.child_pos, duration);
-        let child = self.children[i][s.child_pos];
+        self.ws.nodes[i].busy_link += duration;
+        self.ws.nodes[i].observer.observe(s.child_pos, duration);
+        let child = self.ws.children[i][s.child_pos];
         self.deliver(child);
         // §3.1 growth rule 2: send completed, buffers empty, child request
         // outstanding.
         let pressure = self.has_child_requests(i);
-        if let Some(ledger) = &mut self.nodes[i].ledger {
+        if let Some(ledger) = &mut self.ws.nodes[i].ledger {
             if ledger.try_grow(GrowthEvent::SendCompleted, pressure) {
-                self.nodes[i].last_pressure = now;
+                self.ws.nodes[i].last_pressure = now;
             }
         }
         self.enqueue(i);
     }
 
     fn on_transfer_done(&mut self, i: usize) {
-        let a = self.nodes[i]
+        let a = self.ws.nodes[i]
             .active
             .take()
             .expect("TransferDone without active transfer");
-        self.nodes[i].busy_link += self.agenda.now() - a.started_at;
+        self.ws.nodes[i].busy_link += self.ws.agenda.now() - a.started_at;
         // The event firing means the remaining work ran to zero.
-        self.nodes[i].slots[a.child_pos]
+        self.ws.nodes[i].slots[a.child_pos]
             .as_mut()
             .expect("active transfer without slot")
             .remaining = 0;
         self.finish_slot(i, a.child_pos);
         // Growth rule 2 applies to completed communications in general.
         let pressure = self.has_child_requests(i);
-        let now = self.agenda.now();
-        if let Some(ledger) = &mut self.nodes[i].ledger {
+        let now = self.ws.agenda.now();
+        if let Some(ledger) = &mut self.ws.nodes[i].ledger {
             if ledger.try_grow(GrowthEvent::SendCompleted, pressure) {
-                self.nodes[i].last_pressure = now;
+                self.ws.nodes[i].last_pressure = now;
             }
         }
         self.reconcile_link(i);
@@ -343,7 +475,7 @@ impl Simulation {
     /// Completes the (already inactive) transfer in `child_pos`'s slot:
     /// records the observation and delivers the task.
     fn finish_slot(&mut self, i: usize, child_pos: usize) {
-        let t = self.nodes[i].slots[child_pos]
+        let t = self.ws.nodes[i].slots[child_pos]
             .take()
             .expect("completing an empty slot");
         debug_assert_eq!(
@@ -351,13 +483,13 @@ impl Simulation {
             "transfer completed with {} timesteps of work left",
             t.remaining
         );
-        self.nodes[i].observer.observe(child_pos, t.total);
-        let child = self.children[i][child_pos];
+        self.ws.nodes[i].observer.observe(child_pos, t.total);
+        let child = self.ws.children[i][child_pos];
         self.deliver(child);
     }
 
     fn deliver(&mut self, child: usize) {
-        self.nodes[child]
+        self.ws.nodes[child]
             .ledger
             .as_mut()
             .expect("delivery to the root")
@@ -366,19 +498,21 @@ impl Simulation {
     }
 
     fn record_completion(&mut self) {
-        let now = self.agenda.now();
+        let now = self.ws.agenda.now();
         self.completed += 1;
-        self.completion_times.push(now);
+        self.ws.completion_times.push(now);
         while self.next_checkpoint < self.cfg.checkpoints.len()
             && self.completed >= self.cfg.checkpoints[self.next_checkpoint]
         {
             let max = self
+                .ws
                 .nodes
                 .iter()
                 .map(|n| n.ledger.as_ref().map_or(0, |l| l.max_capacity()))
                 .max()
                 .unwrap_or(0);
-            self.checkpoint_records
+            self.ws
+                .checkpoint_records
                 .push((self.cfg.checkpoints[self.next_checkpoint], max));
             self.next_checkpoint += 1;
         }
@@ -403,7 +537,7 @@ impl Simulation {
             // work keeps its old duration (a transfer/computation started
             // under the old conditions finishes under them).
             self.enqueue(ch.node.index());
-            if let Some(p) = self.parent_of[ch.node.index()] {
+            if let Some(p) = self.ws.parent_of[ch.node.index()] {
                 self.enqueue(p);
             }
         }
@@ -419,43 +553,30 @@ impl Simulation {
     /// other node learns anything.
     fn apply_join(&mut self, parent: NodeId, comm: u64, compute: u64) {
         let p = parent.index();
-        assert!(p < self.nodes.len(), "join under unknown parent {parent}");
-        if self.nodes[p].departed {
+        assert!(
+            p < self.ws.nodes.len(),
+            "join under unknown parent {parent}"
+        );
+        if self.ws.nodes[p].departed {
             // The contact node left before the newcomer arrived; in a
             // real overlay the join simply fails.
             return;
         }
         let id = self.tree.add_child(parent, comm, compute);
         let i = id.index();
-        debug_assert_eq!(i, self.nodes.len());
-        self.parent_of.push(Some(p));
-        self.child_pos.push(self.children[p].len());
-        self.children[p].push(i);
-        self.children.push(Vec::new());
-        self.nodes.push(NodeRt {
-            ledger: Some(BufferLedger::new(self.cfg.buffers)),
-            observer: LatencyObserver::new(self.cfg.observer, 0),
-            selector: match self.cfg.selector {
-                SelectorKind::BandwidthCentric => ChildSelector::BandwidthCentric,
-                SelectorKind::ComputeCentric => ChildSelector::ComputeCentric,
-                SelectorKind::RoundRobin => ChildSelector::round_robin(),
-            },
-            pending_requests: Vec::new(),
-            computing_since: None,
-            sending: None,
-            slots: Vec::new(),
-            active: None,
-            tasks_computed: 0,
-            departed: false,
-            busy_compute: 0,
-            busy_link: 0,
-            last_pressure: self.agenda.now(),
-        });
+        debug_assert_eq!(i, self.ws.nodes.len());
+        self.ws.parent_of.push(Some(p));
+        self.ws.child_pos.push(self.ws.children[p].len());
+        self.ws.children[p].push(i);
+        self.ws.children.push(Vec::new());
+        let mut node = NodeRt::fresh(i, 0, &self.cfg);
+        node.last_pressure = self.ws.agenda.now();
+        self.ws.nodes.push(node);
         // Parent-side per-child state.
-        self.nodes[p].pending_requests.push(0);
-        self.nodes[p].slots.push(None);
-        self.nodes[p].observer.add_child();
-        self.queued.push(false);
+        self.ws.nodes[p].pending_requests.push(0);
+        self.ws.nodes[p].slots.push(None);
+        self.ws.nodes[p].observer.add_child();
+        self.ws.queued.push(false);
         // The newcomer requests its initial tasks; the parent re-evaluates.
         self.enqueue(i);
         self.enqueue(p);
@@ -466,41 +587,41 @@ impl Simulation {
     /// repository for re-dispatch.
     fn apply_leave(&mut self, node: NodeId) {
         let d0 = node.index();
-        assert!(d0 < self.nodes.len(), "leave of unknown node {node}");
+        assert!(d0 < self.ws.nodes.len(), "leave of unknown node {node}");
         assert!(d0 != 0, "the repository cannot leave");
-        if self.nodes[d0].departed {
+        if self.ws.nodes[d0].departed {
             return; // already gone (idempotent)
         }
         // Reclaim from the boundary edge: the still-present parent may be
         // mid-transfer toward the departing subtree root.
         let mut reclaimed: u64 = 0;
-        let p = self.parent_of[d0].expect("non-root has parent");
-        let pos = self.child_pos[d0];
-        self.nodes[p].pending_requests[pos] = 0;
-        if let Some(sending) = &self.nodes[p].sending {
+        let p = self.ws.parent_of[d0].expect("non-root has parent");
+        let pos = self.ws.child_pos[d0];
+        self.ws.nodes[p].pending_requests[pos] = 0;
+        if let Some(sending) = &self.ws.nodes[p].sending {
             if sending.child_pos == pos {
-                let s = self.nodes[p].sending.take().expect("checked above");
-                self.nodes[p].busy_link += self.agenda.now() - s.started_at;
-                self.agenda.cancel(s.handle);
+                let s = self.ws.nodes[p].sending.take().expect("checked above");
+                self.ws.nodes[p].busy_link += self.ws.agenda.now() - s.started_at;
+                self.ws.agenda.cancel(s.handle);
                 reclaimed += 1;
             }
         }
-        if let Some(active) = &self.nodes[p].active {
+        if let Some(active) = &self.ws.nodes[p].active {
             if active.child_pos == pos {
-                let a = self.nodes[p].active.take().expect("checked above");
-                self.nodes[p].busy_link += self.agenda.now() - a.started_at;
-                self.agenda.cancel(a.handle);
+                let a = self.ws.nodes[p].active.take().expect("checked above");
+                self.ws.nodes[p].busy_link += self.ws.agenda.now() - a.started_at;
+                self.ws.agenda.cancel(a.handle);
             }
         }
-        if self.nodes[p].slots[pos].take().is_some() {
+        if self.ws.nodes[p].slots[pos].take().is_some() {
             reclaimed += 1;
         }
 
         // Walk the departing subtree, reclaiming everything it holds.
         let mut stack = vec![d0];
         while let Some(d) = stack.pop() {
-            stack.extend(self.children[d].iter().copied());
-            let n = &mut self.nodes[d];
+            stack.extend(self.ws.children[d].iter().copied());
+            let n = &mut self.ws.nodes[d];
             n.departed = true;
             if n.computing_since.take().is_some() {
                 reclaimed += 1; // its ComputeDone event will be ignored
@@ -526,15 +647,15 @@ impl Simulation {
     // ----- service pass ---------------------------------------------------
 
     fn enqueue(&mut self, i: usize) {
-        if !self.queued[i] {
-            self.queued[i] = true;
-            self.service_queue.push_back(i);
+        if !self.ws.queued[i] {
+            self.ws.queued[i] = true;
+            self.ws.service_queue.push_back(i);
         }
     }
 
     fn drain(&mut self) {
-        while let Some(i) = self.service_queue.pop_front() {
-            self.queued[i] = false;
+        while let Some(i) = self.ws.service_queue.pop_front() {
+            self.ws.queued[i] = false;
             if self.finished {
                 continue;
             }
@@ -543,7 +664,7 @@ impl Simulation {
     }
 
     fn service(&mut self, i: usize) {
-        if self.nodes[i].departed {
+        if self.ws.nodes[i].departed {
             return;
         }
         if self.cfg.self_first {
@@ -557,12 +678,12 @@ impl Simulation {
     }
 
     fn fill_processor(&mut self, i: usize) {
-        if self.nodes[i].computing_since.is_some() || !self.take_task(i) {
+        if self.ws.nodes[i].computing_since.is_some() || !self.take_task(i) {
             return;
         }
-        self.nodes[i].computing_since = Some(self.agenda.now());
+        self.ws.nodes[i].computing_since = Some(self.ws.agenda.now());
         let w = self.tree.compute_time(NodeId(i as u32));
-        self.agenda.schedule(w, Event::ComputeDone { node: i });
+        self.ws.agenda.schedule(w, Event::ComputeDone { node: i });
     }
 
     /// Takes one task for local use (compute or send start). Returns false
@@ -577,14 +698,17 @@ impl Simulation {
             return true;
         }
         let pressure = self.has_child_requests(i);
-        let now = self.agenda.now();
-        let ledger = self.nodes[i].ledger.as_mut().expect("non-root has ledger");
+        let now = self.ws.agenda.now();
+        let ledger = self.ws.nodes[i]
+            .ledger
+            .as_mut()
+            .expect("non-root has ledger");
         if ledger.held() == 0 {
             return false;
         }
         ledger.take_task();
         if ledger.try_grow(GrowthEvent::ChildRequestPressure, pressure) {
-            self.nodes[i].last_pressure = now;
+            self.ws.nodes[i].last_pressure = now;
         }
         true
     }
@@ -593,20 +717,23 @@ impl Simulation {
         if i == 0 {
             self.remaining > 0
         } else {
-            self.nodes[i].ledger.as_ref().is_some_and(|l| l.held() > 0)
+            self.ws.nodes[i]
+                .ledger
+                .as_ref()
+                .is_some_and(|l| l.held() > 0)
         }
     }
 
     fn has_child_requests(&self, i: usize) -> bool {
-        self.nodes[i].pending_requests.iter().any(|&r| r > 0)
+        self.ws.nodes[i].pending_requests.iter().any(|&r| r > 0)
     }
 
     fn child_info(&self, i: usize, pos: usize) -> ChildInfo {
-        let child = self.children[i][pos];
-        let comm = if self.nodes[i].observer.is_oracle() {
+        let child = self.ws.children[i][pos];
+        let comm = if self.ws.nodes[i].observer.is_oracle() {
             self.tree.comm_time(NodeId(child as u32))
         } else {
-            self.nodes[i].observer.estimate(pos)
+            self.ws.nodes[i].observer.estimate(pos)
         };
         ChildInfo {
             index: pos,
@@ -626,28 +753,33 @@ impl Simulation {
     }
 
     fn fill_link_nonic(&mut self, i: usize) {
-        if self.nodes[i].sending.is_some() || !self.has_task(i) {
+        if self.ws.nodes[i].sending.is_some() || !self.has_task(i) {
             return;
         }
-        let candidates: Vec<ChildInfo> = (0..self.children[i].len())
-            .filter(|&p| {
-                self.nodes[i].pending_requests[p] > 0 && !self.nodes[self.children[i][p]].departed
-            })
-            .map(|p| self.child_info(i, p))
-            .collect();
-        let Some(pos) = self.nodes[i].selector.select(&candidates) else {
+        let mut candidates = std::mem::take(&mut self.ws.candidates);
+        candidates.clear();
+        for p in 0..self.ws.children[i].len() {
+            if self.ws.nodes[i].pending_requests[p] > 0
+                && !self.ws.nodes[self.ws.children[i][p]].departed
+            {
+                candidates.push(self.child_info(i, p));
+            }
+        }
+        let chosen = self.ws.nodes[i].selector.select(&candidates);
+        self.ws.candidates = candidates;
+        let Some(pos) = chosen else {
             return;
         };
         if !self.take_task(i) {
             return;
         }
-        self.nodes[i].pending_requests[pos] -= 1;
-        let child = self.children[i][pos];
+        self.ws.nodes[i].pending_requests[pos] -= 1;
+        let child = self.ws.children[i][pos];
         let c = self.tree.comm_time(NodeId(child as u32));
-        let now = self.agenda.now();
+        let now = self.ws.agenda.now();
         self.transfers_started += 1;
-        let handle = self.agenda.schedule(c, Event::SendDone { node: i });
-        self.nodes[i].sending = Some(Sending {
+        let handle = self.ws.agenda.schedule(c, Event::SendDone { node: i });
+        self.ws.nodes[i].sending = Some(Sending {
             child_pos: pos,
             started_at: now,
             handle,
@@ -657,55 +789,59 @@ impl Simulation {
     /// IC: delegate buffered tasks into empty slots of requesting
     /// children, best-priority first, while tasks last.
     fn fill_slots(&mut self, i: usize) {
+        let mut candidates = std::mem::take(&mut self.ws.candidates);
         loop {
             if !self.has_task(i) {
-                return;
+                break;
             }
-            let candidates: Vec<ChildInfo> = (0..self.children[i].len())
-                .filter(|&p| {
-                    self.nodes[i].pending_requests[p] > 0
-                        && self.nodes[i].slots[p].is_none()
-                        && !self.nodes[self.children[i][p]].departed
-                })
-                .map(|p| self.child_info(i, p))
-                .collect();
-            let Some(pos) = self.nodes[i].selector.select(&candidates) else {
-                return;
+            candidates.clear();
+            for p in 0..self.ws.children[i].len() {
+                if self.ws.nodes[i].pending_requests[p] > 0
+                    && self.ws.nodes[i].slots[p].is_none()
+                    && !self.ws.nodes[self.ws.children[i][p]].departed
+                {
+                    candidates.push(self.child_info(i, p));
+                }
+            }
+            let Some(pos) = self.ws.nodes[i].selector.select(&candidates) else {
+                break;
             };
             if !self.take_task(i) {
-                return;
+                break;
             }
-            self.nodes[i].pending_requests[pos] -= 1;
+            self.ws.nodes[i].pending_requests[pos] -= 1;
             self.transfers_started += 1;
-            let child = self.children[i][pos];
+            let child = self.ws.children[i][pos];
             let c = self.tree.comm_time(NodeId(child as u32));
-            self.nodes[i].slots[pos] = Some(SlotTransfer {
+            self.ws.nodes[i].slots[pos] = Some(SlotTransfer {
                 remaining: c,
                 total: c,
             });
         }
+        self.ws.candidates = candidates;
     }
 
     /// IC: ensure the link transmits the highest-priority occupied slot,
     /// preempting if a better slot appeared (§3.2).
     fn reconcile_link(&mut self, i: usize) {
-        let occupied: Vec<ChildInfo> = (0..self.children[i].len())
-            .filter(|&p| self.nodes[i].slots[p].is_some())
-            .map(|p| self.child_info(i, p))
-            .collect();
-        let best = {
-            let ranked = self.nodes[i].selector.rank(&occupied);
-            ranked.first().copied()
-        };
-        match (&self.nodes[i].active, best) {
+        let mut candidates = std::mem::take(&mut self.ws.candidates);
+        candidates.clear();
+        for p in 0..self.ws.children[i].len() {
+            if self.ws.nodes[i].slots[p].is_some() {
+                candidates.push(self.child_info(i, p));
+            }
+        }
+        let best = self.ws.nodes[i].selector.best(&candidates);
+        self.ws.candidates = candidates;
+        match (&self.ws.nodes[i].active, best) {
             (_, None) => {
-                debug_assert!(self.nodes[i].active.is_none(), "active without slots");
+                debug_assert!(self.ws.nodes[i].active.is_none(), "active without slots");
             }
             (None, Some(b)) => self.activate(i, b),
             (Some(a), Some(b)) if b != a.child_pos => {
                 let a_info = self.child_info(i, a.child_pos);
                 let b_info = self.child_info(i, b);
-                if self.nodes[i].selector.outranks(&b_info, &a_info) {
+                if self.ws.nodes[i].selector.outranks(&b_info, &a_info) {
                     self.preempt(i);
                     // The preempted transfer may have completed at this
                     // exact instant; re-rank rather than assuming `b`.
@@ -717,16 +853,17 @@ impl Simulation {
     }
 
     fn activate(&mut self, i: usize, pos: usize) {
-        debug_assert!(self.nodes[i].active.is_none());
-        let remaining = self.nodes[i].slots[pos]
+        debug_assert!(self.ws.nodes[i].active.is_none());
+        let remaining = self.ws.nodes[i].slots[pos]
             .as_ref()
             .expect("activating an empty slot")
             .remaining;
-        let now = self.agenda.now();
+        let now = self.ws.agenda.now();
         let handle = self
+            .ws
             .agenda
             .schedule(remaining, Event::TransferDone { node: i });
-        self.nodes[i].active = Some(ActiveTransfer {
+        self.ws.nodes[i].active = Some(ActiveTransfer {
             child_pos: pos,
             started_at: now,
             remaining_at_start: remaining,
@@ -738,15 +875,18 @@ impl Simulation {
     /// exactly zero work left at this instant).
     fn preempt(&mut self, i: usize) {
         self.preemptions += 1;
-        let a = self.nodes[i].active.take().expect("preempting idle link");
-        self.agenda.cancel(a.handle);
-        let elapsed = self.agenda.now() - a.started_at;
-        self.nodes[i].busy_link += elapsed;
+        let a = self.ws.nodes[i]
+            .active
+            .take()
+            .expect("preempting idle link");
+        self.ws.agenda.cancel(a.handle);
+        let elapsed = self.ws.agenda.now() - a.started_at;
+        self.ws.nodes[i].busy_link += elapsed;
         let remaining = a
             .remaining_at_start
             .checked_sub(elapsed)
             .expect("transfer ran past its completion");
-        let slot = self.nodes[i].slots[a.child_pos]
+        let slot = self.ws.nodes[i].slots[a.child_pos]
             .as_mut()
             .expect("active transfer without slot");
         slot.remaining = remaining;
@@ -761,27 +901,30 @@ impl Simulation {
         if i == 0 {
             return;
         }
-        let now = self.agenda.now();
+        let now = self.ws.agenda.now();
         // Decay (extension): reclaim an idle grown buffer after a quiet
         // window, before covering it with a fresh request.
-        let last_pressure = self.nodes[i].last_pressure;
-        if let Some(ledger) = &mut self.nodes[i].ledger {
+        let last_pressure = self.ws.nodes[i].last_pressure;
+        if let Some(ledger) = &mut self.ws.nodes[i].ledger {
             if let Some(window) = ledger.decay_after() {
                 if now.saturating_sub(last_pressure) >= window && ledger.try_shrink() {
-                    self.nodes[i].last_pressure = now;
+                    self.ws.nodes[i].last_pressure = now;
                 }
             }
         }
-        let ledger = self.nodes[i].ledger.as_mut().expect("non-root has ledger");
+        let ledger = self.ws.nodes[i]
+            .ledger
+            .as_mut()
+            .expect("non-root has ledger");
         let n = ledger.uncovered();
         if n == 0 {
             return;
         }
         ledger.note_requests_sent(n);
         self.requests_sent += n as u64;
-        let parent = self.parent_of[i].expect("non-root has parent");
-        let pos = self.child_pos[i];
-        self.nodes[parent].pending_requests[pos] += n;
+        let parent = self.ws.parent_of[i].expect("non-root has parent");
+        let pos = self.ws.child_pos[i];
+        self.ws.nodes[parent].pending_requests[pos] += n;
         self.enqueue(parent);
     }
 
@@ -794,6 +937,6 @@ impl Simulation {
 
     /// Current simulation time.
     pub fn now(&self) -> Time {
-        self.agenda.now()
+        self.ws.agenda.now()
     }
 }

@@ -5,13 +5,22 @@
 //!   `BigInt`/`BigUint` machinery (the arithmetic every operation
 //!   performed before the two-tier representation).
 //! * `BENCH_campaign.json` — campaign-scale end-to-end numbers: the
-//!   Theorem 1 fold over a tree population, the LP oracle, and a full
-//!   simulation campaign.
+//!   Theorem 1 fold over a tree population, the LP oracle, a full
+//!   simulation campaign with its thread-scaling curve, and the
+//!   paper-scale campaign (`campaign_paper_scale`: 25 000 random trees,
+//!   per-protocol wall-clock / events-per-second / fraction reaching the
+//!   optimal steady state).
 //!
 //! Flags: `--samples N` (timing samples per workload, default 15),
+//! `--campaign-trees N` (paper-scale tree count, default 25 000),
+//! `--campaign-tasks N` (tasks per tree, default 10 000),
+//! `--assert-optimal-fraction X` (fail unless the IC/FB=3 paper-scale
+//! campaign reaches at least `X`; used by the CI smoke job),
 //! `--out DIR` (default `.`).
 
-use bc_experiments::campaign::{run_campaign, CampaignConfig};
+use bc_experiments::campaign::{
+    fraction_reached, run_campaign, run_campaign_prepared, CampaignConfig,
+};
 use bc_metrics::OnsetConfig;
 use bc_platform::RandomTreeConfig;
 use bc_rational::{BigInt, BigUint, Rational, Sign};
@@ -188,7 +197,102 @@ fn rational_report(samples: usize) -> (Value, f64) {
     (report, geomean)
 }
 
-fn campaign_report(samples: usize) -> Value {
+/// Shape of the paper-scale campaign workload.
+struct CampaignScale {
+    trees: usize,
+    tasks: u64,
+    /// Fail the report unless IC/FB=3 reaches at least this fraction.
+    assert_fraction: Option<f64>,
+}
+
+/// Runs the 64-tree campaign once per thread count and reports the
+/// scaling curve (1, 2, 4, all). Results are bit-identical across thread
+/// counts (each tree's run depends only on its seed), so only wall-clock
+/// moves.
+fn threads_curve(campaign: &CampaignConfig) -> Value {
+    let all = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1usize, 2, 4, all];
+    counts.sort_unstable();
+    counts.dedup();
+    let mut points = Vec::new();
+    let mut baseline: Option<Vec<(Option<u64>, u64)>> = None;
+    for &n in &counts {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .unwrap();
+        let t0 = Instant::now();
+        let runs = run_campaign(campaign, |t| bc_engine::SimConfig::interruptible(3, t));
+        let ns = t0.elapsed().as_nanos() as f64;
+        let summary: Vec<_> = runs.iter().map(|r| (r.onset, r.end_time)).collect();
+        match &baseline {
+            None => baseline = Some(summary),
+            Some(b) => assert_eq!(b, &summary, "campaign differs at {n} threads"),
+        }
+        let events: u64 = runs.iter().map(|r| r.events).sum();
+        points.push(object(vec![
+            ("threads", Value::Int(n as i128)),
+            ("wall_ms", Value::Float(ns / 1e6)),
+            ("events_per_sec", Value::Float(events as f64 / (ns / 1e9))),
+        ]));
+    }
+    // Back to automatic sizing for the remaining workloads.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
+    Value::Array(points)
+}
+
+/// The paper's evaluation shape (§4.1): `trees` random trees from the
+/// default generator, both protocols over the same prepared population.
+fn paper_scale_report(scale: &CampaignScale) -> Value {
+    let campaign = CampaignConfig::paper(scale.trees, scale.tasks, 2003);
+    let t0 = Instant::now();
+    let prepared = campaign.prepare_all();
+    let prepare_ns = t0.elapsed().as_nanos() as f64;
+
+    let mut protocols = Vec::new();
+    let runs_of = [("ic_fb3", true), ("nonic_ib1", false)];
+    for (name, interruptible) in runs_of {
+        let t0 = Instant::now();
+        let runs = run_campaign_prepared(&prepared, &campaign, |t| {
+            if interruptible {
+                bc_engine::SimConfig::interruptible(3, t)
+            } else {
+                bc_engine::SimConfig::non_interruptible(1, t)
+            }
+        });
+        let ns = t0.elapsed().as_nanos() as f64;
+        let events: u64 = runs.iter().map(|r| r.events).sum();
+        let fraction = fraction_reached(&runs);
+        if name == "ic_fb3" {
+            if let Some(min) = scale.assert_fraction {
+                assert!(
+                    fraction >= min,
+                    "IC/FB=3 reached optimal on only {fraction:.4} of trees (required {min})"
+                );
+            }
+        }
+        protocols.push(object(vec![
+            ("protocol", Value::Str(name.to_string())),
+            ("wall_ms", Value::Float(ns / 1e6)),
+            ("events_total", Value::Int(events as i128)),
+            ("events_per_sec", Value::Float(events as f64 / (ns / 1e9))),
+            ("fraction_reached_optimal", Value::Float(fraction)),
+        ]));
+    }
+
+    object(vec![
+        ("trees", Value::Int(scale.trees as i128)),
+        ("tasks_per_tree", Value::Int(scale.tasks as i128)),
+        ("threads", Value::Int(rayon::current_num_threads() as i128)),
+        ("prepare_wall_ms", Value::Float(prepare_ns / 1e6)),
+        ("protocols", Value::Array(protocols)),
+    ])
+}
+
+fn campaign_report(samples: usize, scale: &CampaignScale) -> Value {
     // Theorem 1 fold over a population slice.
     let cfg = RandomTreeConfig {
         min_nodes: 20,
@@ -247,6 +351,9 @@ fn campaign_report(samples: usize) -> Value {
     let events: u64 = runs.iter().map(|r| r.events).sum();
     let reached = runs.iter().filter(|r| r.reached()).count();
 
+    let curve = threads_curve(&campaign);
+    let paper_scale = paper_scale_report(scale);
+
     object(vec![
         ("generated_by", Value::Str("bench_report".to_string())),
         ("samples_per_workload", Value::Int(samples as i128)),
@@ -288,25 +395,56 @@ fn campaign_report(samples: usize) -> Value {
                 ),
             ]),
         ),
+        ("threads_curve", curve),
+        ("campaign_paper_scale", paper_scale),
     ])
 }
 
 fn main() {
     let mut samples = 15usize;
     let mut out = PathBuf::from(".");
+    let mut scale = CampaignScale {
+        trees: 25_000,
+        tasks: 10_000,
+        assert_fraction: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
         match arg.as_str() {
             "--samples" => {
-                samples = it
-                    .next()
-                    .expect("--samples requires a value")
+                samples = value("--samples")
                     .parse()
                     .expect("--samples must be a number");
                 assert!(samples > 0, "--samples must be at least 1");
             }
-            "--out" => out = PathBuf::from(it.next().expect("--out requires a value")),
-            other => panic!("unknown flag {other}; flags: --samples N --out DIR"),
+            "--campaign-trees" => {
+                scale.trees = value("--campaign-trees")
+                    .parse()
+                    .expect("--campaign-trees must be a number");
+                assert!(scale.trees > 0, "--campaign-trees must be at least 1");
+            }
+            "--campaign-tasks" => {
+                scale.tasks = value("--campaign-tasks")
+                    .parse()
+                    .expect("--campaign-tasks must be a number");
+                assert!(scale.tasks > 0, "--campaign-tasks must be at least 1");
+            }
+            "--assert-optimal-fraction" => {
+                let f: f64 = value("--assert-optimal-fraction")
+                    .parse()
+                    .expect("--assert-optimal-fraction must be a number");
+                assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+                scale.assert_fraction = Some(f);
+            }
+            "--out" => out = PathBuf::from(value("--out")),
+            other => panic!(
+                "unknown flag {other}; flags: --samples N --campaign-trees N \
+                 --campaign-tasks N --assert-optimal-fraction X --out DIR"
+            ),
         }
     }
 
@@ -324,7 +462,7 @@ fn main() {
         geomean
     );
 
-    let campaign = campaign_report(samples);
+    let campaign = campaign_report(samples, &scale);
     let path = out.join("BENCH_campaign.json");
     std::fs::write(
         &path,

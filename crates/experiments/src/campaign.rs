@@ -5,7 +5,7 @@
 //! `split_seed(campaign_seed, i)`, so any subset of a campaign can be
 //! re-run independently and results never depend on thread scheduling.
 
-use bc_engine::{RunResult, SimConfig, Simulation};
+use bc_engine::{RunResult, SimConfig, SimWorkspace};
 use bc_metrics::{detect_onset, OnsetConfig};
 use bc_platform::{RandomTreeConfig, Tree, UsedStats};
 use bc_rational::Rational;
@@ -141,8 +141,13 @@ pub fn run_campaign_prepared(
 ) -> Vec<TreeRun> {
     prepared
         .par_iter()
-        .map(|p| {
-            let result = Simulation::new(p.tree.clone(), make_config(campaign.tasks)).run();
+        .map_init(SimWorkspace::new, |ws, p| {
+            // Each worker thread keeps one workspace for its whole share
+            // of the campaign, so after its first few trees warm the
+            // arenas the event loop never allocates (see the engine's
+            // `alloc_free` test). Results are identical at any thread
+            // count: each run depends only on its tree and config.
+            let result = ws.run(p.tree.clone(), make_config(campaign.tasks));
             summarize(p.index, &p.tree, &p.analysis, &result, campaign.onset)
         })
         .collect()

@@ -1,7 +1,8 @@
 //! Minimal flag parsing shared by the experiment binaries.
 //!
 //! Flags: `--trees N`, `--tasks N`, `--seed N`, `--full` (paper-scale
-//! campaign), `--out DIR` (also write CSV artifacts there).
+//! campaign), `--threads N` (campaign worker threads), `--out DIR` (also
+//! write CSV artifacts there).
 
 use bc_core::GrowthGate;
 use std::path::PathBuf;
@@ -19,6 +20,9 @@ pub struct Cli {
     pub full: bool,
     /// Non-IC growth gate (see `bc_core::GrowthGate`; DESIGN.md §6).
     pub gate: GrowthGate,
+    /// Campaign worker threads (None = all cores). Campaign results are
+    /// bit-identical at any thread count; this only trades wall-clock.
+    pub threads: Option<usize>,
     /// Directory for CSV artifacts.
     pub out: Option<PathBuf>,
 }
@@ -43,6 +47,7 @@ pub fn parse(args: impl IntoIterator<Item = String>, defaults: Defaults) -> Cli 
         seed: 2003, // IPDPS'03
         full: false,
         gate: GrowthGate::default(),
+        threads: None,
         out: None,
     };
     let mut it = args.into_iter();
@@ -68,10 +73,17 @@ pub fn parse(args: impl IntoIterator<Item = String>, defaults: Defaults) -> Cli 
                     other => panic!("unknown gate {other}; use every|arrival|filled"),
                 };
             }
+            "--threads" => {
+                let n: usize = value("--threads")
+                    .parse()
+                    .expect("--threads must be a number");
+                assert!(n > 0, "--threads must be at least 1");
+                cli.threads = Some(n);
+            }
             "--out" => cli.out = Some(PathBuf::from(value("--out"))),
             "--help" | "-h" => {
                 println!(
-                    "flags: --trees N --tasks N --seed N --full --gate every|arrival|filled --out DIR\n\
+                    "flags: --trees N --tasks N --seed N --full --gate every|arrival|filled --threads N --out DIR\n\
                      defaults: trees={} (full: {}), tasks={}, seed=2003",
                     defaults.trees, defaults.full_trees, defaults.tasks
                 );
@@ -82,6 +94,12 @@ pub fn parse(args: impl IntoIterator<Item = String>, defaults: Defaults) -> Cli 
     }
     if cli.full && !explicit_trees {
         cli.trees = defaults.full_trees;
+    }
+    if let Some(n) = cli.threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("configure worker threads");
     }
     cli
 }
@@ -135,6 +153,18 @@ mod tests {
         assert_eq!(cli.trees, 25_000);
         let cli = parse(args(&["--full", "--trees", "12"]), D);
         assert_eq!(cli.trees, 12);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_configures_pool() {
+        let cli = parse(args(&["--threads", "2"]), D);
+        assert_eq!(cli.threads, Some(2));
+        assert_eq!(rayon::current_num_threads(), 2);
+        // Restore automatic sizing for any test that runs after this one.
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The `split_seed` contract, end to end: a campaign's results are a pure
+//! function of `(seed, tree_config, protocol)` — the worker-thread count
+//! (and therefore which worker simulates which tree, with which reused
+//! workspace) must not change a single bit of any summary.
+
+use bc_engine::SimConfig;
+use bc_experiments::campaign::{run_campaign, CampaignConfig, TreeRun};
+use bc_metrics::OnsetConfig;
+use bc_platform::RandomTreeConfig;
+
+fn campaign() -> CampaignConfig {
+    CampaignConfig {
+        trees: 24,
+        tasks: 1_500,
+        seed: 2003,
+        tree_config: RandomTreeConfig {
+            min_nodes: 10,
+            max_nodes: 60,
+            comm_min: 1,
+            comm_max: 20,
+            compute_scale: 500,
+        },
+        onset: OnsetConfig::default(),
+    }
+}
+
+/// Every field a campaign reports, for exact comparison.
+fn fingerprint(runs: &[TreeRun]) -> Vec<(usize, Option<u64>, u64, u64, u32, String)> {
+    runs.iter()
+        .map(|r| {
+            (
+                r.index,
+                r.onset,
+                r.end_time,
+                r.events,
+                r.max_buffers,
+                format!("{:?}", r.optimal_rate),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn campaign_summaries_are_bit_identical_across_thread_counts() {
+    let c = campaign();
+    let mut baselines: Vec<Vec<_>> = Vec::new();
+    for threads in [1usize, 2, 4, 7] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .unwrap();
+        assert_eq!(rayon::current_num_threads(), threads);
+        let ic = run_campaign(&c, |t| SimConfig::interruptible(3, t));
+        let nonic = run_campaign(&c, |t| SimConfig::non_interruptible(1, t));
+        baselines.push(fingerprint(&ic));
+        baselines.push(fingerprint(&nonic));
+    }
+    // Restore automatic sizing for other tests in this binary (none today,
+    // but the global override outlives the test).
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
+    for pair in baselines.chunks(2).skip(1) {
+        assert_eq!(
+            baselines[0], pair[0],
+            "IC campaign differs from the single-thread baseline"
+        );
+        assert_eq!(
+            baselines[1], pair[1],
+            "non-IC campaign differs from the single-thread baseline"
+        );
+    }
+}

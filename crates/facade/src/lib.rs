@@ -42,7 +42,8 @@ pub mod prelude {
         BufferPolicy, ChildInfo, ChildSelector, GrowthGate, LatencyObserver, ObserverKind,
     };
     pub use bc_engine::{
-        ChangeKind, PlannedChange, Protocol, RunResult, SelectorKind, SimConfig, Simulation,
+        ChangeKind, PlannedChange, Protocol, RunResult, SelectorKind, SimConfig, SimWorkspace,
+        Simulation,
     };
     pub use bc_metrics::{detect_onset, normalized_curve, window_rates, OnsetConfig};
     pub use bc_platform::{NodeId, PlatformGraph, RandomTreeConfig, Tree};

@@ -15,8 +15,7 @@
 //!   preemptions happen at event times, so `u64` time is exact — no float
 //!   drift anywhere in the simulator.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::quad_heap::{PackedEvent, QuadHeap, MAX_SEQ, MAX_SLOT};
 
 /// Simulation time in integer timesteps.
 pub type Time = u64;
@@ -34,8 +33,16 @@ struct Slot<E> {
 }
 
 /// A discrete-event agenda over payload type `E`.
+///
+/// The priority queue is a packed-key 4-ary heap (see
+/// [`crate::quad_heap`]): each pending event is one `u128` ordered by
+/// `(time, seq)`, with the slot index riding in the low bits. A slot has
+/// at most one outstanding heap entry at a time (slots are recycled only
+/// after their entry leaves the heap), so liveness at pop time is just
+/// "does the slot still hold a payload" — generations exist only to
+/// invalidate stale [`EventHandle`]s.
 pub struct Agenda<E> {
-    heap: BinaryHeap<Reverse<(Time, u64, u32, u32)>>, // (time, seq, slot, gen)
+    heap: QuadHeap,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     now: Time,
@@ -53,13 +60,37 @@ impl<E> Agenda<E> {
     /// An empty agenda at time 0.
     pub fn new() -> Self {
         Agenda {
-            heap: BinaryHeap::new(),
+            heap: QuadHeap::new(),
             slots: Vec::new(),
             free: Vec::new(),
             now: 0,
             seq: 0,
             live: 0,
         }
+    }
+
+    /// Returns the agenda to its initial state (time 0, nothing pending)
+    /// while keeping every allocation — heap arena, slot table, free
+    /// list. The campaign engine calls this between simulations so the
+    /// steady-state event loop never reallocates across the thousands of
+    /// runs one worker executes.
+    ///
+    /// Handles issued before the reset are invalidated (their slots'
+    /// generations advance), so a stale handle can never cancel an event
+    /// scheduled after the reset.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.free.clear();
+        for s in &mut self.slots {
+            s.generation = s.generation.wrapping_add(1);
+            s.payload = None; // drops the payload, keeps the slot
+        }
+        // Refill the free list so post-reset slot assignment runs 0, 1, 2…
+        // exactly like a fresh agenda.
+        self.free.extend((0..self.slots.len() as u32).rev());
+        self.now = 0;
+        self.seq = 0;
+        self.live = 0;
     }
 
     /// Current simulation time.
@@ -95,6 +126,10 @@ impl<E> Agenda<E> {
                 s
             }
             None => {
+                assert!(
+                    self.slots.len() <= MAX_SLOT as usize,
+                    "agenda slot table overflow (> 2^20 concurrent events)"
+                );
                 self.slots.push(Slot {
                     generation: 0,
                     payload: Some(payload),
@@ -104,7 +139,8 @@ impl<E> Agenda<E> {
         };
         let generation = self.slots[slot as usize].generation;
         self.seq += 1;
-        self.heap.push(Reverse((time, self.seq, slot, generation)));
+        assert!(self.seq <= MAX_SEQ, "agenda sequence number overflow");
+        self.heap.push(PackedEvent::pack(time, self.seq, slot));
         self.live += 1;
         EventHandle { slot, generation }
     }
@@ -145,18 +181,17 @@ impl<E> Agenda<E> {
     /// outstanding heap entry (a slot is never reused until its previous
     /// entry leaves the heap).
     fn purge_tombstones(&mut self) {
-        let entries = std::mem::take(&mut self.heap).into_vec();
-        let mut kept = Vec::with_capacity(self.live);
-        for entry in entries {
-            let Reverse((_, _, slot, generation)) = entry;
-            let s = &self.slots[slot as usize];
-            if s.generation == generation && s.payload.is_some() {
-                kept.push(entry);
-            } else if s.payload.is_none() {
-                self.free.push(slot);
+        let slots = &self.slots;
+        let free = &mut self.free;
+        self.heap.retain(|entry| {
+            let slot = entry.slot();
+            if slots[slot as usize].payload.is_some() {
+                true
+            } else {
+                free.push(slot);
+                false
             }
-        }
-        self.heap = BinaryHeap::from(kept);
+        });
     }
 
     /// True if the handle still refers to a pending event.
@@ -169,42 +204,40 @@ impl<E> Agenda<E> {
     /// Time of the next pending event without firing it.
     pub fn peek_time(&mut self) -> Option<Time> {
         self.skim_tombstones();
-        self.heap.peek().map(|Reverse((t, ..))| *t)
+        self.heap.peek().map(|e| e.time())
     }
 
     /// Pops the next event, advancing the clock to its time.
     #[allow(clippy::should_implement_trait)] // a DES agenda is not an Iterator: popping mutates the clock
     pub fn next(&mut self) -> Option<(Time, E)> {
         loop {
-            let Reverse((time, _seq, slot, generation)) = self.heap.pop()?;
+            let entry = self.heap.pop()?;
+            let slot = entry.slot();
             let s = &mut self.slots[slot as usize];
-            if s.generation == generation {
-                if let Some(payload) = s.payload.take() {
-                    s.generation += 1;
-                    self.free.push(slot);
-                    self.live -= 1;
-                    debug_assert!(time >= self.now, "heap produced time travel");
-                    self.now = time;
-                    return Some((time, payload));
-                }
-            } else if s.payload.is_none() {
-                // Cancelled tombstone: the slot can now be reused safely.
+            // A slot has one outstanding heap entry, so this entry is the
+            // slot's current one: payload present = live, absent =
+            // cancelled tombstone. Either way the slot recycles now.
+            if let Some(payload) = s.payload.take() {
+                s.generation += 1;
                 self.free.push(slot);
+                self.live -= 1;
+                let time = entry.time();
+                debug_assert!(time >= self.now, "heap produced time travel");
+                self.now = time;
+                return Some((time, payload));
             }
+            self.free.push(slot);
         }
     }
 
     fn skim_tombstones(&mut self) {
-        while let Some(Reverse((_, _, slot, generation))) = self.heap.peek() {
-            let s = &self.slots[*slot as usize];
-            if s.generation == *generation && s.payload.is_some() {
+        while let Some(entry) = self.heap.peek() {
+            let slot = entry.slot();
+            if self.slots[slot as usize].payload.is_some() {
                 break;
             }
-            let slot = *slot;
             self.heap.pop();
-            if self.slots[slot as usize].payload.is_none() {
-                self.free.push(slot);
-            }
+            self.free.push(slot);
         }
     }
 }
@@ -367,6 +400,37 @@ mod tests {
         }
         assert_eq!(fired.len(), live);
         assert!(fired.windows(2).all(|w| w[0].0 <= w[1].0), "time order");
+    }
+
+    #[test]
+    fn reset_restores_fresh_semantics_and_keeps_capacity() {
+        let mut a = Agenda::new();
+        let handles: Vec<_> = (0..200u64).map(|i| a.schedule(10 + i, i)).collect();
+        for &h in &handles[..50] {
+            a.cancel(h);
+        }
+        a.next();
+        a.reset();
+        assert_eq!(a.now(), 0);
+        assert!(a.is_empty());
+        assert_eq!(a.heap_entries(), 0);
+        assert_eq!(a.next(), None);
+        // Stale pre-reset handles must not resurrect post-reset events.
+        let h = a.schedule(5, 999);
+        for &old in &handles {
+            assert_eq!(a.cancel(old), None);
+        }
+        assert!(a.is_pending(h));
+        assert_eq!(a.next(), Some((5, 999)));
+        // Full post-reset lifecycle still works.
+        for i in 0..100u64 {
+            a.schedule(i, i);
+        }
+        let mut fired = Vec::new();
+        while let Some((_, v)) = a.next() {
+            fired.push(v);
+        }
+        assert_eq!(fired, (0..100).collect::<Vec<_>>());
     }
 
     #[test]

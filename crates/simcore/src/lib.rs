@@ -18,9 +18,11 @@
 //! ```
 
 pub mod agenda;
+pub mod quad_heap;
 pub mod rng;
 pub mod vec_agenda;
 
 pub use agenda::{Agenda, EventHandle, Time};
+pub use quad_heap::{PackedEvent, QuadHeap};
 pub use rng::{job_rng, split_seed};
 pub use vec_agenda::{VecAgenda, VecEventHandle};

@@ -1,0 +1,172 @@
+//! Model-based test of the agenda: the production [`Agenda`] (packed-key
+//! 4-ary heap, tombstone cancellation, slot/generation recycling, purge
+//! compaction) against a deliberately naive reference — a sorted `Vec` of
+//! `(time, seq)` entries with none of those mechanisms.
+//!
+//! The interleavings are weighted to stress exactly the machinery the
+//! reference lacks: cancel storms that cross the purge threshold, slot
+//! reuse after fire/cancel (generation bumps), and mid-stream `reset()`.
+
+use bc_simcore::Agenda;
+use proptest::prelude::*;
+
+/// The reference: entries sorted by (time, seq); cancellation removes the
+/// entry outright, so there are no tombstones, slots, or generations to
+/// get wrong.
+#[derive(Default)]
+struct ModelAgenda {
+    /// `(time, seq, value)`, kept sorted ascending.
+    entries: Vec<(u64, u64, u64)>,
+    now: u64,
+    seq: u64,
+}
+
+impl ModelAgenda {
+    fn schedule(&mut self, delay: u64, value: u64) -> u64 {
+        self.seq += 1;
+        let key = (self.now + delay, self.seq, value);
+        let pos = self.entries.partition_point(|e| *e < key);
+        self.entries.insert(pos, key);
+        self.seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> Option<u64> {
+        let i = self.entries.iter().position(|e| e.1 == seq)?;
+        Some(self.entries.remove(i).2)
+    }
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let (time, _, value) = self.entries.remove(0);
+        self.now = time;
+        Some((time, value))
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.now = 0;
+        self.seq = 0;
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Schedule {
+        delay: u64,
+    },
+    /// Cancel the pending handle at this (wrapped) index.
+    Cancel {
+        pick: usize,
+    },
+    /// Re-cancel an old, already-dead handle: must be a no-op even if the
+    /// slot has been recycled by later schedules (generation reuse).
+    CancelStale {
+        pick: usize,
+    },
+    Pop,
+    /// Schedule `n` events then cancel them all — the pattern that drives
+    /// the heap across its purge threshold.
+    CancelStorm {
+        n: usize,
+    },
+    Reset,
+}
+
+/// Decodes a weighted `(code, arg)` pair into an op: 8/22 schedule,
+/// 4/22 cancel, 2/22 stale cancel, 6/22 pop, 1/22 storm, 1/22 reset.
+fn decode(code: u8, arg: u64) -> Op {
+    match code {
+        0..=7 => Op::Schedule { delay: arg },
+        8..=11 => Op::Cancel { pick: arg as usize },
+        12..=13 => Op::CancelStale { pick: arg as usize },
+        14..=19 => Op::Pop,
+        20 => Op::CancelStorm {
+            n: 65 + (arg as usize) % 135,
+        },
+        _ => Op::Reset,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn agenda_matches_sorted_vec_model(raw in prop::collection::vec((0u8..22, 0u64..100), 1..120)) {
+        let ops = raw.into_iter().map(|(code, arg)| decode(code, arg));
+        let mut real: Agenda<u64> = Agenda::new();
+        let mut model = ModelAgenda::default();
+        // Parallel arrays: real handle and model seq for each live-ish
+        // scheduled event; dead ones move to `stale`.
+        let mut handles = Vec::new();
+        let mut stale = Vec::new();
+        let mut next_value = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Schedule { delay } => {
+                    next_value += 1;
+                    let h = real.schedule(delay, next_value);
+                    let m = model.schedule(delay, next_value);
+                    handles.push((h, m));
+                }
+                Op::Cancel { pick } if !handles.is_empty() => {
+                    let i = pick % handles.len();
+                    let (h, m) = handles.swap_remove(i);
+                    prop_assert_eq!(real.cancel(h), model.cancel(m));
+                    stale.push(h);
+                }
+                Op::CancelStale { pick } if !stale.is_empty() => {
+                    let h = stale[pick % stale.len()];
+                    // However the slot was recycled since, the old handle
+                    // must stay dead.
+                    prop_assert_eq!(real.cancel(h), None);
+                    prop_assert!(!real.is_pending(h));
+                }
+                Op::Cancel { .. } | Op::CancelStale { .. } => {}
+                Op::Pop => {
+                    prop_assert_eq!(real.next(), model.next());
+                    prop_assert_eq!(real.now(), model.now);
+                }
+                Op::CancelStorm { n } => {
+                    let mut storm = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        next_value += 1;
+                        let h = real.schedule(50, next_value);
+                        let m = model.schedule(50, next_value);
+                        storm.push((h, m));
+                    }
+                    for (h, m) in storm {
+                        prop_assert_eq!(real.cancel(h), model.cancel(m));
+                        stale.push(h);
+                    }
+                    // The purge must have kept the heap near its live size.
+                    prop_assert!(
+                        real.heap_entries() <= 2 * real.len().max(64),
+                        "heap kept {} entries for {} live events",
+                        real.heap_entries(),
+                        real.len()
+                    );
+                }
+                Op::Reset => {
+                    real.reset();
+                    model.reset();
+                    stale.extend(handles.drain(..).map(|(h, _)| h));
+                }
+            }
+            prop_assert_eq!(real.len(), model.entries.len());
+            prop_assert_eq!(real.is_empty(), model.entries.is_empty());
+        }
+
+        // Drain to the end: identical tails.
+        loop {
+            let a = real.next();
+            let b = model.next();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,42 +1,235 @@
 //! Offline shim of the `rayon` API surface used by this workspace.
 //!
-//! The workspace only uses the `into_par_iter().map(..).collect()`
-//! pipeline (campaign fan-out over independent simulations). This shim
-//! keeps that API but executes on scoped `std::thread`s: the input is
-//! split into contiguous chunks, one per available core, each chunk is
-//! mapped on its own thread, and the per-chunk outputs are concatenated —
-//! preserving input order exactly like rayon's indexed collect.
+//! The workspace uses the `into_par_iter().map(..).collect()` pipeline
+//! (campaign fan-out over independent simulations) plus `map_init` for
+//! per-worker reusable state. This shim keeps those APIs but executes on
+//! scoped `std::thread`s with **dynamic work distribution**: workers pull
+//! guided-size chunks of indices from a shared atomic counter, so a few
+//! straggler items (heterogeneous tree sizes) no longer serialize the
+//! tail the way static one-chunk-per-core splitting did. Results are
+//! written into their input positions, preserving input order exactly
+//! like rayon's indexed collect.
+//!
+//! Thread count resolution (first match wins):
+//! 1. [`ThreadPoolBuilder::build_global`] override (settable repeatedly,
+//!    unlike real rayon — the thread-scaling benches sweep it),
+//! 2. the `RAYON_NUM_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
 
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Thread-count control
+// ---------------------------------------------------------------------------
+
+/// Global worker-count override; 0 = unset (env var / hardware decide).
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Mirrors `rayon::ThreadPoolBuilder` far enough to set the global worker
+/// count. Unlike real rayon, `build_global` may be called repeatedly; the
+/// latest call wins (workers are spawned per parallel call, not pooled).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with no explicit thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Never fails in this shim.
+    pub fn build_global(self) -> Result<(), &'static str> {
+        NUM_THREADS_OVERRIDE.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The number of worker threads parallel calls will use.
+pub fn current_num_threads() -> usize {
+    let explicit = NUM_THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// An indexed source of `len` items, each extractable exactly once by
+/// position from any worker thread.
+///
+/// # Safety
+/// Implementations must hand out each index's item at most once across
+/// the whole run (`take(i)` may move the item out of shared storage).
+/// Callers uphold that by claiming disjoint index ranges, and must call
+/// [`IndexedSource::begin_consume`] before the first `take` so the
+/// source's destructor stops owning the items.
+pub unsafe trait IndexedSource: Sync {
+    /// The produced item type.
+    type Item: Send;
+    /// Total number of items.
+    fn len(&self) -> usize;
+    /// True when the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Transfers item ownership to the consumer: after this, dropping the
+    /// source frees backing storage but no items (taken ones now live in
+    /// the consumer; a panic merely leaks the untaken remainder).
+    fn begin_consume(&self) {}
+    /// Extracts item `i`.
+    ///
+    /// # Safety
+    /// [`IndexedSource::begin_consume`] was called, each `i < len()` is
+    /// taken at most once, and `i` is in bounds.
+    unsafe fn take(&self, i: usize) -> Self::Item;
+}
+
+/// Owned `Vec` source: items are moved out by raw pointer reads.
+pub struct VecSource<T> {
+    buf: ManuallyDrop<Vec<T>>,
+    consuming: std::sync::atomic::AtomicBool,
+}
+
+// SAFETY: workers never share references to individual items — each item
+// is *moved* out exactly once (disjoint indices) — so `T: Send` suffices,
+// matching rayon's own bound for owned iteration.
+unsafe impl<T: Send> Sync for VecSource<T> {}
+
+// SAFETY: items are only moved out under the disjoint-index contract.
+unsafe impl<T: Send> IndexedSource for VecSource<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+    fn begin_consume(&self) {
+        self.consuming.store(true, Ordering::Relaxed);
+    }
+    unsafe fn take(&self, i: usize) -> T {
+        debug_assert!(i < self.buf.len());
+        std::ptr::read(self.buf.as_ptr().add(i))
+    }
+}
+
+/// Integer-range source: indices map to values arithmetically, so the
+/// range is never materialized (the 25k-scale fan-out used to allocate
+/// the whole index `Vec` up front).
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_source {
+    ($t:ty) => {
+        // SAFETY: take() is pure arithmetic; nothing is moved out.
+        unsafe impl IndexedSource for RangeSource<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            unsafe fn take(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Source = RangeSource<$t>;
+            fn into_par_iter(self) -> ParIter<RangeSource<$t>> {
+                let len = usize::try_from(self.end.saturating_sub(self.start))
+                    .expect("range too long for a parallel iterator");
+                ParIter {
+                    source: RangeSource {
+                        start: self.start,
+                        len,
+                    },
+                }
+            }
+        }
+    };
+}
+
+range_source!(usize);
+range_source!(u64);
+
+/// Borrowed-slice source: items are references, taken by index.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+// SAFETY: shared references are Copy; no move-out occurs.
+unsafe impl<'a, T: Sync> IndexedSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn take(&self, i: usize) -> &'a T {
+        debug_assert!(i < self.slice.len());
+        self.slice.get_unchecked(i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
 
 /// Entry point trait, mirroring `rayon::iter::IntoParallelIterator`.
 pub trait IntoParallelIterator {
+    /// Item produced by the parallel iterator.
     type Item: Send;
+    /// Backing indexed source.
+    type Source: IndexedSource<Item = Self::Item>;
     /// Converts `self` into a parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Source>;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
-    }
-}
-
-impl IntoParallelIterator for std::ops::Range<usize> {
-    type Item = usize;
-    fn into_par_iter(self) -> ParIter<usize> {
+    type Source = VecSource<T>;
+    fn into_par_iter(self) -> ParIter<VecSource<T>> {
         ParIter {
-            items: self.collect(),
+            source: VecSource {
+                buf: ManuallyDrop::new(self),
+                consuming: std::sync::atomic::AtomicBool::new(false),
+            },
         }
     }
 }
 
-impl IntoParallelIterator for std::ops::Range<u64> {
-    type Item = u64;
-    fn into_par_iter(self) -> ParIter<u64> {
-        ParIter {
-            items: self.collect(),
+impl<T> Drop for VecSource<T> {
+    fn drop(&mut self) {
+        // Before consumption starts the source still owns every item:
+        // drop the Vec normally. Once `begin_consume` ran, taken items
+        // live (or died) in the consumer, so only the backing buffer may
+        // be freed; untaken items (panic path) are leaked, never
+        // double-dropped.
+        unsafe {
+            let mut v = ManuallyDrop::take(&mut self.buf);
+            if self.consuming.load(Ordering::Relaxed) {
+                v.set_len(0);
+            }
+            drop(v);
         }
     }
 }
@@ -44,97 +237,233 @@ impl IntoParallelIterator for std::ops::Range<u64> {
 /// By-reference entry point, mirroring
 /// `rayon::iter::IntoParallelRefIterator` (`slice.par_iter()`).
 pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
     type Item: Send + 'a;
+    /// Backing indexed source.
+    type Source: IndexedSource<Item = Self::Item>;
     /// Parallel iterator over references into `self`.
-    fn par_iter(&'a self) -> ParIter<Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Source>;
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
-    fn par_iter(&'a self) -> ParIter<&'a T> {
+    type Source = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceSource<'a, T>> {
         ParIter {
-            items: self.iter().collect(),
+            source: SliceSource { slice: self },
         }
     }
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
-    fn par_iter(&'a self) -> ParIter<&'a T> {
+    type Source = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceSource<'a, T>> {
         self.as_slice().par_iter()
     }
 }
 
-/// A materialized parallel iterator (items are split across threads when
-/// a consuming operation runs).
-pub struct ParIter<T> {
-    items: Vec<T>,
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator over an indexed source (execution happens at the
+/// consuming operation).
+pub struct ParIter<S> {
+    source: S,
 }
 
 /// A mapped parallel iterator; execution happens at `collect`.
-pub struct MapParIter<T, F> {
-    items: Vec<T>,
+pub struct MapParIter<S, F> {
+    source: S,
     f: F,
 }
 
-impl<T: Send> ParIter<T> {
+/// A mapped parallel iterator with per-worker state (`map_init`).
+pub struct MapInitParIter<S, I, F> {
+    source: S,
+    init: I,
+    f: F,
+}
+
+impl<S: IndexedSource> ParIter<S> {
     /// Maps every item; the closure runs on worker threads at collect
     /// time, so it must be `Sync` (shared) and side-effect free like any
     /// rayon closure.
-    pub fn map<R, F>(self, f: F) -> MapParIter<T, F>
+    pub fn map<R, F>(self, f: F) -> MapParIter<S, F>
     where
         R: Send,
-        F: Fn(T) -> R + Sync,
+        F: Fn(S::Item) -> R + Sync,
     {
         MapParIter {
-            items: self.items,
+            source: self.source,
+            f,
+        }
+    }
+
+    /// Maps with per-worker state: `init` runs once on each worker thread
+    /// and the resulting value is passed (mutably) to every call of `f`
+    /// on that worker — rayon's `map_init`. The campaign engine uses it
+    /// to reuse one `SimWorkspace` across the thousands of simulations a
+    /// worker executes.
+    pub fn map_init<W, R, I, F>(self, init: I, f: F) -> MapInitParIter<S, I, F>
+    where
+        R: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, S::Item) -> R + Sync,
+    {
+        MapInitParIter {
+            source: self.source,
+            init,
             f,
         }
     }
 }
 
-impl<T: Send, R: Send, F: Fn(T) -> R + Sync> MapParIter<T, F> {
+impl<S, R, F> MapParIter<S, F>
+where
+    S: IndexedSource,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
     /// Runs the map in parallel and gathers results in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        run_parallel_map(self.items, &self.f).into_iter().collect()
-    }
-}
-
-fn threads_for(len: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(len).max(1)
-}
-
-fn run_parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
-    let n = items.len();
-    let workers = threads_for(n);
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk = n.div_ceil(workers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut items = items;
-    // Split back-to-front so each split is O(chunk).
-    while items.len() > chunk {
-        let tail = items.split_off(items.len() - chunk);
-        chunks.push(tail);
-    }
-    chunks.push(items);
-    chunks.reverse();
-
-    let mut outputs: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
+        let f = self.f;
+        run_parallel(self.source, &|| (), &|_: &mut (), item| f(item))
             .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for h in handles {
-            outputs.push(h.join().expect("parallel map worker panicked"));
+            .collect()
+    }
+}
+
+impl<S, W, R, I, F> MapInitParIter<S, I, F>
+where
+    S: IndexedSource,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, S::Item) -> R + Sync,
+{
+    /// Runs the map in parallel (one `init` per worker) and gathers
+    /// results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_parallel(self.source, &self.init, &self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution engine: guided atomic-index work queue
+// ---------------------------------------------------------------------------
+
+/// Output buffer shared by workers; results land at their input index.
+struct OutputBuf<R> {
+    buf: *mut MaybeUninit<R>,
+}
+
+// SAFETY: workers write disjoint indices (claimed from the atomic queue).
+unsafe impl<R: Send> Sync for OutputBuf<R> {}
+
+/// Shared claim counter. Chunks shrink as the queue drains (guided
+/// scheduling): big grains early amortize the atomic op, single items at
+/// the tail keep every worker busy until the end.
+struct WorkQueue {
+    next: AtomicUsize,
+    len: usize,
+    workers: usize,
+}
+
+impl WorkQueue {
+    /// Claims the next chunk, `[start, end)`, or `None` when drained.
+    fn claim(&self) -> Option<(usize, usize)> {
+        // A relaxed pre-read keeps the grain calculation cheap; the
+        // fetch_add below is the only synchronizing claim.
+        let remaining = self.len.saturating_sub(self.next.load(Ordering::Relaxed));
+        let grain = (remaining / (self.workers * 8)).clamp(1, 1024);
+        let start = self.next.fetch_add(grain, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
         }
+        Some((start, (start + grain).min(self.len)))
+    }
+}
+
+fn run_parallel<S, W, R, I, F>(source: S, init: &I, f: &F) -> Vec<R>
+where
+    S: IndexedSource,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, S::Item) -> R + Sync,
+{
+    let n = source.len();
+    let workers = current_num_threads().min(n).max(1);
+    source.begin_consume();
+
+    if workers <= 1 {
+        let mut w = init();
+        // SAFETY: begin_consume ran; each index taken exactly once, in
+        // order. (A panic in `f` leaks the untaken tail — safe.)
+        return (0..n)
+            .map(|i| f(&mut w, unsafe { source.take(i) }))
+            .collect();
+    }
+
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit needs no initialization; every cell is written
+    // exactly once before the final transmute-by-parts below.
+    unsafe { out.set_len(n) };
+    let out_buf = OutputBuf {
+        buf: out.as_mut_ptr(),
+    };
+    let queue = WorkQueue {
+        next: AtomicUsize::new(0),
+        len: n,
+        workers,
+    };
+    let source_ref = &source;
+    let out_ref = &out_buf;
+    let queue_ref = &queue;
+
+    let worker_panic = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut w = init();
+                    while let Some((start, end)) = queue_ref.claim() {
+                        for i in start..end {
+                            // SAFETY: the queue hands out each index to
+                            // exactly one worker; output writes are to
+                            // disjoint cells.
+                            unsafe {
+                                let item = source_ref.take(i);
+                                (*out_ref.buf.add(i)).write(f(&mut w, item));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut panic_payload = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic_payload = Some(payload);
+            }
+        }
+        panic_payload
     });
-    outputs.into_iter().flatten().collect()
+    if let Some(payload) = worker_panic {
+        // Which output cells were written is unknowable after a panic:
+        // leak the buffer (safe) and propagate. The source leaks its
+        // untaken items the same way (begin_consume already ran).
+        std::mem::forget(out);
+        std::panic::resume_unwind(payload);
+    }
+    drop(source);
+    // SAFETY: all n cells were written exactly once (the queue covers
+    // [0, n) without overlap and every worker completed).
+    unsafe {
+        let mut out = ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr() as *mut R, n, out.capacity())
+    }
 }
 
 pub mod prelude {
@@ -144,6 +473,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn preserves_order() {
@@ -156,6 +486,25 @@ mod tests {
         let v = vec!["a", "bb", "ccc"];
         let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn moves_owned_items_exactly_once() {
+        // Drop-counting payloads: every item must be dropped exactly once
+        // (by the map closure taking ownership), never twice.
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] u64);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        DROPS.store(0, Ordering::Relaxed);
+        let v: Vec<D> = (0..500).map(D).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|d| d.0).collect();
+        assert_eq!(out.len(), 500);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 500);
     }
 
     #[test]
@@ -172,6 +521,37 @@ mod tests {
     }
 
     #[test]
+    fn range_is_not_materialized() {
+        // A huge range must be fine to build (items are arithmetic); only
+        // the collected output allocates.
+        let it = (0..u64::MAX >> 1).into_par_iter();
+        assert_eq!(it.source.len(), (u64::MAX >> 1) as usize);
+        let out: Vec<u64> = (10..20u64).into_par_iter().map(|i| i).collect();
+        assert_eq!(out, (10..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_worker_state() {
+        // Each worker's state observes a strictly increasing call count;
+        // totals across items must cover every input exactly once.
+        let out: Vec<(usize, usize)> = (0..256usize)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |calls, i| {
+                    *calls += 1;
+                    (i, *calls)
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 256);
+        // Input order preserved.
+        assert!(out.iter().enumerate().all(|(k, &(i, _))| k == i));
+        // Every worker-local counter starts at 1 and increments.
+        assert!(out.iter().all(|&(_, c)| c >= 1));
+    }
+
+    #[test]
     fn actually_runs_closures_from_multiple_threads_or_one() {
         use std::collections::HashSet;
         use std::sync::Mutex;
@@ -183,5 +563,52 @@ mod tests {
             })
             .collect();
         assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn thread_override_is_respected_and_output_stable() {
+        let base: Vec<u64> = (0..777u64).into_par_iter().map(|i| i * i).collect();
+        for n in [1usize, 2, 4, 7] {
+            ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .unwrap();
+            assert!(current_num_threads() == n);
+            let out: Vec<u64> = (0..777u64).into_par_iter().map(|i| i * i).collect();
+            assert_eq!(out, base, "thread count {n} changed results");
+        }
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn straggler_items_do_not_serialize_the_tail() {
+        // One item 100× heavier than the rest: with dynamic claiming the
+        // other workers keep draining the queue. This is a semantic test
+        // (completes + correct), not a timing assertion — single-core CI
+        // boxes can't observe overlap.
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        let out: Vec<u64> = (0..64u64)
+            .into_par_iter()
+            .map(|i| {
+                let spins = if i == 0 { 2_000_000 } else { 20_000 };
+                let mut acc = i;
+                for k in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                i
+            })
+            .collect();
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
     }
 }
