@@ -135,6 +135,20 @@ impl BufferLedger {
         self.capacity - self.held - self.covered
     }
 
+    /// Empty buffers covered by an outstanding request to the parent or
+    /// an in-flight delivery from it. The engine's invariant checker
+    /// cross-checks this against the parent's request ledger: `covered`
+    /// must always equal requests pending at the parent plus tasks in
+    /// flight toward this node.
+    pub fn covered(&self) -> u32 {
+        self.covered
+    }
+
+    /// The sizing policy this ledger was built with.
+    pub fn policy(&self) -> &BufferPolicy {
+        &self.policy
+    }
+
     /// Largest capacity ever reached (the paper's "number of buffers
     /// used", Tables 1 and 2).
     pub fn max_capacity(&self) -> u32 {
@@ -415,6 +429,17 @@ mod tests {
         l.take_task();
         assert!(l.try_grow(GrowthEvent::ComputeCompleted, false));
         assert_eq!(l.capacity(), 3);
+    }
+
+    #[test]
+    fn covered_tracks_requests_and_deliveries() {
+        let mut l = BufferLedger::new(BufferPolicy::Fixed(2));
+        assert_eq!(l.covered(), 0);
+        l.note_requests_sent(2);
+        assert_eq!(l.covered(), 2);
+        l.task_arrived();
+        assert_eq!(l.covered(), 1);
+        assert_eq!(*l.policy(), BufferPolicy::Fixed(2));
     }
 
     #[test]

@@ -67,6 +67,26 @@ pub enum ChangeKind {
     Leave,
 }
 
+/// A deliberately wrong protocol behavior, injected to validate that the
+/// checked simulation mode (see [`crate::invariants`]) actually catches
+/// protocol-rule violations. Never enabled by experiments; the
+/// `fuzz_protocols` harness uses it to self-test its detector and
+/// shrinker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// Every non-root node builds its buffer pool one larger than the
+    /// policy allows — the classic FB bound off-by-one. Violates buffer
+    /// legality as soon as the extra buffer is provisioned.
+    FbOffByOne,
+    /// Every `every`-th delivered task silently vanishes from the
+    /// receiving buffer (a lost-task bug). Violates task conservation at
+    /// the next checker sweep.
+    LeakTask {
+        /// Leak period, in deliveries (≥ 1).
+        every: u64,
+    },
+}
+
 /// Full configuration of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -90,6 +110,20 @@ pub struct SimConfig {
     pub changes: Vec<PlannedChange>,
     /// Safety valve: abort (panic) if the event count exceeds this.
     pub max_events: u64,
+    /// Checked simulation mode: re-derive and verify the protocol
+    /// invariants (task conservation, buffer-bound legality, coverage
+    /// coherence, monotone time, terminal rate ≤ the Theorem 1 optimum)
+    /// while the run executes, panicking on the first violation. The
+    /// checker is read-only — results are bit-identical either way.
+    ///
+    /// Defaults **on** under `debug_assertions` (so the whole test suite
+    /// runs checked) or the `checked` cargo feature, **off** in release
+    /// campaigns. See DESIGN.md "Invariants & checked mode" for what each
+    /// invariant encodes and what checking costs.
+    pub checked: bool,
+    /// Deliberate protocol fault, for validating the checker itself.
+    /// `None` (always, outside checker tests) = faithful protocol.
+    pub fault: Option<FaultInjection>,
 }
 
 impl SimConfig {
@@ -144,7 +178,22 @@ impl SimConfig {
             checkpoints: Vec::new(),
             changes: Vec::new(),
             max_events: 500_000_000,
+            checked: cfg!(any(debug_assertions, feature = "checked")),
+            fault: None,
         }
+    }
+
+    /// Enables or disables checked simulation mode (see
+    /// [`SimConfig::checked`]).
+    pub fn with_checked(mut self, checked: bool) -> Self {
+        self.checked = checked;
+        self
+    }
+
+    /// Injects a deliberate protocol fault (checker validation only).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// Adds a scripted change (keeps `changes` sorted by trigger count).
@@ -165,6 +214,9 @@ impl SimConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.total_tasks == 0 {
             return Err("total_tasks must be >= 1".into());
+        }
+        if let Some(FaultInjection::LeakTask { every: 0 }) = self.fault {
+            return Err("LeakTask fault needs every >= 1".into());
         }
         if self.buffers.initial() == 0 {
             return Err("buffer pools must start with >= 1 buffer".into());
@@ -251,6 +303,27 @@ mod tests {
             kind: ChangeKind::Leave,
         });
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn checked_mode_and_fault_knobs() {
+        // Checked defaults on under debug_assertions (every debug test run)
+        // and off as shipped — this test runs in both profiles.
+        let cfg = SimConfig::interruptible(3, 10);
+        assert_eq!(
+            cfg.checked,
+            cfg!(any(debug_assertions, feature = "checked"))
+        );
+        assert_eq!(cfg.fault, None);
+        let cfg = cfg.with_checked(false);
+        assert!(!cfg.checked);
+        let cfg = cfg.with_fault(FaultInjection::FbOffByOne);
+        assert_eq!(cfg.fault, Some(FaultInjection::FbOffByOne));
+        cfg.validate().unwrap();
+        assert!(SimConfig::interruptible(3, 10)
+            .with_fault(FaultInjection::LeakTask { every: 0 })
+            .validate()
+            .is_err());
     }
 
     #[test]

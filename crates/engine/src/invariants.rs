@@ -1,0 +1,567 @@
+//! Checked simulation mode: the protocol-rule invariant checker.
+//!
+//! The simulator's results are only as meaningful as its fidelity to the
+//! protocol rules of §3 — bounded buffers, one outstanding request per
+//! uncovered empty buffer, non-preemption under the non-interruptible
+//! discipline, task conservation. This module re-derives those rules from
+//! the runtime state and verifies them *while a run executes*, entirely
+//! read-only: results are bit-identical with checking on or off.
+//!
+//! ## What is checked
+//!
+//! After every event cascade (each [`Simulation::step`]):
+//!
+//! * **Monotone time** — the agenda clock never moves backward (O(1)).
+//!
+//! Every `max(32, nodes)` events, and once at termination, a full sweep
+//! ([`Simulation::verify_invariants`]) re-derives:
+//!
+//! * **Task conservation** — tasks dispensed by the repository are
+//!   accounted for exactly: `total = remaining + buffered + computing +
+//!   in-flight + completed`, skipping departed subtrees (their holdings
+//!   were reclaimed into `remaining`).
+//! * **Buffer legality** — each non-root node holds at most `capacity`
+//!   tasks, `held + covered ≤ capacity`, and a [`BufferPolicy::Fixed`]
+//!   pool has exactly the configured FB capacity, forever (the §3.2
+//!   bound the paper's Table 2 buffer counts rest on).
+//! * **Coverage coherence** — a child's `covered` count equals the
+//!   requests pending at its parent plus tasks in flight toward it; this
+//!   is the distributed-protocol claim that request messages are never
+//!   lost, duplicated, or double-served.
+//! * **Protocol structure** — non-IC nodes never use transfer slots or
+//!   preempt; IC nodes never use the single-send path; an active
+//!   transfer always transmits an occupied slot of a live child and its
+//!   completion event is pending in the agenda.
+//! * **Work conservation** — after a service cascade no resource idles
+//!   with work available: a node holding a buffered task is computing,
+//!   and an IC node with occupied slots is transmitting.
+//!
+//! At termination, [`Simulation::verify_terminal`] cross-checks the
+//! whole run against the independent steady-state theory (when no
+//! mid-run platform changes occurred): per-node busy time must equal
+//! `w_i · tasks_i` exactly, and the achieved rate `N / T` must not
+//! exceed the Theorem 1 optimal rate — which is sound for *any*
+//! protocol, because the realized per-node rates `x_i(T)/T` form a
+//! feasible point of the steady-state LP. On small trees (≤ 16 nodes)
+//! the Theorem 1 fold is additionally cross-checked against the
+//! `bc-steady` LP simplex oracle, closing the differential loop of the
+//! `fuzz_protocols` harness.
+//!
+//! ## Cost
+//!
+//! The per-event work is two comparisons; the sweep is O(nodes) and
+//! amortizes to O(1) per event. Checked mode defaults **on** under
+//! `debug_assertions` (the whole test suite runs checked) and **off**
+//! in release campaigns; see the committed `BENCH_campaign.json` budget.
+//! The terminal oracle allocates (exact rational arithmetic), so the
+//! `alloc_free` tests opt out explicitly.
+
+use crate::config::Protocol;
+use crate::sim::Simulation;
+use bc_core::BufferPolicy;
+use bc_platform::NodeId;
+use bc_rational::Rational;
+use bc_steady::{lp_optimal_rate, SteadyState};
+use std::fmt;
+
+/// Largest tree for which the terminal check also runs the LP simplex
+/// oracle against the Theorem 1 fold (exact rational simplex is
+/// super-linear; small trees are where fuzz shrinking lands anyway).
+const LP_CROSS_CHECK_MAX_NODES: usize = 16;
+
+/// A detected violation of a protocol invariant.
+///
+/// Produced by [`Simulation::verify_invariants`] /
+/// [`Simulation::verify_terminal`]; checked mode panics with its
+/// [`Display`](fmt::Display) rendering at the first violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Stable identifier of the failed check (e.g. `task-conservation`).
+    pub check: &'static str,
+    /// Human-readable detail, including the offending values.
+    pub message: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant violated [{}]: {}", self.check, self.message)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+fn fail(check: &'static str, message: String) -> Result<(), InvariantViolation> {
+    Err(InvariantViolation { check, message })
+}
+
+impl Simulation {
+    /// Checked-mode hook, run after each event's service cascade: O(1)
+    /// time-monotonicity plus an amortized full sweep. Panics on the
+    /// first violation (a violation means the simulator itself is wrong;
+    /// there is nothing for a caller to handle).
+    pub(crate) fn checked_tick(&mut self) {
+        let now = self.ws.agenda.now();
+        assert!(
+            now >= self.check_last_now,
+            "invariant violated [monotone-time]: agenda moved backward ({} -> {})",
+            self.check_last_now,
+            now
+        );
+        self.check_last_now = now;
+        self.events_since_sweep += 1;
+        let sweep_due = self.events_since_sweep >= (self.ws.nodes.len() as u32).max(32);
+        if sweep_due || self.finished {
+            self.events_since_sweep = 0;
+            if let Err(v) = self.verify_invariants() {
+                panic!(
+                    "checked mode: {v} (at t={now}, event {})",
+                    self.events_processed
+                );
+            }
+        }
+        if self.finished {
+            if let Err(v) = self.verify_terminal() {
+                panic!("checked mode: {v}");
+            }
+        }
+    }
+
+    /// Full invariant sweep over the current runtime state. Valid at any
+    /// quiescent point (after [`Simulation::step`] returns — i.e. after
+    /// the service cascade has drained). Read-only.
+    pub fn verify_invariants(&self) -> Result<(), InvariantViolation> {
+        self.check_quiescent()?;
+        self.check_task_conservation()?;
+        for i in 0..self.ws.nodes.len() {
+            if self.ws.nodes[i].departed {
+                continue;
+            }
+            self.check_buffer_legality(i)?;
+            self.check_coverage(i)?;
+            self.check_protocol_structure(i)?;
+            if !self.finished {
+                self.check_work_conservation(i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The service queue must be fully drained between events; a node
+    /// marked queued while the queue is empty would never be serviced.
+    fn check_quiescent(&self) -> Result<(), InvariantViolation> {
+        if !self.ws.service_queue.is_empty() {
+            return fail(
+                "quiescence",
+                format!(
+                    "service queue holds {} entries between events",
+                    self.ws.service_queue.len()
+                ),
+            );
+        }
+        if let Some(i) = self.ws.queued.iter().position(|&q| q) {
+            return fail(
+                "quiescence",
+                format!("node {i} flagged queued with an empty service queue"),
+            );
+        }
+        Ok(())
+    }
+
+    /// Every dispensed task is somewhere: undispensed at the root, in a
+    /// buffer, on a processor, in flight on a link (non-IC send or IC
+    /// slot), or completed. Departed subtrees hold nothing (reclaimed).
+    fn check_task_conservation(&self) -> Result<(), InvariantViolation> {
+        let mut buffered: u64 = 0;
+        let mut computing: u64 = 0;
+        let mut in_flight: u64 = 0;
+        let mut computed_sum: u64 = 0;
+        for (i, n) in self.ws.nodes.iter().enumerate() {
+            computed_sum += n.tasks_computed;
+            if n.departed {
+                continue;
+            }
+            if let Some(l) = &n.ledger {
+                buffered += u64::from(l.held());
+            }
+            computing += u64::from(n.computing_since.is_some());
+            if let Some(s) = &n.sending {
+                let child = self.ws.children[i][s.child_pos];
+                if self.ws.nodes[child].departed {
+                    return fail(
+                        "task-conservation",
+                        format!("node {i} is sending to departed child {child}"),
+                    );
+                }
+                in_flight += 1;
+            }
+            for (pos, slot) in n.slots.iter().enumerate() {
+                if slot.is_some() {
+                    let child = self.ws.children[i][pos];
+                    if self.ws.nodes[child].departed {
+                        return fail(
+                            "task-conservation",
+                            format!("node {i} holds a slot transfer for departed child {child}"),
+                        );
+                    }
+                    in_flight += 1;
+                }
+            }
+        }
+        if computed_sum != self.completed {
+            return fail(
+                "task-conservation",
+                format!(
+                    "per-node completions sum to {computed_sum} but the global counter says {}",
+                    self.completed
+                ),
+            );
+        }
+        let accounted = self.remaining + buffered + computing + in_flight + self.completed;
+        if accounted != self.cfg.total_tasks {
+            return fail(
+                "task-conservation",
+                format!(
+                    "{} tasks injected but {accounted} accounted for \
+                     (remaining {} + buffered {buffered} + computing {computing} \
+                     + in-flight {in_flight} + completed {})",
+                    self.cfg.total_tasks, self.remaining, self.completed
+                ),
+            );
+        }
+        Ok(())
+    }
+
+    /// Buffer-bound legality at node `i` (§3.1/§3.2): holdings and
+    /// coverage within capacity, and a fixed pool pinned to the
+    /// *configured* FB — compared against `cfg.buffers`, not the
+    /// ledger's own policy, so a mis-provisioned pool cannot vouch for
+    /// itself.
+    fn check_buffer_legality(&self, i: usize) -> Result<(), InvariantViolation> {
+        let Some(l) = &self.ws.nodes[i].ledger else {
+            return Ok(()); // the root buffers nothing
+        };
+        if l.held() > l.capacity() {
+            return fail(
+                "buffer-bound",
+                format!(
+                    "node {i} holds {} tasks in {} buffers",
+                    l.held(),
+                    l.capacity()
+                ),
+            );
+        }
+        if u64::from(l.held()) + u64::from(l.covered()) > u64::from(l.capacity()) {
+            return fail(
+                "buffer-bound",
+                format!(
+                    "node {i}: held {} + covered {} exceeds capacity {}",
+                    l.held(),
+                    l.covered(),
+                    l.capacity()
+                ),
+            );
+        }
+        match self.cfg.buffers {
+            BufferPolicy::Fixed(fb) => {
+                if l.capacity() != fb || l.max_capacity() != fb {
+                    return fail(
+                        "buffer-bound",
+                        format!(
+                            "node {i}: fixed pool of {fb} buffers has capacity {} (max ever {})",
+                            l.capacity(),
+                            l.max_capacity()
+                        ),
+                    );
+                }
+            }
+            BufferPolicy::Growable { initial, cap, .. } => {
+                if l.capacity() < initial.min(l.max_capacity()) {
+                    return fail(
+                        "buffer-bound",
+                        format!(
+                            "node {i}: growable pool shrank to {} below initial {initial}",
+                            l.capacity()
+                        ),
+                    );
+                }
+                if let Some(cap) = cap {
+                    if l.max_capacity() > cap {
+                        return fail(
+                            "buffer-bound",
+                            format!(
+                                "node {i}: pool reached {} past its cap {cap}",
+                                l.max_capacity()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if l.peak_held() > l.max_capacity() {
+            return fail(
+                "buffer-bound",
+                format!(
+                    "node {i}: peak holdings {} exceed peak capacity {}",
+                    l.peak_held(),
+                    l.max_capacity()
+                ),
+            );
+        }
+        Ok(())
+    }
+
+    /// Coverage coherence at non-root node `i`: its `covered` count must
+    /// equal the requests still pending at its parent plus tasks in
+    /// flight toward it (one non-IC send, or one occupied IC slot).
+    /// Requests are instantaneous control messages, so this holds at
+    /// every quiescent point.
+    fn check_coverage(&self, i: usize) -> Result<(), InvariantViolation> {
+        let Some(l) = &self.ws.nodes[i].ledger else {
+            return Ok(());
+        };
+        let p = self.ws.parent_of[i].expect("non-root has parent");
+        let pos = self.ws.child_pos[i];
+        let parent = &self.ws.nodes[p];
+        let pending = parent.pending_requests[pos];
+        let inbound = match self.cfg.protocol {
+            Protocol::NonInterruptible => {
+                u32::from(parent.sending.as_ref().is_some_and(|s| s.child_pos == pos))
+            }
+            Protocol::Interruptible => u32::from(parent.slots[pos].is_some()),
+        };
+        if l.covered() != pending + inbound {
+            return fail(
+                "coverage-coherence",
+                format!(
+                    "node {i} has {} covered buffers but its parent {p} sees \
+                     {pending} pending requests + {inbound} in flight",
+                    l.covered()
+                ),
+            );
+        }
+        Ok(())
+    }
+
+    /// Per-protocol structural rules at node `i`.
+    fn check_protocol_structure(&self, i: usize) -> Result<(), InvariantViolation> {
+        let now = self.ws.agenda.now();
+        let n = &self.ws.nodes[i];
+        if let Some(since) = n.computing_since {
+            if since > now {
+                return fail(
+                    "protocol-structure",
+                    format!("node {i} started computing at {since}, after now {now}"),
+                );
+            }
+        }
+        // A departed child must be fully disentangled from its parent.
+        for (pos, &child) in self.ws.children[i].iter().enumerate() {
+            if self.ws.nodes[child].departed && n.pending_requests[pos] != 0 {
+                return fail(
+                    "protocol-structure",
+                    format!(
+                        "node {i} still records {} requests from departed child {child}",
+                        n.pending_requests[pos]
+                    ),
+                );
+            }
+        }
+        match self.cfg.protocol {
+            Protocol::NonInterruptible => {
+                if n.active.is_some() || n.slots.iter().any(Option::is_some) {
+                    return fail(
+                        "protocol-structure",
+                        format!("non-interruptible node {i} uses transfer slots"),
+                    );
+                }
+                if self.preemptions != 0 {
+                    return fail(
+                        "protocol-structure",
+                        format!(
+                            "non-interruptible run performed {} preemptions",
+                            self.preemptions
+                        ),
+                    );
+                }
+                if let Some(s) = &n.sending {
+                    if s.started_at > now {
+                        return fail(
+                            "protocol-structure",
+                            format!("node {i} send started at {}, after now {now}", s.started_at),
+                        );
+                    }
+                    if !self.ws.agenda.is_pending(s.handle) {
+                        return fail(
+                            "protocol-structure",
+                            format!("node {i} in-flight send has no pending SendDone event"),
+                        );
+                    }
+                }
+            }
+            Protocol::Interruptible => {
+                if n.sending.is_some() {
+                    return fail(
+                        "protocol-structure",
+                        format!("interruptible node {i} uses the single-send path"),
+                    );
+                }
+                if let Some(a) = &n.active {
+                    let Some(slot) = n.slots.get(a.child_pos).and_then(Option::as_ref) else {
+                        return fail(
+                            "protocol-structure",
+                            format!(
+                                "node {i} transmits slot {} which holds no transfer",
+                                a.child_pos
+                            ),
+                        );
+                    };
+                    if a.remaining_at_start != slot.remaining {
+                        return fail(
+                            "protocol-structure",
+                            format!(
+                                "node {i} active transfer disagrees with its slot \
+                                 ({} vs {} timesteps left)",
+                                a.remaining_at_start, slot.remaining
+                            ),
+                        );
+                    }
+                    if now.saturating_sub(a.started_at) > a.remaining_at_start || a.started_at > now
+                    {
+                        return fail(
+                            "protocol-structure",
+                            format!(
+                                "node {i} transfer started at {} with {} timesteps of work \
+                                 is still active at {now}",
+                                a.started_at, a.remaining_at_start
+                            ),
+                        );
+                    }
+                    if !self.ws.agenda.is_pending(a.handle) {
+                        return fail(
+                            "protocol-structure",
+                            format!("node {i} active transfer has no pending TransferDone event"),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Work conservation at node `i` after a drained cascade: no resource
+    /// idles with work available. Only meaningful mid-run (wind-down
+    /// stops servicing).
+    fn check_work_conservation(&self, i: usize) -> Result<(), InvariantViolation> {
+        let n = &self.ws.nodes[i];
+        let has_task = if i == 0 {
+            self.remaining > 0
+        } else {
+            n.ledger.as_ref().is_some_and(|l| l.held() > 0)
+        };
+        if has_task && n.computing_since.is_none() {
+            return fail(
+                "work-conservation",
+                format!("node {i} holds a task but its processor is idle"),
+            );
+        }
+        if matches!(self.cfg.protocol, Protocol::Interruptible)
+            && n.active.is_none()
+            && n.slots.iter().any(Option::is_some)
+        {
+            return fail(
+                "work-conservation",
+                format!("node {i} has occupied transfer slots but an idle link"),
+            );
+        }
+        Ok(())
+    }
+
+    /// Terminal cross-checks, valid once the run has finished (before the
+    /// result is extracted): completion accounting, exact busy-time
+    /// reconciliation, and the differential rate oracle against the
+    /// Theorem 1 fold (plus the LP simplex on small trees). The
+    /// theory-based checks require a static platform and are skipped when
+    /// `cfg.changes` scripted mid-run mutations.
+    pub fn verify_terminal(&self) -> Result<(), InvariantViolation> {
+        if !self.finished || self.completed != self.cfg.total_tasks {
+            return fail(
+                "terminal",
+                format!(
+                    "terminal check on an unfinished run ({}/{} tasks)",
+                    self.completed, self.cfg.total_tasks
+                ),
+            );
+        }
+        let times = &self.ws.completion_times;
+        if times.len() as u64 != self.completed {
+            return fail(
+                "terminal",
+                format!(
+                    "{} completion timestamps recorded for {} completions",
+                    times.len(),
+                    self.completed
+                ),
+            );
+        }
+        if times.windows(2).any(|w| w[0] > w[1]) {
+            return fail("terminal", "completion times are not monotone".into());
+        }
+        if !self.cfg.changes.is_empty() {
+            return Ok(()); // platform mutated mid-run; theory inapplicable
+        }
+        let end_time = *times.last().expect("total_tasks >= 1");
+        for (i, n) in self.ws.nodes.iter().enumerate() {
+            let w = u128::from(self.tree.compute_time(NodeId(i as u32)));
+            let expected = w * u128::from(n.tasks_computed);
+            if u128::from(n.busy_compute) != expected {
+                return fail(
+                    "terminal",
+                    format!(
+                        "node {i} computed {} tasks of weight {w} but logged {} busy timesteps",
+                        n.tasks_computed, n.busy_compute
+                    ),
+                );
+            }
+            if n.busy_compute > end_time || n.busy_link > end_time {
+                return fail(
+                    "terminal",
+                    format!(
+                        "node {i} busy times ({} compute, {} link) exceed the makespan {end_time}",
+                        n.busy_compute, n.busy_link
+                    ),
+                );
+            }
+        }
+        // Differential oracle: the realized rates x_i(T)/T are a feasible
+        // point of the steady-state LP (w_i·x_i ≤ T per processor, the
+        // serialized link bounds per edge), so N/T can never exceed the
+        // optimal rate — for any protocol, scheduling order, or tie-break.
+        let ss = SteadyState::analyze(&self.tree);
+        let optimal = ss.optimal_rate();
+        let achieved = Rational::new(self.completed as i128, end_time as i128);
+        if achieved > optimal {
+            return fail(
+                "rate-oracle",
+                format!(
+                    "achieved rate {}/{end_time} exceeds the Theorem 1 optimum {optimal} \
+                     — the simulator computed tasks faster than the platform allows",
+                    self.completed
+                ),
+            );
+        }
+        if self.tree.len() <= LP_CROSS_CHECK_MAX_NODES {
+            let lp = lp_optimal_rate(&self.tree);
+            if lp != optimal {
+                return fail(
+                    "rate-oracle",
+                    format!(
+                        "Theorem 1 fold says {optimal} but the LP simplex says {lp} \
+                         for the same {} -node tree",
+                        self.tree.len()
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+}

@@ -14,9 +14,11 @@
 //! ```
 
 pub mod config;
+pub mod invariants;
 pub mod result;
 pub mod sim;
 
-pub use config::{ChangeKind, PlannedChange, Protocol, SelectorKind, SimConfig};
+pub use config::{ChangeKind, FaultInjection, PlannedChange, Protocol, SelectorKind, SimConfig};
+pub use invariants::InvariantViolation;
 pub use result::RunResult;
 pub use sim::{SimWorkspace, Simulation};

@@ -38,16 +38,16 @@
 //! warm the capacities, subsequent runs perform **no steady-state heap
 //! allocation at all** (verified by the `alloc_free` integration test).
 
-use crate::config::{ChangeKind, Protocol, SelectorKind, SimConfig};
+use crate::config::{ChangeKind, FaultInjection, Protocol, SelectorKind, SimConfig};
 use crate::result::RunResult;
-use bc_core::{BufferLedger, ChildInfo, ChildSelector, GrowthEvent, LatencyObserver};
+use bc_core::{BufferLedger, BufferPolicy, ChildInfo, ChildSelector, GrowthEvent, LatencyObserver};
 use bc_platform::{NodeId, Tree};
 use bc_simcore::{Agenda, EventHandle, Time};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy)]
 #[allow(clippy::enum_variant_names)] // the Done suffix is the domain vocabulary
-enum Event {
+pub(crate) enum Event {
     ComputeDone {
         node: usize,
     },
@@ -62,53 +62,53 @@ enum Event {
 }
 
 /// Non-IC: the single in-flight outbound transfer.
-struct Sending {
-    child_pos: usize,
-    started_at: Time,
-    handle: EventHandle,
+pub(crate) struct Sending {
+    pub(crate) child_pos: usize,
+    pub(crate) started_at: Time,
+    pub(crate) handle: EventHandle,
 }
 
 /// IC: a task parked in (or transmitting from) a per-child transfer slot.
-struct SlotTransfer {
+pub(crate) struct SlotTransfer {
     /// Transmission work left, in timesteps.
-    remaining: u64,
+    pub(crate) remaining: u64,
     /// Total transmission work (the edge weight at delegation time) —
     /// reported to the latency observer on completion.
-    total: u64,
+    pub(crate) total: u64,
 }
 
 /// IC: the currently transmitting slot.
-struct ActiveTransfer {
-    child_pos: usize,
-    started_at: Time,
-    remaining_at_start: u64,
-    handle: EventHandle,
+pub(crate) struct ActiveTransfer {
+    pub(crate) child_pos: usize,
+    pub(crate) started_at: Time,
+    pub(crate) remaining_at_start: u64,
+    pub(crate) handle: EventHandle,
 }
 
-struct NodeRt {
+pub(crate) struct NodeRt {
     /// Buffer ledger; `None` at the root (the repository draws from the
     /// task source directly).
-    ledger: Option<BufferLedger>,
-    observer: LatencyObserver,
-    selector: ChildSelector,
+    pub(crate) ledger: Option<BufferLedger>,
+    pub(crate) observer: LatencyObserver,
+    pub(crate) selector: ChildSelector,
     /// Outstanding requests per child position.
-    pending_requests: Vec<u32>,
+    pub(crate) pending_requests: Vec<u32>,
     /// Start time of the in-progress computation, if any.
-    computing_since: Option<Time>,
-    sending: Option<Sending>,
-    slots: Vec<Option<SlotTransfer>>,
-    active: Option<ActiveTransfer>,
-    tasks_computed: u64,
+    pub(crate) computing_since: Option<Time>,
+    pub(crate) sending: Option<Sending>,
+    pub(crate) slots: Vec<Option<SlotTransfer>>,
+    pub(crate) active: Option<ActiveTransfer>,
+    pub(crate) tasks_computed: u64,
     /// True once the node has left the overlay (dynamic-topology
     /// extension); departed nodes ignore events and are never selected.
-    departed: bool,
+    pub(crate) departed: bool,
     /// Accumulated processor busy time.
-    busy_compute: u64,
+    pub(crate) busy_compute: u64,
     /// Accumulated outbound-link busy (transmitting) time.
-    busy_link: u64,
+    pub(crate) busy_link: u64,
     /// Last time a growth rule fired (drives the optional decay
     /// extension).
-    last_pressure: Time,
+    pub(crate) last_pressure: Time,
 }
 
 fn make_selector(kind: SelectorKind) -> ChildSelector {
@@ -119,10 +119,32 @@ fn make_selector(kind: SelectorKind) -> ChildSelector {
     }
 }
 
+/// The buffer policy nodes are actually built with: the configured one,
+/// unless the `FbOffByOne` checker-validation fault inflates it.
+fn effective_buffers(cfg: &SimConfig) -> BufferPolicy {
+    match cfg.fault {
+        Some(FaultInjection::FbOffByOne) => match cfg.buffers {
+            BufferPolicy::Fixed(k) => BufferPolicy::Fixed(k + 1),
+            BufferPolicy::Growable {
+                initial,
+                cap,
+                gate,
+                decay_after,
+            } => BufferPolicy::Growable {
+                initial: initial + 1,
+                cap,
+                gate,
+                decay_after,
+            },
+        },
+        _ => cfg.buffers,
+    }
+}
+
 impl NodeRt {
     fn fresh(index: usize, kids: usize, cfg: &SimConfig) -> NodeRt {
         NodeRt {
-            ledger: (index != 0).then(|| BufferLedger::new(cfg.buffers)),
+            ledger: (index != 0).then(|| BufferLedger::new(effective_buffers(cfg))),
             observer: LatencyObserver::new(cfg.observer, kids),
             selector: make_selector(cfg.selector),
             pending_requests: vec![0; kids],
@@ -141,7 +163,7 @@ impl NodeRt {
     /// Reinitializes this node for a new run, keeping the per-child
     /// vectors' capacity.
     fn reset(&mut self, index: usize, kids: usize, cfg: &SimConfig) {
-        self.ledger = (index != 0).then(|| BufferLedger::new(cfg.buffers));
+        self.ledger = (index != 0).then(|| BufferLedger::new(effective_buffers(cfg)));
         self.observer.reset(cfg.observer, kids);
         self.selector = make_selector(cfg.selector);
         self.pending_requests.clear();
@@ -168,20 +190,20 @@ impl NodeRt {
 /// allocating after the first few runs warm the arenas.
 #[derive(Default)]
 pub struct SimWorkspace {
-    agenda: Agenda<Event>,
-    nodes: Vec<NodeRt>,
-    parent_of: Vec<Option<usize>>,
+    pub(crate) agenda: Agenda<Event>,
+    pub(crate) nodes: Vec<NodeRt>,
+    pub(crate) parent_of: Vec<Option<usize>>,
     /// Position of node `i` within its parent's child list.
-    child_pos: Vec<usize>,
-    children: Vec<Vec<usize>>,
-    service_queue: VecDeque<usize>,
-    queued: Vec<bool>,
-    completion_times: Vec<Time>,
-    checkpoint_records: Vec<(u64, u32)>,
+    pub(crate) child_pos: Vec<usize>,
+    pub(crate) children: Vec<Vec<usize>>,
+    pub(crate) service_queue: VecDeque<usize>,
+    pub(crate) queued: Vec<bool>,
+    pub(crate) completion_times: Vec<Time>,
+    pub(crate) checkpoint_records: Vec<(u64, u32)>,
     /// Scratch for candidate lists (child selection / link reconciling);
     /// taken and restored around each use so the event loop never
     /// allocates.
-    candidates: Vec<ChildInfo>,
+    pub(crate) candidates: Vec<ChildInfo>,
 }
 
 impl SimWorkspace {
@@ -203,23 +225,29 @@ impl SimWorkspace {
 
 /// A configured simulation, ready to [`run`](Simulation::run).
 pub struct Simulation {
-    tree: Tree,
-    cfg: SimConfig,
-    ws: SimWorkspace,
+    pub(crate) tree: Tree,
+    pub(crate) cfg: SimConfig,
+    pub(crate) ws: SimWorkspace,
     /// Tasks the root has not yet dispensed (to itself or a child).
-    remaining: u64,
-    completed: u64,
+    pub(crate) remaining: u64,
+    pub(crate) completed: u64,
     next_checkpoint: usize,
     next_change: usize,
-    events_processed: u64,
+    pub(crate) events_processed: u64,
     /// Preemptions performed (interruptible protocol only).
-    preemptions: u64,
+    pub(crate) preemptions: u64,
     /// Task transfers started (both protocols).
-    transfers_started: u64,
+    pub(crate) transfers_started: u64,
     /// Request messages sent upward.
-    requests_sent: u64,
+    pub(crate) requests_sent: u64,
     started: bool,
-    finished: bool,
+    pub(crate) finished: bool,
+    /// Checked mode: last event time seen by the checker (monotonicity).
+    pub(crate) check_last_now: Time,
+    /// Checked mode: events since the last full invariant sweep.
+    pub(crate) events_since_sweep: u32,
+    /// Fault injection only: deliveries counted toward `LeakTask`.
+    faulty_deliveries: u64,
 }
 
 impl Simulation {
@@ -292,6 +320,9 @@ impl Simulation {
             requests_sent: 0,
             started: false,
             finished: false,
+            check_last_now: 0,
+            events_since_sweep: 0,
+            faulty_deliveries: 0,
         }
     }
 
@@ -332,6 +363,9 @@ impl Simulation {
         );
         self.handle(ev);
         self.drain();
+        if self.cfg.checked {
+            self.checked_tick();
+        }
         !self.finished
     }
 
@@ -489,11 +523,19 @@ impl Simulation {
     }
 
     fn deliver(&mut self, child: usize) {
-        self.ws.nodes[child]
+        let ledger = self.ws.nodes[child]
             .ledger
             .as_mut()
-            .expect("delivery to the root")
-            .task_arrived();
+            .expect("delivery to the root");
+        ledger.task_arrived();
+        if let Some(FaultInjection::LeakTask { every }) = self.cfg.fault {
+            self.faulty_deliveries += 1;
+            if self.faulty_deliveries.is_multiple_of(every) {
+                // The injected bug: the task vanishes from the buffer
+                // without being computed or forwarded.
+                ledger.take_task();
+            }
+        }
         self.enqueue(child);
     }
 
@@ -617,9 +659,15 @@ impl Simulation {
             reclaimed += 1;
         }
 
-        // Walk the departing subtree, reclaiming everything it holds.
+        // Walk the departing subtree, reclaiming everything it holds. A
+        // branch that departed earlier was already reclaimed then (its
+        // ledger still reports its old holdings) and must not be counted
+        // again; its whole subtree is departed, so don't descend either.
         let mut stack = vec![d0];
         while let Some(d) = stack.pop() {
+            if self.ws.nodes[d].departed {
+                continue;
+            }
             stack.extend(self.ws.children[d].iter().copied());
             let n = &mut self.ws.nodes[d];
             n.departed = true;

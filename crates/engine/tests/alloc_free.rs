@@ -57,11 +57,16 @@ fn random_tree(seed: u64) -> Tree {
 
 /// Within one run: once start-up has passed, each further event touches
 /// only pre-sized containers.
+///
+/// Both tests measure the *production* (unchecked) path: checked mode's
+/// terminal oracle does exact rational analysis, which allocates, so the
+/// configs opt out explicitly (under `debug_assertions` checked would
+/// otherwise default on).
 #[test]
 fn steady_state_loop_is_allocation_free_per_event() {
     for cfg in [
-        SimConfig::interruptible(3, 4000),
-        SimConfig::non_interruptible(1, 4000),
+        SimConfig::interruptible(3, 4000).with_checked(false),
+        SimConfig::non_interruptible(1, 4000).with_checked(false),
     ] {
         let mut sim = Simulation::with_workspace(random_tree(7), cfg, SimWorkspace::new());
         sim.start();
@@ -93,7 +98,7 @@ fn steady_state_loop_is_allocation_free_per_event() {
 /// whole simulations (construction included) run without allocating.
 #[test]
 fn reused_workspace_makes_repeat_runs_allocation_free() {
-    let cfg = SimConfig::interruptible(3, 500);
+    let cfg = SimConfig::interruptible(3, 500).with_checked(false);
     let mut ws = SimWorkspace::new();
     let tree = random_tree(split_seed(42, 9));
     // Warm runs on the same tree grow every arena to its final size.

@@ -1,0 +1,192 @@
+//! Checked simulation mode end-to-end: faithful runs pass every
+//! invariant under all protocol variants, checking never perturbs
+//! results, and deliberately injected protocol faults are caught.
+
+use bc_core::GrowthGate;
+use bc_engine::{FaultInjection, SimConfig, SimWorkspace, Simulation};
+use bc_platform::examples::fig1_tree;
+use bc_platform::{RandomTreeConfig, Tree};
+use bc_simcore::split_seed;
+
+fn variants(total_tasks: u64) -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("ic-fb1", SimConfig::interruptible(1, total_tasks)),
+        ("ic-fb3", SimConfig::interruptible(3, total_tasks)),
+        ("nonic-ib1", SimConfig::non_interruptible(1, total_tasks)),
+        (
+            "nonic-ib1-filled",
+            SimConfig::non_interruptible_gated(1, GrowthGate::AfterPoolFilled, total_tasks),
+        ),
+        (
+            "nonic-fb2",
+            SimConfig::non_interruptible_fixed(2, total_tasks),
+        ),
+    ]
+}
+
+fn small_tree(seed: u64) -> Tree {
+    RandomTreeConfig {
+        min_nodes: 8,
+        max_nodes: 14,
+        comm_min: 1,
+        comm_max: 10,
+        compute_scale: 60,
+    }
+    .generate(seed)
+}
+
+/// Every protocol variant survives checked mode on the paper's Figure 1
+/// tree and a spread of random trees — including the terminal
+/// differential oracle (these trees are ≤ 16 nodes, so the LP simplex
+/// cross-check runs too).
+#[test]
+fn faithful_runs_pass_checked_mode() {
+    for (name, cfg) in variants(400) {
+        let r = Simulation::new(fig1_tree(), cfg.clone().with_checked(true)).run();
+        assert_eq!(r.tasks_completed(), 400, "{name} on fig1");
+        for s in 0..6u64 {
+            let tree = small_tree(split_seed(0xC0FFEE, s));
+            let r = Simulation::new(tree, cfg.clone().with_checked(true)).run();
+            assert_eq!(r.tasks_completed(), 400, "{name} on tree {s}");
+        }
+    }
+}
+
+/// Checked mode also holds under scripted platform changes (weight
+/// changes, join, leave) — the checker must not false-positive on
+/// dynamic topology, where the terminal theory checks are skipped.
+#[test]
+fn checked_mode_handles_dynamic_topology() {
+    use bc_engine::{ChangeKind, PlannedChange};
+    use bc_platform::NodeId;
+    for (name, cfg) in variants(600) {
+        let cfg = cfg
+            .with_checked(true)
+            .with_change(PlannedChange {
+                after_tasks: 100,
+                node: NodeId(1),
+                kind: ChangeKind::CommTime(4),
+            })
+            .with_change(PlannedChange {
+                after_tasks: 200,
+                node: NodeId::ROOT,
+                kind: ChangeKind::Join {
+                    comm: 2,
+                    compute: 5,
+                },
+            })
+            .with_change(PlannedChange {
+                after_tasks: 350,
+                node: NodeId(2),
+                kind: ChangeKind::Leave,
+            });
+        let r = Simulation::new(small_tree(77), cfg).run();
+        assert_eq!(r.tasks_completed(), 600, "{name}");
+    }
+}
+
+/// Regression: a node departs, then an *ancestor* of it departs. The
+/// second leave's subtree walk must not re-reclaim what the first leave
+/// already returned to the repository (the departed child's ledger still
+/// reports its old holdings) — double-crediting broke task conservation.
+#[test]
+fn nested_leaves_conserve_tasks() {
+    use bc_engine::{ChangeKind, PlannedChange};
+    use bc_platform::NodeId;
+    // A chain under the root guarantees ancestor/descendant leaves:
+    // 0 -> 1 -> 2 -> 3 -> 4, plus a side child to keep the root busy.
+    let mut tree = Tree::new(10);
+    let mut prev = NodeId::ROOT;
+    for _ in 0..4 {
+        prev = tree.add_child(prev, 2, 7);
+    }
+    tree.add_child(NodeId::ROOT, 3, 9);
+    for (name, cfg) in variants(600) {
+        let cfg = cfg
+            .with_checked(true)
+            .with_change(PlannedChange {
+                after_tasks: 150,
+                node: NodeId(3), // deep node leaves first...
+                kind: ChangeKind::Leave,
+            })
+            .with_change(PlannedChange {
+                after_tasks: 300,
+                node: NodeId(1), // ...then its ancestor takes the rest
+                kind: ChangeKind::Leave,
+            });
+        let r = Simulation::new(tree.clone(), cfg).run();
+        assert_eq!(r.tasks_completed(), 600, "{name}");
+    }
+}
+
+/// Checking is read-only: a checked and an unchecked run of the same
+/// configuration produce identical traces.
+#[test]
+fn checked_mode_is_observationally_transparent() {
+    for (name, cfg) in variants(500) {
+        let tree = small_tree(split_seed(9, 9));
+        let checked = Simulation::new(tree.clone(), cfg.clone().with_checked(true)).run();
+        let unchecked = Simulation::new(tree, cfg.with_checked(false)).run();
+        assert_eq!(checked.end_time, unchecked.end_time, "{name}");
+        assert_eq!(
+            checked.completion_times, unchecked.completion_times,
+            "{name}"
+        );
+        assert_eq!(checked.tasks_per_node, unchecked.tasks_per_node, "{name}");
+        assert_eq!(
+            checked.events_processed, unchecked.events_processed,
+            "{name}"
+        );
+    }
+}
+
+/// The manual verification entry points work mid-run (the fuzzer drives
+/// them with `checked` off).
+#[test]
+fn manual_verification_between_steps() {
+    let cfg = SimConfig::interruptible(3, 300).with_checked(false);
+    let mut sim = Simulation::with_workspace(fig1_tree(), cfg, SimWorkspace::new());
+    sim.start();
+    sim.verify_invariants().expect("quiescent start state");
+    while sim.step() {
+        sim.verify_invariants().expect("mid-run invariants");
+    }
+    sim.verify_invariants().expect("final state");
+    sim.verify_terminal().expect("terminal oracle");
+}
+
+/// An FB off-by-one (pools provisioned one larger than the configured
+/// policy) violates buffer legality at the first sweep.
+#[test]
+#[should_panic(expected = "buffer-bound")]
+fn fb_off_by_one_is_caught() {
+    let cfg = SimConfig::interruptible(3, 500)
+        .with_checked(true)
+        .with_fault(FaultInjection::FbOffByOne);
+    let _ = Simulation::new(fig1_tree(), cfg).run();
+}
+
+/// A silently vanishing task violates conservation at the next sweep
+/// (long before the run would deadlock in wind-down).
+#[test]
+#[should_panic(expected = "task-conservation")]
+fn leaked_task_is_caught() {
+    let cfg = SimConfig::interruptible(3, 500)
+        .with_checked(true)
+        .with_fault(FaultInjection::LeakTask { every: 7 });
+    let _ = Simulation::new(fig1_tree(), cfg).run();
+}
+
+/// The same faults surface as `Err` through the manual entry point —
+/// the detection channel the fuzzer's shrinker uses.
+#[test]
+fn faults_surface_as_violations_not_panics_when_unchecked() {
+    let cfg = SimConfig::interruptible(2, 400)
+        .with_checked(false)
+        .with_fault(FaultInjection::FbOffByOne);
+    let mut sim = Simulation::with_workspace(fig1_tree(), cfg, SimWorkspace::new());
+    sim.start();
+    let v = sim.verify_invariants().expect_err("fault must be visible");
+    assert_eq!(v.check, "buffer-bound");
+    assert!(v.message.contains("fixed pool"), "got: {v}");
+}

@@ -1,0 +1,259 @@
+//! Differential protocol fuzzer: random adversarial trees, every
+//! protocol variant, per-event invariant checking, terminal rate oracle.
+//!
+//! Modes:
+//!
+//! * default — fuzz `--cases` trees (1,000 by default) across all
+//!   variants; any failure is shrunk and printed with a reproducer
+//!   command; exit 1 if anything failed.
+//! * `--smoke` — a CI-sized slice (~60 s budget): a reduced case count
+//!   plus the full self-test.
+//! * `--self-test` — inject deliberate protocol faults (FB off-by-one,
+//!   task leak) and verify the checker catches them and the shrinker
+//!   minimizes the FB case to ≤ 5 nodes. Exit 1 if the checker misses.
+//! * `--repro SPEC --variant NAME [--fault fb|leak:N]` — re-run one
+//!   shrunk case printed by a previous fuzz run. Exit 1 while the
+//!   failure reproduces, 0 once it is fixed.
+//!
+//! See EXPERIMENTS.md ("Fuzzing the protocols") for the workflow.
+
+use bc_engine::FaultInjection;
+use bc_experiments::fuzz::{
+    fuzz, parse_fault, run_case, shrink, variant_by_name, variants, with_quiet_panics, CaseSpec,
+    Failure,
+};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    cases: usize,
+    tasks: u64,
+    seed: u64,
+    smoke: bool,
+    self_test: bool,
+    repro: Option<String>,
+    variant: Option<String>,
+    fault: Option<FaultInjection>,
+    threads: Option<usize>,
+}
+
+const USAGE: &str = "usage: fuzz_protocols [--cases N] [--tasks N] [--seed N] [--threads N]\n\
+                     \x20                     [--smoke] [--self-test]\n\
+                     \x20                     [--repro SPEC --variant NAME [--fault fb|leak:N]]\n\
+                     defaults: cases=1000, tasks=250, seed=2003";
+
+fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<String>> {
+    let mut out = Args {
+        cases: 1000,
+        tasks: 250,
+        seed: 2003,
+        smoke: false,
+        self_test: false,
+        repro: None,
+        variant: None,
+        fault: None,
+        threads: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| Some(format!("{name} requires a value")))
+        };
+        let number = |name: &str, raw: String| {
+            raw.parse::<u64>()
+                .map_err(|_| Some(format!("{name} must be a number, got {raw:?}")))
+        };
+        match arg.as_str() {
+            "--cases" => out.cases = number("--cases", value("--cases")?)? as usize,
+            "--tasks" => out.tasks = number("--tasks", value("--tasks")?)?.max(1),
+            "--seed" => out.seed = number("--seed", value("--seed")?)?,
+            "--threads" => {
+                let n = number("--threads", value("--threads")?)? as usize;
+                if n == 0 {
+                    return Err(Some("--threads must be at least 1".into()));
+                }
+                out.threads = Some(n);
+            }
+            "--smoke" => out.smoke = true,
+            "--self-test" => out.self_test = true,
+            "--repro" => out.repro = Some(value("--repro")?),
+            "--variant" => out.variant = Some(value("--variant")?),
+            "--fault" => out.fault = Some(parse_fault(&value("--fault")?).map_err(Some)?),
+            "--help" | "-h" => return Err(None),
+            other => return Err(Some(format!("unknown flag {other}"))),
+        }
+    }
+    if out.repro.is_some() && out.variant.is_none() {
+        return Err(Some("--repro requires --variant".into()));
+    }
+    Ok(out)
+}
+
+fn print_failures(failures: &[Failure]) {
+    for f in failures {
+        eprintln!(
+            "FAIL case {} [{}]: {}\n  shrunk {} -> {} nodes: {}\n  reproduce: {}",
+            f.case,
+            f.variant,
+            f.message,
+            f.original_nodes,
+            f.spec.len(),
+            f.spec.encode(),
+            f.repro_command()
+        );
+    }
+}
+
+/// Injects known bugs and verifies detection + shrinking — the checker
+/// checking itself. Returns an error description if the checker missed.
+fn self_test(seed: u64, tasks: u64) -> Result<String, String> {
+    // FB off-by-one: every variant with a Fixed pool must flag it.
+    let (_, fb_failures) =
+        with_quiet_panics(|| fuzz(seed, 3, tasks, Some(FaultInjection::FbOffByOne)));
+    if fb_failures.is_empty() {
+        return Err("FB off-by-one fault went UNDETECTED".into());
+    }
+    let worst = fb_failures.iter().map(|f| f.spec.len()).max().unwrap();
+    if worst > 5 {
+        return Err(format!(
+            "FB off-by-one reproducer shrunk only to {worst} nodes (want <= 5)"
+        ));
+    }
+    // Task leak: conservation must break before the run deadlocks.
+    let (_, leak_failures) = with_quiet_panics(|| {
+        fuzz(
+            seed,
+            2,
+            tasks.max(100),
+            Some(FaultInjection::LeakTask { every: 5 }),
+        )
+    });
+    if leak_failures.is_empty() {
+        return Err("task-leak fault went UNDETECTED".into());
+    }
+    if !leak_failures
+        .iter()
+        .any(|f| f.message.contains("task-conservation"))
+    {
+        return Err(format!(
+            "task leak was caught but not as a conservation violation: {}",
+            leak_failures[0].message
+        ));
+    }
+    Ok(format!(
+        "self-test: FB off-by-one caught in {} runs (worst reproducer {} nodes), \
+         task leak caught in {} runs",
+        fb_failures.len(),
+        worst,
+        leak_failures.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let args = match try_parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(Some(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(n) = args.threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("configure worker threads");
+    }
+
+    // Reproducer mode: one spec, one variant, one verdict.
+    if let Some(spec) = &args.repro {
+        let spec = match CaseSpec::decode(spec) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let name = args.variant.as_deref().expect("checked in try_parse");
+        let Some(cfg) = variant_by_name(name, args.tasks) else {
+            eprintln!(
+                "error: unknown variant {name}; known: {}",
+                variants(1)
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return ExitCode::from(2);
+        };
+        let cfg = match args.fault {
+            Some(f) => cfg.with_fault(f),
+            None => cfg,
+        };
+        return match with_quiet_panics(|| run_case(&spec.to_tree(), &cfg)) {
+            Ok(()) => {
+                println!(
+                    "PASS: {}-node tree, variant {name}, {} tasks — all invariants hold",
+                    spec.len(),
+                    args.tasks
+                );
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("reproduced: {msg}");
+                let shrunk = with_quiet_panics(|| shrink(spec.clone(), &cfg));
+                if shrunk != spec {
+                    eprintln!("  shrinks further to: {}", shrunk.encode());
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let started = Instant::now();
+    let mut ok = true;
+
+    if args.self_test || args.smoke {
+        match self_test(args.seed, args.tasks.min(200)) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("SELF-TEST FAILED: {msg}");
+                ok = false;
+            }
+        }
+        if args.self_test && !args.smoke {
+            return if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    }
+
+    let cases = if args.smoke {
+        args.cases.min(180)
+    } else {
+        args.cases
+    };
+    let (runs, failures) = with_quiet_panics(|| fuzz(args.seed, cases, args.tasks, None));
+    println!(
+        "fuzzed {cases} trees x {} variants = {runs} checked runs in {:.1}s: {} violation(s)",
+        variants(1).len(),
+        started.elapsed().as_secs_f64(),
+        failures.len()
+    );
+    if !failures.is_empty() {
+        print_failures(&failures);
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -3,6 +3,12 @@
 //! Flags: `--trees N`, `--tasks N`, `--seed N`, `--full` (paper-scale
 //! campaign), `--threads N` (campaign worker threads), `--out DIR` (also
 //! write CSV artifacts there).
+//!
+//! Binaries call [`parse`], which on a bad command line prints a
+//! one-line error plus usage to **stderr** and exits with code 2 (the
+//! conventional usage-error status), and honors `--help` on stdout with
+//! exit 0. The fallible core is [`try_parse`], which the tests (and any
+//! embedding) use directly.
 
 use bc_core::GrowthGate;
 use std::path::PathBuf;
@@ -38,9 +44,31 @@ pub struct Defaults {
     pub tasks: u64,
 }
 
-/// Parses `args` (without the program name). Panics with a usage message
-/// on unknown flags — these are developer-facing binaries.
-pub fn parse(args: impl IntoIterator<Item = String>, defaults: Defaults) -> Cli {
+/// Why [`try_parse`] did not produce a [`Cli`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h` was given; the caller should print usage and exit 0.
+    Help,
+    /// The command line is malformed; the message names the offense.
+    Usage(String),
+}
+
+fn usage_line(defaults: Defaults) -> String {
+    format!(
+        "flags: --trees N --tasks N --seed N --full --gate every|arrival|filled --threads N --out DIR\n\
+         defaults: trees={} (full: {}), tasks={}, seed=2003",
+        defaults.trees, defaults.full_trees, defaults.tasks
+    )
+}
+
+/// Parses `args` (without the program name). Returns [`CliError::Usage`]
+/// on unknown flags or malformed values and [`CliError::Help`] for
+/// `--help`. Does not touch the process (no printing, no exit, no
+/// thread-pool configuration) — that is [`parse`]'s job.
+pub fn try_parse(
+    args: impl IntoIterator<Item = String>,
+    defaults: Defaults,
+) -> Result<Cli, CliError> {
     let mut cli = Cli {
         trees: defaults.trees,
         tasks: defaults.tasks,
@@ -55,46 +83,67 @@ pub fn parse(args: impl IntoIterator<Item = String>, defaults: Defaults) -> Cli 
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
             it.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+        };
+        let number = |name: &str, raw: String| {
+            raw.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("{name} must be a number, got {raw:?}")))
         };
         match arg.as_str() {
             "--trees" => {
-                cli.trees = value("--trees").parse().expect("--trees must be a number");
+                cli.trees = number("--trees", value("--trees")?)? as usize;
                 explicit_trees = true;
             }
-            "--tasks" => cli.tasks = value("--tasks").parse().expect("--tasks must be a number"),
-            "--seed" => cli.seed = value("--seed").parse().expect("--seed must be a number"),
+            "--tasks" => cli.tasks = number("--tasks", value("--tasks")?)?,
+            "--seed" => cli.seed = number("--seed", value("--seed")?)?,
             "--full" => cli.full = true,
             "--gate" => {
-                cli.gate = match value("--gate").as_str() {
+                cli.gate = match value("--gate")?.as_str() {
                     "every" => GrowthGate::EveryEvent,
                     "arrival" => GrowthGate::OncePerArrival,
                     "filled" => GrowthGate::AfterPoolFilled,
-                    other => panic!("unknown gate {other}; use every|arrival|filled"),
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown gate {other}; use every|arrival|filled"
+                        )))
+                    }
                 };
             }
             "--threads" => {
-                let n: usize = value("--threads")
-                    .parse()
-                    .expect("--threads must be a number");
-                assert!(n > 0, "--threads must be at least 1");
+                let n = number("--threads", value("--threads")?)? as usize;
+                if n == 0 {
+                    return Err(CliError::Usage("--threads must be at least 1".into()));
+                }
                 cli.threads = Some(n);
             }
-            "--out" => cli.out = Some(PathBuf::from(value("--out"))),
-            "--help" | "-h" => {
-                println!(
-                    "flags: --trees N --tasks N --seed N --full --gate every|arrival|filled --threads N --out DIR\n\
-                     defaults: trees={} (full: {}), tasks={}, seed=2003",
-                    defaults.trees, defaults.full_trees, defaults.tasks
-                );
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag {other}; try --help"),
+            "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => return Err(CliError::Help),
+            other => return Err(CliError::Usage(format!("unknown flag {other}"))),
         }
     }
     if cli.full && !explicit_trees {
         cli.trees = defaults.full_trees;
     }
+    Ok(cli)
+}
+
+/// Parses `args` for a binary: on success configures the worker pool (if
+/// `--threads` was given) and returns the [`Cli`]; on `--help` prints
+/// usage to stdout and exits 0; on a usage error prints the error and
+/// usage to stderr and exits 2.
+pub fn parse(args: impl IntoIterator<Item = String>, defaults: Defaults) -> Cli {
+    let cli = match try_parse(args, defaults) {
+        Ok(cli) => cli,
+        Err(CliError::Help) => {
+            println!("{}", usage_line(defaults));
+            std::process::exit(0);
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", usage_line(defaults));
+            std::process::exit(2);
+        }
+    };
     if let Some(n) = cli.threads {
         rayon::ThreadPoolBuilder::new()
             .num_threads(n)
@@ -130,7 +179,7 @@ mod tests {
 
     #[test]
     fn defaults_apply() {
-        let cli = parse(args(&[]), D);
+        let cli = try_parse(args(&[]), D).unwrap();
         assert_eq!(cli.trees, 100);
         assert_eq!(cli.tasks, 10_000);
         assert_eq!(cli.seed, 2003);
@@ -140,36 +189,53 @@ mod tests {
 
     #[test]
     fn flags_override() {
-        let cli = parse(args(&["--trees", "7", "--tasks", "55", "--seed", "9"]), D);
+        let cli = try_parse(args(&["--trees", "7", "--tasks", "55", "--seed", "9"]), D).unwrap();
         assert_eq!((cli.trees, cli.tasks, cli.seed), (7, 55, 9));
         assert_eq!(cli.gate, GrowthGate::EveryEvent);
-        let cli = parse(args(&["--gate", "filled"]), D);
+        let cli = try_parse(args(&["--gate", "filled"]), D).unwrap();
         assert_eq!(cli.gate, GrowthGate::AfterPoolFilled);
     }
 
     #[test]
     fn full_scales_trees_unless_explicit() {
-        let cli = parse(args(&["--full"]), D);
+        let cli = try_parse(args(&["--full"]), D).unwrap();
         assert_eq!(cli.trees, 25_000);
-        let cli = parse(args(&["--full", "--trees", "12"]), D);
+        let cli = try_parse(args(&["--full", "--trees", "12"]), D).unwrap();
         assert_eq!(cli.trees, 12);
     }
 
     #[test]
-    fn threads_flag_parses_and_configures_pool() {
-        let cli = parse(args(&["--threads", "2"]), D);
+    fn threads_flag_parses() {
+        let cli = try_parse(args(&["--threads", "2"]), D).unwrap();
         assert_eq!(cli.threads, Some(2));
-        assert_eq!(rayon::current_num_threads(), 2);
-        // Restore automatic sizing for any test that runs after this one.
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(0)
-            .build_global()
-            .unwrap();
+        assert_eq!(
+            try_parse(args(&["--threads", "0"]), D),
+            Err(CliError::Usage("--threads must be at least 1".into()))
+        );
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn unknown_flag_panics() {
-        let _ = parse(args(&["--bogus"]), D);
+    fn help_is_not_an_error_exit() {
+        assert_eq!(try_parse(args(&["--help"]), D), Err(CliError::Help));
+        assert_eq!(try_parse(args(&["-h"]), D), Err(CliError::Help));
+    }
+
+    #[test]
+    fn malformed_command_lines_are_usage_errors() {
+        for bad in [
+            vec!["--bogus"],
+            vec!["--trees"],
+            vec!["--trees", "many"],
+            vec!["--tasks", "-3"],
+            vec!["--seed", "0x10"],
+            vec!["--gate", "sometimes"],
+        ] {
+            match try_parse(args(&bad), D) {
+                Err(CliError::Usage(msg)) => {
+                    assert!(!msg.is_empty(), "empty message for {bad:?}")
+                }
+                other => panic!("{bad:?} parsed as {other:?}"),
+            }
+        }
     }
 }

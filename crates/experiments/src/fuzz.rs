@@ -1,0 +1,615 @@
+//! Differential protocol fuzzing: adversarial random trees, every
+//! protocol variant run under the invariant checker, and a greedy
+//! shrinker that minimizes failures to a few-node reproducer.
+//!
+//! The harness drives each case with `checked` *off* and calls the
+//! checker's fallible entry points ([`Simulation::verify_invariants`] /
+//! [`Simulation::verify_terminal`]) after every step, so a violation
+//! surfaces as an `Err` the shrinker can iterate on rather than a panic.
+//! Engine panics (deadlock, internal assertions, event-budget blowups)
+//! are caught and reported as failures too.
+//!
+//! Reproducers are self-contained: a failing case is shrunk and printed
+//! as a `fuzz_protocols --repro <spec> --variant <name>` command whose
+//! spec encodes the exact tree (see [`CaseSpec::encode`]), independent
+//! of generator seeds or versions. See EXPERIMENTS.md for the workflow.
+
+use bc_core::{GrowthGate, ObserverKind};
+use bc_engine::{FaultInjection, SelectorKind, SimConfig, SimWorkspace, Simulation};
+use bc_platform::{NodeId, Tree};
+use bc_simcore::split_seed;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::IntoParallelIterator;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Cap on events per fuzz run — far above any legitimate small-tree run,
+/// so hitting it is itself a caught failure (runaway simulation).
+const FUZZ_MAX_EVENTS: u64 = 5_000_000;
+
+// ---------------------------------------------------------------------
+// Case specification
+// ---------------------------------------------------------------------
+
+/// A platform tree as explicit data: the root's compute time plus, for
+/// each further node, its parent id, uplink communication time, and
+/// compute time. Spec entry `k` (0-based) is the node with id `k + 1`;
+/// parents always precede children, so [`CaseSpec::to_tree`] rebuilds
+/// the identical tree, and [`CaseSpec::encode`] makes a reproducer
+/// independent of any generator seed or version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseSpec {
+    /// Compute time of the repository (node 0).
+    pub root_compute: u64,
+    /// `(parent_id, comm_time, compute_time)` per non-root node, in id
+    /// order (entry `k` is node `k + 1`).
+    pub nodes: Vec<(usize, u64, u64)>,
+}
+
+impl CaseSpec {
+    /// Total node count (root included).
+    pub fn len(&self) -> usize {
+        self.nodes.len() + 1
+    }
+
+    /// True when the spec is just the repository.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Rebuilds the tree.
+    pub fn to_tree(&self) -> Tree {
+        let mut tree = Tree::new(self.root_compute);
+        for &(parent, comm, compute) in &self.nodes {
+            tree.add_child(NodeId(parent as u32), comm, compute);
+        }
+        tree
+    }
+
+    /// Serializes the spec for a `--repro` command line:
+    /// `root_compute|parent:comm:compute;parent:comm:compute;...`
+    pub fn encode(&self) -> String {
+        use std::fmt::Write;
+        let mut s = self.root_compute.to_string();
+        s.push('|');
+        for (k, &(p, c, w)) in self.nodes.iter().enumerate() {
+            if k > 0 {
+                s.push(';');
+            }
+            let _ = write!(s, "{p}:{c}:{w}");
+        }
+        s
+    }
+
+    /// Parses [`CaseSpec::encode`]'s format.
+    pub fn decode(s: &str) -> Result<CaseSpec, String> {
+        let (root, rest) = s
+            .split_once('|')
+            .ok_or_else(|| format!("spec {s:?} lacks the root| prefix"))?;
+        let root_compute: u64 = root
+            .parse()
+            .map_err(|_| format!("bad root compute time {root:?}"))?;
+        let mut nodes = Vec::new();
+        if !rest.is_empty() {
+            for (k, entry) in rest.split(';').enumerate() {
+                let mut f = entry.split(':');
+                let mut num = |what: &str| {
+                    f.next()
+                        .ok_or_else(|| format!("node {}: missing {what}", k + 1))?
+                        .parse::<u64>()
+                        .map_err(|_| format!("node {}: bad {what} in {entry:?}", k + 1))
+                };
+                let parent = num("parent")? as usize;
+                let comm = num("comm")?;
+                let compute = num("compute")?;
+                if parent > k {
+                    return Err(format!(
+                        "node {}: parent {parent} does not precede it",
+                        k + 1
+                    ));
+                }
+                if comm == 0 || compute == 0 {
+                    return Err(format!("node {}: weights must be >= 1", k + 1));
+                }
+                nodes.push((parent, comm, compute));
+            }
+        }
+        if root_compute == 0 {
+            return Err("root compute time must be >= 1".into());
+        }
+        Ok(CaseSpec {
+            root_compute,
+            nodes,
+        })
+    }
+
+    /// True when spec node `k` (id `k + 1`) has no children.
+    fn is_leaf(&self, k: usize) -> bool {
+        let id = k + 1;
+        !self.nodes.iter().any(|&(p, _, _)| p == id)
+    }
+
+    /// The spec with leaf `k` removed (ids above it shift down by one).
+    fn without_leaf(&self, k: usize) -> CaseSpec {
+        let removed = k + 1;
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != k)
+            .map(|(_, &(p, c, w))| (if p > removed { p - 1 } else { p }, c, w))
+            .collect();
+        CaseSpec {
+            root_compute: self.root_compute,
+            nodes,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial tree shapes
+// ---------------------------------------------------------------------
+
+/// The generator's shape families. Each targets a different stress:
+/// relay depth, link contention, selector tie-breaking, or the §4.1
+/// paper distribution in miniature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// Small §4.1-style tree: random parents, mixed weights.
+    PaperLike,
+    /// A single chain 10–24 deep: every task relays through every node.
+    DeepChain,
+    /// A flat fan of 8–24 children: maximal outbound-link contention.
+    WideFan,
+    /// All edges and processors identical: every selector decision ties.
+    EqualWeight,
+    /// Unit communication, slow processors: the link is never binding.
+    UnitComm,
+    /// A caterpillar: a spine with a leaf at every level — chains and
+    /// fans interleaved.
+    Caterpillar,
+}
+
+/// All shape families, in the round-robin order the fuzzer uses.
+pub const SHAPES: [Shape; 6] = [
+    Shape::PaperLike,
+    Shape::DeepChain,
+    Shape::WideFan,
+    Shape::EqualWeight,
+    Shape::UnitComm,
+    Shape::Caterpillar,
+];
+
+/// Deterministically generates fuzz case `index` of a `seed`-keyed
+/// population: shape families round-robin, sizes and weights drawn from
+/// a per-case split seed.
+pub fn generate_case(seed: u64, index: usize) -> CaseSpec {
+    let shape = SHAPES[index % SHAPES.len()];
+    let mut rng = SmallRng::seed_from_u64(split_seed(seed, index as u64));
+    let mut nodes = Vec::new();
+    let root_compute;
+    match shape {
+        Shape::PaperLike => {
+            root_compute = rng.random_range(1..=40);
+            let n = rng.random_range(5..=23);
+            for k in 0..n {
+                let parent = rng.random_range(0..=k);
+                nodes.push((parent, rng.random_range(1..=12), rng.random_range(1..=40)));
+            }
+        }
+        Shape::DeepChain => {
+            root_compute = rng.random_range(1..=30);
+            let depth = rng.random_range(10..=24);
+            for k in 0..depth {
+                nodes.push((k, rng.random_range(1..=6), rng.random_range(1..=30)));
+            }
+        }
+        Shape::WideFan => {
+            root_compute = rng.random_range(1..=30);
+            let width = rng.random_range(8..=24);
+            for _ in 0..width {
+                nodes.push((0, rng.random_range(1..=10), rng.random_range(1..=30)));
+            }
+        }
+        Shape::EqualWeight => {
+            let c = rng.random_range(1..=5);
+            let w = rng.random_range(1..=10);
+            root_compute = w;
+            let n = rng.random_range(6..=20);
+            for k in 0..n {
+                let parent = rng.random_range(0..=k);
+                nodes.push((parent, c, w));
+            }
+        }
+        Shape::UnitComm => {
+            root_compute = rng.random_range(20..=60);
+            let n = rng.random_range(6..=20);
+            for k in 0..n {
+                let parent = rng.random_range(0..=k);
+                nodes.push((parent, 1, rng.random_range(20..=60)));
+            }
+        }
+        Shape::Caterpillar => {
+            root_compute = rng.random_range(1..=30);
+            let levels = rng.random_range(5..=11);
+            let mut spine = 0usize;
+            for _ in 0..levels {
+                nodes.push((spine, rng.random_range(1..=8), rng.random_range(1..=30)));
+                spine = nodes.len(); // id of the spine node just pushed
+                                     // A leaf hangs off every spine node.
+                nodes.push((spine, rng.random_range(1..=8), rng.random_range(1..=30)));
+            }
+        }
+    }
+    CaseSpec {
+        root_compute,
+        nodes,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol variants
+// ---------------------------------------------------------------------
+
+/// Every protocol variant a fuzz case runs under: both disciplines, the
+/// paper's buffer sizes, all growth gates, both service orders, the
+/// non-oracle observers, and a baseline selector (the invariants — and
+/// the rate oracle — must hold for *any* of them).
+pub fn variants(tasks: u64) -> Vec<(&'static str, SimConfig)> {
+    let mut v: Vec<(&'static str, SimConfig)> = vec![
+        ("ic-fb1", SimConfig::interruptible(1, tasks)),
+        ("ic-fb2", SimConfig::interruptible(2, tasks)),
+        ("ic-fb3", SimConfig::interruptible(3, tasks)),
+        ("nonic-ib1-every", SimConfig::non_interruptible(1, tasks)),
+        (
+            "nonic-ib1-arrival",
+            SimConfig::non_interruptible_gated(1, GrowthGate::OncePerArrival, tasks),
+        ),
+        (
+            "nonic-ib1-filled",
+            SimConfig::non_interruptible_gated(1, GrowthGate::AfterPoolFilled, tasks),
+        ),
+        ("nonic-fb2", SimConfig::non_interruptible_fixed(2, tasks)),
+    ];
+    let mut link_first = SimConfig::interruptible(3, tasks);
+    link_first.self_first = false;
+    v.push(("ic-fb3-link-first", link_first));
+    let mut last_sample = SimConfig::interruptible(2, tasks);
+    last_sample.observer = ObserverKind::LastSample { initial: 5 };
+    v.push(("ic-fb2-lastsample", last_sample));
+    let mut round_robin = SimConfig::interruptible(2, tasks);
+    round_robin.selector = SelectorKind::RoundRobin;
+    v.push(("ic-fb2-roundrobin", round_robin));
+    v
+}
+
+/// Looks a variant up by name (for `--repro`).
+pub fn variant_by_name(name: &str, tasks: u64) -> Option<SimConfig> {
+    variants(tasks)
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, c)| c)
+}
+
+/// Parses a `--fault` operand: `fb` (FB off-by-one) or `leak:N`.
+pub fn parse_fault(s: &str) -> Result<FaultInjection, String> {
+    if s == "fb" {
+        return Ok(FaultInjection::FbOffByOne);
+    }
+    if let Some(n) = s.strip_prefix("leak:") {
+        let every: u64 = n.parse().map_err(|_| format!("bad leak period {n:?}"))?;
+        if every == 0 {
+            return Err("leak period must be >= 1".into());
+        }
+        return Ok(FaultInjection::LeakTask { every });
+    }
+    Err(format!("unknown fault {s:?}; use fb or leak:N"))
+}
+
+/// Renders a fault back to its `--fault` operand.
+pub fn fault_flag(f: FaultInjection) -> String {
+    match f {
+        FaultInjection::FbOffByOne => "fb".into(),
+        FaultInjection::LeakTask { every } => format!("leak:{every}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checked execution
+// ---------------------------------------------------------------------
+
+/// Runs one tree under one configuration with the invariant checker
+/// consulted after *every* event (stricter than checked mode's amortized
+/// sweep), plus the terminal differential oracle. Returns the first
+/// violation, or the failure text of any engine panic (deadlock,
+/// internal assertion, event budget).
+pub fn run_case(tree: &Tree, cfg: &SimConfig) -> Result<(), String> {
+    let mut cfg = cfg.clone().with_checked(false);
+    cfg.max_events = FUZZ_MAX_EVENTS;
+    let tree = tree.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<(), String> {
+        let mut sim = Simulation::with_workspace(tree, cfg, SimWorkspace::new());
+        sim.start();
+        sim.verify_invariants().map_err(|v| v.to_string())?;
+        loop {
+            let more = sim.step();
+            sim.verify_invariants()
+                .map_err(|v| format!("{v} (at t={}, {} completed)", sim.now(), sim.completed()))?;
+            if !more {
+                break;
+            }
+        }
+        sim.verify_terminal().map_err(|v| v.to_string())
+    }));
+    match outcome {
+        Ok(run) => run,
+        Err(payload) => Err(format!("engine panic: {}", panic_text(&payload))),
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Runs `f` with panic messages suppressed (the fuzzer expects panics —
+/// deadlocks, injected faults — and would otherwise spray backtraces).
+/// The previous hook is restored afterward.
+pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(prev);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+/// Greedily minimizes a failing case: repeatedly remove leaves (deepest
+/// first) and reduce weights to 1, keeping each mutation only if the
+/// failure persists under the *same* configuration. Terminates at a
+/// local minimum — every single leaf removal or weight reduction makes
+/// the failure vanish.
+pub fn shrink(spec: CaseSpec, cfg: &SimConfig) -> CaseSpec {
+    let fails = |s: &CaseSpec| run_case(&s.to_tree(), cfg).is_err();
+    debug_assert!(fails(&spec), "shrinking a passing case");
+    let mut spec = spec;
+    loop {
+        let mut progressed = false;
+        // Pass 1: structural — drop leaves, last (deepest-id) first.
+        let mut k = spec.nodes.len();
+        while k > 0 {
+            k -= 1;
+            if k < spec.nodes.len() && spec.is_leaf(k) {
+                let cand = spec.without_leaf(k);
+                if fails(&cand) {
+                    spec = cand;
+                    progressed = true;
+                }
+            }
+        }
+        // Pass 2: weights toward 1.
+        if spec.root_compute > 1 {
+            let cand = CaseSpec {
+                root_compute: 1,
+                ..spec.clone()
+            };
+            if fails(&cand) {
+                spec = cand;
+                progressed = true;
+            }
+        }
+        for k in 0..spec.nodes.len() {
+            // Re-read the node before each attempt: the comm candidate may
+            // have just been accepted, and building the compute candidate
+            // from stale values would reinflate comm (and oscillate).
+            for comm_first in [true, false] {
+                let (p, c, w) = spec.nodes[k];
+                let replacement = if comm_first { (p, 1, w) } else { (p, c, 1) };
+                if replacement != spec.nodes[k] {
+                    let mut cand = spec.clone();
+                    cand.nodes[k] = replacement;
+                    if fails(&cand) {
+                        spec = cand;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            return spec;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign driver
+// ---------------------------------------------------------------------
+
+/// One minimized failure, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Fuzz case index.
+    pub case: usize,
+    /// Variant name (see [`variants`]).
+    pub variant: &'static str,
+    /// The violation or panic text of the *original* case.
+    pub message: String,
+    /// Node count before shrinking.
+    pub original_nodes: usize,
+    /// The shrunk spec.
+    pub spec: CaseSpec,
+    /// Task count the case ran with.
+    pub tasks: u64,
+    /// Injected fault, if any (self-test runs).
+    pub fault: Option<FaultInjection>,
+}
+
+impl Failure {
+    /// The copy-paste reproducer command.
+    pub fn repro_command(&self) -> String {
+        let mut cmd = format!(
+            "cargo run --release -p bc-experiments --bin fuzz_protocols -- \
+             --repro '{}' --variant {} --tasks {}",
+            self.spec.encode(),
+            self.variant,
+            self.tasks
+        );
+        if let Some(f) = self.fault {
+            cmd.push_str(&format!(" --fault {}", fault_flag(f)));
+        }
+        cmd
+    }
+}
+
+/// Fuzz `cases` generated trees, each under every protocol variant, in
+/// parallel. Failures are shrunk before being returned. `fault` injects
+/// a deliberate bug into every run (self-test mode).
+pub fn fuzz(
+    seed: u64,
+    cases: usize,
+    tasks: u64,
+    fault: Option<FaultInjection>,
+) -> (u64, Vec<Failure>) {
+    let per_case: Vec<(u64, Vec<Failure>)> = (0..cases)
+        .into_par_iter()
+        .map(|i| {
+            let spec = generate_case(seed, i);
+            let tree = spec.to_tree();
+            let mut runs = 0u64;
+            let mut failures = Vec::new();
+            for (name, cfg) in variants(tasks) {
+                let cfg = match fault {
+                    Some(f) => cfg.with_fault(f),
+                    None => cfg,
+                };
+                runs += 1;
+                if let Err(message) = run_case(&tree, &cfg) {
+                    failures.push(Failure {
+                        case: i,
+                        variant: name,
+                        message,
+                        original_nodes: spec.len(),
+                        spec: shrink(spec.clone(), &cfg),
+                        tasks,
+                        fault,
+                    });
+                }
+            }
+            (runs, failures)
+        })
+        .collect();
+    let mut runs = 0;
+    let mut failures = Vec::new();
+    for (r, f) in per_case {
+        runs += r;
+        failures.extend(f);
+    }
+    (runs, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_through_encoding() {
+        for i in 0..24 {
+            let spec = generate_case(7, i);
+            let decoded = CaseSpec::decode(&spec.encode()).unwrap();
+            assert_eq!(decoded, spec);
+            spec.to_tree().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_specs() {
+        for bad in [
+            "", "5", "0|0:1:1", "5|1:1:1", // parent does not precede node 1
+            "5|0:0:1", // zero comm
+            "5|0:1:x", // non-numeric
+            "5|0:1",   // missing field
+        ] {
+            assert!(CaseSpec::decode(bad).is_err(), "accepted {bad:?}");
+        }
+        assert_eq!(CaseSpec::decode("5|").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shapes_generate_their_structure() {
+        // Deep chains are chains; wide fans are stars.
+        let chain = generate_case(3, 1); // SHAPES[1] = DeepChain
+        assert!(chain.nodes.iter().enumerate().all(|(k, &(p, _, _))| p == k));
+        let fan = generate_case(3, 2); // SHAPES[2] = WideFan
+        assert!(fan.nodes.iter().all(|&(p, _, _)| p == 0));
+        assert!(fan.len() >= 9);
+    }
+
+    #[test]
+    fn faithful_variants_pass_a_fuzz_slice() {
+        let (runs, failures) = fuzz(2003, 12, 120, None);
+        assert_eq!(runs, 12 * variants(1).len() as u64);
+        assert!(
+            failures.is_empty(),
+            "faithful protocol flagged: {} ({})",
+            failures[0].message,
+            failures[0].repro_command()
+        );
+    }
+
+    #[test]
+    fn injected_fb_fault_is_caught_and_shrunk_small() {
+        let failures = with_quiet_panics(|| {
+            let (_, f) = fuzz(2003, 2, 120, Some(FaultInjection::FbOffByOne));
+            f
+        });
+        assert!(!failures.is_empty(), "FB off-by-one went undetected");
+        for f in &failures {
+            assert!(
+                f.spec.len() <= 5,
+                "shrunk reproducer still has {} nodes",
+                f.spec.len()
+            );
+            assert!(f.message.contains("buffer-bound"), "got: {}", f.message);
+        }
+    }
+
+    #[test]
+    fn injected_leak_fault_is_caught() {
+        let failures = with_quiet_panics(|| {
+            let (_, f) = fuzz(2003, 1, 200, Some(FaultInjection::LeakTask { every: 5 }));
+            f
+        });
+        assert!(!failures.is_empty(), "task leak went undetected");
+        assert!(
+            failures[0].message.contains("task-conservation"),
+            "got: {}",
+            failures[0].message
+        );
+    }
+
+    #[test]
+    fn repro_command_names_the_shrunk_spec() {
+        let failures = with_quiet_panics(|| {
+            let (_, f) = fuzz(5, 1, 100, Some(FaultInjection::FbOffByOne));
+            f
+        });
+        let cmd = failures[0].repro_command();
+        assert!(cmd.contains("--repro"), "{cmd}");
+        assert!(cmd.contains("--fault fb"), "{cmd}");
+        // The printed spec must itself decode and still fail.
+        let spec = CaseSpec::decode(&failures[0].spec.encode()).unwrap();
+        let cfg = variant_by_name(failures[0].variant, 100)
+            .unwrap()
+            .with_fault(FaultInjection::FbOffByOne);
+        assert!(run_case(&spec.to_tree(), &cfg).is_err());
+    }
+}

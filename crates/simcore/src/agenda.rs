@@ -21,6 +21,19 @@ use crate::quad_heap::{PackedEvent, QuadHeap, MAX_SEQ, MAX_SLOT};
 pub type Time = u64;
 
 /// Handle to a scheduled event; survives the event firing (becomes stale).
+///
+/// ## Generation arithmetic
+///
+/// Slot generations advance with `wrapping_add(1)` **everywhere** —
+/// cancel, fire, and [`Agenda::reset`] — and are compared only for
+/// equality, never ordered. Wrapping is sound because a slot is recycled
+/// only after its single outstanding heap entry leaves the heap, so a
+/// stale handle can only resurrect if the *same slot* runs through all
+/// 2^32 generations while the handle is retained; no simulation holds a
+/// handle across four billion reuses of one slot (handles live for one
+/// transfer). A saturating or panicking `+= 1` would instead make
+/// extremely long release campaigns abort (or, with overflow checks off,
+/// silently reuse generation values with no documented reasoning).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EventHandle {
     slot: u32,
@@ -153,7 +166,8 @@ impl<E> Agenda<E> {
         if slot.generation != handle.generation || slot.payload.is_none() {
             return None;
         }
-        slot.generation += 1;
+        // Wrapping: see the generation-arithmetic note on [`EventHandle`].
+        slot.generation = slot.generation.wrapping_add(1);
         self.live -= 1;
         // The heap entry remains as a tombstone; reuse of the slot is
         // deferred until the tombstone pops, so the heap never refers to
@@ -218,7 +232,9 @@ impl<E> Agenda<E> {
             // slot's current one: payload present = live, absent =
             // cancelled tombstone. Either way the slot recycles now.
             if let Some(payload) = s.payload.take() {
-                s.generation += 1;
+                // Wrapping: see the generation-arithmetic note on
+                // [`EventHandle`].
+                s.generation = s.generation.wrapping_add(1);
                 self.free.push(slot);
                 self.live -= 1;
                 let time = entry.time();
@@ -431,6 +447,65 @@ mod tests {
             fired.push(v);
         }
         assert_eq!(fired, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn generation_reuse_storm_across_wrap_boundary() {
+        // Force slot 0's generation to the top of the u32 range, then run
+        // a cancel/fire/reset storm across the wrap. Handles from before
+        // each bump must stay dead, handles from after must stay live —
+        // equality-only comparison means the wrap itself is invisible.
+        let mut a: Agenda<u64> = Agenda::new();
+        let h0 = a.schedule(1, 0);
+        assert_eq!(a.cancel(h0), Some(0)); // slot 0 exists, tombstoned
+        assert_eq!(a.next(), None); // tombstone popped, slot 0 free
+        a.slots[0].generation = u32::MAX - 3;
+
+        let mut stale: Vec<EventHandle> = Vec::new();
+        for i in 0..8u64 {
+            // Each round reuses slot 0 (the only free slot): schedule,
+            // verify, then cancel — bumping the generation through
+            // MAX-3, MAX-2, MAX-1, MAX, 0, 1, …
+            let h = a.schedule(10 + i, i);
+            assert_eq!(h.slot, 0, "storm must exercise one slot");
+            assert!(a.is_pending(h));
+            // Every previously issued handle must remain dead.
+            for &old in &stale {
+                assert!(!a.is_pending(old), "stale handle revived at round {i}");
+                assert_eq!(a.cancel(old), None);
+            }
+            assert!(
+                a.is_pending(h),
+                "stale cancels must not kill the live event"
+            );
+            assert_eq!(a.cancel(h), Some(i));
+            assert_eq!(a.next(), None); // drain the tombstone
+            stale.push(h);
+        }
+        assert!(
+            a.slots[0].generation < u32::MAX - 3,
+            "generation must have wrapped, got {}",
+            a.slots[0].generation
+        );
+
+        // Firing (not cancelling) across the boundary behaves the same.
+        a.slots[0].generation = u32::MAX;
+        let h = a.schedule(5, 99);
+        assert_eq!(h.generation, u32::MAX);
+        assert_eq!(a.next(), Some((5, 99)));
+        assert_eq!(a.slots[0].generation, 0, "fire wraps MAX -> 0");
+        assert!(!a.is_pending(h));
+        assert_eq!(a.cancel(h), None);
+
+        // reset() keeps using the same wrapping scheme.
+        a.slots[0].generation = u32::MAX;
+        let h = a.schedule(5, 7);
+        a.reset();
+        assert!(!a.is_pending(h));
+        assert_eq!(a.cancel(h), None);
+        let h2 = a.schedule(1, 8);
+        assert_eq!(h2.generation, 0, "reset wraps MAX -> 0");
+        assert_eq!(a.next(), Some((1, 8)));
     }
 
     #[test]

@@ -33,10 +33,17 @@ pub struct PackedEvent(u128);
 impl PackedEvent {
     /// Packs an event key. Panics if `seq` or `slot` exceed their fields
     /// (unreachable in practice; see module docs).
+    ///
+    /// The bound checks are unconditional: an overflowing `seq` or `slot`
+    /// would silently wrap into the neighboring bit fields and corrupt
+    /// global event ordering, which in a release campaign would mean
+    /// wrong results rather than a crash. Both branches are trivially
+    /// predictable (never taken), so they are free on the hot path — see
+    /// the committed `BENCH_campaign.json` budget.
     #[inline]
     pub fn pack(time: u64, seq: u64, slot: u32) -> Self {
-        debug_assert!(seq <= MAX_SEQ, "agenda sequence number overflow");
-        debug_assert!(slot <= MAX_SLOT, "agenda slot index overflow");
+        assert!(seq <= MAX_SEQ, "agenda sequence number overflow");
+        assert!(slot <= MAX_SLOT, "agenda slot index overflow");
         PackedEvent(
             ((time as u128) << (SEQ_BITS + SLOT_BITS))
                 | ((seq as u128) << SLOT_BITS)
@@ -195,6 +202,34 @@ mod tests {
             let e = PackedEvent::pack(t, s, sl);
             assert_eq!((e.time(), e.seq(), e.slot()), (t, s, sl));
         }
+    }
+
+    // The two overflow guards must hold in release builds too: a wrapped
+    // field would corrupt neighboring bits (and thus event order) rather
+    // than fail. These run under `cargo test --release` in CI.
+
+    #[test]
+    #[should_panic(expected = "sequence number overflow")]
+    fn seq_overflow_panics_even_in_release() {
+        let _ = PackedEvent::pack(0, MAX_SEQ + 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index overflow")]
+    fn slot_overflow_panics_even_in_release() {
+        let _ = PackedEvent::pack(0, 0, MAX_SLOT + 1);
+    }
+
+    #[test]
+    fn max_fields_do_not_bleed_into_neighbors() {
+        // Saturated low fields must not perturb higher ones.
+        let e = PackedEvent::pack(7, MAX_SEQ, MAX_SLOT);
+        assert_eq!(e.time(), 7);
+        assert_eq!(e.seq(), MAX_SEQ);
+        assert_eq!(e.slot(), MAX_SLOT);
+        let f = PackedEvent::pack(7, 0, MAX_SLOT);
+        assert_eq!(f.seq(), 0, "slot bits leaked into seq");
+        assert!(f < e);
     }
 
     #[test]
