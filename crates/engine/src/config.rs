@@ -120,6 +120,11 @@ pub struct SimConfig {
     /// runs checked) or the `checked` cargo feature, **off** in release
     /// campaigns. See DESIGN.md "Invariants & checked mode" for what each
     /// invariant encodes and what checking costs.
+    ///
+    /// On a violation, the panic is preceded by whatever the simulation's
+    /// trace sink retains — run with a `bc_simcore::RingRecorder` (as
+    /// `fuzz_protocols --repro` does) to get the last events leading up
+    /// to the failure.
     pub checked: bool,
     /// Deliberate protocol fault, for validating the checker itself.
     /// `None` (always, outside checker tests) = faithful protocol.

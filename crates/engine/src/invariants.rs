@@ -61,6 +61,7 @@ use crate::sim::Simulation;
 use bc_core::BufferPolicy;
 use bc_platform::NodeId;
 use bc_rational::Rational;
+use bc_simcore::{TraceRecord, TraceSink};
 use bc_steady::{lp_optimal_rate, SteadyState};
 use std::fmt;
 
@@ -94,25 +95,29 @@ fn fail(check: &'static str, message: String) -> Result<(), InvariantViolation> 
     Err(InvariantViolation { check, message })
 }
 
-impl Simulation {
+impl<S: TraceSink> Simulation<S> {
     /// Checked-mode hook, run after each event's service cascade: O(1)
     /// time-monotonicity plus an amortized full sweep. Panics on the
     /// first violation (a violation means the simulator itself is wrong;
-    /// there is nothing for a caller to handle).
+    /// there is nothing for a caller to handle), after dumping whatever
+    /// the trace sink retains — with a [`bc_simcore::RingRecorder`]
+    /// attached, the last events leading up to the violation.
     pub(crate) fn checked_tick(&mut self) {
         let now = self.ws.agenda.now();
-        assert!(
-            now >= self.check_last_now,
-            "invariant violated [monotone-time]: agenda moved backward ({} -> {})",
-            self.check_last_now,
-            now
-        );
+        if now < self.check_last_now {
+            self.dump_trace_tail();
+            panic!(
+                "invariant violated [monotone-time]: agenda moved backward ({} -> {})",
+                self.check_last_now, now
+            );
+        }
         self.check_last_now = now;
         self.events_since_sweep += 1;
         let sweep_due = self.events_since_sweep >= (self.ws.nodes.len() as u32).max(32);
         if sweep_due || self.finished {
             self.events_since_sweep = 0;
             if let Err(v) = self.verify_invariants() {
+                self.dump_trace_tail();
                 panic!(
                     "checked mode: {v} (at t={now}, event {})",
                     self.events_processed
@@ -121,9 +126,32 @@ impl Simulation {
         }
         if self.finished {
             if let Err(v) = self.verify_terminal() {
+                self.dump_trace_tail();
                 panic!("checked mode: {v}");
             }
         }
+    }
+
+    /// Prints the sink's retained event tail to stderr — the flight
+    /// recorder read-out accompanying a checked-mode panic. A no-op with
+    /// the default [`bc_simcore::NullSink`] (nothing was recorded).
+    fn dump_trace_tail(&self) {
+        if !S::ENABLED {
+            return;
+        }
+        let mut tail: Vec<TraceRecord> = Vec::new();
+        self.sink.retained(&mut tail);
+        if tail.is_empty() {
+            return;
+        }
+        eprintln!(
+            "--- trace tail: last {} event(s) before the violation ---",
+            tail.len()
+        );
+        for r in &tail {
+            eprintln!("{r}");
+        }
+        eprintln!("--- end trace tail ---");
     }
 
     /// Full invariant sweep over the current runtime state. Valid at any

@@ -22,3 +22,10 @@ pub use config::{ChangeKind, FaultInjection, PlannedChange, Protocol, SelectorKi
 pub use invariants::InvariantViolation;
 pub use result::RunResult;
 pub use sim::{SimWorkspace, Simulation};
+
+// Trace plumbing, re-exported so engine users name one crate: the sink
+// trait the simulator is generic over plus the stock sinks/writers.
+pub use bc_simcore::{
+    trace, BinWriter, JsonlWriter, NullSink, RingRecorder, TeeSink, TraceEvent, TraceRecord,
+    TraceSink, VecSink,
+};

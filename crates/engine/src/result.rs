@@ -24,6 +24,8 @@ pub struct RunResult {
     pub busy_compute_per_node: Vec<u64>,
     /// Per-node accumulated outbound-link transmitting time (timesteps).
     pub busy_link_per_node: Vec<u64>,
+    /// Per-node outbound-link preemption count (all zero under non-IC).
+    pub preemptions_per_node: Vec<u64>,
     /// `(tasks_completed, global max buffers so far)` at each configured
     /// checkpoint (Table 2).
     pub checkpoint_max_buffers: Vec<(u64, u32)>,
@@ -102,6 +104,7 @@ mod tests {
             peak_held_per_node: vec![0, 2, 1],
             busy_compute_per_node: vec![4, 4, 0],
             busy_link_per_node: vec![6, 0, 0],
+            preemptions_per_node: vec![1, 0, 0],
             checkpoint_max_buffers: vec![(2, 2), (4, 3)],
             events_processed: 42,
             preemptions: 1,

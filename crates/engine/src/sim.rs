@@ -42,7 +42,7 @@ use crate::config::{ChangeKind, FaultInjection, Protocol, SelectorKind, SimConfi
 use crate::result::RunResult;
 use bc_core::{BufferLedger, BufferPolicy, ChildInfo, ChildSelector, GrowthEvent, LatencyObserver};
 use bc_platform::{NodeId, Tree};
-use bc_simcore::{Agenda, EventHandle, Time};
+use bc_simcore::{Agenda, EventHandle, NullSink, Time, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +75,9 @@ pub(crate) struct SlotTransfer {
     /// Total transmission work (the edge weight at delegation time) —
     /// reported to the latency observer on completion.
     pub(crate) total: u64,
+    /// Whether this transfer has ever transmitted (distinguishes a first
+    /// activation from a resume when a preemption landed at elapsed 0).
+    pub(crate) started: bool,
 }
 
 /// IC: the currently transmitting slot.
@@ -99,6 +102,8 @@ pub(crate) struct NodeRt {
     pub(crate) slots: Vec<Option<SlotTransfer>>,
     pub(crate) active: Option<ActiveTransfer>,
     pub(crate) tasks_computed: u64,
+    /// Preemptions performed on this node's outbound link.
+    pub(crate) preemptions: u64,
     /// True once the node has left the overlay (dynamic-topology
     /// extension); departed nodes ignore events and are never selected.
     pub(crate) departed: bool,
@@ -153,6 +158,7 @@ impl NodeRt {
             slots: (0..kids).map(|_| None).collect(),
             active: None,
             tasks_computed: 0,
+            preemptions: 0,
             departed: false,
             busy_compute: 0,
             busy_link: 0,
@@ -174,6 +180,7 @@ impl NodeRt {
         self.slots.resize_with(kids, || None);
         self.active = None;
         self.tasks_computed = 0;
+        self.preemptions = 0;
         self.departed = false;
         self.busy_compute = 0;
         self.busy_link = 0;
@@ -224,10 +231,18 @@ impl SimWorkspace {
 }
 
 /// A configured simulation, ready to [`run`](Simulation::run).
-pub struct Simulation {
+///
+/// Generic over its [`TraceSink`]: the default [`NullSink`] has
+/// `ENABLED = false`, so every instrumentation site monomorphizes to
+/// nothing and the untraced event loop is byte-for-byte the pre-tracing
+/// one (the `alloc_free` test proves it stays allocation-free). Pass a
+/// real sink via [`Simulation::traced`] to capture the full event
+/// stream.
+pub struct Simulation<S: TraceSink = NullSink> {
     pub(crate) tree: Tree,
     pub(crate) cfg: SimConfig,
     pub(crate) ws: SimWorkspace,
+    pub(crate) sink: S,
     /// Tasks the root has not yet dispensed (to itself or a child).
     pub(crate) remaining: u64,
     pub(crate) completed: u64,
@@ -261,7 +276,16 @@ impl Simulation {
     /// Builds a simulation reusing `ws`'s allocations (returned by
     /// [`Simulation::run_reusing`]). Any state from a previous run is
     /// cleared; capacities are kept.
-    pub fn with_workspace(tree: Tree, cfg: SimConfig, mut ws: SimWorkspace) -> Self {
+    pub fn with_workspace(tree: Tree, cfg: SimConfig, ws: SimWorkspace) -> Self {
+        Simulation::traced(tree, cfg, ws, NullSink)
+    }
+}
+
+impl<S: TraceSink> Simulation<S> {
+    /// Builds a simulation whose event loop streams every protocol event
+    /// into `sink` (see [`TraceEvent`] for the taxonomy). Run it with
+    /// [`Simulation::run_traced`] to get the sink back.
+    pub fn traced(tree: Tree, cfg: SimConfig, mut ws: SimWorkspace, sink: S) -> Simulation<S> {
         cfg.validate().expect("invalid SimConfig");
         tree.validate().expect("invalid Tree");
         let n = tree.len();
@@ -310,6 +334,7 @@ impl Simulation {
             tree,
             cfg,
             ws,
+            sink,
             remaining,
             completed: 0,
             next_checkpoint: 0,
@@ -376,13 +401,32 @@ impl Simulation {
 
     /// Runs to completion, returning the trace *and* the workspace so
     /// the next simulation can reuse its allocations.
-    pub fn run_reusing(mut self) -> (RunResult, SimWorkspace) {
+    pub fn run_reusing(self) -> (RunResult, SimWorkspace) {
+        let (result, ws, _sink) = self.run_traced();
+        (result, ws)
+    }
+
+    /// Runs to completion, returning the result, the workspace, and the
+    /// trace sink (with whatever it recorded).
+    pub fn run_traced(mut self) -> (RunResult, SimWorkspace, S) {
         self.start();
         while self.step() {}
         self.into_result()
     }
 
-    fn into_result(mut self) -> (RunResult, SimWorkspace) {
+    /// The simulator's one trace tap: every instrumentation site funnels
+    /// through here, stamped with the agenda clock. With the default
+    /// [`NullSink`] the branch is statically false and the whole call —
+    /// including the caller's argument computation, which is also guarded
+    /// on `S::ENABLED` — compiles away.
+    #[inline(always)]
+    fn emit(&mut self, event: TraceEvent) {
+        if S::ENABLED {
+            self.sink.record(self.ws.agenda.now(), event);
+        }
+    }
+
+    fn into_result(mut self) -> (RunResult, SimWorkspace, S) {
         let completion_times = std::mem::take(&mut self.ws.completion_times);
         let checkpoint_records = std::mem::take(&mut self.ws.checkpoint_records);
         let end_time = completion_times.last().copied().unwrap_or(0);
@@ -409,6 +453,7 @@ impl Simulation {
                 .collect(),
             busy_compute_per_node: self.ws.nodes.iter().map(|n| n.busy_compute).collect(),
             busy_link_per_node: self.ws.nodes.iter().map(|n| n.busy_link).collect(),
+            preemptions_per_node: self.ws.nodes.iter().map(|n| n.preemptions).collect(),
             checkpoint_max_buffers: checkpoint_records,
             events_processed: self.events_processed,
             preemptions: self.preemptions,
@@ -416,7 +461,7 @@ impl Simulation {
             requests_sent: self.requests_sent,
             completion_times,
         };
-        (result, self.ws)
+        (result, self.ws, self.sink)
     }
 
     // ----- event handling -------------------------------------------------
@@ -446,6 +491,7 @@ impl Simulation {
             .expect("ComputeDone on idle processor");
         self.ws.nodes[i].busy_compute += self.ws.agenda.now() - started;
         self.ws.nodes[i].tasks_computed += 1;
+        self.emit(TraceEvent::ComputeFinish { node: i as u32 });
         self.record_completion();
         if self.finished {
             return;
@@ -470,6 +516,11 @@ impl Simulation {
         self.ws.nodes[i].busy_link += duration;
         self.ws.nodes[i].observer.observe(s.child_pos, duration);
         let child = self.ws.children[i][s.child_pos];
+        self.emit(TraceEvent::TransferComplete {
+            node: i as u32,
+            child: child as u32,
+            work: duration,
+        });
         self.deliver(child);
         // §3.1 growth rule 2: send completed, buffers empty, child request
         // outstanding.
@@ -519,6 +570,11 @@ impl Simulation {
         );
         self.ws.nodes[i].observer.observe(child_pos, t.total);
         let child = self.ws.children[i][child_pos];
+        self.emit(TraceEvent::TransferComplete {
+            node: i as u32,
+            child: child as u32,
+            work: t.total,
+        });
         self.deliver(child);
     }
 
@@ -528,6 +584,18 @@ impl Simulation {
             .as_mut()
             .expect("delivery to the root");
         ledger.task_arrived();
+        if S::ENABLED {
+            let (held, capacity) = (ledger.held(), ledger.capacity());
+            self.emit(TraceEvent::BufferAcquire {
+                node: child as u32,
+                held,
+                capacity,
+            });
+        }
+        let ledger = self.ws.nodes[child]
+            .ledger
+            .as_mut()
+            .expect("delivery to the root");
         if let Some(FaultInjection::LeakTask { every }) = self.cfg.fault {
             self.faulty_deliveries += 1;
             if self.faulty_deliveries.is_multiple_of(every) {
@@ -614,6 +682,10 @@ impl Simulation {
         let mut node = NodeRt::fresh(i, 0, &self.cfg);
         node.last_pressure = self.ws.agenda.now();
         self.ws.nodes.push(node);
+        self.emit(TraceEvent::NodeJoin {
+            node: i as u32,
+            parent: p as u32,
+        });
         // Parent-side per-child state.
         self.ws.nodes[p].pending_requests.push(0);
         self.ws.nodes[p].slots.push(None);
@@ -639,7 +711,15 @@ impl Simulation {
         let mut reclaimed: u64 = 0;
         let p = self.ws.parent_of[d0].expect("non-root has parent");
         let pos = self.ws.child_pos[d0];
+        let denied = self.ws.nodes[p].pending_requests[pos];
         self.ws.nodes[p].pending_requests[pos] = 0;
+        if S::ENABLED && denied > 0 {
+            self.emit(TraceEvent::RequestDeny {
+                node: p as u32,
+                child: d0 as u32,
+                count: denied,
+            });
+        }
         if let Some(sending) = &self.ws.nodes[p].sending {
             if sending.child_pos == pos {
                 let s = self.ws.nodes[p].sending.take().expect("checked above");
@@ -683,6 +763,10 @@ impl Simulation {
             n.pending_requests.iter_mut().for_each(|r| *r = 0);
         }
 
+        self.emit(TraceEvent::NodeLeave {
+            node: d0 as u32,
+            reclaimed,
+        });
         self.remaining += reclaimed;
         // The parent's link may have freed; the repository has new work.
         if matches!(self.cfg.protocol, Protocol::Interruptible) {
@@ -730,6 +814,7 @@ impl Simulation {
             return;
         }
         self.ws.nodes[i].computing_since = Some(self.ws.agenda.now());
+        self.emit(TraceEvent::ComputeStart { node: i as u32 });
         let w = self.tree.compute_time(NodeId(i as u32));
         self.ws.agenda.schedule(w, Event::ComputeDone { node: i });
     }
@@ -755,8 +840,17 @@ impl Simulation {
             return false;
         }
         ledger.take_task();
+        // Occupancy at the instant of removal, before any growth below.
+        let (held, capacity) = (ledger.held(), ledger.capacity());
         if ledger.try_grow(GrowthEvent::ChildRequestPressure, pressure) {
             self.ws.nodes[i].last_pressure = now;
+        }
+        if S::ENABLED {
+            self.emit(TraceEvent::BufferRelease {
+                node: i as u32,
+                held,
+                capacity,
+            });
         }
         true
     }
@@ -826,6 +920,11 @@ impl Simulation {
         let c = self.tree.comm_time(NodeId(child as u32));
         let now = self.ws.agenda.now();
         self.transfers_started += 1;
+        self.emit(TraceEvent::TransferStart {
+            node: i as u32,
+            child: child as u32,
+            work: c,
+        });
         let handle = self.ws.agenda.schedule(c, Event::SendDone { node: i });
         self.ws.nodes[i].sending = Some(Sending {
             child_pos: pos,
@@ -864,6 +963,7 @@ impl Simulation {
             self.ws.nodes[i].slots[pos] = Some(SlotTransfer {
                 remaining: c,
                 total: c,
+                started: false,
             });
         }
         self.ws.candidates = candidates;
@@ -902,10 +1002,29 @@ impl Simulation {
 
     fn activate(&mut self, i: usize, pos: usize) {
         debug_assert!(self.ws.nodes[i].active.is_none());
-        let remaining = self.ws.nodes[i].slots[pos]
-            .as_ref()
-            .expect("activating an empty slot")
-            .remaining;
+        let slot = self.ws.nodes[i].slots[pos]
+            .as_mut()
+            .expect("activating an empty slot");
+        let remaining = slot.remaining;
+        let first = !slot.started;
+        let total = slot.total;
+        slot.started = true;
+        if S::ENABLED {
+            let child = self.ws.children[i][pos] as u32;
+            self.emit(if first {
+                TraceEvent::TransferStart {
+                    node: i as u32,
+                    child,
+                    work: total,
+                }
+            } else {
+                TraceEvent::TransferResume {
+                    node: i as u32,
+                    child,
+                    remaining,
+                }
+            });
+        }
         let now = self.ws.agenda.now();
         let handle = self
             .ws
@@ -923,6 +1042,7 @@ impl Simulation {
     /// exactly zero work left at this instant).
     fn preempt(&mut self, i: usize) {
         self.preemptions += 1;
+        self.ws.nodes[i].preemptions += 1;
         let a = self.ws.nodes[i]
             .active
             .take()
@@ -938,6 +1058,14 @@ impl Simulation {
             .as_mut()
             .expect("active transfer without slot");
         slot.remaining = remaining;
+        if S::ENABLED {
+            let child = self.ws.children[i][a.child_pos] as u32;
+            self.emit(TraceEvent::TransferPreempt {
+                node: i as u32,
+                child,
+                remaining,
+            });
+        }
         if remaining == 0 {
             self.finish_slot(i, a.child_pos);
         }
@@ -970,6 +1098,10 @@ impl Simulation {
         }
         ledger.note_requests_sent(n);
         self.requests_sent += n as u64;
+        self.emit(TraceEvent::Request {
+            node: i as u32,
+            count: n,
+        });
         let parent = self.ws.parent_of[i].expect("non-root has parent");
         let pos = self.ws.child_pos[i];
         self.ws.nodes[parent].pending_requests[pos] += n;

@@ -7,7 +7,7 @@
 //! high-water marks), snapshot the counter, then drive thousands more
 //! events/runs and assert the counter did not move.
 
-use bc_engine::{SimConfig, SimWorkspace, Simulation};
+use bc_engine::{NullSink, RingRecorder, SimConfig, SimWorkspace, Simulation};
 use bc_platform::{RandomTreeConfig, Tree};
 use bc_simcore::split_seed;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -92,6 +92,64 @@ fn steady_state_loop_is_allocation_free_per_event() {
             sim.now()
         );
     }
+}
+
+/// The tracing claim: with the default [`NullSink`], instrumentation
+/// compiles down to nothing — the explicitly-traced simulation is exactly
+/// as allocation-free per event as the untraced one. This is the
+/// "zero overhead when off" half of the trace subsystem's contract.
+#[test]
+fn null_sink_traced_loop_is_allocation_free_per_event() {
+    let cfg = SimConfig::interruptible(3, 4000).with_checked(false);
+    let mut sim = Simulation::traced(random_tree(7), cfg, SimWorkspace::new(), NullSink);
+    sim.start();
+    while sim.completed() < 2000 {
+        assert!(sim.step(), "run ended during warm-up");
+    }
+    COUNTING.store(true, Ordering::SeqCst);
+    let before = allocs();
+    for _ in 0..5000 {
+        if !sim.step() {
+            break;
+        }
+    }
+    let after = allocs();
+    COUNTING.store(false, Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "NullSink-traced event loop allocated ({:?})",
+        sim.now()
+    );
+}
+
+/// And the "cheap when on" half: a [`RingRecorder`] preallocates its ring
+/// at construction, so steady-state recording into it is allocation-free
+/// too — safe to leave armed in checked production runs.
+#[test]
+fn ring_recorder_traced_loop_is_allocation_free_per_event() {
+    let cfg = SimConfig::interruptible(3, 4000).with_checked(false);
+    let sink = RingRecorder::new(512);
+    let mut sim = Simulation::traced(random_tree(7), cfg, SimWorkspace::new(), sink);
+    sim.start();
+    while sim.completed() < 2000 {
+        assert!(sim.step(), "run ended during warm-up");
+    }
+    COUNTING.store(true, Ordering::SeqCst);
+    let before = allocs();
+    for _ in 0..5000 {
+        if !sim.step() {
+            break;
+        }
+    }
+    let after = allocs();
+    COUNTING.store(false, Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "RingRecorder-traced event loop allocated ({:?})",
+        sim.now()
+    );
 }
 
 /// Across runs: after a few campaign iterations warm the workspace,

@@ -19,8 +19,8 @@
 
 use bc_engine::FaultInjection;
 use bc_experiments::fuzz::{
-    fuzz, parse_fault, run_case, shrink, variant_by_name, variants, with_quiet_panics, CaseSpec,
-    Failure,
+    fuzz, parse_fault, run_case, shrink, trace_tail, variant_by_name, variants, with_quiet_panics,
+    CaseSpec, Failure,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -209,6 +209,13 @@ fn main() -> ExitCode {
                 let shrunk = with_quiet_panics(|| shrink(spec.clone(), &cfg));
                 if shrunk != spec {
                     eprintln!("  shrinks further to: {}", shrunk.encode());
+                }
+                // Event-level post-mortem: the last events of the shrunk
+                // case, from a flight-recorder re-run.
+                let (_, tail) = with_quiet_panics(|| trace_tail(&shrunk.to_tree(), &cfg, 40));
+                eprintln!("trace tail of the shrunk case ({} event(s)):", tail.len());
+                for r in &tail {
+                    eprintln!("  {r}");
                 }
                 ExitCode::FAILURE
             }

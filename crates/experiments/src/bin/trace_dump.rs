@@ -1,0 +1,290 @@
+//! Record, render, and diff structured traces.
+//!
+//! Modes:
+//!
+//! * record (default) — run one scenario and emit its trace:
+//!   `trace_dump --tree fig1 --variant ic-fb2 [--tasks N]
+//!   [--format jsonl|binary|pretty|summary] [--out FILE]`.
+//!   `--tree` names a golden platform (see `--list`); `--spec` takes an
+//!   explicit `root|parent:comm:compute;...` case spec (the fuzzer's
+//!   reproducer format) instead.
+//! * `--list` — print the golden trees and the known variants.
+//! * `--diff A B` — compare two JSONL trace files; prints the first
+//!   divergence with context and exits 1 if they differ.
+//!
+//! See EXPERIMENTS.md ("Dumping and diffing traces") for the workflow.
+
+use bc_engine::SimConfig;
+use bc_experiments::fuzz::{variant_by_name, variants, CaseSpec};
+use bc_experiments::goldens::{golden_trees, golden_variants, record_trace, GOLDEN_TASKS};
+use bc_metrics::{fold_timelines, trace_end_time};
+use bc_platform::Tree;
+use bc_simcore::trace::{self, TraceRecord};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Args {
+    tree: Option<String>,
+    spec: Option<String>,
+    variant: Option<String>,
+    tasks: u64,
+    format: Format,
+    out: Option<String>,
+    list: bool,
+    diff: Option<(String, String)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Jsonl,
+    Binary,
+    Pretty,
+    Summary,
+}
+
+const USAGE: &str = "usage: trace_dump --tree NAME|--spec SPEC --variant NAME [--tasks N]\n\
+                     \x20                 [--format jsonl|binary|pretty|summary] [--out FILE]\n\
+                     \x20      trace_dump --list\n\
+                     \x20      trace_dump --diff A.jsonl B.jsonl\n\
+                     defaults: tasks=40, format=pretty";
+
+fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<String>> {
+    let mut out = Args {
+        tree: None,
+        spec: None,
+        variant: None,
+        tasks: GOLDEN_TASKS,
+        format: Format::Pretty,
+        out: None,
+        list: false,
+        diff: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| Some(format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--tree" => out.tree = Some(value("--tree")?),
+            "--spec" => out.spec = Some(value("--spec")?),
+            "--variant" => out.variant = Some(value("--variant")?),
+            "--tasks" => {
+                let raw = value("--tasks")?;
+                out.tasks = raw
+                    .parse::<u64>()
+                    .map_err(|_| Some(format!("--tasks must be a number, got {raw:?}")))?
+                    .max(1);
+            }
+            "--format" => {
+                out.format = match value("--format")?.as_str() {
+                    "jsonl" => Format::Jsonl,
+                    "binary" => Format::Binary,
+                    "pretty" => Format::Pretty,
+                    "summary" => Format::Summary,
+                    other => {
+                        return Err(Some(format!(
+                            "unknown format {other:?}; use jsonl, binary, pretty, or summary"
+                        )))
+                    }
+                }
+            }
+            "--out" => out.out = Some(value("--out")?),
+            "--list" => out.list = true,
+            "--diff" => out.diff = Some((value("--diff")?, value("--diff")?)),
+            "--help" | "-h" => return Err(None),
+            other => return Err(Some(format!("unknown flag {other}"))),
+        }
+    }
+    if !out.list && out.diff.is_none() {
+        if out.tree.is_some() == out.spec.is_some() {
+            return Err(Some("exactly one of --tree or --spec is required".into()));
+        }
+        if out.variant.is_none() {
+            return Err(Some("--variant is required".into()));
+        }
+    }
+    Ok(out)
+}
+
+fn list() {
+    println!("golden trees (committed traces live in tests/golden/):");
+    for (name, tree) in golden_trees() {
+        println!("  {name:<10} {} nodes", tree.len());
+    }
+    println!("golden variants:");
+    for (name, _) in golden_variants(1) {
+        println!("  {name}");
+    }
+    println!("further variants (the fuzzer's set):");
+    for (name, _) in variants(1) {
+        if !golden_variants(1).iter().any(|(g, _)| *g == name) {
+            println!("  {name}");
+        }
+    }
+}
+
+fn resolve_tree(args: &Args) -> Result<Tree, String> {
+    if let Some(name) = &args.tree {
+        return golden_trees()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .ok_or_else(|| {
+                let known: Vec<String> = golden_trees().into_iter().map(|(n, _)| n).collect();
+                format!("unknown tree {name}; known: {}", known.join(", "))
+            });
+    }
+    let spec = args.spec.as_deref().expect("checked in try_parse");
+    Ok(CaseSpec::decode(spec)?.to_tree())
+}
+
+fn resolve_variant(name: &str, tasks: u64) -> Result<SimConfig, String> {
+    golden_variants(tasks)
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, c)| c)
+        .or_else(|| variant_by_name(name, tasks))
+        .ok_or_else(|| {
+            let mut known: Vec<&str> = golden_variants(1).iter().map(|(n, _)| *n).collect();
+            let extra: Vec<&str> = variants(1)
+                .iter()
+                .map(|(n, _)| *n)
+                .filter(|n| !known.contains(n))
+                .collect();
+            known.extend(extra);
+            format!("unknown variant {name}; known: {}", known.join(", "))
+        })
+}
+
+fn render(records: &[TraceRecord], format: Format) -> Vec<u8> {
+    match format {
+        Format::Jsonl => trace::to_jsonl(records).into_bytes(),
+        Format::Binary => trace::to_binary(records),
+        Format::Pretty => {
+            let mut s = String::new();
+            for r in records {
+                s.push_str(&r.to_string());
+                s.push('\n');
+            }
+            s.into_bytes()
+        }
+        Format::Summary => {
+            let end = trace_end_time(records);
+            let mut s = format!(
+                "{} event(s), end time {end}\n\
+                 node  computed  busy-comp  busy-link  preempt  resume  reqs  high-water\n",
+                records.len()
+            );
+            for (i, tl) in fold_timelines(records).iter().enumerate() {
+                s.push_str(&format!(
+                    "{i:>4}  {:>8}  {:>9}  {:>9}  {:>7}  {:>6}  {:>4}  {:>10}\n",
+                    tl.tasks_computed,
+                    tl.busy_compute,
+                    tl.busy_link,
+                    tl.preemptions,
+                    tl.resumes,
+                    tl.requests_sent,
+                    tl.buffer_high_water,
+                ));
+            }
+            s.into_bytes()
+        }
+    }
+}
+
+/// Prints the first divergence between two traces with surrounding
+/// context. Returns true when the traces are identical.
+fn diff(a_path: &str, b_path: &str) -> Result<bool, String> {
+    let read = |path: &str| -> Result<Vec<TraceRecord>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        trace::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    let common = a.len().min(b.len());
+    let divergence = (0..common).find(|&i| a[i] != b[i]);
+    let Some(first) = divergence.or((a.len() != b.len()).then_some(common)) else {
+        println!("traces identical: {} event(s)", a.len());
+        return Ok(true);
+    };
+    println!(
+        "traces diverge at event {first} ({} vs {} event(s) total)",
+        a.len(),
+        b.len()
+    );
+    let ctx_from = first.saturating_sub(3);
+    for (i, r) in a.iter().enumerate().take(first).skip(ctx_from) {
+        println!("  {i:>6}   {r}");
+    }
+    let show = |label: &str, t: &[TraceRecord], i: usize| match t.get(i) {
+        Some(r) => println!("  {i:>6} {label} {r}"),
+        None => println!("  {i:>6} {label} <end of trace>"),
+    };
+    for i in first..(first + 3).min(common.max(first + 1)) {
+        show("A", &a, i);
+        show("B", &b, i);
+    }
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    let args = match try_parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(Some(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        list();
+        return ExitCode::SUCCESS;
+    }
+    if let Some((a, b)) = &args.diff {
+        return match diff(a, b) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let tree = match resolve_tree(&args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let name = args.variant.as_deref().expect("checked in try_parse");
+    let cfg = match resolve_variant(name, args.tasks) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = record_trace(&tree, &cfg);
+    let bytes = render(&records, args.format);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &bytes) {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} event(s) to {path}", records.len());
+        }
+        None => {
+            std::io::stdout()
+                .write_all(&bytes)
+                .expect("stdout write failed");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -17,11 +17,13 @@
 use bc_core::{GrowthGate, ObserverKind};
 use bc_engine::{FaultInjection, SelectorKind, SimConfig, SimWorkspace, Simulation};
 use bc_platform::{NodeId, Tree};
-use bc_simcore::split_seed;
+use bc_simcore::trace::{RingRecorder, TraceEvent, TraceRecord, TraceSink};
+use bc_simcore::{split_seed, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::IntoParallelIterator;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 
 /// Cap on events per fuzz run — far above any legitimate small-tree run,
 /// so hitting it is itself a caught failure (runaway simulation).
@@ -347,6 +349,58 @@ pub fn run_case(tree: &Tree, cfg: &SimConfig) -> Result<(), String> {
     }
 }
 
+/// A ring recorder behind shared ownership, so the retained tail
+/// survives an engine panic (the simulation — sink included — is
+/// consumed by `catch_unwind`).
+struct SharedRing(Arc<Mutex<RingRecorder>>);
+
+impl TraceSink for SharedRing {
+    fn record(&mut self, time: Time, event: TraceEvent) {
+        self.0.lock().expect("ring poisoned").record(time, event);
+    }
+
+    fn retained(&self, out: &mut Vec<TraceRecord>) {
+        self.0.lock().expect("ring poisoned").retained(out);
+    }
+}
+
+/// Re-runs one case exactly like [`run_case`], but with a bounded flight
+/// recorder attached: returns the verdict plus the last `keep` trace
+/// events leading up to the violation (or the end of a passing run).
+/// `fuzz_protocols --repro` prints this tail so a reproducer comes with
+/// its own event-level post-mortem.
+pub fn trace_tail(
+    tree: &Tree,
+    cfg: &SimConfig,
+    keep: usize,
+) -> (Result<(), String>, Vec<TraceRecord>) {
+    let mut cfg = cfg.clone().with_checked(false);
+    cfg.max_events = FUZZ_MAX_EVENTS;
+    let tree = tree.clone();
+    let ring = Arc::new(Mutex::new(RingRecorder::new(keep.max(1))));
+    let sink = SharedRing(Arc::clone(&ring));
+    let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<(), String> {
+        let mut sim = Simulation::traced(tree, cfg, SimWorkspace::new(), sink);
+        sim.start();
+        sim.verify_invariants().map_err(|v| v.to_string())?;
+        loop {
+            let more = sim.step();
+            sim.verify_invariants()
+                .map_err(|v| format!("{v} (at t={}, {} completed)", sim.now(), sim.completed()))?;
+            if !more {
+                break;
+            }
+        }
+        sim.verify_terminal().map_err(|v| v.to_string())
+    }));
+    let verdict = match outcome {
+        Ok(run) => run,
+        Err(payload) => Err(format!("engine panic: {}", panic_text(&payload))),
+    };
+    let tail = ring.lock().expect("ring poisoned").tail();
+    (verdict, tail)
+}
+
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).into()
@@ -594,6 +648,27 @@ mod tests {
             "got: {}",
             failures[0].message
         );
+    }
+
+    #[test]
+    fn trace_tail_accompanies_the_verdict() {
+        // A passing run: verdict Ok, tail bounded and ending at the final
+        // completion.
+        let spec = generate_case(2003, 0);
+        let cfg = variant_by_name("ic-fb2", 60).unwrap();
+        let (verdict, tail) = trace_tail(&spec.to_tree(), &cfg, 25);
+        assert!(verdict.is_ok(), "{verdict:?}");
+        assert_eq!(tail.len(), 25);
+        assert!(matches!(
+            tail.last().unwrap().event,
+            bc_simcore::TraceEvent::ComputeFinish { .. }
+        ));
+        // A faulty run: verdict Err, and the tail still came back even
+        // though the failure surfaced mid-run.
+        let cfg = cfg.with_fault(FaultInjection::FbOffByOne);
+        let (verdict, tail) = with_quiet_panics(|| trace_tail(&spec.to_tree(), &cfg, 25));
+        assert!(verdict.is_err());
+        assert!(!tail.is_empty());
     }
 
     #[test]

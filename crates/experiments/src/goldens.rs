@@ -1,0 +1,112 @@
+//! Golden-trace scenarios: the canonical platform trees × protocol
+//! variants whose full event streams are committed under `tests/golden/`
+//! and diffed byte-exactly by `tests/golden_traces.rs`.
+//!
+//! The scenario set covers the paper's reference platforms — the Fig 1(b)
+//! tree of §4.2.3 and the first Table 1 campaign trees (the §4.1 random
+//! distribution at the campaign seed) — under every protocol variant the
+//! paper evaluates: non-interruptible with one growable initial buffer,
+//! and interruptible with FB ∈ {1, 2, 3}. A committed trace freezes the
+//! *entire temporal behavior* of a run, so any change to scheduling
+//! order, tie-breaking, growth timing, or event ordering shows up as a
+//! one-line diff in CI — the strongest cheap regression net the
+//! deterministic engine admits.
+//!
+//! Regenerating after an intentional behavior change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! (see CONTRIBUTING.md — bless only with a review of the diff).
+
+use crate::campaign::campaign_tree;
+use bc_engine::{SimConfig, SimWorkspace, Simulation, VecSink};
+use bc_platform::examples::fig1_tree;
+use bc_platform::generator::RandomTreeConfig;
+use bc_platform::Tree;
+use bc_simcore::trace::TraceRecord;
+
+/// Campaign seed the Table 1 golden trees are drawn at (the repo-wide
+/// experiment seed).
+pub const GOLDEN_SEED: u64 = 2003;
+
+/// Table 1 campaign trees included in the golden set (tree `i` =
+/// `campaign_tree(&RandomTreeConfig::default(), GOLDEN_SEED, i)`).
+pub const GOLDEN_TABLE1_TREES: usize = 3;
+
+/// Tasks per golden run — small enough to keep committed traces
+/// reviewable, large enough that every run reaches steady state past the
+/// startup transient.
+pub const GOLDEN_TASKS: u64 = 40;
+
+/// The golden platform trees, named: `fig1` plus `table1-<i>`.
+pub fn golden_trees() -> Vec<(String, Tree)> {
+    let mut out = vec![("fig1".to_string(), fig1_tree())];
+    let cfg = RandomTreeConfig::default();
+    for i in 0..GOLDEN_TABLE1_TREES {
+        out.push((format!("table1-{i}"), campaign_tree(&cfg, GOLDEN_SEED, i)));
+    }
+    out
+}
+
+/// The golden protocol variants: the non-IC protocol (IB=1, growable,
+/// §3.1) and the IC protocol at each paper buffer size (§3.2).
+pub fn golden_variants(tasks: u64) -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("nonic-ib1", SimConfig::non_interruptible(1, tasks)),
+        ("ic-fb1", SimConfig::interruptible(1, tasks)),
+        ("ic-fb2", SimConfig::interruptible(2, tasks)),
+        ("ic-fb3", SimConfig::interruptible(3, tasks)),
+    ]
+}
+
+/// All `(scenario_name, tree, config)` combinations of the golden set;
+/// the committed file is `tests/golden/<scenario_name>.jsonl`.
+pub fn golden_scenarios() -> Vec<(String, Tree, SimConfig)> {
+    let mut out = Vec::new();
+    for (tree_name, tree) in golden_trees() {
+        for (variant, cfg) in golden_variants(GOLDEN_TASKS) {
+            out.push((format!("{tree_name}-{variant}"), tree.clone(), cfg.clone()));
+        }
+    }
+    out
+}
+
+/// Runs one simulation with a recording sink and returns its full trace.
+pub fn record_trace(tree: &Tree, cfg: &SimConfig) -> Vec<TraceRecord> {
+    let sim = Simulation::traced(
+        tree.clone(),
+        cfg.clone(),
+        SimWorkspace::new(),
+        VecSink::new(),
+    );
+    let (_result, _ws, sink) = sim.run_traced();
+    sink.records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_simcore::trace;
+
+    #[test]
+    fn scenario_set_covers_trees_times_variants() {
+        let scenarios = golden_scenarios();
+        assert_eq!(scenarios.len(), (1 + GOLDEN_TABLE1_TREES) * 4);
+        let names: Vec<&str> = scenarios.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert!(names.contains(&"fig1-nonic-ib1"));
+        assert!(names.contains(&"table1-2-ic-fb3"));
+    }
+
+    #[test]
+    fn recorded_traces_are_reproducible_and_parse_back() {
+        let (_, tree, cfg) = golden_scenarios().swap_remove(1); // fig1-ic-fb1
+        let a = record_trace(&tree, &cfg);
+        let b = record_trace(&tree, &cfg);
+        assert_eq!(a, b, "same tree + config must trace identically");
+        assert!(!a.is_empty());
+        let text = trace::to_jsonl(&a);
+        assert_eq!(trace::from_jsonl(&text).unwrap(), a);
+    }
+}

@@ -16,6 +16,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fuzz;
+pub mod goldens;
 pub mod overlay;
 pub mod startup;
 pub mod table1;

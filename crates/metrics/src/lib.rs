@@ -18,9 +18,11 @@
 pub mod onset;
 pub mod plot;
 pub mod stats;
+pub mod timeline;
 pub mod windows;
 
 pub use onset::{detect_onset, onset_cdf, reached_optimal, OnsetConfig};
 pub use plot::Chart;
 pub use stats::{ascii_table, csv, median, percentile, Histogram};
+pub use timeline::{fold_timelines, trace_end_time, NodeTimeline};
 pub use windows::{normalized_curve, window_rates, WindowRate};

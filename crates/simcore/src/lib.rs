@@ -20,9 +20,14 @@
 pub mod agenda;
 pub mod quad_heap;
 pub mod rng;
+pub mod trace;
 pub mod vec_agenda;
 
 pub use agenda::{Agenda, EventHandle, Time};
 pub use quad_heap::{PackedEvent, QuadHeap};
 pub use rng::{job_rng, split_seed};
+pub use trace::{
+    BinWriter, JsonlWriter, NullSink, RingRecorder, TeeSink, TraceEvent, TraceRecord, TraceSink,
+    VecSink,
+};
 pub use vec_agenda::{VecAgenda, VecEventHandle};

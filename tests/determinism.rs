@@ -1,9 +1,12 @@
 //! Reproducibility guarantees: the entire stack — generator, simulator,
 //! campaign — is a pure function of its seeds.
 
+use bandwidth_centric::engine::VecSink;
 use bandwidth_centric::experiments::campaign::{run_campaign, CampaignConfig};
 use bandwidth_centric::metrics::OnsetConfig;
 use bandwidth_centric::prelude::*;
+use bandwidth_centric::simcore::trace;
+use rayon::IntoParallelIterator;
 
 #[test]
 fn generator_is_seed_deterministic() {
@@ -63,6 +66,64 @@ fn campaigns_are_deterministic_under_parallelism() {
         assert_eq!(x.events, y.events);
         assert_eq!(x.optimal_rate, y.optimal_rate);
     }
+}
+
+#[test]
+fn structured_traces_are_bit_identical_across_thread_counts() {
+    // The result-level guarantee above, strengthened to the full event
+    // stream: recording a batch of seeded simulations inside worker pools
+    // of 1, 2, and 4 threads must produce byte-identical JSONL traces.
+    let seeds = [3u64, 17, 42];
+    let configs = [
+        SimConfig::interruptible(2, 150),
+        SimConfig::non_interruptible(1, 150),
+    ];
+    let cases: Vec<(u64, SimConfig)> = seeds
+        .iter()
+        .flat_map(|&s| configs.iter().map(move |c| (s, c.clone())))
+        .collect();
+    let record_all = || -> Vec<String> {
+        cases
+            .clone()
+            .into_par_iter()
+            .map(|(seed, cfg)| {
+                let tree = RandomTreeConfig {
+                    min_nodes: 5,
+                    max_nodes: 40,
+                    comm_min: 1,
+                    comm_max: 10,
+                    compute_scale: 200,
+                }
+                .generate(seed);
+                let sim = Simulation::traced(tree, cfg, SimWorkspace::new(), VecSink::new());
+                let (_result, _ws, sink) = sim.run_traced();
+                trace::to_jsonl(&sink.records)
+            })
+            .collect()
+    };
+    let mut baseline: Option<Vec<String>> = None;
+    for threads in [1usize, 2, 4] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .unwrap();
+        let traces = record_all();
+        match &baseline {
+            None => baseline = Some(traces),
+            Some(b) => {
+                for (i, (one, many)) in b.iter().zip(&traces).enumerate() {
+                    assert_eq!(
+                        one, many,
+                        "trace of case {i} differs between 1 and {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
 }
 
 #[test]

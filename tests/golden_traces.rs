@@ -1,0 +1,154 @@
+//! Golden-trace snapshot tests: the full event stream of every canonical
+//! scenario (Fig 1(b) tree and the first Table 1 campaign trees × the
+//! non-IC and IC/FB∈{1,2,3} protocol variants) must match the committed
+//! JSONL files in `tests/golden/` **byte for byte** — and stay identical
+//! when the recordings run inside worker pools of 1, 2, and 4 threads.
+//!
+//! This extends DESIGN.md invariant 7 ("identical seeds ⇒ identical
+//! traces") from aggregate results down to complete temporal behavior:
+//! any change to scheduling order, tie-breaking, buffer-growth timing, or
+//! event ordering fails here with a one-line diff.
+//!
+//! After an *intentional* behavior change, regenerate with
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! and review the resulting diff like source (see CONTRIBUTING.md). On
+//! mismatch the actual traces are also written to
+//! `$TMPDIR/trace-failures/` so CI can upload them as artifacts.
+
+use bandwidth_centric::experiments::goldens::{golden_scenarios, record_trace};
+use bandwidth_centric::simcore::trace;
+use rayon::IntoParallelIterator;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn failure_dir() -> PathBuf {
+    std::env::temp_dir().join("trace-failures")
+}
+
+fn bless_requested() -> bool {
+    std::env::var("BLESS").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Saves a mismatching actual trace where CI's artifact step picks it up.
+fn stash_failure(name: &str, actual: &str) -> PathBuf {
+    let dir = failure_dir();
+    fs::create_dir_all(&dir).expect("create failure dir");
+    let path = dir.join(format!("{name}.jsonl"));
+    fs::write(&path, actual).expect("write failure artifact");
+    path
+}
+
+#[test]
+fn golden_traces_match_byte_exactly() {
+    let bless = bless_requested();
+    if bless {
+        fs::create_dir_all(golden_dir()).expect("create golden dir");
+    }
+    for (name, tree, cfg) in golden_scenarios() {
+        let actual = trace::to_jsonl(&record_trace(&tree, &cfg));
+        let path = golden_dir().join(format!("{name}.jsonl"));
+        if bless {
+            fs::write(&path, &actual).expect("bless golden trace");
+            continue;
+        }
+        let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden trace {} ({e}); generate with BLESS=1 cargo test --test golden_traces",
+                path.display()
+            )
+        });
+        if expected != actual {
+            let stashed = stash_failure(&name, &actual);
+            let first = expected
+                .lines()
+                .zip(actual.lines())
+                .position(|(e, a)| e != a)
+                .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+            let render = |text: &str| {
+                text.lines()
+                    .nth(first)
+                    .unwrap_or("<end of trace>")
+                    .to_string()
+            };
+            panic!(
+                "golden trace {name} diverged at line {} of {}:\n  expected: {}\n  actual:   {}\n\
+                 full actual trace written to {}\n\
+                 if the behavior change is intentional, re-bless with \
+                 BLESS=1 cargo test --test golden_traces and review the diff",
+                first + 1,
+                path.display(),
+                render(&expected),
+                render(&actual),
+                stashed.display(),
+            );
+        }
+    }
+}
+
+/// Simulations record their trace single-threaded, but campaigns run many
+/// of them inside a worker pool — the stream must not depend on which
+/// worker runs a scenario or how many exist. Replays the whole golden set
+/// under pools of 1, 2, and 4 threads and demands bit-identical bytes
+/// (and agreement with the committed files, when present).
+#[test]
+fn golden_traces_are_bit_identical_at_1_2_4_threads() {
+    let scenarios = golden_scenarios();
+    let mut baseline: Option<Vec<String>> = None;
+    for threads in [1usize, 2, 4] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .unwrap();
+        let traces: Vec<String> = scenarios
+            .clone()
+            .into_par_iter()
+            .map(|(_, tree, cfg)| trace::to_jsonl(&record_trace(&tree, &cfg)))
+            .collect();
+        match &baseline {
+            None => baseline = Some(traces),
+            Some(b) => {
+                for (i, (one, many)) in b.iter().zip(&traces).enumerate() {
+                    assert_eq!(
+                        one, many,
+                        "trace of {} differs between 1 and {threads} worker threads",
+                        scenarios[i].0
+                    );
+                }
+            }
+        }
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
+    // The thread-swept traces must also be the committed ones (skipped
+    // only while bootstrapping a fresh golden set under BLESS).
+    for ((name, _, _), text) in scenarios.iter().zip(baseline.expect("three sweeps ran")) {
+        let path = golden_dir().join(format!("{name}.jsonl"));
+        if let Ok(expected) = fs::read_to_string(&path) {
+            if expected != text {
+                let stashed = stash_failure(name, &text);
+                panic!(
+                    "thread-swept trace of {name} does not match the committed golden \
+                     {} (actual written to {})",
+                    path.display(),
+                    stashed.display()
+                );
+            }
+        } else {
+            assert!(
+                bless_requested(),
+                "missing golden trace {}; generate with BLESS=1 cargo test --test golden_traces",
+                path.display()
+            );
+        }
+    }
+}

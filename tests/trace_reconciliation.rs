@@ -1,0 +1,158 @@
+//! Trace-vs-result reconciliation on random trees.
+//!
+//! The structured trace and the engine's `RunResult` counters are
+//! produced by independent code paths: the trace is emitted at each
+//! instrumentation site, the result counters are accumulated by the
+//! scheduler itself, and `bc_metrics::fold_timelines` reduces the former
+//! without ever seeing the latter. Property-testing their *exact*
+//! agreement on random platforms — per-node task counts, busy spans equal
+//! to `w · tasks` to the timestep, preemption/transfer/request totals,
+//! and a buffer-occupancy replay that must never exceed the configured
+//! FB policy — is evidence that both accountings are right.
+
+use bandwidth_centric::core::BufferPolicy;
+use bandwidth_centric::engine::{SimWorkspace, Simulation, VecSink};
+use bandwidth_centric::metrics::{fold_timelines, trace_end_time, NodeTimeline};
+use bandwidth_centric::prelude::*;
+use bandwidth_centric::simcore::trace::{TraceEvent, TraceRecord};
+use proptest::prelude::*;
+
+const TASKS: u64 = 120;
+
+fn tree_config() -> RandomTreeConfig {
+    RandomTreeConfig {
+        min_nodes: 4,
+        max_nodes: 40,
+        comm_min: 1,
+        comm_max: 10,
+        compute_scale: 50,
+    }
+}
+
+fn variant(index: usize) -> SimConfig {
+    match index {
+        0 => SimConfig::non_interruptible(1, TASKS),
+        1 => SimConfig::interruptible(1, TASKS),
+        2 => SimConfig::interruptible(2, TASKS),
+        _ => SimConfig::interruptible(3, TASKS),
+    }
+}
+
+/// Replays buffer acquire/release events per node, checking that the
+/// `held` fields form a consistent ±1 walk that stays within the policy.
+fn replay_occupancy(records: &[TraceRecord], policy: &BufferPolicy, nodes: usize) {
+    let mut held = vec![0u32; nodes];
+    for r in records {
+        match r.event {
+            TraceEvent::BufferAcquire {
+                node,
+                held: h,
+                capacity,
+            } => {
+                let i = node as usize;
+                held[i] += 1;
+                assert_eq!(
+                    held[i], h,
+                    "acquire at t={} on node {i} skipped a step",
+                    r.time
+                );
+                assert!(
+                    h <= capacity,
+                    "node {i} held {h} of {capacity} at t={}",
+                    r.time
+                );
+                if let BufferPolicy::Fixed(fb) = policy {
+                    assert_eq!(capacity, *fb, "fixed-buffer capacity drifted on node {i}");
+                    assert!(h <= *fb, "node {i} exceeded FB={fb} at t={}", r.time);
+                }
+            }
+            TraceEvent::BufferRelease { node, held: h, .. } => {
+                let i = node as usize;
+                assert!(
+                    held[i] > 0,
+                    "release below zero on node {i} at t={}",
+                    r.time
+                );
+                held[i] -= 1;
+                assert_eq!(
+                    held[i], h,
+                    "release at t={} on node {i} skipped a step",
+                    r.time
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        held.iter().all(|&h| h == 0),
+        "all delivered tasks must be consumed by the end of a finished run"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trace_reconciles_with_run_result(seed in 0u64..10_000, variant_idx in 0usize..4) {
+        let tree = tree_config().generate(seed);
+        let cfg = variant(variant_idx);
+        let sim = Simulation::traced(tree.clone(), cfg.clone(), SimWorkspace::new(), VecSink::new());
+        let (result, _ws, sink) = sim.run_traced();
+        let records = sink.records;
+
+        prop_assert_eq!(result.tasks_completed(), TASKS);
+        prop_assert_eq!(trace_end_time(&records), result.end_time);
+
+        let timelines = fold_timelines(&records);
+        prop_assert!(timelines.len() <= tree.len());
+        let timeline = |i: usize| timelines.get(i).cloned().unwrap_or_default();
+
+        // Compute accounting: the compute-finish count per node matches the
+        // engine's tally, and the summed busy spans equal w · tasks exactly
+        // (closed spans only — a finished run leaves nothing open).
+        let mut finishes = 0u64;
+        for (i, id) in tree.ids().enumerate() {
+            let tl = timeline(i);
+            prop_assert_eq!(tl.open_spans, 0, "finished run left spans open on node {}", i);
+            prop_assert_eq!(tl.tasks_computed, result.tasks_per_node[i]);
+            let expected_busy =
+                u128::from(tree.compute_time(id)) * u128::from(result.tasks_per_node[i]);
+            prop_assert_eq!(u128::from(tl.busy_compute), expected_busy,
+                "busy compute of node {} is not w * tasks", i);
+            prop_assert_eq!(tl.busy_compute, result.busy_compute_per_node[i]);
+            prop_assert_eq!(tl.busy_link, result.busy_link_per_node[i]);
+            prop_assert_eq!(tl.preemptions, result.preemptions_per_node[i]);
+            prop_assert_eq!(tl.buffer_high_water, result.peak_held_per_node[i]);
+            if tl.tasks_received > 0 {
+                // Buffer events sample capacity at acquire/release time;
+                // growable pools can also grow on send/compute completion
+                // (§3.1 rules 2–3) with no adjacent buffer event, so the
+                // sampled maximum is exact only for a fixed policy and a
+                // lower bound otherwise.
+                match cfg.buffers {
+                    BufferPolicy::Fixed(_) => {
+                        prop_assert_eq!(tl.max_capacity, result.max_buffers_per_node[i])
+                    }
+                    _ => prop_assert!(tl.max_capacity <= result.max_buffers_per_node[i]),
+                }
+            }
+            prop_assert_eq!(tl.requests_denied, 0, "no churn, so no denied requests");
+            finishes += tl.tasks_computed;
+        }
+        prop_assert_eq!(finishes, TASKS, "compute-finish count != tasks completed");
+
+        // Global counters reconcile with per-node sums from the trace.
+        let sum = |f: fn(&NodeTimeline) -> u64| timelines.iter().map(f).sum::<u64>();
+        prop_assert_eq!(sum(|t| t.transfers_started), result.transfers_started);
+        prop_assert_eq!(sum(|t| t.preemptions), result.preemptions);
+        prop_assert_eq!(sum(|t| t.requests_sent), result.requests_sent);
+        prop_assert!(sum(|t| t.resumes) <= result.preemptions,
+            "a transfer can only resume after being preempted");
+        // Every transfer that completed delivered exactly one task.
+        prop_assert_eq!(sum(|t| t.transfers_completed), sum(|t| t.tasks_received));
+
+        // Buffer occupancy replayed from the event stream stays within the
+        // configured policy and never goes negative.
+        replay_occupancy(&records, &cfg.buffers, tree.len());
+    }
+}
