@@ -186,6 +186,15 @@ impl BufferLedger {
         self.held -= 1;
     }
 
+    /// Releases `n` covered buffers back to uncovered: the requests (or
+    /// in-flight deliveries) covering them are known lost — a request
+    /// timeout fired, a transfer aborted, or a deferred negative
+    /// acknowledgement resolved. The caller re-requests.
+    pub fn uncover(&mut self, n: u32) {
+        assert!(n <= self.covered, "uncovering more than covered");
+        self.covered -= n;
+    }
+
     /// Applies a §3.1 growth rule. Returns true if a buffer was grown
     /// (the caller should then send a request to cover it).
     pub fn try_grow(&mut self, event: GrowthEvent, child_requests_outstanding: bool) -> bool {
@@ -300,6 +309,28 @@ mod tests {
     fn cannot_over_request() {
         let mut l = BufferLedger::new(BufferPolicy::Fixed(1));
         l.note_requests_sent(2);
+    }
+
+    #[test]
+    fn uncover_releases_lost_coverage() {
+        let mut l = BufferLedger::new(BufferPolicy::Fixed(3));
+        l.note_requests_sent(3);
+        assert_eq!(l.uncovered(), 0);
+        // Two of the three requests were lost in the network; a timeout
+        // withdraws them so they can be re-sent.
+        l.uncover(2);
+        assert_eq!(l.covered(), 1);
+        assert_eq!(l.uncovered(), 2);
+        l.note_requests_sent(2);
+        assert_eq!(l.uncovered(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncovering more than covered")]
+    fn cannot_uncover_below_zero() {
+        let mut l = BufferLedger::new(BufferPolicy::Fixed(2));
+        l.note_requests_sent(1);
+        l.uncover(2);
     }
 
     #[test]

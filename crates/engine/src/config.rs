@@ -85,6 +85,114 @@ pub enum FaultInjection {
         /// Leak period, in deliveries (≥ 1).
         every: u64,
     },
+    /// The repository forgets a reissue: tasks lost to a fault are removed
+    /// from the reissue ledger without re-entering the remaining pool.
+    /// Only meaningful together with a [`FaultPlan`]; violates task
+    /// conservation at the next checker sweep, which is how the ledger
+    /// extension proves it watches the recovery path.
+    SwallowReissue,
+}
+
+/// One scheduled environment fault (absolute simulation time). Unlike
+/// [`FaultInjection`] — deliberate *protocol* bugs the checker must catch
+/// — these model the *network and node failures the protocol is expected
+/// to recover from*; the checker stays silent on a correct recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation time the fault strikes.
+    pub at: u64,
+    /// The node whose uplink (or self, for `Crash`) is hit. Never the
+    /// repository.
+    pub node: NodeId,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// The fault taxonomy of the unreliable-network model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The next `batches` request batches sent by `node` vanish in the
+    /// network: the parent never learns of them, the child's request
+    /// timeout eventually fires and re-issues them with backoff.
+    RequestLoss {
+        /// Request batches to drop (≥ 1).
+        batches: u32,
+    },
+    /// The in-flight task transfer on `node`'s uplink (if any) is torn
+    /// down: the task is lost, the sender observes the reset, the
+    /// repository reissues the task after its detection latency.
+    TransferAbort,
+    /// `node`'s uplink goes dark for `duration` timesteps: requests sent
+    /// during the window are lost, in-flight and arriving transfers abort,
+    /// and negative acknowledgements are deferred to the window's end.
+    LinkOutage {
+        /// Outage length, in timesteps (≥ 1).
+        duration: u64,
+    },
+    /// The subtree rooted at `node` dies abruptly — no goodbye, all
+    /// buffered/computing/in-flight tasks inside it destroyed. Its parent
+    /// discovers the death through missed acknowledgements; the destroyed
+    /// tasks are reissued at the repository.
+    Crash,
+    /// The next `copies` deliveries into `node` each arrive twice (an
+    /// at-least-once network); the duplicate copy must be recognized by
+    /// task identity and dropped.
+    DuplicateDelivery {
+        /// Deliveries to duplicate (≥ 1).
+        copies: u32,
+    },
+}
+
+/// Timeout/retry/reissue tuning of the recovery protocol. All quantities
+/// are sim-time timesteps or counts; defaults are the calibrated choices
+/// documented in DESIGN.md ("Fault model & recovery").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryTuning {
+    /// Base request timeout: a node with unacknowledged (lost) requests
+    /// re-issues them this many timesteps after sending (plus backoff and
+    /// jitter).
+    pub request_timeout: u64,
+    /// Exponential backoff cap: retry `r` waits `request_timeout << min(r,
+    /// backoff_cap)` plus jitter.
+    pub backoff_cap: u32,
+    /// Consecutive fruitless retries after which a node presumes its
+    /// parent dead and stops requesting (a later successful delivery
+    /// revives it).
+    pub max_retries: u32,
+    /// Consecutive transfer failures toward a child after which the parent
+    /// presumes it dead, discards its pending requests, and stops
+    /// delegating to it (a later request from the child revives it).
+    pub missed_ack_threshold: u8,
+    /// Repository-side detection latency: lost tasks re-enter the
+    /// remaining pool this many timesteps after being lost.
+    pub reissue_delay: u64,
+}
+
+impl Default for RecoveryTuning {
+    fn default() -> Self {
+        RecoveryTuning {
+            request_timeout: 32,
+            backoff_cap: 6,
+            max_retries: 5,
+            missed_ack_threshold: 2,
+            reissue_delay: 48,
+        }
+    }
+}
+
+/// A seeded, schedulable plan of environment faults for one run. The plan
+/// is part of the configuration, so a faulted run is exactly as
+/// deterministic and reproducible as a fault-free one: the seed feeds
+/// only the retry jitter.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the deterministic retry jitter.
+    pub seed: u64,
+    /// The scheduled faults (any order; the engine schedules each at its
+    /// absolute time).
+    pub faults: Vec<FaultEvent>,
+    /// Recovery-protocol tuning.
+    pub recovery: RecoveryTuning,
 }
 
 /// Full configuration of one simulation run.
@@ -129,6 +237,11 @@ pub struct SimConfig {
     /// Deliberate protocol fault, for validating the checker itself.
     /// `None` (always, outside checker tests) = faithful protocol.
     pub fault: Option<FaultInjection>,
+    /// Scheduled environment faults (unreliable network / crash model)
+    /// the protocol must recover from. `None` = perfectly reliable
+    /// network, and the recovery plumbing stays entirely off the hot
+    /// path.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -185,6 +298,7 @@ impl SimConfig {
             max_events: 500_000_000,
             checked: cfg!(any(debug_assertions, feature = "checked")),
             fault: None,
+            fault_plan: None,
         }
     }
 
@@ -198,6 +312,12 @@ impl SimConfig {
     /// Injects a deliberate protocol fault (checker validation only).
     pub fn with_fault(mut self, fault: FaultInjection) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Schedules environment faults for the run (see [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -238,6 +358,31 @@ impl SimConfig {
                     return Err("the repository cannot leave".into())
                 }
                 _ => {}
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            if plan.recovery.request_timeout == 0 {
+                return Err("request_timeout must be >= 1".into());
+            }
+            if plan.recovery.missed_ack_threshold == 0 {
+                return Err("missed_ack_threshold must be >= 1".into());
+            }
+            for f in &plan.faults {
+                if f.node == NodeId::ROOT {
+                    return Err("faults cannot target the repository".into());
+                }
+                match f.kind {
+                    FaultKind::RequestLoss { batches: 0 } => {
+                        return Err("RequestLoss needs batches >= 1".into())
+                    }
+                    FaultKind::LinkOutage { duration: 0 } => {
+                        return Err("LinkOutage needs duration >= 1".into())
+                    }
+                    FaultKind::DuplicateDelivery { copies: 0 } => {
+                        return Err("DuplicateDelivery needs copies >= 1".into())
+                    }
+                    _ => {}
+                }
             }
         }
         Ok(())
@@ -327,6 +472,41 @@ mod tests {
         cfg.validate().unwrap();
         assert!(SimConfig::interruptible(3, 10)
             .with_fault(FaultInjection::LeakTask { every: 0 })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn fault_plan_validation() {
+        let plan = |kind, node| FaultPlan {
+            seed: 7,
+            faults: vec![FaultEvent { at: 10, node, kind }],
+            recovery: RecoveryTuning::default(),
+        };
+        SimConfig::interruptible(3, 10)
+            .with_fault_plan(plan(FaultKind::Crash, NodeId(1)))
+            .validate()
+            .unwrap();
+        assert!(SimConfig::interruptible(3, 10)
+            .with_fault_plan(plan(FaultKind::Crash, NodeId::ROOT))
+            .validate()
+            .is_err());
+        assert!(SimConfig::interruptible(3, 10)
+            .with_fault_plan(plan(FaultKind::RequestLoss { batches: 0 }, NodeId(1)))
+            .validate()
+            .is_err());
+        assert!(SimConfig::interruptible(3, 10)
+            .with_fault_plan(plan(FaultKind::LinkOutage { duration: 0 }, NodeId(1)))
+            .validate()
+            .is_err());
+        assert!(SimConfig::interruptible(3, 10)
+            .with_fault_plan(plan(FaultKind::DuplicateDelivery { copies: 0 }, NodeId(1)))
+            .validate()
+            .is_err());
+        let mut degenerate = FaultPlan::default();
+        degenerate.recovery.request_timeout = 0;
+        assert!(SimConfig::interruptible(3, 10)
+            .with_fault_plan(degenerate)
             .validate()
             .is_err());
     }

@@ -59,7 +59,7 @@
 use crate::config::Protocol;
 use crate::sim::Simulation;
 use bc_core::BufferPolicy;
-use bc_platform::NodeId;
+use bc_platform::{NodeId, Tree};
 use bc_rational::Rational;
 use bc_simcore::{TraceRecord, TraceSink};
 use bc_steady::{lp_optimal_rate, SteadyState};
@@ -161,7 +161,7 @@ impl<S: TraceSink> Simulation<S> {
         self.check_quiescent()?;
         self.check_task_conservation()?;
         for i in 0..self.ws.nodes.len() {
-            if self.ws.nodes[i].departed {
+            if self.ws.nodes[i].departed || self.ws.nodes[i].crashed {
                 continue;
             }
             self.check_buffer_legality(i)?;
@@ -197,7 +197,13 @@ impl<S: TraceSink> Simulation<S> {
 
     /// Every dispensed task is somewhere: undispensed at the root, in a
     /// buffer, on a processor, in flight on a link (non-IC send or IC
-    /// slot), or completed. Departed subtrees hold nothing (reclaimed).
+    /// slot), destroyed by a fault and awaiting reissue, or completed.
+    /// Departed subtrees hold nothing (reclaimed into `remaining`);
+    /// crashed subtrees hold nothing (their holdings moved into the lost
+    /// ledger at crash time). A transfer toward a *crashed* child is legal
+    /// — the parent has no global knowledge and learns by missed acks —
+    /// but one toward a *departed* child is a simulator bug (a graceful
+    /// leave disentangles the boundary synchronously).
     fn check_task_conservation(&self) -> Result<(), InvariantViolation> {
         let mut buffered: u64 = 0;
         let mut computing: u64 = 0;
@@ -205,7 +211,7 @@ impl<S: TraceSink> Simulation<S> {
         let mut computed_sum: u64 = 0;
         for (i, n) in self.ws.nodes.iter().enumerate() {
             computed_sum += n.tasks_computed;
-            if n.departed {
+            if n.departed || n.crashed {
                 continue;
             }
             if let Some(l) = &n.ledger {
@@ -244,15 +250,16 @@ impl<S: TraceSink> Simulation<S> {
                 ),
             );
         }
-        let accounted = self.remaining + buffered + computing + in_flight + self.completed;
+        let accounted =
+            self.remaining + buffered + computing + in_flight + self.lost_pending + self.completed;
         if accounted != self.cfg.total_tasks {
             return fail(
                 "task-conservation",
                 format!(
                     "{} tasks injected but {accounted} accounted for \
                      (remaining {} + buffered {buffered} + computing {computing} \
-                     + in-flight {in_flight} + completed {})",
-                    self.cfg.total_tasks, self.remaining, self.completed
+                     + in-flight {in_flight} + lost {} + completed {})",
+                    self.cfg.total_tasks, self.remaining, self.lost_pending, self.completed
                 ),
             );
         }
@@ -342,7 +349,14 @@ impl<S: TraceSink> Simulation<S> {
     /// equal the requests still pending at its parent plus tasks in
     /// flight toward it (one non-IC send, or one occupied IC slot).
     /// Requests are instantaneous control messages, so this holds at
-    /// every quiescent point.
+    /// every quiescent point. Under a fault plan two more terms appear:
+    /// requests lost in the network (covered here, unknown to the parent,
+    /// pending the retry timeout) and undeliverable negative
+    /// acknowledgements (the covering request was voided by an abort or
+    /// denial the node cannot hear about while its uplink is down).
+    /// A node whose parent crashed cannot be reconciled against the dead
+    /// parent's state — it keeps its covered requests and starves, which
+    /// is the accepted fate of an unreachable subtree.
     fn check_coverage(&self, i: usize) -> Result<(), InvariantViolation> {
         let Some(l) = &self.ws.nodes[i].ledger else {
             return Ok(());
@@ -350,6 +364,9 @@ impl<S: TraceSink> Simulation<S> {
         let p = self.ws.parent_of[i].expect("non-root has parent");
         let pos = self.ws.child_pos[i];
         let parent = &self.ws.nodes[p];
+        if parent.crashed {
+            return Ok(());
+        }
         let pending = parent.pending_requests[pos];
         let inbound = match self.cfg.protocol {
             Protocol::NonInterruptible => {
@@ -357,13 +374,18 @@ impl<S: TraceSink> Simulation<S> {
             }
             Protocol::Interruptible => u32::from(parent.slots[pos].is_some()),
         };
-        if l.covered() != pending + inbound {
+        let me = &self.ws.faults[i];
+        let unheard = me.lost_requests + me.pending_nacks;
+        if l.covered() != pending + inbound + unheard {
             return fail(
                 "coverage-coherence",
                 format!(
                     "node {i} has {} covered buffers but its parent {p} sees \
-                     {pending} pending requests + {inbound} in flight",
-                    l.covered()
+                     {pending} pending requests + {inbound} in flight \
+                     (+ {} lost requests + {} pending nacks)",
+                    l.covered(),
+                    me.lost_requests,
+                    me.pending_nacks
                 ),
             );
         }
@@ -590,6 +612,60 @@ impl<S: TraceSink> Simulation<S> {
                 );
             }
         }
+        // Post-fault recovery oracle: once the last crash has happened the
+        // platform is the surviving tree, whose Theorem 1 rate bounds the
+        // tail throughput. Tasks already in the pipeline at the crash
+        // (buffered, computing, or inbound at each surviving node) may
+        // complete on top of that, so the bound carries a pipeline-depth
+        // slack — far below the campaign's task counts, so a simulator
+        // that kept "computing" on crashed capacity still trips it.
+        if let Some(last_crash) = self.fstats.last_crash_time {
+            let surv = self.surviving_tree();
+            let rate_post = SteadyState::analyze(&surv).optimal_rate();
+            let span = end_time.saturating_sub(last_crash);
+            let after = times.iter().filter(|&&t| t > last_crash).count() as u64;
+            let mut slack: u64 = 2;
+            for (i, n) in self.ws.nodes.iter().enumerate() {
+                if i == 0 || n.departed || n.crashed {
+                    continue;
+                }
+                slack += u64::from(n.ledger.as_ref().map_or(0, |l| l.max_capacity())) + 2;
+            }
+            let bound = rate_post.clone() * Rational::new(span as i128, 1)
+                + Rational::from_integer(slack as i128);
+            if Rational::from_integer(after as i128) > bound {
+                return fail(
+                    "rate-oracle",
+                    format!(
+                        "{after} completions in the {span}-timestep window after the last \
+                         crash (t={last_crash}) exceed the surviving tree's optimal rate \
+                         {rate_post} plus pipeline slack {slack}"
+                    ),
+                );
+            }
+        }
         Ok(())
+    }
+
+    /// The platform left standing after all faults: the original tree
+    /// minus crashed (and departed) subtrees, rebuilt in preorder with
+    /// child order preserved. Only meaningful on a statically configured
+    /// run (no scripted changes), which is the only place it is called.
+    fn surviving_tree(&self) -> Tree {
+        let mut surv = Tree::new(self.tree.compute_time(NodeId::ROOT));
+        let mut map = vec![NodeId::ROOT; self.ws.nodes.len()];
+        let mut stack = vec![0usize];
+        while let Some(d) = stack.pop() {
+            for &c in &self.ws.children[d] {
+                if self.ws.nodes[c].crashed || self.ws.nodes[c].departed {
+                    continue;
+                }
+                let id = NodeId(c as u32);
+                map[c] =
+                    surv.add_child(map[d], self.tree.comm_time(id), self.tree.compute_time(id));
+                stack.push(c);
+            }
+        }
+        surv
     }
 }

@@ -18,9 +18,12 @@ pub mod invariants;
 pub mod result;
 pub mod sim;
 
-pub use config::{ChangeKind, FaultInjection, PlannedChange, Protocol, SelectorKind, SimConfig};
+pub use config::{
+    ChangeKind, FaultEvent, FaultInjection, FaultKind, FaultPlan, PlannedChange, Protocol,
+    RecoveryTuning, SelectorKind, SimConfig,
+};
 pub use invariants::InvariantViolation;
-pub use result::RunResult;
+pub use result::{FaultStats, RunResult};
 pub use sim::{SimWorkspace, Simulation};
 
 // Trace plumbing, re-exported so engine users name one crate: the sink

@@ -2,6 +2,38 @@
 
 use bc_simcore::Time;
 
+/// Fault-and-recovery accounting of one run. All zero (and
+/// `last_crash_time` `None`) when no fault plan was configured.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Scheduled faults that actually fired before the run finished.
+    pub faults_injected: u64,
+    /// Tasks destroyed by crashes and aborted transfers.
+    pub tasks_lost: u64,
+    /// Lost tasks the repository re-injected into the remaining pool.
+    pub tasks_reissued: u64,
+    /// Request messages lost in the network.
+    pub requests_dropped: u64,
+    /// Request-timeout retries fired.
+    pub retries: u64,
+    /// Nodes that exhausted their retries and presumed their parent dead.
+    pub gave_up: u64,
+    /// Crash faults applied (subtree roots, not subtree node counts).
+    pub crashes: u64,
+    /// In-flight transfers torn down (by aborts, outages, or delivery to
+    /// a crashed child).
+    pub transfer_aborts: u64,
+    /// Children declared dead after the missed-ack threshold.
+    pub children_declared_dead: u64,
+    /// Declared-dead children that turned out to be alive and rejoined.
+    pub children_revived: u64,
+    /// Duplicated deliveries recognized and dropped.
+    pub duplicates_dropped: u64,
+    /// Time of the last crash fault applied, if any — the start of the
+    /// post-fault window the terminal oracle measures recovery over.
+    pub last_crash_time: Option<Time>,
+}
+
 /// Everything the experiment harness needs from one run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -37,6 +69,8 @@ pub struct RunResult {
     pub transfers_started: u64,
     /// Request control messages sent upward.
     pub requests_sent: u64,
+    /// Fault/recovery accounting (all zero without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl RunResult {
@@ -110,6 +144,7 @@ mod tests {
             preemptions: 1,
             transfers_started: 2,
             requests_sent: 3,
+            faults: FaultStats::default(),
         }
     }
 

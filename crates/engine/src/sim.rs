@@ -38,15 +38,16 @@
 //! warm the capacities, subsequent runs perform **no steady-state heap
 //! allocation at all** (verified by the `alloc_free` integration test).
 
-use crate::config::{ChangeKind, FaultInjection, Protocol, SelectorKind, SimConfig};
-use crate::result::RunResult;
+use crate::config::{
+    ChangeKind, FaultInjection, FaultKind, Protocol, RecoveryTuning, SelectorKind, SimConfig,
+};
+use crate::result::{FaultStats, RunResult};
 use bc_core::{BufferLedger, BufferPolicy, ChildInfo, ChildSelector, GrowthEvent, LatencyObserver};
 use bc_platform::{NodeId, Tree};
-use bc_simcore::{Agenda, EventHandle, NullSink, Time, TraceEvent, TraceSink};
+use bc_simcore::{split_seed, Agenda, EventHandle, NullSink, Time, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy)]
-#[allow(clippy::enum_variant_names)] // the Done suffix is the domain vocabulary
 pub(crate) enum Event {
     ComputeDone {
         node: usize,
@@ -59,6 +60,36 @@ pub(crate) enum Event {
     TransferDone {
         node: usize,
     },
+    /// A scheduled environment fault strikes (index into the plan).
+    Fault {
+        index: usize,
+    },
+    /// `node`'s uplink outage window ends; deferred nacks resolve.
+    OutageEnd {
+        node: usize,
+    },
+    /// `node`'s request timeout fires: any lost requests are withdrawn
+    /// and re-issued with backoff.
+    RequestTimeout {
+        node: usize,
+    },
+    /// The repository's detection latency elapsed: `count` lost tasks
+    /// re-enter the remaining pool.
+    Reissue {
+        count: u64,
+    },
+}
+
+/// How an aborted transfer's negative acknowledgement reaches the
+/// intended receiver.
+#[derive(Clone, Copy)]
+enum Nack {
+    /// The child is live with its uplink up: it re-requests immediately.
+    Instant,
+    /// The child's uplink is down: the nack resolves at the outage's end.
+    Deferred,
+    /// The child crashed: there is no one to notify.
+    None,
 }
 
 /// Non-IC: the single in-flight outbound transfer.
@@ -107,6 +138,11 @@ pub(crate) struct NodeRt {
     /// True once the node has left the overlay (dynamic-topology
     /// extension); departed nodes ignore events and are never selected.
     pub(crate) departed: bool,
+    /// True once the node died abruptly (fault model). Unlike `departed`,
+    /// a crash is *not* globally known: the parent keeps its pending
+    /// requests and keeps delegating until missed acks cross the
+    /// threshold.
+    pub(crate) crashed: bool,
     /// Accumulated processor busy time.
     pub(crate) busy_compute: u64,
     /// Accumulated outbound-link busy (transmitting) time.
@@ -160,6 +196,7 @@ impl NodeRt {
             tasks_computed: 0,
             preemptions: 0,
             departed: false,
+            crashed: false,
             busy_compute: 0,
             busy_link: 0,
             last_pressure: 0,
@@ -182,9 +219,66 @@ impl NodeRt {
         self.tasks_computed = 0;
         self.preemptions = 0;
         self.departed = false;
+        self.crashed = false;
         self.busy_compute = 0;
         self.busy_link = 0;
         self.last_pressure = 0;
+    }
+}
+
+/// Per-node fault-recovery state, kept out of [`NodeRt`] on purpose: the
+/// fault-free hot path never reads it (every access is behind the
+/// `fault_active` gate or inside fault event handlers), and folding these
+/// ~64 bytes into `NodeRt` measurably slows fault-free campaigns by
+/// growing the per-node working set.
+#[derive(Default)]
+pub(crate) struct FaultRt {
+    /// The node exhausted its request retries and presumes its parent
+    /// dead; it stops requesting (a successful delivery revives it).
+    pub(crate) orphaned: bool,
+    /// Requests sent but lost in the network — covered at this node,
+    /// unknown to the parent. Withdrawn and re-sent when the request
+    /// timeout fires.
+    pub(crate) lost_requests: u32,
+    /// Negative acknowledgements (aborted inbound transfers or discarded
+    /// pending requests) that cannot reach this node while its uplink is
+    /// down; resolved at the outage's end.
+    pub(crate) pending_nacks: u32,
+    /// Consecutive fruitless request retries.
+    pub(crate) retry: u32,
+    /// The armed request-timeout event, if any.
+    pub(crate) timeout: Option<EventHandle>,
+    /// The node's uplink is down until this instant.
+    pub(crate) outage_until: Time,
+    /// Request batches from this node still to be dropped.
+    pub(crate) drop_batches: u32,
+    /// Deliveries into this node still to be duplicated.
+    pub(crate) dup_deliveries: u32,
+    /// Consecutive failed transfers toward each child; at the configured
+    /// threshold the child is presumed dead.
+    pub(crate) missed_acks: Vec<u8>,
+}
+
+impl FaultRt {
+    fn fresh(kids: usize) -> FaultRt {
+        FaultRt {
+            missed_acks: vec![0; kids],
+            ..FaultRt::default()
+        }
+    }
+
+    /// Reinitializes for a new run, keeping `missed_acks`' capacity.
+    fn reset(&mut self, kids: usize) {
+        self.orphaned = false;
+        self.lost_requests = 0;
+        self.pending_nacks = 0;
+        self.retry = 0;
+        self.timeout = None;
+        self.outage_until = 0;
+        self.drop_batches = 0;
+        self.dup_deliveries = 0;
+        self.missed_acks.clear();
+        self.missed_acks.resize(kids, 0);
     }
 }
 
@@ -199,6 +293,9 @@ impl NodeRt {
 pub struct SimWorkspace {
     pub(crate) agenda: Agenda<Event>,
     pub(crate) nodes: Vec<NodeRt>,
+    /// Per-node fault-recovery state, parallel to `nodes` (see
+    /// [`FaultRt`] for why it is a separate array).
+    pub(crate) faults: Vec<FaultRt>,
     pub(crate) parent_of: Vec<Option<usize>>,
     /// Position of node `i` within its parent's child list.
     pub(crate) child_pos: Vec<usize>,
@@ -263,6 +360,21 @@ pub struct Simulation<S: TraceSink = NullSink> {
     pub(crate) events_since_sweep: u32,
     /// Fault injection only: deliveries counted toward `LeakTask`.
     faulty_deliveries: u64,
+    /// True iff a fault plan is configured — the single gate keeping the
+    /// recovery plumbing off the fault-free hot path.
+    pub(crate) fault_active: bool,
+    /// Recovery tuning (default when no plan; never read then).
+    recovery: RecoveryTuning,
+    /// Jitter seed from the fault plan.
+    fault_seed: u64,
+    /// Missed-ack threshold; `u8::MAX` without a plan so no child is ever
+    /// presumed dead on the fault-free path.
+    dead_threshold: u8,
+    /// Tasks destroyed by faults and not yet reissued by the repository
+    /// (the conservation ledger's lost term).
+    pub(crate) lost_pending: u64,
+    /// Fault/recovery accounting for the run result.
+    pub(crate) fstats: FaultStats,
 }
 
 impl Simulation {
@@ -289,6 +401,15 @@ impl<S: TraceSink> Simulation<S> {
         cfg.validate().expect("invalid SimConfig");
         tree.validate().expect("invalid Tree");
         let n = tree.len();
+        if let Some(plan) = &cfg.fault_plan {
+            for f in &plan.faults {
+                assert!(
+                    f.node.index() < n,
+                    "fault targets unknown node {} (tree has {n})",
+                    f.node
+                );
+            }
+        }
 
         ws.agenda.reset();
         ws.service_queue.clear();
@@ -328,8 +449,27 @@ impl<S: TraceSink> Simulation<S> {
             ws.nodes.push(NodeRt::fresh(i, kids, &cfg));
         }
         ws.nodes.truncate(n);
+        let reusable_faults = ws.faults.len().min(n);
+        for i in 0..reusable_faults {
+            ws.faults[i].reset(ws.children[i].len());
+        }
+        for i in reusable_faults..n {
+            ws.faults.push(FaultRt::fresh(ws.children[i].len()));
+        }
+        ws.faults.truncate(n);
 
         let remaining = cfg.total_tasks;
+        let fault_active = cfg.fault_plan.is_some();
+        let recovery = cfg
+            .fault_plan
+            .as_ref()
+            .map_or_else(RecoveryTuning::default, |p| p.recovery);
+        let fault_seed = cfg.fault_plan.as_ref().map_or(0, |p| p.seed);
+        let dead_threshold = if fault_active {
+            recovery.missed_ack_threshold
+        } else {
+            u8::MAX
+        };
         Simulation {
             tree,
             cfg,
@@ -348,6 +488,12 @@ impl<S: TraceSink> Simulation<S> {
             check_last_now: 0,
             events_since_sweep: 0,
             faulty_deliveries: 0,
+            fault_active,
+            recovery,
+            fault_seed,
+            dead_threshold,
+            lost_pending: 0,
+            fstats: FaultStats::default(),
         }
     }
 
@@ -359,10 +505,21 @@ impl<S: TraceSink> Simulation<S> {
             return;
         }
         self.started = true;
+        // start() runs at t=0, so scheduling by delay places each fault
+        // at its absolute time.
+        if let Some(plan) = &self.cfg.fault_plan {
+            for (index, f) in plan.faults.iter().enumerate() {
+                self.ws.agenda.schedule(f.at, Event::Fault { index });
+            }
+        }
         for i in 0..self.ws.nodes.len() {
             self.enqueue(i);
         }
-        self.drain();
+        if self.fault_active {
+            self.drain::<true>();
+        } else {
+            self.drain::<false>();
+        }
     }
 
     /// Processes exactly one event (plus the resulting service cascade).
@@ -370,6 +527,18 @@ impl<S: TraceSink> Simulation<S> {
     /// deadlock (empty agenda before the last completion) or event-budget
     /// exhaustion, like [`Simulation::run`].
     pub fn step(&mut self) -> bool {
+        if self.fault_active {
+            self.step_mono::<true>()
+        } else {
+            self.step_mono::<false>()
+        }
+    }
+
+    /// [`Simulation::step`], monomorphized on whether a fault plan is
+    /// active. The `FA = false` instantiation compiles every recovery
+    /// gate out of the event loop, keeping the fault-free hot path at its
+    /// pre-fault-model cost; `FA` always mirrors `self.fault_active`.
+    fn step_mono<const FA: bool>(&mut self) -> bool {
         self.start();
         if self.finished {
             return false;
@@ -386,8 +555,8 @@ impl<S: TraceSink> Simulation<S> {
             "event budget exceeded ({}); runaway simulation",
             self.cfg.max_events
         );
-        self.handle(ev);
-        self.drain();
+        self.handle::<FA>(ev);
+        self.drain::<FA>();
         if self.cfg.checked {
             self.checked_tick();
         }
@@ -410,7 +579,11 @@ impl<S: TraceSink> Simulation<S> {
     /// trace sink (with whatever it recorded).
     pub fn run_traced(mut self) -> (RunResult, SimWorkspace, S) {
         self.start();
-        while self.step() {}
+        if self.fault_active {
+            while self.step_mono::<true>() {}
+        } else {
+            while self.step_mono::<false>() {}
+        }
         self.into_result()
     }
 
@@ -459,6 +632,7 @@ impl<S: TraceSink> Simulation<S> {
             preemptions: self.preemptions,
             transfers_started: self.transfers_started,
             requests_sent: self.requests_sent,
+            faults: self.fstats.clone(),
             completion_times,
         };
         (result, self.ws, self.sink)
@@ -466,21 +640,26 @@ impl<S: TraceSink> Simulation<S> {
 
     // ----- event handling -------------------------------------------------
 
-    fn handle(&mut self, ev: Event) {
+    fn handle<const FA: bool>(&mut self, ev: Event) {
         let node = match ev {
             Event::ComputeDone { node }
             | Event::SendDone { node }
             | Event::TransferDone { node } => node,
+            Event::Fault { index } => return self.on_fault(index),
+            Event::OutageEnd { node } => return self.on_outage_end(node),
+            Event::RequestTimeout { node } => return self.on_request_timeout(node),
+            Event::Reissue { count } => return self.on_reissue(count),
         };
-        if self.ws.nodes[node].departed {
-            // Stale event of a node that left; its task was already
-            // reclaimed by the repository.
+        if self.ws.nodes[node].departed || (FA && self.ws.nodes[node].crashed) {
+            // Stale event of a node that left (task already reclaimed) or
+            // crashed (task already in the lost ledger).
             return;
         }
         match ev {
             Event::ComputeDone { node } => self.on_compute_done(node),
-            Event::SendDone { node } => self.on_send_done(node),
-            Event::TransferDone { node } => self.on_transfer_done(node),
+            Event::SendDone { node } => self.on_send_done::<FA>(node),
+            Event::TransferDone { node } => self.on_transfer_done::<FA>(node),
+            _ => unreachable!("dispatched above"),
         }
     }
 
@@ -506,7 +685,7 @@ impl<S: TraceSink> Simulation<S> {
         self.enqueue(i);
     }
 
-    fn on_send_done(&mut self, i: usize) {
+    fn on_send_done<const FA: bool>(&mut self, i: usize) {
         let s = self.ws.nodes[i]
             .sending
             .take()
@@ -514,14 +693,22 @@ impl<S: TraceSink> Simulation<S> {
         let now = self.ws.agenda.now();
         let duration = now - s.started_at;
         self.ws.nodes[i].busy_link += duration;
-        self.ws.nodes[i].observer.observe(s.child_pos, duration);
         let child = self.ws.children[i][s.child_pos];
+        if FA && self.delivery_blocked(child) {
+            // The receiver is dead or its link is dark: the sender
+            // observes the reset, the task is lost. No latency sample —
+            // nothing was delivered.
+            self.on_delivery_failed(i, s.child_pos, child);
+            self.enqueue(i);
+            return;
+        }
+        self.ws.nodes[i].observer.observe(s.child_pos, duration);
         self.emit(TraceEvent::TransferComplete {
             node: i as u32,
             child: child as u32,
             work: duration,
         });
-        self.deliver(child);
+        self.deliver::<FA>(child);
         // §3.1 growth rule 2: send completed, buffers empty, child request
         // outstanding.
         let pressure = self.has_child_requests(i);
@@ -533,7 +720,7 @@ impl<S: TraceSink> Simulation<S> {
         self.enqueue(i);
     }
 
-    fn on_transfer_done(&mut self, i: usize) {
+    fn on_transfer_done<const FA: bool>(&mut self, i: usize) {
         let a = self.ws.nodes[i]
             .active
             .take()
@@ -544,7 +731,7 @@ impl<S: TraceSink> Simulation<S> {
             .as_mut()
             .expect("active transfer without slot")
             .remaining = 0;
-        self.finish_slot(i, a.child_pos);
+        self.finish_slot::<FA>(i, a.child_pos);
         // Growth rule 2 applies to completed communications in general.
         let pressure = self.has_child_requests(i);
         let now = self.ws.agenda.now();
@@ -553,13 +740,13 @@ impl<S: TraceSink> Simulation<S> {
                 self.ws.nodes[i].last_pressure = now;
             }
         }
-        self.reconcile_link(i);
+        self.reconcile_link::<FA>(i);
         self.enqueue(i);
     }
 
     /// Completes the (already inactive) transfer in `child_pos`'s slot:
     /// records the observation and delivers the task.
-    fn finish_slot(&mut self, i: usize, child_pos: usize) {
+    fn finish_slot<const FA: bool>(&mut self, i: usize, child_pos: usize) {
         let t = self.ws.nodes[i].slots[child_pos]
             .take()
             .expect("completing an empty slot");
@@ -568,17 +755,27 @@ impl<S: TraceSink> Simulation<S> {
             "transfer completed with {} timesteps of work left",
             t.remaining
         );
-        self.ws.nodes[i].observer.observe(child_pos, t.total);
         let child = self.ws.children[i][child_pos];
+        if FA && self.delivery_blocked(child) {
+            self.on_delivery_failed(i, child_pos, child);
+            return;
+        }
+        self.ws.nodes[i].observer.observe(child_pos, t.total);
         self.emit(TraceEvent::TransferComplete {
             node: i as u32,
             child: child as u32,
             work: t.total,
         });
-        self.deliver(child);
+        self.deliver::<FA>(child);
     }
 
-    fn deliver(&mut self, child: usize) {
+    fn deliver<const FA: bool>(&mut self, child: usize) {
+        if FA && self.ws.faults[child].orphaned {
+            // The node had presumed its parent dead; a delivery proves
+            // otherwise and it resumes requesting.
+            self.ws.faults[child].orphaned = false;
+            self.ws.faults[child].retry = 0;
+        }
         let ledger = self.ws.nodes[child]
             .ledger
             .as_mut()
@@ -603,6 +800,14 @@ impl<S: TraceSink> Simulation<S> {
                 // without being computed or forwarded.
                 ledger.take_task();
             }
+        }
+        if FA && self.ws.faults[child].dup_deliveries > 0 {
+            // The network delivered a second copy of the task; the node
+            // recognizes it by identity and drops it without touching the
+            // ledger (at-least-once network, at-most-once buffer).
+            self.ws.faults[child].dup_deliveries -= 1;
+            self.fstats.duplicates_dropped += 1;
+            self.emit(TraceEvent::DuplicateDrop { node: child as u32 });
         }
         self.enqueue(child);
     }
@@ -663,13 +868,10 @@ impl<S: TraceSink> Simulation<S> {
     /// other node learns anything.
     fn apply_join(&mut self, parent: NodeId, comm: u64, compute: u64) {
         let p = parent.index();
-        assert!(
-            p < self.ws.nodes.len(),
-            "join under unknown parent {parent}"
-        );
-        if self.ws.nodes[p].departed {
-            // The contact node left before the newcomer arrived; in a
-            // real overlay the join simply fails.
+        if p >= self.ws.nodes.len() || self.ws.nodes[p].departed || self.ws.nodes[p].crashed {
+            // The contact node is unknown or gone before the newcomer
+            // arrived; in a real overlay the join simply fails.
+            self.emit(TraceEvent::JoinDenied { parent: parent.0 });
             return;
         }
         let id = self.tree.add_child(parent, comm, compute);
@@ -682,6 +884,7 @@ impl<S: TraceSink> Simulation<S> {
         let mut node = NodeRt::fresh(i, 0, &self.cfg);
         node.last_pressure = self.ws.agenda.now();
         self.ws.nodes.push(node);
+        self.ws.faults.push(FaultRt::fresh(0));
         self.emit(TraceEvent::NodeJoin {
             node: i as u32,
             parent: p as u32,
@@ -689,6 +892,7 @@ impl<S: TraceSink> Simulation<S> {
         // Parent-side per-child state.
         self.ws.nodes[p].pending_requests.push(0);
         self.ws.nodes[p].slots.push(None);
+        self.ws.faults[p].missed_acks.push(0);
         self.ws.nodes[p].observer.add_child();
         self.ws.queued.push(false);
         // The newcomer requests its initial tasks; the parent re-evaluates.
@@ -703,8 +907,9 @@ impl<S: TraceSink> Simulation<S> {
         let d0 = node.index();
         assert!(d0 < self.ws.nodes.len(), "leave of unknown node {node}");
         assert!(d0 != 0, "the repository cannot leave");
-        if self.ws.nodes[d0].departed {
-            return; // already gone (idempotent)
+        if self.ws.nodes[d0].departed || self.ws.nodes[d0].crashed {
+            return; // already gone (a crash reclaimed nothing — the
+                    // tasks are in the lost ledger, not handed back)
         }
         // Reclaim from the boundary edge: the still-present parent may be
         // mid-transfer toward the departing subtree root.
@@ -745,7 +950,9 @@ impl<S: TraceSink> Simulation<S> {
         // again; its whole subtree is departed, so don't descend either.
         let mut stack = vec![d0];
         while let Some(d) = stack.pop() {
-            if self.ws.nodes[d].departed {
+            if self.ws.nodes[d].departed || self.ws.nodes[d].crashed {
+                // A crashed branch's holdings are in the lost ledger, not
+                // reclaimable; its whole subtree is crashed too.
                 continue;
             }
             stack.extend(self.ws.children[d].iter().copied());
@@ -770,7 +977,11 @@ impl<S: TraceSink> Simulation<S> {
         self.remaining += reclaimed;
         // The parent's link may have freed; the repository has new work.
         if matches!(self.cfg.protocol, Protocol::Interruptible) {
-            self.reconcile_link(p);
+            if self.fault_active {
+                self.reconcile_link::<true>(p);
+            } else {
+                self.reconcile_link::<false>(p);
+            }
         }
         self.enqueue(p);
         self.enqueue(0);
@@ -785,28 +996,28 @@ impl<S: TraceSink> Simulation<S> {
         }
     }
 
-    fn drain(&mut self) {
+    fn drain<const FA: bool>(&mut self) {
         while let Some(i) = self.ws.service_queue.pop_front() {
             self.ws.queued[i] = false;
             if self.finished {
                 continue;
             }
-            self.service(i);
+            self.service::<FA>(i);
         }
     }
 
-    fn service(&mut self, i: usize) {
-        if self.ws.nodes[i].departed {
+    fn service<const FA: bool>(&mut self, i: usize) {
+        if self.ws.nodes[i].departed || (FA && self.ws.nodes[i].crashed) {
             return;
         }
         if self.cfg.self_first {
             self.fill_processor(i);
-            self.fill_link(i);
+            self.fill_link::<FA>(i);
         } else {
-            self.fill_link(i);
+            self.fill_link::<FA>(i);
             self.fill_processor(i);
         }
-        self.issue_requests(i);
+        self.issue_requests::<FA>(i);
     }
 
     fn fill_processor(&mut self, i: usize) {
@@ -884,17 +1095,17 @@ impl<S: TraceSink> Simulation<S> {
         }
     }
 
-    fn fill_link(&mut self, i: usize) {
+    fn fill_link<const FA: bool>(&mut self, i: usize) {
         match self.cfg.protocol {
-            Protocol::NonInterruptible => self.fill_link_nonic(i),
+            Protocol::NonInterruptible => self.fill_link_nonic::<FA>(i),
             Protocol::Interruptible => {
-                self.fill_slots(i);
-                self.reconcile_link(i);
+                self.fill_slots::<FA>(i);
+                self.reconcile_link::<FA>(i);
             }
         }
     }
 
-    fn fill_link_nonic(&mut self, i: usize) {
+    fn fill_link_nonic<const FA: bool>(&mut self, i: usize) {
         if self.ws.nodes[i].sending.is_some() || !self.has_task(i) {
             return;
         }
@@ -902,6 +1113,7 @@ impl<S: TraceSink> Simulation<S> {
         candidates.clear();
         for p in 0..self.ws.children[i].len() {
             if self.ws.nodes[i].pending_requests[p] > 0
+                && (!FA || self.ws.faults[i].missed_acks[p] < self.dead_threshold)
                 && !self.ws.nodes[self.ws.children[i][p]].departed
             {
                 candidates.push(self.child_info(i, p));
@@ -935,7 +1147,7 @@ impl<S: TraceSink> Simulation<S> {
 
     /// IC: delegate buffered tasks into empty slots of requesting
     /// children, best-priority first, while tasks last.
-    fn fill_slots(&mut self, i: usize) {
+    fn fill_slots<const FA: bool>(&mut self, i: usize) {
         let mut candidates = std::mem::take(&mut self.ws.candidates);
         loop {
             if !self.has_task(i) {
@@ -945,6 +1157,7 @@ impl<S: TraceSink> Simulation<S> {
             for p in 0..self.ws.children[i].len() {
                 if self.ws.nodes[i].pending_requests[p] > 0
                     && self.ws.nodes[i].slots[p].is_none()
+                    && (!FA || self.ws.faults[i].missed_acks[p] < self.dead_threshold)
                     && !self.ws.nodes[self.ws.children[i][p]].departed
                 {
                     candidates.push(self.child_info(i, p));
@@ -971,7 +1184,7 @@ impl<S: TraceSink> Simulation<S> {
 
     /// IC: ensure the link transmits the highest-priority occupied slot,
     /// preempting if a better slot appeared (§3.2).
-    fn reconcile_link(&mut self, i: usize) {
+    fn reconcile_link<const FA: bool>(&mut self, i: usize) {
         let mut candidates = std::mem::take(&mut self.ws.candidates);
         candidates.clear();
         for p in 0..self.ws.children[i].len() {
@@ -990,10 +1203,10 @@ impl<S: TraceSink> Simulation<S> {
                 let a_info = self.child_info(i, a.child_pos);
                 let b_info = self.child_info(i, b);
                 if self.ws.nodes[i].selector.outranks(&b_info, &a_info) {
-                    self.preempt(i);
+                    self.preempt::<FA>(i);
                     // The preempted transfer may have completed at this
                     // exact instant; re-rank rather than assuming `b`.
-                    self.reconcile_link(i);
+                    self.reconcile_link::<FA>(i);
                 }
             }
             _ => {}
@@ -1040,7 +1253,7 @@ impl<S: TraceSink> Simulation<S> {
 
     /// Shelves the active transfer (or finishes it inline if it has
     /// exactly zero work left at this instant).
-    fn preempt(&mut self, i: usize) {
+    fn preempt<const FA: bool>(&mut self, i: usize) {
         self.preemptions += 1;
         self.ws.nodes[i].preemptions += 1;
         let a = self.ws.nodes[i]
@@ -1067,13 +1280,13 @@ impl<S: TraceSink> Simulation<S> {
             });
         }
         if remaining == 0 {
-            self.finish_slot(i, a.child_pos);
+            self.finish_slot::<FA>(i, a.child_pos);
         }
     }
 
     // ----- requests -------------------------------------------------------
 
-    fn issue_requests(&mut self, i: usize) {
+    fn issue_requests<const FA: bool>(&mut self, i: usize) {
         if i == 0 {
             return;
         }
@@ -1096,6 +1309,14 @@ impl<S: TraceSink> Simulation<S> {
         if n == 0 {
             return;
         }
+        if FA && self.ws.faults[i].orphaned {
+            // Retry budget exhausted: presumed-dead parent, stop asking.
+            return;
+        }
+        let ledger = self.ws.nodes[i]
+            .ledger
+            .as_mut()
+            .expect("non-root has ledger");
         ledger.note_requests_sent(n);
         self.requests_sent += n as u64;
         self.emit(TraceEvent::Request {
@@ -1104,8 +1325,425 @@ impl<S: TraceSink> Simulation<S> {
         });
         let parent = self.ws.parent_of[i].expect("non-root has parent");
         let pos = self.ws.child_pos[i];
+        if FA && self.request_lost(i, parent) {
+            // The batch vanished in the network: still covered here (the
+            // node believes it asked), unknown to the parent. The timeout
+            // withdraws and re-sends it.
+            self.ws.faults[i].lost_requests += n;
+            self.fstats.requests_dropped += n as u64;
+            self.emit(TraceEvent::RequestLoss {
+                node: i as u32,
+                count: n,
+            });
+            self.arm_request_timeout(i);
+            return;
+        }
+        // Delivered — requests are instantaneous control messages, so
+        // delivery doubles as the acknowledgement.
+        if FA {
+            self.ws.faults[i].retry = 0;
+        }
         self.ws.nodes[parent].pending_requests[pos] += n;
+        if FA && self.ws.faults[parent].missed_acks[pos] >= self.dead_threshold {
+            // Heard from a child previously presumed dead: revise.
+            self.ws.faults[parent].missed_acks[pos] = 0;
+            self.fstats.children_revived += 1;
+            self.emit(TraceEvent::ChildRevived {
+                node: parent as u32,
+                child: i as u32,
+            });
+        }
         self.enqueue(parent);
+    }
+
+    // ----- fault model & recovery (extension) -------------------------------
+
+    /// A scheduled environment fault strikes.
+    #[cold]
+    #[inline(never)]
+    fn on_fault(&mut self, index: usize) {
+        let f = self
+            .cfg
+            .fault_plan
+            .as_ref()
+            .expect("fault without plan")
+            .faults[index];
+        self.fstats.faults_injected += 1;
+        let node = f.node.index();
+        match f.kind {
+            FaultKind::RequestLoss { batches } => {
+                if !self.ws.nodes[node].departed && !self.ws.nodes[node].crashed {
+                    self.ws.faults[node].drop_batches += batches;
+                }
+            }
+            FaultKind::DuplicateDelivery { copies } => {
+                if !self.ws.nodes[node].departed && !self.ws.nodes[node].crashed {
+                    self.ws.faults[node].dup_deliveries += copies;
+                }
+            }
+            FaultKind::TransferAbort => self.abort_boundary(node, Nack::Instant),
+            FaultKind::LinkOutage { duration } => self.on_link_outage(node, duration),
+            FaultKind::Crash => self.apply_crash(node),
+        }
+    }
+
+    /// Whether `i`'s uplink is currently inside an outage window.
+    fn link_down(&self, i: usize) -> bool {
+        self.ws.faults[i].outage_until > self.ws.agenda.now()
+    }
+
+    /// Whether a completing transfer toward `child` can actually land.
+    fn delivery_blocked(&self, child: usize) -> bool {
+        self.ws.nodes[child].crashed || self.link_down(child)
+    }
+
+    /// A transfer from `i` toward child position `pos` completed its
+    /// transmission but could not be delivered (receiver crashed or its
+    /// link is dark): the task is lost and the sender notices the missed
+    /// acknowledgement.
+    #[cold]
+    #[inline(never)]
+    fn on_delivery_failed(&mut self, i: usize, pos: usize, child: usize) {
+        self.emit(TraceEvent::TransferAbort {
+            node: i as u32,
+            child: child as u32,
+        });
+        self.fstats.transfer_aborts += 1;
+        self.lose_tasks(1);
+        self.note_missed_ack(i, pos);
+        let c = &self.ws.nodes[child];
+        if !c.crashed && !c.departed {
+            // Live but unreachable: the covering request is voided when
+            // the link comes back.
+            self.ws.faults[child].pending_nacks += 1;
+        }
+    }
+
+    /// Tears down the in-flight transfer (if any) from `child`'s parent
+    /// toward `child`. Parked IC slots are left alone — they fail at
+    /// delivery time if the child is still unreachable then.
+    #[cold]
+    #[inline(never)]
+    fn abort_boundary(&mut self, child: usize, nack: Nack) {
+        if self.ws.nodes[child].departed {
+            return;
+        }
+        let Some(p) = self.ws.parent_of[child] else {
+            return;
+        };
+        if self.ws.nodes[p].departed || self.ws.nodes[p].crashed {
+            return;
+        }
+        let pos = self.ws.child_pos[child];
+        let now = self.ws.agenda.now();
+        let mut aborted = false;
+        if let Some(s) = &self.ws.nodes[p].sending {
+            if s.child_pos == pos {
+                let s = self.ws.nodes[p].sending.take().expect("checked above");
+                self.ws.nodes[p].busy_link += now - s.started_at;
+                self.ws.agenda.cancel(s.handle);
+                aborted = true;
+            }
+        }
+        if let Some(a) = &self.ws.nodes[p].active {
+            if a.child_pos == pos {
+                let a = self.ws.nodes[p].active.take().expect("checked above");
+                self.ws.nodes[p].busy_link += now - a.started_at;
+                self.ws.agenda.cancel(a.handle);
+                let t = self.ws.nodes[p].slots[pos].take();
+                debug_assert!(t.is_some(), "active transfer without slot");
+                aborted = true;
+            }
+        }
+        if !aborted {
+            return;
+        }
+        self.emit(TraceEvent::TransferAbort {
+            node: p as u32,
+            child: child as u32,
+        });
+        self.fstats.transfer_aborts += 1;
+        self.lose_tasks(1);
+        self.note_missed_ack(p, pos);
+        match nack {
+            Nack::Instant => {
+                // The child sees its inbound transfer reset: the covering
+                // request is void, so it re-requests immediately.
+                self.ws.nodes[child]
+                    .ledger
+                    .as_mut()
+                    .expect("non-root has ledger")
+                    .uncover(1);
+                self.enqueue(child);
+            }
+            Nack::Deferred => self.ws.faults[child].pending_nacks += 1,
+            Nack::None => {}
+        }
+        if matches!(self.cfg.protocol, Protocol::Interruptible) {
+            // Faults are the only path here, so the plan is active.
+            self.reconcile_link::<true>(p);
+        }
+        self.enqueue(p);
+    }
+
+    /// `node`'s uplink goes dark for `duration` timesteps. Overlapping
+    /// outages extend the window to the furthest end.
+    #[cold]
+    #[inline(never)]
+    fn on_link_outage(&mut self, node: usize, duration: u64) {
+        if self.ws.nodes[node].departed || self.ws.nodes[node].crashed {
+            return;
+        }
+        let until = self.ws.agenda.now() + duration;
+        if until > self.ws.faults[node].outage_until {
+            self.ws.faults[node].outage_until = until;
+            self.ws.agenda.schedule(duration, Event::OutageEnd { node });
+        }
+        self.emit(TraceEvent::LinkDown {
+            node: node as u32,
+            until: self.ws.faults[node].outage_until,
+        });
+        // Anything mid-flight toward the node is torn down; the nack
+        // cannot cross the dark link until the outage ends.
+        self.abort_boundary(node, Nack::Deferred);
+    }
+
+    /// `node`'s outage window ended: deferred nacks resolve and the node
+    /// re-requests for the newly voided coverage.
+    #[cold]
+    #[inline(never)]
+    fn on_outage_end(&mut self, node: usize) {
+        if self.ws.nodes[node].departed || self.ws.nodes[node].crashed {
+            return;
+        }
+        if self.ws.agenda.now() < self.ws.faults[node].outage_until {
+            return; // superseded by a longer overlapping outage
+        }
+        let k = self.ws.faults[node].pending_nacks;
+        self.ws.faults[node].pending_nacks = 0;
+        if k > 0 {
+            self.ws.nodes[node]
+                .ledger
+                .as_mut()
+                .expect("non-root has ledger")
+                .uncover(k);
+        }
+        self.emit(TraceEvent::LinkUp { node: node as u32 });
+        self.enqueue(node);
+    }
+
+    /// The subtree rooted at `d0` dies abruptly. Unlike a graceful
+    /// [`apply_leave`](Self::apply_leave), nothing is handed back: every
+    /// task the subtree holds is destroyed and enters the repository's
+    /// reissue ledger after the detection latency, and the parent is NOT
+    /// told — it keeps its pending requests and keeps delegating until
+    /// missed acks cross the threshold (locality: no global knowledge).
+    #[cold]
+    #[inline(never)]
+    fn apply_crash(&mut self, d0: usize) {
+        if self.ws.nodes[d0].departed || self.ws.nodes[d0].crashed {
+            return;
+        }
+        // The boundary in-flight transfer aborts immediately: the sender's
+        // link observes the reset (one missed ack right away).
+        self.abort_boundary(d0, Nack::None);
+        let mut lost: u64 = 0;
+        let mut stack = vec![d0];
+        while let Some(d) = stack.pop() {
+            if self.ws.nodes[d].departed || self.ws.nodes[d].crashed {
+                // Already-gone branches hold nothing (reclaimed or lost
+                // when they went); don't descend or count them again.
+                continue;
+            }
+            stack.extend(self.ws.children[d].iter().copied());
+            let n = &mut self.ws.nodes[d];
+            n.crashed = true;
+            let timeout = self.ws.faults[d].timeout.take();
+            if n.computing_since.take().is_some() {
+                lost += 1;
+            }
+            let sending = n.sending.take();
+            if sending.is_some() {
+                lost += 1;
+            }
+            let active = n.active.take();
+            lost += n.slots.iter_mut().filter_map(Option::take).count() as u64;
+            lost += n.ledger.as_ref().map_or(0, |l| l.held()) as u64;
+            n.pending_requests.iter_mut().for_each(|r| *r = 0);
+            if let Some(h) = timeout {
+                self.ws.agenda.cancel(h);
+            }
+            if let Some(s) = sending {
+                self.ws.agenda.cancel(s.handle);
+            }
+            if let Some(a) = active {
+                self.ws.agenda.cancel(a.handle);
+            }
+        }
+        self.emit(TraceEvent::NodeCrash {
+            node: d0 as u32,
+            lost,
+        });
+        self.fstats.crashes += 1;
+        self.fstats.last_crash_time = Some(self.ws.agenda.now());
+        self.lose_tasks(lost);
+    }
+
+    /// `n` tasks were destroyed by a fault: they enter the lost ledger and
+    /// the repository re-injects them after the detection latency.
+    #[cold]
+    #[inline(never)]
+    fn lose_tasks(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.lost_pending += n;
+        self.fstats.tasks_lost += n;
+        self.ws
+            .agenda
+            .schedule(self.recovery.reissue_delay, Event::Reissue { count: n });
+    }
+
+    /// The repository's detection latency elapsed: `count` lost tasks
+    /// re-enter the remaining pool (exactly once — conservation holds).
+    #[cold]
+    #[inline(never)]
+    fn on_reissue(&mut self, count: u64) {
+        debug_assert!(self.lost_pending >= count, "reissue of untracked tasks");
+        self.lost_pending -= count;
+        if matches!(self.cfg.fault, Some(FaultInjection::SwallowReissue)) {
+            // The injected bug: the repository forgets the lost tasks.
+            // Task conservation breaks and the checker must say so.
+            return;
+        }
+        self.remaining += count;
+        self.fstats.tasks_reissued += count;
+        self.emit(TraceEvent::TaskReissue { count });
+        self.enqueue(0);
+    }
+
+    /// `i`'s request timeout fired: withdraw any lost requests and re-send
+    /// them, or give up after the retry budget (a later successful
+    /// delivery revives the node).
+    #[cold]
+    #[inline(never)]
+    fn on_request_timeout(&mut self, i: usize) {
+        self.ws.faults[i].timeout = None;
+        if self.ws.nodes[i].departed || self.ws.nodes[i].crashed {
+            return;
+        }
+        let lost = self.ws.faults[i].lost_requests;
+        if lost == 0 {
+            // Everything sent since arming was acknowledged.
+            self.ws.faults[i].retry = 0;
+            return;
+        }
+        self.ws.faults[i].retry += 1;
+        let retry = self.ws.faults[i].retry;
+        self.ws.faults[i].lost_requests = 0;
+        self.ws.nodes[i]
+            .ledger
+            .as_mut()
+            .expect("non-root has ledger")
+            .uncover(lost);
+        if retry > self.recovery.max_retries {
+            self.ws.faults[i].orphaned = true;
+            self.fstats.gave_up += 1;
+            return;
+        }
+        self.fstats.retries += 1;
+        self.emit(TraceEvent::RequestRetry {
+            node: i as u32,
+            retry,
+            count: lost,
+        });
+        self.enqueue(i);
+    }
+
+    /// Arms `i`'s request timeout (one outstanding at a time) with
+    /// exponential backoff and deterministic seeded jitter.
+    #[cold]
+    #[inline(never)]
+    fn arm_request_timeout(&mut self, i: usize) {
+        if self.ws.faults[i].timeout.is_some() {
+            return;
+        }
+        let retry = self.ws.faults[i].retry;
+        let base = self.recovery.request_timeout;
+        let shift = retry.min(self.recovery.backoff_cap).min(32);
+        let jitter =
+            split_seed(self.fault_seed, ((i as u64) << 32) | retry as u64) % (base / 4 + 1);
+        let deadline = base.saturating_mul(1u64 << shift).saturating_add(jitter);
+        let handle = self
+            .ws
+            .agenda
+            .schedule(deadline, Event::RequestTimeout { node: i });
+        self.ws.faults[i].timeout = Some(handle);
+    }
+
+    /// A transfer from `i` toward child position `pos` went unacknowledged;
+    /// at the threshold the child is presumed dead.
+    #[cold]
+    #[inline(never)]
+    fn note_missed_ack(&mut self, i: usize, pos: usize) {
+        if self.ws.faults[i].missed_acks[pos] >= self.dead_threshold {
+            return;
+        }
+        self.ws.faults[i].missed_acks[pos] += 1;
+        if self.ws.faults[i].missed_acks[pos] >= self.dead_threshold {
+            self.declare_dead(i, pos);
+        }
+    }
+
+    /// `i` declares child position `pos` dead: its outstanding requests are
+    /// discarded and it stops being a delegation candidate until it is
+    /// heard from again. The belief may be wrong (outage, not crash) — a
+    /// live child must not starve on requests the parent silently dropped,
+    /// so it is nacked like an aborted transfer.
+    #[cold]
+    #[inline(never)]
+    fn declare_dead(&mut self, i: usize, pos: usize) {
+        let child = self.ws.children[i][pos];
+        self.fstats.children_declared_dead += 1;
+        self.emit(TraceEvent::ChildDead {
+            node: i as u32,
+            child: child as u32,
+        });
+        let denied = self.ws.nodes[i].pending_requests[pos];
+        if denied == 0 {
+            return;
+        }
+        self.ws.nodes[i].pending_requests[pos] = 0;
+        self.emit(TraceEvent::RequestDeny {
+            node: i as u32,
+            child: child as u32,
+            count: denied,
+        });
+        if self.ws.nodes[child].crashed || self.ws.nodes[child].departed {
+            return;
+        }
+        if self.link_down(child) {
+            self.ws.faults[child].pending_nacks += denied;
+        } else {
+            self.ws.nodes[child]
+                .ledger
+                .as_mut()
+                .expect("non-root has ledger")
+                .uncover(denied);
+            self.enqueue(child);
+        }
+    }
+
+    /// Whether the request batch `i` is sending right now gets lost
+    /// (scheduled drop, dark uplink, or dead parent).
+    #[cold]
+    #[inline(never)]
+    fn request_lost(&mut self, i: usize, parent: usize) -> bool {
+        if self.ws.faults[i].drop_batches > 0 {
+            self.ws.faults[i].drop_batches -= 1;
+            return true;
+        }
+        self.link_down(i) || self.ws.nodes[parent].crashed
     }
 
     // ----- introspection (for tests) ---------------------------------------

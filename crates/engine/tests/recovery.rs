@@ -1,0 +1,420 @@
+//! The unreliable-network fault model end-to-end: every fault kind is
+//! recovered from under checked mode (conservation exact, checker
+//! silent), recovery stats are reported faithfully, the checker catches
+//! a repository that forgets to reissue, and denied joins are graceful.
+
+use bc_core::GrowthGate;
+use bc_engine::{
+    ChangeKind, FaultEvent, FaultInjection, FaultKind, FaultPlan, PlannedChange, RecoveryTuning,
+    SimConfig, SimWorkspace, Simulation, TraceEvent, VecSink,
+};
+use bc_platform::examples::fig1_tree;
+use bc_platform::{NodeId, RandomTreeConfig, Tree};
+use bc_simcore::split_seed;
+
+fn variants(total_tasks: u64) -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("ic-fb1", SimConfig::interruptible(1, total_tasks)),
+        ("ic-fb3", SimConfig::interruptible(3, total_tasks)),
+        ("nonic-ib1", SimConfig::non_interruptible(1, total_tasks)),
+        (
+            "nonic-ib1-filled",
+            SimConfig::non_interruptible_gated(1, GrowthGate::AfterPoolFilled, total_tasks),
+        ),
+        (
+            "nonic-fb2",
+            SimConfig::non_interruptible_fixed(2, total_tasks),
+        ),
+    ]
+}
+
+fn small_tree(seed: u64) -> Tree {
+    RandomTreeConfig {
+        min_nodes: 8,
+        max_nodes: 14,
+        comm_min: 1,
+        comm_max: 10,
+        compute_scale: 60,
+    }
+    .generate(seed)
+}
+
+/// 0 -> 1 -> 2 -> 3 -> 4 chain plus a side child: guarantees
+/// ancestor/descendant fault interplay and keeps the root fed.
+fn chain_tree() -> Tree {
+    let mut tree = Tree::new(10);
+    let mut prev = NodeId::ROOT;
+    for _ in 0..4 {
+        prev = tree.add_child(prev, 2, 7);
+    }
+    tree.add_child(NodeId::ROOT, 3, 9);
+    tree
+}
+
+fn plan(faults: Vec<FaultEvent>) -> FaultPlan {
+    FaultPlan {
+        seed: 0xFA_17,
+        faults,
+        recovery: RecoveryTuning::default(),
+    }
+}
+
+/// A mixed low-intensity fault plan completes every task on every
+/// protocol variant across a spread of random trees, with the checker
+/// on the whole way: conservation stays exact through loss, abort,
+/// outage, and crash.
+#[test]
+fn mixed_faults_recover_across_variants() {
+    for (name, cfg) in variants(500) {
+        for s in 0..4u64 {
+            let tree = small_tree(split_seed(0xBAD_CAB1E, s));
+            let leaf = NodeId((tree.len() - 1) as u32);
+            let cfg = cfg.clone().with_checked(true).with_fault_plan(plan(vec![
+                FaultEvent {
+                    at: 40,
+                    node: NodeId(1),
+                    kind: FaultKind::RequestLoss { batches: 2 },
+                },
+                FaultEvent {
+                    at: 90,
+                    node: NodeId(2),
+                    kind: FaultKind::TransferAbort,
+                },
+                FaultEvent {
+                    at: 150,
+                    node: NodeId(1),
+                    kind: FaultKind::LinkOutage { duration: 60 },
+                },
+                FaultEvent {
+                    at: 400,
+                    node: leaf,
+                    kind: FaultKind::Crash,
+                },
+            ]));
+            let r = Simulation::new(tree, cfg).run();
+            assert_eq!(r.tasks_completed(), 500, "{name} on tree {s}");
+            assert_eq!(r.faults.faults_injected, 4, "{name} on tree {s}");
+            assert_eq!(
+                r.faults.tasks_lost, r.faults.tasks_reissued,
+                "{name} on tree {s}: every lost task must be reissued"
+            );
+        }
+    }
+}
+
+/// A crash while a transfer is in flight toward the crashing subtree:
+/// the boundary transfer aborts, the lost tasks are reissued, and the
+/// full task count still completes (on the surviving platform).
+#[test]
+fn crash_mid_transfer_conserves_tasks() {
+    for (name, cfg) in variants(600) {
+        let cfg = cfg
+            .with_checked(true)
+            .with_fault_plan(plan(vec![FaultEvent {
+                at: 120,
+                node: NodeId(1),
+                kind: FaultKind::Crash,
+            }]));
+        let r = Simulation::new(chain_tree(), cfg).run();
+        assert_eq!(r.tasks_completed(), 600, "{name}");
+        assert_eq!(r.faults.crashes, 1, "{name}");
+        assert!(r.faults.tasks_lost > 0, "{name}: chain held tasks at t=120");
+        assert_eq!(r.faults.tasks_lost, r.faults.tasks_reissued, "{name}");
+        assert_eq!(r.faults.last_crash_time, Some(120), "{name}");
+    }
+}
+
+/// Nested crash storm: a deep node crashes, then an ancestor of it
+/// crashes. The second crash's subtree walk must not re-count the
+/// already-lost branch (the crashed ledger still reports holdings).
+#[test]
+fn nested_crashes_conserve_tasks() {
+    for (name, cfg) in variants(600) {
+        let cfg = cfg.with_checked(true).with_fault_plan(plan(vec![
+            FaultEvent {
+                at: 100,
+                node: NodeId(3),
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                at: 220,
+                node: NodeId(1),
+                kind: FaultKind::Crash,
+            },
+        ]));
+        let r = Simulation::new(chain_tree(), cfg).run();
+        assert_eq!(r.tasks_completed(), 600, "{name}");
+        assert_eq!(r.faults.crashes, 2, "{name}");
+        assert_eq!(r.faults.tasks_lost, r.faults.tasks_reissued, "{name}");
+    }
+}
+
+/// Crash-inside-leave interplay: a node crashes, then a scripted
+/// graceful leave takes an ancestor. The leave's reclaim walk must skip
+/// the crashed branch — its tasks are in the lost ledger, not
+/// reclaimable — or conservation double-counts.
+#[test]
+fn leave_of_ancestor_skips_crashed_branch() {
+    for (name, cfg) in variants(600) {
+        let cfg = cfg
+            .with_checked(true)
+            .with_fault_plan(plan(vec![FaultEvent {
+                at: 80,
+                node: NodeId(3),
+                kind: FaultKind::Crash,
+            }]))
+            .with_change(PlannedChange {
+                after_tasks: 250,
+                node: NodeId(1),
+                kind: ChangeKind::Leave,
+            });
+        let r = Simulation::new(chain_tree(), cfg).run();
+        assert_eq!(r.tasks_completed(), 600, "{name}");
+        assert_eq!(r.faults.tasks_lost, r.faults.tasks_reissued, "{name}");
+    }
+}
+
+/// Request loss alone: the batch vanishes, the timeout fires, the
+/// retry re-covers, nothing is lost and nothing needs reissue.
+#[test]
+fn request_loss_retries_until_delivered() {
+    for (name, cfg) in variants(400) {
+        let cfg = cfg
+            .with_checked(true)
+            .with_fault_plan(plan(vec![FaultEvent {
+                at: 30,
+                node: NodeId(1),
+                kind: FaultKind::RequestLoss { batches: 3 },
+            }]));
+        let r = Simulation::new(fig1_tree(), cfg).run();
+        assert_eq!(r.tasks_completed(), 400, "{name}");
+        assert!(r.faults.requests_dropped > 0, "{name}");
+        assert!(r.faults.retries > 0, "{name}");
+        assert_eq!(r.faults.tasks_lost, 0, "{name}: no task ever in danger");
+    }
+}
+
+/// A long outage makes the parent miss enough acks to declare the child
+/// dead — a false positive, since the child is only unreachable. When
+/// the link returns the child re-requests and must be revived.
+#[test]
+fn declared_dead_child_revives_after_outage() {
+    // A fast child (w=1) drains its buffers and piles requests up at the
+    // root, so the root keeps delegating into the outage and misses
+    // enough acks to cross the threshold.
+    let mut tree = Tree::new(6);
+    tree.add_child(NodeId::ROOT, 2, 1);
+    // Capacity-3 variants only: a 1-buffer child never has two covered
+    // requests in flight at once, so the parent cannot accumulate the
+    // two missed acks the threshold needs.
+    let caps3 = vec![
+        ("ic-fb3", SimConfig::interruptible(3, 400)),
+        ("nonic-fb3", SimConfig::non_interruptible_fixed(3, 400)),
+    ];
+    for (name, cfg) in caps3 {
+        let mut p = plan(vec![FaultEvent {
+            at: 25,
+            node: NodeId(1),
+            kind: FaultKind::LinkOutage { duration: 600 },
+        }]);
+        // Short timeout so retries burn through the outage window and the
+        // parent keeps attempting deliveries that fail.
+        p.recovery.request_timeout = 8;
+        p.recovery.backoff_cap = 2;
+        p.recovery.max_retries = 200;
+        let cfg = cfg.with_checked(true).with_fault_plan(p);
+        let r = Simulation::new(tree.clone(), cfg).run();
+        assert_eq!(r.tasks_completed(), 400, "{name}");
+        assert!(r.faults.children_declared_dead >= 1, "{name}");
+        assert!(
+            r.faults.children_revived >= 1,
+            "{name}: live child must rejoin after the outage"
+        );
+    }
+}
+
+/// Every request batch a child sends is dropped: it exhausts its retry
+/// budget, presumes the parent dead, and goes quiet. The repository
+/// computes the whole application itself; the run still terminates.
+#[test]
+fn orphaned_node_gives_up_and_run_completes() {
+    let mut tree = Tree::new(4);
+    tree.add_child(NodeId::ROOT, 2, 3);
+    for (name, cfg) in variants(300) {
+        // The initial batch goes out during start-up, before the t=0
+        // fault event is processed, so the child computes a handful of
+        // tasks first — every batch after that is dropped. Short
+        // timeouts so the retry budget burns out well before wind-down.
+        let mut p = plan(vec![FaultEvent {
+            at: 0,
+            node: NodeId(1),
+            kind: FaultKind::RequestLoss { batches: 1000 },
+        }]);
+        p.recovery.request_timeout = 4;
+        p.recovery.backoff_cap = 2;
+        p.recovery.max_retries = 3;
+        let cfg = cfg.with_checked(true).with_fault_plan(p);
+        let r = Simulation::new(tree.clone(), cfg).run();
+        assert_eq!(r.tasks_completed(), 300, "{name}");
+        assert_eq!(r.faults.gave_up, 1, "{name}");
+        assert!(
+            r.tasks_per_node[1] < 20,
+            "{name}: orphan kept receiving tasks ({})",
+            r.tasks_per_node[1]
+        );
+    }
+}
+
+/// Duplicated deliveries are recognized and dropped without touching the
+/// ledger — at-least-once network, at-most-once buffer.
+#[test]
+fn duplicate_deliveries_are_dropped() {
+    for (name, cfg) in variants(400) {
+        let cfg = cfg
+            .with_checked(true)
+            .with_fault_plan(plan(vec![FaultEvent {
+                at: 50,
+                node: NodeId(1),
+                kind: FaultKind::DuplicateDelivery { copies: 3 },
+            }]));
+        let r = Simulation::new(fig1_tree(), cfg).run();
+        assert_eq!(r.tasks_completed(), 400, "{name}");
+        assert_eq!(r.faults.duplicates_dropped, 3, "{name}");
+    }
+}
+
+/// Fault plumbing is transparent when the plan schedules nothing: a run
+/// with an empty fault plan is bit-identical to a run without one.
+#[test]
+fn empty_fault_plan_changes_nothing() {
+    for (name, cfg) in variants(500) {
+        let tree = small_tree(split_seed(0xD1FF, 5));
+        let plain = Simulation::new(tree.clone(), cfg.clone().with_checked(true)).run();
+        let planned =
+            Simulation::new(tree, cfg.with_checked(true).with_fault_plan(plan(vec![]))).run();
+        assert_eq!(plain.end_time, planned.end_time, "{name}");
+        assert_eq!(plain.completion_times, planned.completion_times, "{name}");
+        assert_eq!(plain.events_processed, planned.events_processed, "{name}");
+        assert_eq!(plain.tasks_per_node, planned.tasks_per_node, "{name}");
+    }
+}
+
+/// Fault runs are deterministic: same plan, same seed, same everything.
+#[test]
+fn fault_runs_are_deterministic() {
+    let mk = || {
+        let cfg = SimConfig::interruptible(3, 500)
+            .with_checked(true)
+            .with_fault_plan(plan(vec![
+                FaultEvent {
+                    at: 60,
+                    node: NodeId(2),
+                    kind: FaultKind::LinkOutage { duration: 90 },
+                },
+                FaultEvent {
+                    at: 200,
+                    node: NodeId(4),
+                    kind: FaultKind::Crash,
+                },
+            ]));
+        Simulation::new(small_tree(split_seed(0xDE7, 1)), cfg).run()
+    };
+    let (a, b) = (mk(), mk());
+    assert_eq!(a.completion_times, b.completion_times);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.faults, b.faults);
+}
+
+/// Checker self-test: a repository that swallows a reissue (the lost
+/// tasks never re-enter the pool) breaks task conservation, and the
+/// extended ledger — which tracks `lost` as a first-class term — says so.
+#[test]
+#[should_panic(expected = "task-conservation")]
+fn swallowed_reissue_is_caught() {
+    let cfg = SimConfig::interruptible(3, 500)
+        .with_checked(true)
+        .with_fault(FaultInjection::SwallowReissue)
+        .with_fault_plan(plan(vec![FaultEvent {
+            at: 100,
+            node: NodeId(1),
+            kind: FaultKind::Crash,
+        }]));
+    let _ = Simulation::new(fig1_tree(), cfg).run();
+}
+
+/// Regression (was a panic): a scripted join whose contact node already
+/// left is denied gracefully, with a trace event, and the run completes.
+#[test]
+fn join_after_parent_leave_is_denied() {
+    for (name, cfg) in variants(500) {
+        let cfg = cfg
+            .with_checked(true)
+            .with_change(PlannedChange {
+                after_tasks: 100,
+                node: NodeId(2),
+                kind: ChangeKind::Leave,
+            })
+            .with_change(PlannedChange {
+                after_tasks: 200,
+                node: NodeId(2),
+                kind: ChangeKind::Join {
+                    comm: 2,
+                    compute: 5,
+                },
+            });
+        let sim = Simulation::traced(
+            small_tree(split_seed(3, 3)),
+            cfg,
+            SimWorkspace::new(),
+            VecSink::new(),
+        );
+        let (r, _ws, sink) = sim.run_traced();
+        assert_eq!(r.tasks_completed(), 500, "{name}");
+        assert!(
+            sink.records
+                .iter()
+                .any(|rec| matches!(rec.event, TraceEvent::JoinDenied { parent: 2 })),
+            "{name}: denial must be traced"
+        );
+    }
+}
+
+/// Regression (was a panic): a join addressed to a node id that does not
+/// exist is denied, not asserted on.
+#[test]
+fn join_under_unknown_parent_is_denied() {
+    let cfg = SimConfig::interruptible(2, 300)
+        .with_checked(true)
+        .with_change(PlannedChange {
+            after_tasks: 50,
+            node: NodeId(99),
+            kind: ChangeKind::Join {
+                comm: 2,
+                compute: 5,
+            },
+        });
+    let r = Simulation::new(fig1_tree(), cfg).run();
+    assert_eq!(r.tasks_completed(), 300);
+}
+
+/// A join under a *crashed* contact node is likewise denied.
+#[test]
+fn join_under_crashed_parent_is_denied() {
+    let cfg = SimConfig::interruptible(2, 400)
+        .with_checked(true)
+        .with_fault_plan(plan(vec![FaultEvent {
+            at: 20,
+            node: NodeId(1),
+            kind: FaultKind::Crash,
+        }]))
+        .with_change(PlannedChange {
+            after_tasks: 150,
+            node: NodeId(1),
+            kind: ChangeKind::Join {
+                comm: 2,
+                compute: 5,
+            },
+        });
+    let r = Simulation::new(fig1_tree(), cfg).run();
+    assert_eq!(r.tasks_completed(), 400);
+}

@@ -9,18 +9,20 @@
 //! * `--smoke` — a CI-sized slice (~60 s budget): a reduced case count
 //!   plus the full self-test.
 //! * `--self-test` — inject deliberate protocol faults (FB off-by-one,
-//!   task leak) and verify the checker catches them and the shrinker
-//!   minimizes the FB case to ≤ 5 nodes. Exit 1 if the checker misses.
-//! * `--repro SPEC --variant NAME [--fault fb|leak:N]` — re-run one
-//!   shrunk case printed by a previous fuzz run. Exit 1 while the
-//!   failure reproduces, 0 once it is fixed.
+//!   task leak, swallowed reissue) and verify the checker catches them
+//!   and the shrinker minimizes the FB case to ≤ 5 nodes. Exit 1 if the
+//!   checker misses.
+//! * `--repro SPEC --variant NAME [--fault fb|leak:N|swallow]` — re-run
+//!   one shrunk case printed by a previous fuzz run (the spec's third
+//!   `|` segment, when present, is its fault schedule). Exit 1 while
+//!   the failure reproduces, 0 once it is fixed.
 //!
 //! See EXPERIMENTS.md ("Fuzzing the protocols") for the workflow.
 
 use bc_engine::FaultInjection;
 use bc_experiments::fuzz::{
-    fuzz, parse_fault, run_case, shrink, trace_tail, variant_by_name, variants, with_quiet_panics,
-    CaseSpec, Failure,
+    case_config, fuzz, parse_fault, run_case, shrink, trace_tail, variant_by_name, variants,
+    with_quiet_panics, CaseSpec, Failure, FAULT_PLAN_VARIANTS,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -39,7 +41,7 @@ struct Args {
 
 const USAGE: &str = "usage: fuzz_protocols [--cases N] [--tasks N] [--seed N] [--threads N]\n\
                      \x20                     [--smoke] [--self-test]\n\
-                     \x20                     [--repro SPEC --variant NAME [--fault fb|leak:N]]\n\
+                     \x20                     [--repro SPEC --variant NAME [--fault fb|leak:N|swallow]]\n\
                      defaults: cases=1000, tasks=250, seed=2003";
 
 fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<String>> {
@@ -141,12 +143,36 @@ fn self_test(seed: u64, tasks: u64) -> Result<String, String> {
             leak_failures[0].message
         ));
     }
+    // Swallowed reissue: invisible on a reliable network, so only the
+    // fault-plan legs (crashes, aborts) can expose it — as a broken
+    // conservation ledger.
+    let (_, swallow_failures) = with_quiet_panics(|| {
+        fuzz(
+            seed,
+            6,
+            tasks.max(100),
+            Some(FaultInjection::SwallowReissue),
+        )
+    });
+    if swallow_failures.is_empty() {
+        return Err("swallowed-reissue fault went UNDETECTED".into());
+    }
+    if !swallow_failures
+        .iter()
+        .any(|f| f.message.contains("task-conservation"))
+    {
+        return Err(format!(
+            "swallowed reissue was caught but not as a conservation violation: {}",
+            swallow_failures[0].message
+        ));
+    }
     Ok(format!(
         "self-test: FB off-by-one caught in {} runs (worst reproducer {} nodes), \
-         task leak caught in {} runs",
+         task leak caught in {} runs, swallowed reissue caught in {} runs",
         fb_failures.len(),
         worst,
-        leak_failures.len()
+        leak_failures.len(),
+        swallow_failures.len()
     ))
 }
 
@@ -195,7 +221,9 @@ fn main() -> ExitCode {
             Some(f) => cfg.with_fault(f),
             None => cfg,
         };
-        return match with_quiet_panics(|| run_case(&spec.to_tree(), &cfg)) {
+        // The spec's third segment, when present, is a fault schedule;
+        // rebuild its plan so the repro runs the exact faulted case.
+        return match with_quiet_panics(|| run_case(&spec.to_tree(), &case_config(&spec, &cfg))) {
             Ok(()) => {
                 println!(
                     "PASS: {}-node tree, variant {name}, {} tasks — all invariants hold",
@@ -212,7 +240,9 @@ fn main() -> ExitCode {
                 }
                 // Event-level post-mortem: the last events of the shrunk
                 // case, from a flight-recorder re-run.
-                let (_, tail) = with_quiet_panics(|| trace_tail(&shrunk.to_tree(), &cfg, 40));
+                let (_, tail) = with_quiet_panics(|| {
+                    trace_tail(&shrunk.to_tree(), &case_config(&shrunk, &cfg), 40)
+                });
                 eprintln!("trace tail of the shrunk case ({} event(s)):", tail.len());
                 for r in &tail {
                     eprintln!("  {r}");
@@ -249,8 +279,10 @@ fn main() -> ExitCode {
     };
     let (runs, failures) = with_quiet_panics(|| fuzz(args.seed, cases, args.tasks, None));
     println!(
-        "fuzzed {cases} trees x {} variants = {runs} checked runs in {:.1}s: {} violation(s)",
+        "fuzzed {cases} trees x {} variants ({} fault-plan legs each) = {runs} checked runs \
+         in {:.1}s: {} violation(s)",
         variants(1).len(),
+        FAULT_PLAN_VARIANTS.len(),
         started.elapsed().as_secs_f64(),
         failures.len()
     );

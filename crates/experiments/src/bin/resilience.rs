@@ -1,0 +1,80 @@
+//! Runs the resilience campaign (recovery under seeded network faults).
+//!
+//! Beyond the shared flags, accepts `--assert-recovered X`: exit
+//! non-zero unless the low-intensity IC/FB=3 recovered fraction is at
+//! least `X`, every run conserved its tasks exactly, and the invariant
+//! checker stayed silent — the CI smoke gate.
+
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::resilience::{self, Intensity, ResilienceConfig, Variant};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut assert_recovered: Option<f64> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--assert-recovered") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: --assert-recovered requires a value");
+            std::process::exit(2);
+        }
+        match args[pos + 1].parse::<f64>() {
+            Ok(x) if (0.0..=1.0).contains(&x) => assert_recovered = Some(x),
+            _ => {
+                eprintln!("error: --assert-recovered must be a fraction in [0, 1]");
+                std::process::exit(2);
+            }
+        }
+        args.drain(pos..pos + 2);
+    }
+    let cli = parse(
+        args,
+        Defaults {
+            trees: 48,
+            full_trees: 256,
+            tasks: 2_000,
+        },
+    );
+    let cfg = ResilienceConfig {
+        trees: cli.trees,
+        tasks: cli.tasks,
+        seed: cli.seed,
+        ..ResilienceConfig::default()
+    };
+    let r = resilience::run(&cfg);
+    let text = resilience::render(&r);
+    println!("{text}");
+    write_artifact(&cli, "resilience.txt", &text);
+    write_artifact(&cli, "resilience.csv", &resilience::to_csv(&r));
+
+    if let Some(floor) = assert_recovered {
+        let summary = resilience::summarize(&r);
+        let violations: usize = summary.iter().map(|s| s.violations).sum();
+        let unconserved: usize = summary.iter().map(|s| s.unconserved).sum();
+        let low_ic = summary
+            .iter()
+            .find(|s| s.variant == Variant::IcFb3 && s.tier == Intensity::Low)
+            .expect("low-tier IC cell");
+        let mut failed = false;
+        if violations > 0 {
+            eprintln!("FAIL: {violations} invariant violation(s)");
+            failed = true;
+        }
+        if unconserved > 0 {
+            eprintln!("FAIL: {unconserved} run(s) broke exact task conservation");
+            failed = true;
+        }
+        if low_ic.recovered < floor {
+            eprintln!(
+                "FAIL: low-intensity ic-fb3 recovered fraction {:.3} < {floor}",
+                low_ic.recovered
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "PASS: recovered {:.3} >= {floor}, 0 violations, exact conservation",
+            low_ic.recovered
+        );
+    }
+}

@@ -15,7 +15,10 @@
 //! of generator seeds or versions. See EXPERIMENTS.md for the workflow.
 
 use bc_core::{GrowthGate, ObserverKind};
-use bc_engine::{FaultInjection, SelectorKind, SimConfig, SimWorkspace, Simulation};
+use bc_engine::{
+    FaultEvent, FaultInjection, FaultKind, FaultPlan, RecoveryTuning, SelectorKind, SimConfig,
+    SimWorkspace, Simulation,
+};
 use bc_platform::{NodeId, Tree};
 use bc_simcore::trace::{RingRecorder, TraceEvent, TraceRecord, TraceSink};
 use bc_simcore::{split_seed, Time};
@@ -28,6 +31,15 @@ use std::sync::{Arc, Mutex};
 /// Cap on events per fuzz run — far above any legitimate small-tree run,
 /// so hitting it is itself a caught failure (runaway simulation).
 const FUZZ_MAX_EVENTS: u64 = 5_000_000;
+
+/// Fixed jitter seed every fuzz fault plan uses, so a reproducer spec
+/// fully determines the run (the schedule itself is in the spec).
+pub const FUZZ_FAULT_SEED: u64 = 0xFA17;
+
+/// Variants the fault-plan legs run under (a subset: both disciplines,
+/// fixed and growable pools). Reproduce with the same `--variant` name —
+/// the fault schedule rides in the spec's third segment.
+pub const FAULT_PLAN_VARIANTS: [&str; 3] = ["ic-fb3", "nonic-ib1-every", "nonic-fb2"];
 
 // ---------------------------------------------------------------------
 // Case specification
@@ -46,6 +58,10 @@ pub struct CaseSpec {
     /// `(parent_id, comm_time, compute_time)` per non-root node, in id
     /// order (entry `k` is node `k + 1`).
     pub nodes: Vec<(usize, u64, u64)>,
+    /// Scheduled environment faults, if the case runs under a fault
+    /// plan. Encoded as the spec's third `|` segment, so `--repro`
+    /// round-trips the whole schedule.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl CaseSpec {
@@ -69,7 +85,10 @@ impl CaseSpec {
     }
 
     /// Serializes the spec for a `--repro` command line:
-    /// `root_compute|parent:comm:compute;parent:comm:compute;...`
+    /// `root_compute|parent:comm:compute;...[|kind:at:node[:arg];...]`.
+    /// The fault segment (kinds `l`oss, `a`bort, `o`utage, `c`rash,
+    /// `d`uplicate) appears only when the case carries a fault plan, so
+    /// fault-free specs encode exactly as before.
     pub fn encode(&self) -> String {
         use std::fmt::Write;
         let mut s = self.root_compute.to_string();
@@ -80,6 +99,17 @@ impl CaseSpec {
             }
             let _ = write!(s, "{p}:{c}:{w}");
         }
+        for (k, f) in self.faults.iter().enumerate() {
+            s.push(if k == 0 { '|' } else { ';' });
+            let (at, n) = (f.at, f.node.0);
+            let _ = match f.kind {
+                FaultKind::RequestLoss { batches } => write!(s, "l:{at}:{n}:{batches}"),
+                FaultKind::TransferAbort => write!(s, "a:{at}:{n}"),
+                FaultKind::LinkOutage { duration } => write!(s, "o:{at}:{n}:{duration}"),
+                FaultKind::Crash => write!(s, "c:{at}:{n}"),
+                FaultKind::DuplicateDelivery { copies } => write!(s, "d:{at}:{n}:{copies}"),
+            };
+        }
         s
     }
 
@@ -88,6 +118,10 @@ impl CaseSpec {
         let (root, rest) = s
             .split_once('|')
             .ok_or_else(|| format!("spec {s:?} lacks the root| prefix"))?;
+        let (rest, fault_segment) = match rest.split_once('|') {
+            Some((nodes, faults)) => (nodes, Some(faults)),
+            None => (rest, None),
+        };
         let root_compute: u64 = root
             .parse()
             .map_err(|_| format!("bad root compute time {root:?}"))?;
@@ -119,9 +153,67 @@ impl CaseSpec {
         if root_compute == 0 {
             return Err("root compute time must be >= 1".into());
         }
+        let mut faults = Vec::new();
+        if let Some(seg) = fault_segment {
+            for entry in seg.split(';') {
+                faults.push(Self::decode_fault(entry, nodes.len())?);
+            }
+        }
         Ok(CaseSpec {
             root_compute,
             nodes,
+            faults,
+        })
+    }
+
+    /// Parses one `kind:at:node[:arg]` fault entry.
+    fn decode_fault(entry: &str, non_root_nodes: usize) -> Result<FaultEvent, String> {
+        let mut f = entry.split(':');
+        let kind_tag = f.next().unwrap_or_default();
+        let mut num = |what: &str| {
+            f.next()
+                .ok_or_else(|| format!("fault {entry:?}: missing {what}"))?
+                .parse::<u64>()
+                .map_err(|_| format!("fault {entry:?}: bad {what}"))
+        };
+        let at = num("time")?;
+        let node = num("node")? as usize;
+        if node == 0 || node > non_root_nodes {
+            return Err(format!(
+                "fault {entry:?}: node {node} is the repository or out of range"
+            ));
+        }
+        let kind = match kind_tag {
+            "l" => FaultKind::RequestLoss {
+                batches: num("batches")?.max(1) as u32,
+            },
+            "a" => FaultKind::TransferAbort,
+            "o" => FaultKind::LinkOutage {
+                duration: num("duration")?.max(1),
+            },
+            "c" => FaultKind::Crash,
+            "d" => FaultKind::DuplicateDelivery {
+                copies: num("copies")?.max(1) as u32,
+            },
+            other => return Err(format!("fault {entry:?}: unknown kind {other:?}")),
+        };
+        Ok(FaultEvent {
+            at,
+            node: NodeId(node as u32),
+            kind,
+        })
+    }
+
+    /// The fault plan the spec's schedule describes, with the fixed fuzz
+    /// jitter seed and default recovery tuning. `None` when fault-free.
+    pub fn to_fault_plan(&self) -> Option<FaultPlan> {
+        if self.faults.is_empty() {
+            return None;
+        }
+        Some(FaultPlan {
+            seed: FUZZ_FAULT_SEED,
+            faults: self.faults.clone(),
+            recovery: RecoveryTuning::default(),
         })
     }
 
@@ -132,6 +224,8 @@ impl CaseSpec {
     }
 
     /// The spec with leaf `k` removed (ids above it shift down by one).
+    /// Faults targeting the removed node are dropped; targets above it
+    /// are renumbered along with their nodes.
     fn without_leaf(&self, k: usize) -> CaseSpec {
         let removed = k + 1;
         let nodes = self
@@ -141,9 +235,23 @@ impl CaseSpec {
             .filter(|&(j, _)| j != k)
             .map(|(_, &(p, c, w))| (if p > removed { p - 1 } else { p }, c, w))
             .collect();
+        let faults = self
+            .faults
+            .iter()
+            .filter(|f| f.node.index() != removed)
+            .map(|f| FaultEvent {
+                node: if f.node.index() > removed {
+                    NodeId(f.node.0 - 1)
+                } else {
+                    f.node
+                },
+                ..*f
+            })
+            .collect();
         CaseSpec {
             root_compute: self.root_compute,
             nodes,
+            faults,
         }
     }
 }
@@ -246,6 +354,73 @@ pub fn generate_case(seed: u64, index: usize) -> CaseSpec {
     CaseSpec {
         root_compute,
         nodes,
+        faults: Vec::new(),
+    }
+}
+
+/// Draws a low-intensity fault schedule for fuzz case `index`: one lost
+/// request batch, one transfer abort, a leaf crash, and (half the time
+/// each) a short link outage or duplicated deliveries. Times sit inside
+/// the early makespan of a small-tree run, so the faults actually bite.
+pub fn generate_faults(seed: u64, index: usize, spec: &CaseSpec) -> Vec<FaultEvent> {
+    let mut rng = SmallRng::seed_from_u64(split_seed(seed ^ FUZZ_FAULT_SEED, index as u64));
+    let n = spec.nodes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let any = |rng: &mut SmallRng| NodeId(rng.random_range(1..=n) as u32);
+    let mut faults = vec![
+        FaultEvent {
+            at: rng.random_range(5..=150),
+            node: any(&mut rng),
+            kind: FaultKind::RequestLoss {
+                batches: rng.random_range(1..=2),
+            },
+        },
+        FaultEvent {
+            at: rng.random_range(5..=200),
+            node: any(&mut rng),
+            kind: FaultKind::TransferAbort,
+        },
+    ];
+    let leaves: Vec<usize> = (0..n).filter(|&k| spec.is_leaf(k)).collect();
+    if !leaves.is_empty() {
+        let leaf = leaves[rng.random_range(0..leaves.len())];
+        faults.push(FaultEvent {
+            at: rng.random_range(30..=250),
+            node: NodeId(leaf as u32 + 1),
+            kind: FaultKind::Crash,
+        });
+    }
+    if rng.random_range(0..2) == 0 {
+        faults.push(FaultEvent {
+            at: rng.random_range(10..=180),
+            node: any(&mut rng),
+            kind: FaultKind::LinkOutage {
+                duration: rng.random_range(10..=120),
+            },
+        });
+    }
+    if rng.random_range(0..2) == 0 {
+        faults.push(FaultEvent {
+            at: rng.random_range(10..=180),
+            node: any(&mut rng),
+            kind: FaultKind::DuplicateDelivery {
+                copies: rng.random_range(1..=3),
+            },
+        });
+    }
+    faults
+}
+
+/// The full run configuration for a spec: `base` plus the spec's fault
+/// plan, when it carries one. Every fuzz entry point composes configs
+/// through this, so shrunk candidates re-derive their plan from the
+/// candidate spec (a dropped node takes its faults with it).
+pub fn case_config(spec: &CaseSpec, base: &SimConfig) -> SimConfig {
+    match spec.to_fault_plan() {
+        Some(plan) => base.clone().with_fault_plan(plan),
+        None => base.clone(),
     }
 }
 
@@ -293,10 +468,14 @@ pub fn variant_by_name(name: &str, tasks: u64) -> Option<SimConfig> {
         .map(|(_, c)| c)
 }
 
-/// Parses a `--fault` operand: `fb` (FB off-by-one) or `leak:N`.
+/// Parses a `--fault` operand: `fb` (FB off-by-one), `leak:N`, or
+/// `swallow` (reissue swallowing; only bites under a fault plan).
 pub fn parse_fault(s: &str) -> Result<FaultInjection, String> {
     if s == "fb" {
         return Ok(FaultInjection::FbOffByOne);
+    }
+    if s == "swallow" {
+        return Ok(FaultInjection::SwallowReissue);
     }
     if let Some(n) = s.strip_prefix("leak:") {
         let every: u64 = n.parse().map_err(|_| format!("bad leak period {n:?}"))?;
@@ -305,7 +484,7 @@ pub fn parse_fault(s: &str) -> Result<FaultInjection, String> {
         }
         return Ok(FaultInjection::LeakTask { every });
     }
-    Err(format!("unknown fault {s:?}; use fb or leak:N"))
+    Err(format!("unknown fault {s:?}; use fb, leak:N, or swallow"))
 }
 
 /// Renders a fault back to its `--fault` operand.
@@ -313,6 +492,7 @@ pub fn fault_flag(f: FaultInjection) -> String {
     match f {
         FaultInjection::FbOffByOne => "fb".into(),
         FaultInjection::LeakTask { every } => format!("leak:{every}"),
+        FaultInjection::SwallowReissue => "swallow".into(),
     }
 }
 
@@ -427,17 +607,29 @@ pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
 // Shrinking
 // ---------------------------------------------------------------------
 
-/// Greedily minimizes a failing case: repeatedly remove leaves (deepest
-/// first) and reduce weights to 1, keeping each mutation only if the
-/// failure persists under the *same* configuration. Terminates at a
-/// local minimum — every single leaf removal or weight reduction makes
-/// the failure vanish.
+/// Greedily minimizes a failing case: drop scheduled faults, remove
+/// leaves (deepest first), and reduce weights to 1, keeping each
+/// mutation only if the failure persists under the *same* base
+/// configuration (each candidate re-derives its fault plan from its own
+/// schedule). Terminates at a local minimum — every single fault drop,
+/// leaf removal, or weight reduction makes the failure vanish.
 pub fn shrink(spec: CaseSpec, cfg: &SimConfig) -> CaseSpec {
-    let fails = |s: &CaseSpec| run_case(&s.to_tree(), cfg).is_err();
+    let fails = |s: &CaseSpec| run_case(&s.to_tree(), &case_config(s, cfg)).is_err();
     debug_assert!(fails(&spec), "shrinking a passing case");
     let mut spec = spec;
     loop {
         let mut progressed = false;
+        // Pass 0: drop scheduled faults, one at a time.
+        let mut k = spec.faults.len();
+        while k > 0 {
+            k -= 1;
+            let mut cand = spec.clone();
+            cand.faults.remove(k);
+            if fails(&cand) {
+                spec = cand;
+                progressed = true;
+            }
+        }
         // Pass 1: structural — drop leaves, last (deepest-id) first.
         let mut k = spec.nodes.len();
         while k > 0 {
@@ -524,9 +716,11 @@ impl Failure {
     }
 }
 
-/// Fuzz `cases` generated trees, each under every protocol variant, in
-/// parallel. Failures are shrunk before being returned. `fault` injects
-/// a deliberate bug into every run (self-test mode).
+/// Fuzz `cases` generated trees, each under every protocol variant —
+/// fault-free, then under a generated low-intensity fault plan for the
+/// [`FAULT_PLAN_VARIANTS`] subset — in parallel. Failures are shrunk
+/// before being returned. `fault` injects a deliberate bug into every
+/// run (self-test mode).
 pub fn fuzz(
     seed: u64,
     cases: usize,
@@ -540,23 +734,34 @@ pub fn fuzz(
             let tree = spec.to_tree();
             let mut runs = 0u64;
             let mut failures = Vec::new();
-            for (name, cfg) in variants(tasks) {
-                let cfg = match fault {
-                    Some(f) => cfg.with_fault(f),
-                    None => cfg,
+            let mut check = |spec: &CaseSpec, tree: &Tree, name: &'static str, base: SimConfig| {
+                let base = match fault {
+                    Some(f) => base.with_fault(f),
+                    None => base,
                 };
                 runs += 1;
-                if let Err(message) = run_case(&tree, &cfg) {
+                if let Err(message) = run_case(tree, &case_config(spec, &base)) {
                     failures.push(Failure {
                         case: i,
                         variant: name,
                         message,
                         original_nodes: spec.len(),
-                        spec: shrink(spec.clone(), &cfg),
+                        spec: shrink(spec.clone(), &base),
                         tasks,
                         fault,
                     });
                 }
+            };
+            for (name, cfg) in variants(tasks) {
+                check(&spec, &tree, name, cfg);
+            }
+            let faulted = CaseSpec {
+                faults: generate_faults(seed, i, &spec),
+                ..spec.clone()
+            };
+            for name in FAULT_PLAN_VARIANTS {
+                let cfg = variant_by_name(name, tasks).expect("known fault-plan variant");
+                check(&faulted, &tree, name, cfg);
             }
             (runs, failures)
         })
@@ -608,9 +813,80 @@ mod tests {
     }
 
     #[test]
+    fn faulted_specs_roundtrip_through_encoding() {
+        for i in 0..24 {
+            let mut spec = generate_case(7, i);
+            spec.faults = generate_faults(7, i, &spec);
+            assert!(!spec.faults.is_empty());
+            assert!(spec.encode().matches('|').count() == 2);
+            let decoded = CaseSpec::decode(&spec.encode()).unwrap();
+            assert_eq!(decoded, spec);
+            let plan = decoded.to_fault_plan().unwrap();
+            assert_eq!(plan.seed, FUZZ_FAULT_SEED);
+            SimConfig::interruptible(3, 100)
+                .with_fault_plan(plan)
+                .validate()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_fault_segments() {
+        for bad in [
+            "5|0:1:1|x:3:1",    // unknown kind
+            "5|0:1:1|c:3:0",    // crash of the repository
+            "5|0:1:1|c:3:2",    // node out of range
+            "5|0:1:1|l:3:1",    // loss without batch count
+            "5|0:1:1|o:hi:1:4", // non-numeric time
+        ] {
+            assert!(CaseSpec::decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn dropping_a_leaf_drops_and_renumbers_its_faults() {
+        // Chain 0 -> 1 -> 2, faults on both non-root nodes.
+        let spec = CaseSpec {
+            root_compute: 5,
+            nodes: vec![(0, 1, 1), (1, 1, 1)],
+            faults: vec![
+                FaultEvent {
+                    at: 10,
+                    node: NodeId(1),
+                    kind: FaultKind::TransferAbort,
+                },
+                FaultEvent {
+                    at: 20,
+                    node: NodeId(2),
+                    kind: FaultKind::Crash,
+                },
+            ],
+        };
+        let shrunk = spec.without_leaf(1); // removes node id 2
+        assert_eq!(shrunk.nodes.len(), 1);
+        assert_eq!(shrunk.faults.len(), 1);
+        assert_eq!(shrunk.faults[0].node, NodeId(1));
+        // Removing node 1 from a fan renumbers node 2's fault to node 1.
+        let fan = CaseSpec {
+            root_compute: 5,
+            nodes: vec![(0, 1, 1), (0, 1, 1)],
+            faults: vec![FaultEvent {
+                at: 20,
+                node: NodeId(2),
+                kind: FaultKind::Crash,
+            }],
+        };
+        let shrunk = fan.without_leaf(0);
+        assert_eq!(shrunk.faults[0].node, NodeId(1));
+    }
+
+    #[test]
     fn faithful_variants_pass_a_fuzz_slice() {
         let (runs, failures) = fuzz(2003, 12, 120, None);
-        assert_eq!(runs, 12 * variants(1).len() as u64);
+        assert_eq!(
+            runs,
+            12 * (variants(1).len() + FAULT_PLAN_VARIANTS.len()) as u64
+        );
         assert!(
             failures.is_empty(),
             "faithful protocol flagged: {} ({})",
@@ -633,6 +909,37 @@ mod tests {
                 f.spec.len()
             );
             assert!(f.message.contains("buffer-bound"), "got: {}", f.message);
+        }
+    }
+
+    #[test]
+    fn swallowed_reissue_is_caught_under_fault_plans() {
+        // SwallowReissue only bites when an environment fault loses a
+        // task — the fault-plan legs provide the crashes and aborts.
+        let failures = with_quiet_panics(|| {
+            let (_, f) = fuzz(2003, 6, 150, Some(FaultInjection::SwallowReissue));
+            f
+        });
+        assert!(!failures.is_empty(), "swallowed reissue went undetected");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.message.contains("task-conservation")),
+            "got: {}",
+            failures[0].message
+        );
+        // The reproducer round-trips its fault schedule.
+        let with_faults = failures.iter().find(|f| !f.spec.faults.is_empty());
+        if let Some(f) = with_faults {
+            let spec = CaseSpec::decode(&f.spec.encode()).unwrap();
+            assert_eq!(spec.faults, f.spec.faults);
+            assert!(f.repro_command().contains("--fault swallow"));
+            let cfg = variant_by_name(f.variant, f.tasks)
+                .unwrap()
+                .with_fault(FaultInjection::SwallowReissue);
+            assert!(
+                with_quiet_panics(|| run_case(&spec.to_tree(), &case_config(&spec, &cfg))).is_err()
+            );
         }
     }
 

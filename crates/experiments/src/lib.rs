@@ -18,6 +18,7 @@ pub mod fig7;
 pub mod fuzz;
 pub mod goldens;
 pub mod overlay;
+pub mod resilience;
 pub mod startup;
 pub mod table1;
 pub mod table2;

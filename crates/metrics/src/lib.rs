@@ -1,7 +1,8 @@
 //! # bc-metrics — measurement methodology of the paper's evaluation
 //!
 //! The sliding growing window of §4.1 ([`windows`]), the empirical
-//! onset-of-optimal-steady-state heuristic ([`onset`]), and the statistics
+//! onset-of-optimal-steady-state heuristic ([`onset`]), the recovery
+//! metrics for fault-injected runs ([`recovery`]), and the statistics
 //! helpers (medians, histograms, table/CSV rendering) the experiment
 //! harness builds tables and figures from ([`stats`]).
 //!
@@ -17,12 +18,14 @@
 
 pub mod onset;
 pub mod plot;
+pub mod recovery;
 pub mod stats;
 pub mod timeline;
 pub mod windows;
 
 pub use onset::{detect_onset, onset_cdf, reached_optimal, OnsetConfig};
 pub use plot::Chart;
+pub use recovery::{chunk_rates, degraded_fraction, time_to_rate};
 pub use stats::{ascii_table, csv, median, percentile, Histogram};
 pub use timeline::{fold_timelines, trace_end_time, NodeTimeline};
 pub use windows::{normalized_curve, window_rates, WindowRate};

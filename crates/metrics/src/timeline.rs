@@ -180,6 +180,28 @@ pub fn fold_timelines(records: &[TraceRecord]) -> Vec<NodeTimeline> {
                 compute_open[node as usize] = None;
                 link_open[node as usize] = None;
             }
+            TraceEvent::TransferAbort { .. } => {
+                // The sender transmitted until the reset; the span closes
+                // here but delivers nothing.
+                if let Some(began) = link_open[i].take() {
+                    timelines[i].busy_link += r.time - began;
+                }
+            }
+            TraceEvent::NodeCrash { node, .. } => {
+                timelines[node as usize].left_at = Some(r.time);
+                compute_open[node as usize] = None;
+                link_open[node as usize] = None;
+            }
+            // Fault/recovery bookkeeping events carry no span state.
+            TraceEvent::RequestLoss { .. }
+            | TraceEvent::RequestRetry { .. }
+            | TraceEvent::LinkDown { .. }
+            | TraceEvent::LinkUp { .. }
+            | TraceEvent::TaskReissue { .. }
+            | TraceEvent::ChildDead { .. }
+            | TraceEvent::ChildRevived { .. }
+            | TraceEvent::DuplicateDrop { .. }
+            | TraceEvent::JoinDenied { .. } => {}
         }
     }
     for i in 0..timelines.len() {

@@ -141,6 +141,92 @@ pub enum TraceEvent {
         /// Tasks returned to the repository.
         reclaimed: u64,
     },
+    /// A request batch from `node` to its parent was lost by the network
+    /// (dropped by a fault or swallowed by an outage / crashed parent).
+    RequestLoss {
+        /// Requesting node whose batch vanished.
+        node: u32,
+        /// Requests lost.
+        count: u32,
+    },
+    /// `node`'s request timeout fired with unacknowledged requests
+    /// outstanding: it withdrew `count` lost requests and re-issues them
+    /// (attempt number `retry`, with exponential backoff).
+    RequestRetry {
+        /// Retrying node.
+        node: u32,
+        /// Retry attempt number (1-based).
+        retry: u32,
+        /// Lost requests being re-issued.
+        count: u32,
+    },
+    /// The in-flight transfer from `node` toward `child` was torn down by
+    /// a fault (link reset, outage, or the receiver crashed); its task is
+    /// lost and will be reissued by the repository.
+    TransferAbort {
+        /// Sending node that observed the reset.
+        node: u32,
+        /// Intended receiver.
+        child: u32,
+    },
+    /// The uplink of `node` entered a transient outage lasting until
+    /// simulation time `until`.
+    LinkDown {
+        /// Node whose uplink went dark.
+        node: u32,
+        /// Sim time the outage ends.
+        until: u64,
+    },
+    /// The uplink of `node` came back after an outage; deferred negative
+    /// acknowledgements resolve now.
+    LinkUp {
+        /// Node whose uplink recovered.
+        node: u32,
+    },
+    /// The subtree rooted at `node` crashed abruptly; `lost` tasks it held
+    /// (buffered, computing, or in flight inside it) were destroyed and
+    /// enter the repository's reissue ledger.
+    NodeCrash {
+        /// Root of the crashed subtree.
+        node: u32,
+        /// Tasks destroyed by the crash.
+        lost: u64,
+    },
+    /// The repository re-injected `count` previously lost tasks into the
+    /// remaining pool (master-side orphan reissue).
+    TaskReissue {
+        /// Tasks re-injected.
+        count: u64,
+    },
+    /// `node` hit the missed-ack threshold for `child` and declared it
+    /// dead: pending requests from it are discarded and it stops being a
+    /// delegation candidate until it is heard from again.
+    ChildDead {
+        /// Parent making the call.
+        node: u32,
+        /// Child presumed dead.
+        child: u32,
+    },
+    /// A request from a child previously declared dead arrived at `node`:
+    /// the child is alive after all and rejoins the candidate set.
+    ChildRevived {
+        /// Parent revising its belief.
+        node: u32,
+        /// Child welcomed back.
+        child: u32,
+    },
+    /// A duplicated delivery reached `node` and was recognized by task
+    /// identity and dropped (at-least-once network, at-most-once buffer).
+    DuplicateDrop {
+        /// Receiving node that discarded the copy.
+        node: u32,
+    },
+    /// A scheduled join was denied because the contact node is unknown,
+    /// departed, or crashed — in a real overlay the join simply fails.
+    JoinDenied {
+        /// The contact node the join was addressed to.
+        parent: u32,
+    },
 }
 
 /// A [`TraceEvent`] stamped with its simulation time.
@@ -169,6 +255,17 @@ impl TraceEvent {
             TraceEvent::RequestDeny { .. } => "request-deny",
             TraceEvent::NodeJoin { .. } => "node-join",
             TraceEvent::NodeLeave { .. } => "node-leave",
+            TraceEvent::RequestLoss { .. } => "request-loss",
+            TraceEvent::RequestRetry { .. } => "request-retry",
+            TraceEvent::TransferAbort { .. } => "transfer-abort",
+            TraceEvent::LinkDown { .. } => "link-down",
+            TraceEvent::LinkUp { .. } => "link-up",
+            TraceEvent::NodeCrash { .. } => "node-crash",
+            TraceEvent::TaskReissue { .. } => "task-reissue",
+            TraceEvent::ChildDead { .. } => "child-dead",
+            TraceEvent::ChildRevived { .. } => "child-revived",
+            TraceEvent::DuplicateDrop { .. } => "duplicate-drop",
+            TraceEvent::JoinDenied { .. } => "join-denied",
         }
     }
 
@@ -187,7 +284,20 @@ impl TraceEvent {
             | TraceEvent::Request { node, .. }
             | TraceEvent::RequestDeny { node, .. }
             | TraceEvent::NodeJoin { node, .. }
-            | TraceEvent::NodeLeave { node, .. } => node,
+            | TraceEvent::NodeLeave { node, .. }
+            | TraceEvent::RequestLoss { node, .. }
+            | TraceEvent::RequestRetry { node, .. }
+            | TraceEvent::TransferAbort { node, .. }
+            | TraceEvent::LinkDown { node, .. }
+            | TraceEvent::LinkUp { node }
+            | TraceEvent::NodeCrash { node, .. }
+            | TraceEvent::ChildDead { node, .. }
+            | TraceEvent::ChildRevived { node, .. }
+            | TraceEvent::DuplicateDrop { node } => node,
+            // Reissues happen at the repository; a denied join names only
+            // the contact node it was addressed to.
+            TraceEvent::TaskReissue { .. } => 0,
+            TraceEvent::JoinDenied { parent } => parent,
         }
     }
 }
@@ -407,6 +517,36 @@ impl TraceRecord {
                     format_args!(",\"node\":{node},\"reclaimed\":{reclaimed}"),
                 );
             }
+            TraceEvent::RequestLoss { node, count } => {
+                w(out, format_args!(",\"node\":{node},\"count\":{count}"));
+            }
+            TraceEvent::RequestRetry { node, retry, count } => {
+                w(
+                    out,
+                    format_args!(",\"node\":{node},\"retry\":{retry},\"count\":{count}"),
+                );
+            }
+            TraceEvent::TransferAbort { node, child } => {
+                w(out, format_args!(",\"node\":{node},\"child\":{child}"));
+            }
+            TraceEvent::LinkDown { node, until } => {
+                w(out, format_args!(",\"node\":{node},\"until\":{until}"));
+            }
+            TraceEvent::LinkUp { node } | TraceEvent::DuplicateDrop { node } => {
+                w(out, format_args!(",\"node\":{node}"));
+            }
+            TraceEvent::NodeCrash { node, lost } => {
+                w(out, format_args!(",\"node\":{node},\"lost\":{lost}"));
+            }
+            TraceEvent::TaskReissue { count } => {
+                w(out, format_args!(",\"count\":{count}"));
+            }
+            TraceEvent::ChildDead { node, child } | TraceEvent::ChildRevived { node, child } => {
+                w(out, format_args!(",\"node\":{node},\"child\":{child}"));
+            }
+            TraceEvent::JoinDenied { parent } => {
+                w(out, format_args!(",\"parent\":{parent}"));
+            }
         }
         out.push('}');
     }
@@ -524,6 +664,47 @@ impl TraceRecord {
                 node: narrow("node")?,
                 reclaimed: get("reclaimed")?,
             },
+            "request-loss" => TraceEvent::RequestLoss {
+                node: narrow("node")?,
+                count: narrow("count")?,
+            },
+            "request-retry" => TraceEvent::RequestRetry {
+                node: narrow("node")?,
+                retry: narrow("retry")?,
+                count: narrow("count")?,
+            },
+            "transfer-abort" => TraceEvent::TransferAbort {
+                node: narrow("node")?,
+                child: narrow("child")?,
+            },
+            "link-down" => TraceEvent::LinkDown {
+                node: narrow("node")?,
+                until: get("until")?,
+            },
+            "link-up" => TraceEvent::LinkUp {
+                node: narrow("node")?,
+            },
+            "node-crash" => TraceEvent::NodeCrash {
+                node: narrow("node")?,
+                lost: get("lost")?,
+            },
+            "task-reissue" => TraceEvent::TaskReissue {
+                count: get("count")?,
+            },
+            "child-dead" => TraceEvent::ChildDead {
+                node: narrow("node")?,
+                child: narrow("child")?,
+            },
+            "child-revived" => TraceEvent::ChildRevived {
+                node: narrow("node")?,
+                child: narrow("child")?,
+            },
+            "duplicate-drop" => TraceEvent::DuplicateDrop {
+                node: narrow("node")?,
+            },
+            "join-denied" => TraceEvent::JoinDenied {
+                parent: narrow("parent")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(TraceRecord { time, event })
@@ -565,6 +746,18 @@ impl fmt::Display for TraceRecord {
             }
             TraceEvent::NodeJoin { parent, .. } => write!(f, " under {parent}"),
             TraceEvent::NodeLeave { reclaimed, .. } => write!(f, " ({reclaimed} reclaimed)"),
+            TraceEvent::RequestLoss { count, .. } => write!(f, " ({count} lost)"),
+            TraceEvent::RequestRetry { retry, count, .. } => {
+                write!(f, " (attempt {retry}, {count} re-sent)")
+            }
+            TraceEvent::TransferAbort { child, .. } => write!(f, " -> {child} (task lost)"),
+            TraceEvent::LinkDown { until, .. } => write!(f, " (until t={until})"),
+            TraceEvent::LinkUp { .. } | TraceEvent::DuplicateDrop { .. } => Ok(()),
+            TraceEvent::NodeCrash { lost, .. } => write!(f, " ({lost} lost)"),
+            TraceEvent::TaskReissue { count } => write!(f, " ({count} re-injected)"),
+            TraceEvent::ChildDead { child, .. } => write!(f, " presumed dead: {child}"),
+            TraceEvent::ChildRevived { child, .. } => write!(f, " heard from: {child}"),
+            TraceEvent::JoinDenied { .. } => Ok(()),
         }
     }
 }
@@ -633,7 +826,7 @@ impl<W: Write> TraceSink for JsonlWriter<W> {
 // ---------------------------------------------------------------------
 
 /// Event-kind tags of the binary encoding (stable; new kinds append).
-const TAGS: [&str; 12] = [
+const TAGS: [&str; 23] = [
     "transfer-start",
     "transfer-preempt",
     "transfer-resume",
@@ -646,6 +839,17 @@ const TAGS: [&str; 12] = [
     "request-deny",
     "node-join",
     "node-leave",
+    "request-loss",
+    "request-retry",
+    "transfer-abort",
+    "link-down",
+    "link-up",
+    "node-crash",
+    "task-reissue",
+    "child-dead",
+    "child-revived",
+    "duplicate-drop",
+    "join-denied",
 ];
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -715,6 +919,20 @@ impl TraceRecord {
             }
             TraceEvent::NodeJoin { node, parent } => (tag, [node.into(), parent.into(), 0], 2),
             TraceEvent::NodeLeave { node, reclaimed } => (tag, [node.into(), reclaimed, 0], 2),
+            TraceEvent::RequestLoss { node, count } => (tag, [node.into(), count.into(), 0], 2),
+            TraceEvent::RequestRetry { node, retry, count } => {
+                (tag, [node.into(), retry.into(), count.into()], 3)
+            }
+            TraceEvent::TransferAbort { node, child }
+            | TraceEvent::ChildDead { node, child }
+            | TraceEvent::ChildRevived { node, child } => (tag, [node.into(), child.into(), 0], 2),
+            TraceEvent::LinkDown { node, until } => (tag, [node.into(), until, 0], 2),
+            TraceEvent::LinkUp { node } | TraceEvent::DuplicateDrop { node } => {
+                (tag, [node.into(), 0, 0], 1)
+            }
+            TraceEvent::NodeCrash { node, lost } => (tag, [node.into(), lost, 0], 2),
+            TraceEvent::TaskReissue { count } => (tag, [count, 0, 0], 1),
+            TraceEvent::JoinDenied { parent } => (tag, [parent.into(), 0, 0], 1),
         }
     }
 
@@ -813,6 +1031,45 @@ impl TraceRecord {
             "node-leave" => TraceEvent::NodeLeave {
                 node: narrow(next()?, "node")?,
                 reclaimed: next()?,
+            },
+            "request-loss" => TraceEvent::RequestLoss {
+                node: narrow(next()?, "node")?,
+                count: narrow(next()?, "count")?,
+            },
+            "request-retry" => TraceEvent::RequestRetry {
+                node: narrow(next()?, "node")?,
+                retry: narrow(next()?, "retry")?,
+                count: narrow(next()?, "count")?,
+            },
+            "transfer-abort" => TraceEvent::TransferAbort {
+                node: narrow(next()?, "node")?,
+                child: narrow(next()?, "child")?,
+            },
+            "link-down" => TraceEvent::LinkDown {
+                node: narrow(next()?, "node")?,
+                until: next()?,
+            },
+            "link-up" => TraceEvent::LinkUp {
+                node: narrow(next()?, "node")?,
+            },
+            "node-crash" => TraceEvent::NodeCrash {
+                node: narrow(next()?, "node")?,
+                lost: next()?,
+            },
+            "task-reissue" => TraceEvent::TaskReissue { count: next()? },
+            "child-dead" => TraceEvent::ChildDead {
+                node: narrow(next()?, "node")?,
+                child: narrow(next()?, "child")?,
+            },
+            "child-revived" => TraceEvent::ChildRevived {
+                node: narrow(next()?, "node")?,
+                child: narrow(next()?, "child")?,
+            },
+            "duplicate-drop" => TraceEvent::DuplicateDrop {
+                node: narrow(next()?, "node")?,
+            },
+            "join-denied" => TraceEvent::JoinDenied {
+                parent: narrow(next()?, "parent")?,
             },
             _ => unreachable!("kind comes from TAGS"),
         };
@@ -921,7 +1178,26 @@ mod tests {
                 node: 9,
                 reclaimed: 5,
             },
+            TraceEvent::RequestLoss { node: 3, count: 2 },
+            TraceEvent::RequestRetry {
+                node: 3,
+                retry: 2,
+                count: 2,
+            },
+            TraceEvent::TransferAbort { node: 0, child: 3 },
+            TraceEvent::LinkDown {
+                node: 3,
+                until: 900,
+            },
+            TraceEvent::LinkUp { node: 3 },
+            TraceEvent::NodeCrash { node: 4, lost: 6 },
+            TraceEvent::TaskReissue { count: 6 },
+            TraceEvent::ChildDead { node: 0, child: 4 },
+            TraceEvent::ChildRevived { node: 0, child: 4 },
+            TraceEvent::DuplicateDrop { node: 3 },
+            TraceEvent::JoinDenied { parent: 9 },
         ];
+        assert_eq!(events.len(), super::TAGS.len(), "one sample per kind");
         events
             .iter()
             .enumerate()
