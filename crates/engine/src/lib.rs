@@ -13,11 +13,13 @@
 //! assert_eq!(result.tasks_completed(), 200);
 //! ```
 
+pub mod accum;
 pub mod config;
 pub mod invariants;
 pub mod result;
 pub mod sim;
 
+pub use accum::RunStatsAccumulator;
 pub use config::{
     ChangeKind, FaultEvent, FaultInjection, FaultKind, FaultPlan, PlannedChange, Protocol,
     RecoveryTuning, SelectorKind, SimConfig,

@@ -16,18 +16,109 @@
 //! `--campaign-tasks N` (tasks per tree, default 10 000),
 //! `--assert-optimal-fraction X` (fail unless the IC/FB=3 paper-scale
 //! campaign reaches at least `X`; used by the CI smoke job),
+//! `--threads A,B,..` (thread counts for the scaling curve, default
+//! `1,2,4,<all>`; samples are interleaved across the counts and the
+//! minimum per count is reported, so slow thermal/frequency drift hits
+//! every count equally instead of polluting whichever ran last),
+//! `--campaign-grid m=..;n=..;b=..;d=..;x=..` (grid-sweep axes),
+//! `--grid-trees-per-cell N` (default 6 400 — 102 400 trees over the
+//! default 16-cell grid), `--shard-size N` (streaming shard size,
+//! default 512), `--scaling-smoke` (run only the thread-scaling check:
+//! interleaved 1-vs-max-threads campaign, artifact + assertion; used by
+//! the CI scaling step), `--assert-threads-speedup X` (with
+//! `--scaling-smoke`: fail unless max-threads wall time beats 1-thread
+//! by the ratio; skipped with a warning on hosts with < 2 CPUs),
+//! `--scaling-trees N` (smoke campaign size, default 256),
 //! `--out DIR` (default `.`).
 
 use bc_experiments::campaign::{
-    fraction_reached, run_campaign, run_campaign_prepared, CampaignConfig,
+    accumulate_materialized, fraction_reached, run_campaign, run_campaign_prepared,
+    run_campaign_streaming, run_campaign_with_results, run_grid_streaming, CampaignConfig,
+    CampaignGrid,
 };
 use bc_metrics::OnsetConfig;
 use bc_platform::RandomTreeConfig;
 use bc_rational::{BigInt, BigUint, Rational, Sign};
 use bc_steady::{lp_optimal_rate, SteadyState};
 use serde::{object, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
 use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Exact peak-live-bytes tracking (for the streaming-vs-materialized
+// memory comparison). Gated off outside the measured phases: the only
+// overhead the timing workloads see is one relaxed load per allocation.
+// ---------------------------------------------------------------------------
+
+static TRACK: AtomicBool = AtomicBool::new(false);
+static LIVE_BYTES: AtomicIsize = AtomicIsize::new(0);
+static PEAK_BYTES: AtomicIsize = AtomicIsize::new(0);
+
+struct TrackingAlloc;
+
+fn bump(delta: isize) {
+    let now = LIVE_BYTES.fetch_add(delta, Ordering::Relaxed) + delta;
+    let mut peak = PEAK_BYTES.load(Ordering::Relaxed);
+    while now > peak {
+        match PEAK_BYTES.compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACK.load(Ordering::Relaxed) {
+            bump(layout.size() as isize);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if TRACK.load(Ordering::Relaxed) {
+            LIVE_BYTES.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACK.load(Ordering::Relaxed) {
+            bump(new_size as isize - layout.size() as isize);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+/// Peak live bytes allocated while `f` runs, relative to entry (an
+/// exact allocator-level measure: unlike RSS it cannot be hidden by
+/// earlier high-water marks or allocator caching).
+fn measure_peak_bytes<R>(f: impl FnOnce() -> R) -> (R, i64) {
+    LIVE_BYTES.store(0, Ordering::SeqCst);
+    PEAK_BYTES.store(0, Ordering::SeqCst);
+    TRACK.store(true, Ordering::SeqCst);
+    let out = f();
+    TRACK.store(false, Ordering::SeqCst);
+    (out, PEAK_BYTES.load(Ordering::SeqCst) as i64)
+}
+
+/// `VmHWM` (peak RSS) from /proc, in kiB — coarse, monotone over the
+/// process lifetime; reported alongside the exact per-phase numbers.
+fn peak_rss_kib() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// CPUs the scheduler will actually give this process.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Median wall time of `samples` runs of `f`, in nanoseconds.
 fn time_ns(samples: usize, mut f: impl FnMut()) -> f64 {
@@ -203,45 +294,242 @@ struct CampaignScale {
     tasks: u64,
     /// Fail the report unless IC/FB=3 reaches at least this fraction.
     assert_fraction: Option<f64>,
+    /// Thread counts the scaling curve sweeps.
+    curve_threads: Vec<usize>,
+    /// The streaming grid-sweep datapoint.
+    grid: CampaignGrid,
+    /// Streaming shard size.
+    shard_size: usize,
 }
 
-/// Runs the 64-tree campaign once per thread count and reports the
-/// scaling curve (1, 2, 4, all). Results are bit-identical across thread
-/// counts (each tree's run depends only on its seed), so only wall-clock
-/// moves.
-fn threads_curve(campaign: &CampaignConfig) -> Value {
-    let all = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut counts = vec![1usize, 2, 4, all];
+/// Parses `--campaign-grid` axis specs: `m=30,120;n=500;b=2,3;d=10,30;x=100,500`
+/// (axes may be omitted; omitted axes keep the default grid's values).
+fn parse_grid_spec(spec: &str, grid: &mut CampaignGrid) {
+    for part in spec.split(';').filter(|p| !p.is_empty()) {
+        let (axis, values) = part
+            .split_once('=')
+            .unwrap_or_else(|| panic!("grid axis {part:?} must look like m=30,120"));
+        let nums: Vec<u64> = values
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("grid axis value {v:?} must be a number"))
+            })
+            .collect();
+        assert!(
+            !nums.is_empty(),
+            "grid axis {axis:?} needs at least one value"
+        );
+        match axis.trim() {
+            "m" => grid.max_nodes = nums.iter().map(|&v| v as usize).collect(),
+            "n" => grid.tasks = nums,
+            "b" => grid.buffers = nums.iter().map(|&v| v as u32).collect(),
+            "d" => grid.comm_max = nums,
+            "x" => grid.compute_scale = nums,
+            other => panic!("unknown grid axis {other:?}; axes: m n b d x"),
+        }
+    }
+}
+
+/// Parses `--threads` lists: `1,2,4`.
+fn parse_threads_list(spec: &str) -> Vec<usize> {
+    let counts: Vec<usize> = spec
+        .split(',')
+        .map(|v| {
+            let n = v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--threads entry {v:?} must be a number"));
+            assert!(n > 0, "--threads entries must be at least 1");
+            n
+        })
+        .collect();
+    assert!(!counts.is_empty(), "--threads needs at least one count");
+    counts
+}
+
+/// Runs the campaign repeatedly per thread count — **interleaved**
+/// round-robin across the counts, min-of-N per count — and reports the
+/// scaling curve. Interleaving means thermal/frequency drift over the
+/// measurement window degrades every count's samples equally instead of
+/// whichever count happened to run last; the per-count minimum is the
+/// drift-free estimate. Results are bit-identical across thread counts
+/// (each tree's run depends only on its seed), so only wall-clock moves.
+fn threads_curve(campaign: &CampaignConfig, counts: &[usize], rounds: usize) -> Value {
+    let mut counts = counts.to_vec();
     counts.sort_unstable();
     counts.dedup();
-    let mut points = Vec::new();
+    let rounds = rounds.max(2);
+    let mut mins: Vec<f64> = vec![f64::INFINITY; counts.len()];
+    let mut events_of: Vec<u64> = vec![0; counts.len()];
     let mut baseline: Option<Vec<(Option<u64>, u64)>> = None;
-    for &n in &counts {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build_global()
-            .unwrap();
-        let t0 = Instant::now();
-        let runs = run_campaign(campaign, |t| bc_engine::SimConfig::interruptible(3, t));
-        let ns = t0.elapsed().as_nanos() as f64;
-        let summary: Vec<_> = runs.iter().map(|r| (r.onset, r.end_time)).collect();
-        match &baseline {
-            None => baseline = Some(summary),
-            Some(b) => assert_eq!(b, &summary, "campaign differs at {n} threads"),
+    // Round 0 is discarded as warm-up for every count (first touch of
+    // each worker count pays page faults and pool spin-up).
+    for round in 0..=rounds {
+        for (k, &n) in counts.iter().enumerate() {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .unwrap();
+            let t0 = Instant::now();
+            let runs = run_campaign(campaign, |t| bc_engine::SimConfig::interruptible(3, t));
+            let ns = t0.elapsed().as_nanos() as f64;
+            let summary: Vec<_> = runs.iter().map(|r| (r.onset, r.end_time)).collect();
+            match &baseline {
+                None => baseline = Some(summary),
+                Some(b) => assert_eq!(b, &summary, "campaign differs at {n} threads"),
+            }
+            if round > 0 {
+                mins[k] = mins[k].min(ns);
+            }
+            events_of[k] = runs.iter().map(|r| r.events).sum();
         }
-        let events: u64 = runs.iter().map(|r| r.events).sum();
-        points.push(object(vec![
-            ("threads", Value::Int(n as i128)),
-            ("wall_ms", Value::Float(ns / 1e6)),
-            ("events_per_sec", Value::Float(events as f64 / (ns / 1e9))),
-        ]));
     }
     // Back to automatic sizing for the remaining workloads.
     rayon::ThreadPoolBuilder::new()
         .num_threads(0)
         .build_global()
         .unwrap();
-    Value::Array(points)
+    let points = counts
+        .iter()
+        .zip(&mins)
+        .zip(&events_of)
+        .map(|((&n, &ns), &events)| {
+            object(vec![
+                ("threads", Value::Int(n as i128)),
+                ("wall_ms", Value::Float(ns / 1e6)),
+                ("events_per_sec", Value::Float(events as f64 / (ns / 1e9))),
+                (
+                    "speedup_vs_1_thread",
+                    Value::Float(if mins[0].is_finite() {
+                        mins[0] / ns
+                    } else {
+                        1.0
+                    }),
+                ),
+            ])
+        })
+        .collect();
+    object(vec![
+        (
+            "method",
+            Value::Str(format!(
+                "interleaved round-robin across thread counts, min of {rounds} samples per \
+                 count (1 warm-up round discarded)"
+            )),
+        ),
+        ("host_cpus", Value::Int(host_cpus() as i128)),
+        ("points", Value::Array(points)),
+    ])
+}
+
+/// The streaming-vs-materialized comparison on the 64-tree campaign plus
+/// the grid-sweep datapoint: wall clock, exact peak live bytes, and the
+/// bit-identical aggregate check between the two modes.
+fn streaming_report(campaign: &CampaignConfig, grid: &CampaignGrid, shard_size: usize) -> Value {
+    // Materialized (full): keep every TreeRun + RunResult, aggregate
+    // post-hoc — what any consumer needs to recover the same statistics
+    // after the fact.
+    let t0 = Instant::now();
+    let (materialized, mat_peak) = measure_peak_bytes(|| {
+        run_campaign_with_results(campaign, |t| bc_engine::SimConfig::interruptible(3, t))
+    });
+    let mat_ns = t0.elapsed().as_nanos() as f64;
+    let reference = accumulate_materialized(&materialized);
+    drop(materialized);
+
+    // Materialized (summaries only): the pre-streaming campaign mode —
+    // per-tree TreeRun summaries, raw results dropped eagerly.
+    let (_runs, summaries_peak) = measure_peak_bytes(|| {
+        run_campaign(campaign, |t| bc_engine::SimConfig::interruptible(3, t))
+    });
+
+    // Streaming sharded: accumulators only.
+    let t0 = Instant::now();
+    let (streamed, stream_peak) = measure_peak_bytes(|| {
+        run_campaign_streaming(campaign, shard_size, |t| {
+            bc_engine::SimConfig::interruptible(3, t)
+        })
+    });
+    let stream_ns = t0.elapsed().as_nanos() as f64;
+    assert_eq!(
+        streamed, reference,
+        "streamed aggregate differs from the materialized reference"
+    );
+
+    // Grid sweep: the fleet-scale datapoint, streaming mode only (the
+    // whole point is that this scale never materializes).
+    let total_trees = grid.total_trees();
+    let t0 = Instant::now();
+    let (cells, grid_peak) = measure_peak_bytes(|| {
+        run_grid_streaming(grid, shard_size, |c| {
+            bc_engine::SimConfig::interruptible(c.buffers, c.tasks)
+        })
+    });
+    let grid_ns = t0.elapsed().as_nanos() as f64;
+    let grid_events: u128 = cells.iter().map(|(_, a)| a.run_stats.events).sum();
+    let grid_reached: u64 = cells.iter().map(|(_, a)| a.reached).sum();
+    let worst_cell = cells
+        .iter()
+        .map(|(c, a)| (a.fraction_reached(), c.index))
+        .fold(
+            (f64::INFINITY, 0),
+            |acc, x| if x.0 < acc.0 { x } else { acc },
+        );
+    let bytes_per_tree_streaming = grid_peak as f64 / total_trees as f64;
+
+    object(vec![
+        (
+            "campaign_64_trees",
+            object(vec![
+                ("trees", Value::Int(campaign.trees as i128)),
+                ("shard_size", Value::Int(shard_size as i128)),
+                ("materialized_full_wall_ms", Value::Float(mat_ns / 1e6)),
+                ("materialized_full_peak_bytes", Value::Int(mat_peak as i128)),
+                (
+                    "materialized_summaries_peak_bytes",
+                    Value::Int(summaries_peak as i128),
+                ),
+                ("streaming_wall_ms", Value::Float(stream_ns / 1e6)),
+                ("streaming_peak_bytes", Value::Int(stream_peak as i128)),
+                (
+                    "peak_bytes_ratio_full_vs_streaming",
+                    Value::Float(mat_peak as f64 / (stream_peak.max(1)) as f64),
+                ),
+                ("aggregates_bit_identical", Value::Bool(true)),
+            ]),
+        ),
+        (
+            "grid_sweep",
+            object(vec![
+                ("cells", Value::Int(cells.len() as i128)),
+                ("trees_total", Value::Int(total_trees as i128)),
+                ("shard_size", Value::Int(shard_size as i128)),
+                ("wall_ms", Value::Float(grid_ns / 1e6)),
+                ("events_total", Value::Int(grid_events as i128)),
+                (
+                    "events_per_sec",
+                    Value::Float(grid_events as f64 / (grid_ns / 1e9)),
+                ),
+                ("streaming_peak_bytes", Value::Int(grid_peak as i128)),
+                (
+                    "streaming_peak_bytes_per_tree",
+                    Value::Float(bytes_per_tree_streaming),
+                ),
+                (
+                    "fraction_reached_overall",
+                    Value::Float(grid_reached as f64 / total_trees as f64),
+                ),
+                ("worst_cell_fraction", Value::Float(worst_cell.0)),
+                ("worst_cell_index", Value::Int(worst_cell.1 as i128)),
+            ]),
+        ),
+        (
+            "peak_rss_kib_process_lifetime",
+            peak_rss_kib().map_or(Value::Null, |v| Value::Int(v as i128)),
+        ),
+    ])
 }
 
 /// The paper's evaluation shape (§4.1): `trees` random trees from the
@@ -292,6 +580,89 @@ fn paper_scale_report(scale: &CampaignScale) -> Value {
     ])
 }
 
+/// The 64-tree benchmark campaign every curve and comparison runs over.
+fn bench_campaign() -> CampaignConfig {
+    CampaignConfig {
+        trees: 64,
+        tasks: 2_000,
+        seed: 2003,
+        tree_config: RandomTreeConfig {
+            min_nodes: 10,
+            max_nodes: 60,
+            comm_min: 1,
+            comm_max: 20,
+            compute_scale: 500,
+        },
+        onset: OnsetConfig::default(),
+    }
+}
+
+/// `--scaling-smoke`: the CI thread-scaling gate. Runs the campaign at 1
+/// thread and at the largest requested count, interleaved min-of-N,
+/// writes the curve artifact, and (on multi-core hosts) fails unless the
+/// parallel run actually beats the serial one by `min_speedup`.
+fn scaling_smoke(
+    trees: usize,
+    counts: &[usize],
+    rounds: usize,
+    min_speedup: Option<f64>,
+    out: &PathBuf,
+) {
+    let campaign = CampaignConfig {
+        trees,
+        ..bench_campaign()
+    };
+    let curve = threads_curve(&campaign, counts, rounds);
+    let report = object(vec![
+        (
+            "generated_by",
+            Value::Str("bench_report --scaling-smoke".to_string()),
+        ),
+        ("trees", Value::Int(trees as i128)),
+        ("host_cpus", Value::Int(host_cpus() as i128)),
+        ("threads_curve", curve.clone()),
+    ]);
+    std::fs::create_dir_all(out).expect("create --out directory");
+    let path = out.join("SCALING_smoke.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .expect("write SCALING_smoke.json");
+    println!("wrote {}", path.display());
+
+    let points = match curve.get("points") {
+        Some(Value::Array(p)) => p,
+        _ => unreachable!("threads_curve always emits points"),
+    };
+    let wall_of = |idx: usize| match points[idx].get("wall_ms") {
+        Some(Value::Float(ms)) => *ms,
+        _ => unreachable!("points carry wall_ms"),
+    };
+    let first = wall_of(0);
+    let last = wall_of(points.len() - 1);
+    let speedup = first / last;
+    println!(
+        "scaling smoke: {first:.2} ms @ {} thread(s) -> {last:.2} ms @ {} thread(s) \
+         ({speedup:.2}x)",
+        counts.iter().min().unwrap(),
+        counts.iter().max().unwrap(),
+    );
+    if let Some(min) = min_speedup {
+        if host_cpus() < 2 {
+            println!(
+                "WARNING: host exposes {} CPU(s); parallel speedup is not observable here, \
+                 skipping the >= {min:.2}x assertion (the curve artifact was still written)",
+                host_cpus()
+            );
+            return;
+        }
+        assert!(
+            speedup >= min,
+            "thread scaling regressed: {}-thread wall time is only {speedup:.2}x faster than \
+             1 thread (required {min:.2}x)",
+            counts.iter().max().unwrap()
+        );
+    }
+}
+
 fn campaign_report(samples: usize, scale: &CampaignScale) -> Value {
     // Theorem 1 fold over a population slice.
     let cfg = RandomTreeConfig {
@@ -332,31 +703,38 @@ fn campaign_report(samples: usize, scale: &CampaignScale) -> Value {
     });
 
     // Full simulation campaign (generation + oracle + protocol).
-    let campaign = CampaignConfig {
-        trees: 64,
-        tasks: 2_000,
-        seed: 2003,
-        tree_config: RandomTreeConfig {
-            min_nodes: 10,
-            max_nodes: 60,
-            comm_min: 1,
-            comm_max: 20,
-            compute_scale: 500,
-        },
-        onset: OnsetConfig::default(),
-    };
-    let t0 = Instant::now();
-    let runs = run_campaign(&campaign, |t| bc_engine::SimConfig::interruptible(3, t));
-    let campaign_ns = t0.elapsed().as_nanos() as f64;
+    // Median of `samples` runs: a single shot can land on a cold-cache
+    // or thermally-throttled window and misreport the budget number the
+    // ≤2% regression check compares against.
+    let campaign = bench_campaign();
+    let mut runs = Vec::new();
+    let campaign_ns = time_ns(samples, || {
+        runs = run_campaign(&campaign, |t| bc_engine::SimConfig::interruptible(3, t));
+    });
     let events: u64 = runs.iter().map(|r| r.events).sum();
     let reached = runs.iter().filter(|r| r.reached()).count();
 
-    let curve = threads_curve(&campaign);
+    let curve = threads_curve(&campaign, &scale.curve_threads, samples);
+    let streaming = streaming_report(&campaign, &scale.grid, scale.shard_size);
     let paper_scale = paper_scale_report(scale);
 
     object(vec![
         ("generated_by", Value::Str("bench_report".to_string())),
         ("samples_per_workload", Value::Int(samples as i128)),
+        (
+            "host",
+            object(vec![
+                ("cpus", Value::Int(host_cpus() as i128)),
+                (
+                    "note",
+                    Value::Str(
+                        "wall-clock parallel speedup is bounded by this CPU count; campaign \
+                         results themselves are bit-identical at any thread count"
+                            .to_string(),
+                    ),
+                ),
+            ]),
+        ),
         (
             "steady_analyze_100_trees",
             object(vec![
@@ -396,6 +774,7 @@ fn campaign_report(samples: usize, scale: &CampaignScale) -> Value {
             ]),
         ),
         ("threads_curve", curve),
+        ("streaming_campaign", streaming),
         ("campaign_paper_scale", paper_scale),
     ])
 }
@@ -403,11 +782,23 @@ fn campaign_report(samples: usize, scale: &CampaignScale) -> Value {
 fn main() {
     let mut samples = 15usize;
     let mut out = PathBuf::from(".");
+    let all = host_cpus();
     let mut scale = CampaignScale {
         trees: 25_000,
         tasks: 10_000,
         assert_fraction: None,
+        curve_threads: {
+            let mut c = vec![1usize, 2, 4, all];
+            c.sort_unstable();
+            c.dedup();
+            c
+        },
+        grid: CampaignGrid::default_grid(6_400, 2003),
+        shard_size: 512,
     };
+    let mut scaling_smoke_requested = false;
+    let mut scaling_trees = 256usize;
+    let mut assert_speedup: Option<f64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -440,12 +831,56 @@ fn main() {
                 assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
                 scale.assert_fraction = Some(f);
             }
+            "--threads" => scale.curve_threads = parse_threads_list(&value("--threads")),
+            "--campaign-grid" => parse_grid_spec(&value("--campaign-grid"), &mut scale.grid),
+            "--grid-trees-per-cell" => {
+                scale.grid.trees_per_cell = value("--grid-trees-per-cell")
+                    .parse()
+                    .expect("--grid-trees-per-cell must be a number");
+                assert!(
+                    scale.grid.trees_per_cell > 0,
+                    "--grid-trees-per-cell must be at least 1"
+                );
+            }
+            "--shard-size" => {
+                scale.shard_size = value("--shard-size")
+                    .parse()
+                    .expect("--shard-size must be a number");
+                assert!(scale.shard_size > 0, "--shard-size must be at least 1");
+            }
+            "--scaling-smoke" => scaling_smoke_requested = true,
+            "--scaling-trees" => {
+                scaling_trees = value("--scaling-trees")
+                    .parse()
+                    .expect("--scaling-trees must be a number");
+                assert!(scaling_trees > 0, "--scaling-trees must be at least 1");
+            }
+            "--assert-threads-speedup" => {
+                let f: f64 = value("--assert-threads-speedup")
+                    .parse()
+                    .expect("--assert-threads-speedup must be a number");
+                assert!(f > 0.0, "--assert-threads-speedup must be positive");
+                assert_speedup = Some(f);
+            }
             "--out" => out = PathBuf::from(value("--out")),
             other => panic!(
                 "unknown flag {other}; flags: --samples N --campaign-trees N \
-                 --campaign-tasks N --assert-optimal-fraction X --out DIR"
+                 --campaign-tasks N --assert-optimal-fraction X --threads A,B,.. \
+                 --campaign-grid SPEC --grid-trees-per-cell N --shard-size N \
+                 --scaling-smoke --scaling-trees N --assert-threads-speedup X --out DIR"
             ),
         }
+    }
+
+    if scaling_smoke_requested {
+        scaling_smoke(
+            scaling_trees,
+            &scale.curve_threads,
+            samples,
+            assert_speedup,
+            &out,
+        );
+        return;
     }
 
     std::fs::create_dir_all(&out).expect("create --out directory");

@@ -5,13 +5,18 @@
 //! `split_seed(campaign_seed, i)`, so any subset of a campaign can be
 //! re-run independently and results never depend on thread scheduling.
 
-use bc_engine::{RunResult, SimConfig, SimWorkspace};
+use bc_engine::{RunResult, RunStatsAccumulator, SimConfig, SimWorkspace};
 use bc_metrics::{detect_onset, OnsetConfig};
 use bc_platform::{RandomTreeConfig, Tree, UsedStats};
 use bc_rational::Rational;
 use bc_simcore::split_seed;
 use bc_steady::SteadyState;
 use rayon::prelude::*;
+
+/// Log-2 bucket count of the streaming histograms (onset times up to
+/// 2^15 and buffer pools up to 2^15 resolve to distinct buckets; larger
+/// values saturate into the last one).
+pub const HIST_BUCKETS: usize = 16;
 
 /// Configuration of a multi-tree campaign.
 #[derive(Clone, Debug)]
@@ -185,6 +190,437 @@ pub fn fraction_reached(runs: &[TreeRun]) -> f64 {
     runs.iter().filter(|r| r.reached()).count() as f64 / runs.len() as f64
 }
 
+// ---------------------------------------------------------------------------
+// Streaming sharded campaigns
+// ---------------------------------------------------------------------------
+
+/// Log-2 histogram bucket of a value: 0 → 0, otherwise
+/// `floor(log2(v)) + 1`, saturating into the last bucket.
+fn log2_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Exact, mergeable aggregate of a campaign — everything the reports
+/// derive from a `Vec<TreeRun>`, folded into integer counters so a
+/// streamed sharded campaign never materializes per-tree results.
+///
+/// Like [`bc_engine::RunStatsAccumulator`] (embedded here for the raw
+/// engine facts), every field is an integer sum/min/max/histogram, so
+/// `merge` is exact, associative, and commutative, and `default()` is
+/// the merge identity: a sharded streamed campaign produces
+/// **bit-identical** aggregates to folding the materialized
+/// [`TreeRun`]s, at any thread count and any shard size. The optimal
+/// rate is accumulated in fixed point (microtasks per timestep, rounded
+/// from the correctly-rounded `to_f64` of the exact rational) for the
+/// same reason — an `f64` sum would be grouping-sensitive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignAccumulator {
+    /// Raw engine-level facts (events, end times, buffers, faults).
+    pub run_stats: RunStatsAccumulator,
+    /// Runs that reached the optimal steady-state rate.
+    pub reached: u64,
+    /// Sum of onset times over reached runs.
+    pub onset_sum: u128,
+    /// Largest onset time seen.
+    pub onset_max: u64,
+    /// Log-2 histogram of onset times (reached runs only).
+    pub onset_hist: [u64; HIST_BUCKETS],
+    /// Log-2 histogram of per-run global max buffer-pool sizes.
+    pub max_buffers_hist: [u64; HIST_BUCKETS],
+    /// Sum of node counts.
+    pub nodes_sum: u128,
+    /// Largest node count.
+    pub nodes_max: u64,
+    /// Sum of tree depths.
+    pub depth_sum: u128,
+    /// Largest tree depth.
+    pub depth_max: u64,
+    /// Sum of used-hull sizes (Fig 6's "used nodes").
+    pub used_size_sum: u128,
+    /// Sum of used-hull depths.
+    pub used_depth_sum: u128,
+    /// Sum of optimal rates in fixed point (microtasks per timestep,
+    /// `round(rate * 1e6)` per tree).
+    pub rate_micros_sum: u128,
+}
+
+impl Default for CampaignAccumulator {
+    fn default() -> Self {
+        CampaignAccumulator {
+            run_stats: RunStatsAccumulator::default(),
+            reached: 0,
+            onset_sum: 0,
+            onset_max: 0,
+            onset_hist: [0; HIST_BUCKETS],
+            max_buffers_hist: [0; HIST_BUCKETS],
+            nodes_sum: 0,
+            nodes_max: 0,
+            depth_sum: 0,
+            depth_max: 0,
+            used_size_sum: 0,
+            used_depth_sum: 0,
+            rate_micros_sum: 0,
+        }
+    }
+}
+
+impl CampaignAccumulator {
+    /// The merge identity (an accumulator over zero trees).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trees folded in.
+    pub fn trees(&self) -> u64 {
+        self.run_stats.runs
+    }
+
+    /// Folds one summarized run in. The streaming path and the
+    /// materialized path both funnel through this, so their aggregates
+    /// agree bit for bit by construction.
+    pub fn fold_summary(&mut self, run: &TreeRun, result: &RunResult) {
+        self.run_stats.fold(result);
+        if let Some(onset) = run.onset {
+            self.reached += 1;
+            self.onset_sum += onset as u128;
+            self.onset_max = self.onset_max.max(onset);
+            self.onset_hist[log2_bucket(onset)] += 1;
+        }
+        self.max_buffers_hist[log2_bucket(run.max_buffers as u64)] += 1;
+        self.nodes_sum += run.nodes as u128;
+        self.nodes_max = self.nodes_max.max(run.nodes as u64);
+        self.depth_sum += run.depth as u128;
+        self.depth_max = self.depth_max.max(run.depth as u64);
+        self.used_size_sum += run.used.size as u128;
+        self.used_depth_sum += run.used.depth as u128;
+        self.rate_micros_sum += (run.optimal_rate.to_f64() * 1e6).round() as u128;
+    }
+
+    /// Summarizes and folds one raw run (the streaming path: nothing of
+    /// the run outlives this call).
+    pub fn record(
+        &mut self,
+        index: usize,
+        tree: &Tree,
+        analysis: &SteadyState,
+        result: &RunResult,
+        onset_cfg: OnsetConfig,
+    ) {
+        let run = summarize(index, tree, analysis, result, onset_cfg);
+        self.fold_summary(&run, result);
+    }
+
+    /// Merges another accumulator in (exact; associative and
+    /// commutative; `default()` is the identity).
+    pub fn merge(&mut self, other: &Self) {
+        self.run_stats.merge(&other.run_stats);
+        self.reached += other.reached;
+        self.onset_sum += other.onset_sum;
+        self.onset_max = self.onset_max.max(other.onset_max);
+        for (a, b) in self.onset_hist.iter_mut().zip(&other.onset_hist) {
+            *a += b;
+        }
+        for (a, b) in self
+            .max_buffers_hist
+            .iter_mut()
+            .zip(&other.max_buffers_hist)
+        {
+            *a += b;
+        }
+        self.nodes_sum += other.nodes_sum;
+        self.nodes_max = self.nodes_max.max(other.nodes_max);
+        self.depth_sum += other.depth_sum;
+        self.depth_max = self.depth_max.max(other.depth_max);
+        self.used_size_sum += other.used_size_sum;
+        self.used_depth_sum += other.used_depth_sum;
+        self.rate_micros_sum += other.rate_micros_sum;
+    }
+
+    /// Fraction of folded runs that reached the optimal rate.
+    pub fn fraction_reached(&self) -> f64 {
+        if self.trees() == 0 {
+            return 0.0;
+        }
+        self.reached as f64 / self.trees() as f64
+    }
+
+    /// Mean onset time over reached runs (0 when none reached).
+    pub fn mean_onset(&self) -> f64 {
+        if self.reached == 0 {
+            return 0.0;
+        }
+        self.onset_sum as f64 / self.reached as f64
+    }
+
+    /// Mean node count (0 when empty).
+    pub fn mean_nodes(&self) -> f64 {
+        if self.trees() == 0 {
+            return 0.0;
+        }
+        self.nodes_sum as f64 / self.trees() as f64
+    }
+
+    /// Mean optimal rate (tasks per timestep; 0 when empty).
+    pub fn mean_optimal_rate(&self) -> f64 {
+        if self.trees() == 0 {
+            return 0.0;
+        }
+        self.rate_micros_sum as f64 / 1e6 / self.trees() as f64
+    }
+}
+
+/// Like [`run_campaign`], but keeps each tree's raw [`RunResult`]
+/// alongside its summary — the fully **materialized** campaign mode.
+/// This is what a post-hoc aggregation needs to compute everything a
+/// [`CampaignAccumulator`] holds, and the memory baseline the streaming
+/// mode is benchmarked (and tested bit-identical) against.
+pub fn run_campaign_with_results(
+    campaign: &CampaignConfig,
+    make_config: impl Fn(u64) -> SimConfig + Sync,
+) -> Vec<(TreeRun, RunResult)> {
+    campaign
+        .prepare_all()
+        .par_iter()
+        .map_init(SimWorkspace::new, |ws, p| {
+            let result = ws.run(p.tree.clone(), make_config(campaign.tasks));
+            let run = summarize(p.index, &p.tree, &p.analysis, &result, campaign.onset);
+            (run, result)
+        })
+        .collect()
+}
+
+/// Folds a materialized campaign into an accumulator, tree-index order.
+/// This is the reference the streaming path is tested bit-identical
+/// against — note it needs the raw `RunResult`s kept alive, which is
+/// exactly what the streaming path exists to avoid.
+pub fn accumulate_materialized(runs: &[(TreeRun, RunResult)]) -> CampaignAccumulator {
+    let mut acc = CampaignAccumulator::new();
+    for (run, result) in runs {
+        acc.fold_summary(run, result);
+    }
+    acc
+}
+
+/// Runs a campaign in streaming sharded mode: trees are processed in
+/// contiguous shards of `shard_size`, each worker folding its shard
+/// into a [`CampaignAccumulator`] (per-tree results die immediately),
+/// and shard accumulators are merged in shard order. Peak memory is
+/// `O(trees / shard_size)` accumulators plus one in-flight tree per
+/// worker — sub-linear in tree count — instead of `O(trees)` summaries.
+///
+/// Results are bit-identical to folding the materialized path's output
+/// through the same accumulator, at any thread count and shard size.
+pub fn run_campaign_streaming(
+    campaign: &CampaignConfig,
+    shard_size: usize,
+    make_config: impl Fn(u64) -> SimConfig + Sync,
+) -> CampaignAccumulator {
+    assert!(shard_size >= 1, "shard_size must be at least 1");
+    let shards = campaign.trees.div_ceil(shard_size);
+    let shard_accs: Vec<CampaignAccumulator> = (0..shards)
+        .into_par_iter()
+        .map_init(SimWorkspace::new, |ws, s| {
+            let start = s * shard_size;
+            let end = ((s + 1) * shard_size).min(campaign.trees);
+            let mut acc = CampaignAccumulator::new();
+            for i in start..end {
+                let p = campaign.prepare(i);
+                let result = ws.run(p.tree.clone(), make_config(campaign.tasks));
+                acc.record(i, &p.tree, &p.analysis, &result, campaign.onset);
+            }
+            acc
+        })
+        .collect();
+    // Deterministic shard-order merge (collect preserves input order).
+    let mut total = CampaignAccumulator::new();
+    for acc in &shard_accs {
+        total.merge(acc);
+    }
+    total
+}
+
+// ---------------------------------------------------------------------------
+// Parameter-grid sweeps
+// ---------------------------------------------------------------------------
+
+/// A parameter grid over the paper's campaign knobs: tree size `m`,
+/// task count `n`, buffer allowance `b`, communication-delay range `d`,
+/// and compute scale `x`. The cartesian product of the axes defines the
+/// grid's cells; each cell simulates `trees_per_cell` random trees
+/// seeded from `split_seed(seed, cell_index)`, so any cell can be
+/// re-run independently of the rest of the sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignGrid {
+    /// Tree-size axis `m` (max nodes; min nodes is `min(10, m)`).
+    pub max_nodes: Vec<usize>,
+    /// Task-count axis `n`.
+    pub tasks: Vec<u64>,
+    /// Buffer-allowance axis `b` (the protocol's FB threshold).
+    pub buffers: Vec<u32>,
+    /// Communication-delay axis `d` (comm times uniform in `[1, d]`).
+    pub comm_max: Vec<u64>,
+    /// Compute-scale axis `x` (compute times uniform in `[x/100, x]`).
+    pub compute_scale: Vec<u64>,
+    /// Random trees per cell.
+    pub trees_per_cell: usize,
+    /// Sweep seed.
+    pub seed: u64,
+    /// Onset-detection parameters shared by every cell.
+    pub onset: OnsetConfig,
+}
+
+impl CampaignGrid {
+    /// A small default grid: 16 cells spanning tree size, buffers,
+    /// delay spread, and compute scale at a fixed task count.
+    pub fn default_grid(trees_per_cell: usize, seed: u64) -> Self {
+        CampaignGrid {
+            max_nodes: vec![30, 120],
+            tasks: vec![500],
+            buffers: vec![2, 3],
+            comm_max: vec![10, 30],
+            compute_scale: vec![100, 500],
+            trees_per_cell,
+            seed,
+            // The paper's threshold (300 windows) assumes 10_000-task
+            // runs; grid cells run a few hundred tasks, so the startup
+            // exclusion is scaled down proportionally.
+            onset: OnsetConfig {
+                window_threshold: 100,
+                crossings: 2,
+            },
+        }
+    }
+
+    /// The grid's cells in canonical (m, n, b, d, x) nested order.
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut cells = Vec::new();
+        for &m in &self.max_nodes {
+            for &n in &self.tasks {
+                for &b in &self.buffers {
+                    for &d in &self.comm_max {
+                        for &x in &self.compute_scale {
+                            cells.push(GridCell {
+                                index: cells.len(),
+                                max_nodes: m,
+                                tasks: n,
+                                buffers: b,
+                                comm_max: d,
+                                compute_scale: x,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total trees the sweep will simulate.
+    pub fn total_trees(&self) -> usize {
+        self.max_nodes.len()
+            * self.tasks.len()
+            * self.buffers.len()
+            * self.comm_max.len()
+            * self.compute_scale.len()
+            * self.trees_per_cell
+    }
+
+    /// The per-cell campaign: tree `i` of a cell is seeded from the
+    /// cell's own `split_seed(grid.seed, cell_index)` stream, so cells
+    /// are independent and individually reproducible.
+    pub fn cell_campaign(&self, cell: &GridCell) -> CampaignConfig {
+        CampaignConfig {
+            trees: self.trees_per_cell,
+            tasks: cell.tasks,
+            seed: split_seed(self.seed, cell.index as u64),
+            tree_config: RandomTreeConfig {
+                min_nodes: cell.max_nodes.min(10),
+                max_nodes: cell.max_nodes,
+                comm_min: 1,
+                comm_max: cell.comm_max,
+                compute_scale: cell.compute_scale,
+            },
+            onset: self.onset,
+        }
+    }
+}
+
+/// One point of a [`CampaignGrid`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridCell {
+    /// Position in the canonical cell order.
+    pub index: usize,
+    /// Tree-size parameter `m`.
+    pub max_nodes: usize,
+    /// Task count `n`.
+    pub tasks: u64,
+    /// Buffer allowance `b`.
+    pub buffers: u32,
+    /// Communication-delay bound `d`.
+    pub comm_max: u64,
+    /// Compute scale `x`.
+    pub compute_scale: u64,
+}
+
+/// Runs a whole grid sweep in streaming sharded mode and returns one
+/// accumulator per cell (cell order).
+///
+/// The (cell, shard) pairs of the entire sweep are flattened into one
+/// parallel work queue, so workers stay busy across cell boundaries and
+/// each worker's `SimWorkspace` stays thread-affine for the whole
+/// sweep. Shard accumulators are merged into their cells in canonical
+/// shard order, keeping the per-cell aggregates bit-identical at any
+/// thread count.
+pub fn run_grid_streaming(
+    grid: &CampaignGrid,
+    shard_size: usize,
+    make_config: impl Fn(&GridCell) -> SimConfig + Sync,
+) -> Vec<(GridCell, CampaignAccumulator)> {
+    assert!(shard_size >= 1, "shard_size must be at least 1");
+    let cells = grid.cells();
+    let campaigns: Vec<CampaignConfig> = cells.iter().map(|c| grid.cell_campaign(c)).collect();
+    // Flatten (cell, shard) tasks in canonical order.
+    let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+    for (ci, _) in cells.iter().enumerate() {
+        let mut start = 0;
+        while start < grid.trees_per_cell {
+            let end = (start + shard_size).min(grid.trees_per_cell);
+            tasks.push((ci, start, end));
+            start = end;
+        }
+    }
+    let cells_ref = &cells;
+    let campaigns_ref = &campaigns;
+    let make_config_ref = &make_config;
+    let shard_accs: Vec<(usize, CampaignAccumulator)> = tasks
+        .into_par_iter()
+        .map_init(SimWorkspace::new, move |ws, (ci, start, end)| {
+            let cell = &cells_ref[ci];
+            let campaign = &campaigns_ref[ci];
+            let mut acc = CampaignAccumulator::new();
+            for i in start..end {
+                let p = campaign.prepare(i);
+                let result = ws.run(p.tree.clone(), make_config_ref(cell));
+                acc.record(i, &p.tree, &p.analysis, &result, campaign.onset);
+            }
+            (ci, acc)
+        })
+        .collect();
+    // Merge shards into cells in canonical order.
+    let mut out: Vec<(GridCell, CampaignAccumulator)> = cells
+        .into_iter()
+        .map(|c| (c, CampaignAccumulator::new()))
+        .collect();
+    for (ci, acc) in &shard_accs {
+        out[*ci].1.merge(acc);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +672,92 @@ mod tests {
         let runs = run_campaign(&c, |t| SimConfig::interruptible(3, t));
         let frac = fraction_reached(&runs);
         assert!(frac >= 0.5, "IC/FB=3 reached only {frac}");
+    }
+
+    #[test]
+    fn streaming_matches_materialized_at_every_shard_size() {
+        let c = tiny_campaign();
+        let materialized = run_campaign_with_results(&c, |t| SimConfig::interruptible(3, t));
+        let reference = accumulate_materialized(&materialized);
+        assert_eq!(reference.trees(), 8);
+        assert!(reference.fraction_reached() > 0.0);
+        for shard_size in [1usize, 3, 8, 64] {
+            let streamed =
+                run_campaign_streaming(&c, shard_size, |t| SimConfig::interruptible(3, t));
+            assert_eq!(
+                streamed, reference,
+                "streamed aggregate differs at shard_size {shard_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_merge_is_exact_over_shard_groupings() {
+        let c = tiny_campaign();
+        let materialized = run_campaign_with_results(&c, |t| SimConfig::interruptible(3, t));
+        let whole = accumulate_materialized(&materialized);
+        let (a, b) = materialized.split_at(3);
+        let mut left = accumulate_materialized(a);
+        let right = accumulate_materialized(b);
+        left.merge(&right);
+        assert_eq!(left, whole);
+        // Identity.
+        let mut with_id = whole.clone();
+        with_id.merge(&CampaignAccumulator::default());
+        assert_eq!(with_id, whole);
+    }
+
+    #[test]
+    fn grid_cells_enumerate_cartesian_product_in_order() {
+        let grid = CampaignGrid::default_grid(5, 7);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 16);
+        assert_eq!(grid.total_trees(), 80);
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+        // Innermost axis (x) varies fastest.
+        assert_eq!(cells[0].compute_scale, 100);
+        assert_eq!(cells[1].compute_scale, 500);
+        assert_eq!(cells[0].comm_max, cells[1].comm_max);
+        // Cells get distinct seed streams.
+        assert_ne!(
+            grid.cell_campaign(&cells[0]).seed,
+            grid.cell_campaign(&cells[1]).seed
+        );
+    }
+
+    #[test]
+    fn grid_sweep_is_deterministic_and_streams_per_cell() {
+        let grid = CampaignGrid {
+            max_nodes: vec![12, 25],
+            tasks: vec![400],
+            buffers: vec![2, 3],
+            comm_max: vec![8],
+            compute_scale: vec![100],
+            trees_per_cell: 4,
+            seed: 99,
+            onset: OnsetConfig {
+                window_threshold: 50,
+                crossings: 2,
+            },
+        };
+        let a = run_grid_streaming(&grid, 2, |c| SimConfig::interruptible(c.buffers, c.tasks));
+        let b = run_grid_streaming(&grid, 3, |c| SimConfig::interruptible(c.buffers, c.tasks));
+        assert_eq!(a.len(), 4);
+        for ((cell_a, acc_a), (cell_b, acc_b)) in a.iter().zip(&b) {
+            assert_eq!(cell_a, cell_b);
+            assert_eq!(
+                acc_a, acc_b,
+                "cell {} differs across shard sizes",
+                cell_a.index
+            );
+            assert_eq!(acc_a.trees(), 4);
+        }
+        // And each cell matches its own standalone streaming campaign.
+        for (cell, acc) in &a {
+            let standalone = run_campaign_streaming(&grid.cell_campaign(cell), 4, |t| {
+                SimConfig::interruptible(cell.buffers, t)
+            });
+            assert_eq!(&standalone, acc, "cell {} standalone mismatch", cell.index);
+        }
     }
 }

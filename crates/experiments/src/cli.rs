@@ -1,8 +1,10 @@
 //! Minimal flag parsing shared by the experiment binaries.
 //!
 //! Flags: `--trees N`, `--tasks N`, `--seed N`, `--full` (paper-scale
-//! campaign), `--threads N` (campaign worker threads), `--out DIR` (also
-//! write CSV artifacts there).
+//! campaign), `--threads N` (campaign worker threads), `--stream`
+//! (streaming sharded campaign mode: fold into accumulators instead of
+//! materializing per-tree results), `--shard-size N` (trees per
+//! streaming shard), `--out DIR` (also write CSV artifacts there).
 //!
 //! Binaries call [`parse`], which on a bad command line prints a
 //! one-line error plus usage to **stderr** and exits with code 2 (the
@@ -29,6 +31,12 @@ pub struct Cli {
     /// Campaign worker threads (None = all cores). Campaign results are
     /// bit-identical at any thread count; this only trades wall-clock.
     pub threads: Option<usize>,
+    /// Streaming sharded campaign mode: aggregate through mergeable
+    /// accumulators, never materializing per-tree results (sub-linear
+    /// memory; bit-identical aggregates).
+    pub stream: bool,
+    /// Trees per streaming shard.
+    pub shard_size: usize,
     /// Directory for CSV artifacts.
     pub out: Option<PathBuf>,
 }
@@ -55,8 +63,9 @@ pub enum CliError {
 
 fn usage_line(defaults: Defaults) -> String {
     format!(
-        "flags: --trees N --tasks N --seed N --full --gate every|arrival|filled --threads N --out DIR\n\
-         defaults: trees={} (full: {}), tasks={}, seed=2003",
+        "flags: --trees N --tasks N --seed N --full --gate every|arrival|filled --threads N \
+         --stream --shard-size N --out DIR\n\
+         defaults: trees={} (full: {}), tasks={}, seed=2003, shard-size=512",
         defaults.trees, defaults.full_trees, defaults.tasks
     )
 }
@@ -76,6 +85,8 @@ pub fn try_parse(
         full: false,
         gate: GrowthGate::default(),
         threads: None,
+        stream: false,
+        shard_size: 512,
         out: None,
     };
     let mut it = args.into_iter();
@@ -115,6 +126,14 @@ pub fn try_parse(
                     return Err(CliError::Usage("--threads must be at least 1".into()));
                 }
                 cli.threads = Some(n);
+            }
+            "--stream" => cli.stream = true,
+            "--shard-size" => {
+                let n = number("--shard-size", value("--shard-size")?)? as usize;
+                if n == 0 {
+                    return Err(CliError::Usage("--shard-size must be at least 1".into()));
+                }
+                cli.shard_size = n;
             }
             "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
             "--help" | "-h" => return Err(CliError::Help),
@@ -211,6 +230,20 @@ mod tests {
         assert_eq!(
             try_parse(args(&["--threads", "0"]), D),
             Err(CliError::Usage("--threads must be at least 1".into()))
+        );
+    }
+
+    #[test]
+    fn streaming_flags_parse() {
+        let cli = try_parse(args(&[]), D).unwrap();
+        assert!(!cli.stream);
+        assert_eq!(cli.shard_size, 512);
+        let cli = try_parse(args(&["--stream", "--shard-size", "64"]), D).unwrap();
+        assert!(cli.stream);
+        assert_eq!(cli.shard_size, 64);
+        assert_eq!(
+            try_parse(args(&["--shard-size", "0"]), D),
+            Err(CliError::Usage("--shard-size must be at least 1".into()))
         );
     }
 

@@ -1,12 +1,24 @@
 //! The `split_seed` contract, end to end: a campaign's results are a pure
 //! function of `(seed, tree_config, protocol)` — the worker-thread count
 //! (and therefore which worker simulates which tree, with which reused
-//! workspace) must not change a single bit of any summary.
+//! workspace) must not change a single bit of any summary. The streaming
+//! sharded engine extends the contract: its merged accumulator must be
+//! bit-identical to folding the materialized campaign, again at every
+//! thread count.
 
 use bc_engine::SimConfig;
-use bc_experiments::campaign::{run_campaign, CampaignConfig, TreeRun};
+use bc_experiments::campaign::{
+    accumulate_materialized, run_campaign, run_campaign_streaming, run_campaign_with_results,
+    CampaignConfig, TreeRun,
+};
 use bc_metrics::OnsetConfig;
 use bc_platform::RandomTreeConfig;
+use std::sync::Mutex;
+
+/// Both tests below mutate the process-wide worker-pool override
+/// (`build_global` on the vendored shim is a settable global), so they
+/// must not run concurrently within this test binary.
+static POOL: Mutex<()> = Mutex::new(());
 
 fn campaign() -> CampaignConfig {
     CampaignConfig {
@@ -22,6 +34,13 @@ fn campaign() -> CampaignConfig {
         },
         onset: OnsetConfig::default(),
     }
+}
+
+fn set_threads(threads: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .unwrap();
 }
 
 /// Every field a campaign reports, for exact comparison.
@@ -42,25 +61,19 @@ fn fingerprint(runs: &[TreeRun]) -> Vec<(usize, Option<u64>, u64, u64, u32, Stri
 
 #[test]
 fn campaign_summaries_are_bit_identical_across_thread_counts() {
+    let _pool = POOL.lock().unwrap();
     let c = campaign();
     let mut baselines: Vec<Vec<_>> = Vec::new();
     for threads in [1usize, 2, 4, 7] {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build_global()
-            .unwrap();
+        set_threads(threads);
         assert_eq!(rayon::current_num_threads(), threads);
         let ic = run_campaign(&c, |t| SimConfig::interruptible(3, t));
         let nonic = run_campaign(&c, |t| SimConfig::non_interruptible(1, t));
         baselines.push(fingerprint(&ic));
         baselines.push(fingerprint(&nonic));
     }
-    // Restore automatic sizing for other tests in this binary (none today,
-    // but the global override outlives the test).
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(0)
-        .build_global()
-        .unwrap();
+    // Restore automatic sizing; the global override outlives the test.
+    set_threads(0);
     for pair in baselines.chunks(2).skip(1) {
         assert_eq!(
             baselines[0], pair[0],
@@ -71,4 +84,31 @@ fn campaign_summaries_are_bit_identical_across_thread_counts() {
             "non-IC campaign differs from the single-thread baseline"
         );
     }
+}
+
+/// The streaming half of the contract: at 1/2/4/7 worker threads and
+/// across shard sizes (including ones that leave a ragged final shard),
+/// the streamed accumulator equals the materialized fold bit for bit —
+/// the shard → worker assignment must be invisible in the aggregate.
+#[test]
+fn streamed_campaign_is_bit_identical_to_materialized_across_thread_counts() {
+    let _pool = POOL.lock().unwrap();
+    let c = campaign();
+    set_threads(1);
+    let reference = accumulate_materialized(&run_campaign_with_results(&c, |t| {
+        SimConfig::interruptible(3, t)
+    }));
+    for threads in [1usize, 2, 4, 7] {
+        set_threads(threads);
+        assert_eq!(rayon::current_num_threads(), threads);
+        for shard_size in [1usize, 5, 8, 24, 100] {
+            let streamed =
+                run_campaign_streaming(&c, shard_size, |t| SimConfig::interruptible(3, t));
+            assert_eq!(
+                streamed, reference,
+                "streamed aggregate diverged at {threads} threads, shard size {shard_size}"
+            );
+        }
+    }
+    set_threads(0);
 }

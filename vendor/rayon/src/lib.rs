@@ -10,6 +10,16 @@
 //! written into their input positions, preserving input order exactly
 //! like rayon's indexed collect.
 //!
+//! Scaling notes (see DESIGN.md "Parallel scaling & streaming
+//! campaigns"): the claim counter is cache-line-padded ([`CachePadded`])
+//! so claims never false-share with the queue's read-only fields, the
+//! chunk grain self-tunes from the queue shape (guided decay toward a
+//! per-queue minimum grain, [`WorkQueue::new`]), and `map_init` state is
+//! **thread-affine by construction** — each worker builds its state once
+//! per parallel call and every chunk it claims runs against that same
+//! state, so a reused `SimWorkspace`'s arenas stay in that worker's
+//! cache for the whole campaign (state never migrates between workers).
+//!
 //! Thread count resolution (first match wins):
 //! 1. [`ThreadPoolBuilder::build_global`] override (settable repeatedly,
 //!    unlike real rayon — the thread-scaling benches sweep it),
@@ -355,6 +365,17 @@ where
 // Execution engine: guided atomic-index work queue
 // ---------------------------------------------------------------------------
 
+/// Pads (and aligns) a value to two 64-byte cache lines so the wrapped
+/// atomic owns its lines outright. The claim counter used to sit at the
+/// front of the `WorkQueue` struct, on the same line as the (read-only)
+/// `len`/`workers` fields *and* whatever the scoped-spawn machinery
+/// placed next to it on the stack — every claim's `fetch_add` then
+/// ping-ponged that line across all workers' caches even though the
+/// neighbouring reads never changed. 128 bytes (not 64) because adjacent
+/// cache-line prefetchers on x86 pull line pairs.
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
 /// Output buffer shared by workers; results land at their input index.
 struct OutputBuf<R> {
     buf: *mut MaybeUninit<R>,
@@ -366,20 +387,50 @@ unsafe impl<R: Send> Sync for OutputBuf<R> {}
 /// Shared claim counter. Chunks shrink as the queue drains (guided
 /// scheduling): big grains early amortize the atomic op, single items at
 /// the tail keep every worker busy until the end.
+///
+/// The grain schedule is self-tuning: each claim takes
+/// `remaining / (workers * 4)` items, decaying geometrically toward
+/// `min_grain`. `min_grain` is derived from the queue's shape at
+/// construction — for heavy items (a campaign's per-tree simulations,
+/// few items per worker) it stays 1 so the tail balances perfectly; for
+/// cheap items (element-wise maps over 10^5..10^6 indices) it grows so
+/// the atomic claim cost is amortized over tens of items instead of
+/// being paid per item.
 struct WorkQueue {
-    next: AtomicUsize,
+    next: CachePadded<AtomicUsize>,
     len: usize,
     workers: usize,
+    min_grain: usize,
 }
 
+/// Upper bound on any single claim: keeps the tail imbalance bounded
+/// even for million-item queues (a worker never sits on more than this
+/// many items while others starve).
+const MAX_GRAIN: usize = 4096;
+
 impl WorkQueue {
+    fn new(len: usize, workers: usize) -> Self {
+        // Self-tuning minimum grain: aim for at least ~256 claims per
+        // worker before hitting the floor, capped at 64 items so the
+        // guided decay always ends in fine-grained tail balancing.
+        let min_grain = (len / (workers * 256).max(1)).clamp(1, 64);
+        WorkQueue {
+            next: CachePadded(AtomicUsize::new(0)),
+            len,
+            workers,
+            min_grain,
+        }
+    }
+
     /// Claims the next chunk, `[start, end)`, or `None` when drained.
     fn claim(&self) -> Option<(usize, usize)> {
         // A relaxed pre-read keeps the grain calculation cheap; the
         // fetch_add below is the only synchronizing claim.
-        let remaining = self.len.saturating_sub(self.next.load(Ordering::Relaxed));
-        let grain = (remaining / (self.workers * 8)).clamp(1, 1024);
-        let start = self.next.fetch_add(grain, Ordering::Relaxed);
+        let remaining = self.len.saturating_sub(self.next.0.load(Ordering::Relaxed));
+        let grain = (remaining / (self.workers * 4))
+            .clamp(self.min_grain, MAX_GRAIN)
+            .max(1);
+        let start = self.next.0.fetch_add(grain, Ordering::Relaxed);
         if start >= self.len {
             return None;
         }
@@ -414,11 +465,7 @@ where
     let out_buf = OutputBuf {
         buf: out.as_mut_ptr(),
     };
-    let queue = WorkQueue {
-        next: AtomicUsize::new(0),
-        len: n,
-        workers,
-    };
+    let queue = WorkQueue::new(n, workers);
     let source_ref = &source;
     let out_ref = &out_buf;
     let queue_ref = &queue;
@@ -581,6 +628,49 @@ mod tests {
             .num_threads(0)
             .build_global()
             .unwrap();
+    }
+
+    #[test]
+    fn work_queue_claims_cover_exactly_once() {
+        for (len, workers) in [(0usize, 1usize), (1, 4), (64, 4), (1000, 7), (250_000, 4)] {
+            let q = WorkQueue::new(len, workers);
+            let mut covered = 0;
+            let mut last_end = 0;
+            while let Some((s, e)) = q.claim() {
+                assert_eq!(s, last_end, "gap or overlap at {s} (len {len})");
+                assert!(e > s && e <= len);
+                covered += e - s;
+                last_end = e;
+            }
+            assert_eq!(covered, len, "queue did not cover [0, {len})");
+        }
+    }
+
+    #[test]
+    fn grain_self_tunes_to_queue_shape() {
+        // Few heavy items per worker (a 64-tree campaign): the floor
+        // stays 1 so the tail balances item by item.
+        assert_eq!(WorkQueue::new(64, 4).min_grain, 1);
+        // Millions of cheap items: the floor grows (capped at 64) so the
+        // atomic claim is amortized.
+        assert_eq!(WorkQueue::new(1_000_000, 4).min_grain, 64);
+        // Guided decay: claims shrink as the queue drains, never exceed
+        // MAX_GRAIN, and end at the floor.
+        let q = WorkQueue::new(400_000, 4);
+        let mut prev = usize::MAX;
+        let mut sizes = Vec::new();
+        while let Some((s, e)) = q.claim() {
+            let g = e - s;
+            assert!(g <= MAX_GRAIN);
+            assert!(g <= prev || g >= q.min_grain);
+            prev = g;
+            sizes.push(g);
+        }
+        assert!(sizes.first().copied().unwrap() > sizes.last().copied().unwrap());
+        // The tail runs at the floor (the very last claim may be the
+        // sub-floor remainder of the queue).
+        assert!(sizes.last().copied().unwrap() <= q.min_grain);
+        assert!(sizes.iter().rev().nth(1).copied().unwrap_or(1) <= q.min_grain.max(1));
     }
 
     #[test]
