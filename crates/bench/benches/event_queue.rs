@@ -130,6 +130,59 @@ fn bench_agendas(c: &mut Criterion) {
     g.finish();
 }
 
+/// The two-tier ladder front-end under three delay profiles. The ladder
+/// absorbs schedules landing within 1024 steps of the clock and the
+/// 4-ary heap takes the rest, so the same insert/cancel/pop mix is run
+/// near-only (ladder-dominated), tier-straddling (merge path hot), and
+/// far-heavy (heap-dominated) — a regression in either tier or in the
+/// front merge shows up in exactly one profile.
+fn bench_agenda_monotonicity(c: &mut Criterion) {
+    let profiles: [(&str, u64, u64); 3] = [
+        ("near_monotone", 1, 64),
+        ("tier_straddling", 1, 4096),
+        ("far_heavy", 2048, 100_000),
+    ];
+    let mut g = c.benchmark_group("agenda_monotonicity");
+    for (name, lo, hi) in profiles {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut a: Agenda<u64> = Agenda::new();
+                let mut state = 0x243f_6a88_85a3_08d3u64;
+                let mut rnd = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                let mut handles = Vec::with_capacity(256);
+                for i in 0..256u64 {
+                    handles.push(a.schedule(lo + rnd() % (hi - lo + 1), i));
+                }
+                let mut acc = 0u64;
+                for i in 0..20_000u64 {
+                    let Some((t, v)) = a.next() else { break };
+                    acc ^= t.wrapping_add(v);
+                    handles.push(a.schedule(lo + rnd() % (hi - lo + 1), i));
+                    if i % 3 == 0 {
+                        handles.push(a.schedule(lo + rnd() % (hi - lo + 1), i));
+                    }
+                    if i % 5 == 0 {
+                        // Cancel a pseudo-random outstanding handle (may
+                        // already be popped; cancel is then a no-op).
+                        let h = handles[rnd() as usize % handles.len()];
+                        acc ^= a.cancel(h).unwrap_or(0);
+                    }
+                }
+                while let Some((t, _)) = a.next() {
+                    acc ^= t;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// End-to-end: fresh arenas every run vs one warm workspace.
 fn bench_workspace_reuse(c: &mut Criterion) {
     let tree = RandomTreeConfig {
@@ -152,5 +205,11 @@ fn bench_workspace_reuse(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_heaps, bench_agendas, bench_workspace_reuse);
+criterion_group!(
+    benches,
+    bench_heaps,
+    bench_agendas,
+    bench_agenda_monotonicity,
+    bench_workspace_reuse
+);
 criterion_main!(benches);

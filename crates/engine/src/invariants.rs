@@ -113,7 +113,7 @@ impl<S: TraceSink> Simulation<S> {
         }
         self.check_last_now = now;
         self.events_since_sweep += 1;
-        let sweep_due = self.events_since_sweep >= (self.ws.nodes.len() as u32).max(32);
+        let sweep_due = self.events_since_sweep >= (self.ws.hot.len() as u32).max(32);
         if sweep_due || self.finished {
             self.events_since_sweep = 0;
             if let Err(v) = self.verify_invariants() {
@@ -160,13 +160,14 @@ impl<S: TraceSink> Simulation<S> {
     pub fn verify_invariants(&self) -> Result<(), InvariantViolation> {
         self.check_quiescent()?;
         self.check_task_conservation()?;
-        for i in 0..self.ws.nodes.len() {
-            if self.ws.nodes[i].departed || self.ws.nodes[i].crashed {
+        for i in 0..self.ws.hot.len() {
+            if self.ws.hot[i].departed || self.ws.hot[i].crashed {
                 continue;
             }
             self.check_buffer_legality(i)?;
             self.check_coverage(i)?;
             self.check_protocol_structure(i)?;
+            self.check_row_caches(i)?;
             if !self.finished {
                 self.check_work_conservation(i)?;
             }
@@ -209,7 +210,7 @@ impl<S: TraceSink> Simulation<S> {
         let mut computing: u64 = 0;
         let mut in_flight: u64 = 0;
         let mut computed_sum: u64 = 0;
-        for (i, n) in self.ws.nodes.iter().enumerate() {
+        for (i, n) in self.ws.hot.iter().enumerate() {
             computed_sum += n.tasks_computed;
             if n.departed || n.crashed {
                 continue;
@@ -218,9 +219,9 @@ impl<S: TraceSink> Simulation<S> {
                 buffered += u64::from(l.held());
             }
             computing += u64::from(n.computing_since.is_some());
-            if let Some(s) = &n.sending {
-                let child = self.ws.children[i][s.child_pos];
-                if self.ws.nodes[child].departed {
+            if let Some(s) = &self.ws.sending[i] {
+                let child = self.ws.kid(i, s.child_pos);
+                if self.ws.hot[child].departed {
                     return fail(
                         "task-conservation",
                         format!("node {i} is sending to departed child {child}"),
@@ -228,10 +229,10 @@ impl<S: TraceSink> Simulation<S> {
                 }
                 in_flight += 1;
             }
-            for (pos, slot) in n.slots.iter().enumerate() {
-                if slot.is_some() {
-                    let child = self.ws.children[i][pos];
-                    if self.ws.nodes[child].departed {
+            for k in self.ws.krange(i) {
+                if self.ws.kid_slot[k].is_some() {
+                    let child = self.ws.kid_node[k] as usize;
+                    if self.ws.hot[child].departed {
                         return fail(
                             "task-conservation",
                             format!("node {i} holds a slot transfer for departed child {child}"),
@@ -272,7 +273,7 @@ impl<S: TraceSink> Simulation<S> {
     /// ledger's own policy, so a mis-provisioned pool cannot vouch for
     /// itself.
     fn check_buffer_legality(&self, i: usize) -> Result<(), InvariantViolation> {
-        let Some(l) = &self.ws.nodes[i].ledger else {
+        let Some(l) = &self.ws.hot[i].ledger else {
             return Ok(()); // the root buffers nothing
         };
         if l.held() > l.capacity() {
@@ -358,21 +359,23 @@ impl<S: TraceSink> Simulation<S> {
     /// parent's state — it keeps its covered requests and starves, which
     /// is the accepted fate of an unreachable subtree.
     fn check_coverage(&self, i: usize) -> Result<(), InvariantViolation> {
-        let Some(l) = &self.ws.nodes[i].ledger else {
+        let Some(l) = &self.ws.hot[i].ledger else {
             return Ok(());
         };
         let p = self.ws.parent_of[i].expect("non-root has parent");
         let pos = self.ws.child_pos[i];
-        let parent = &self.ws.nodes[p];
-        if parent.crashed {
+        if self.ws.hot[p].crashed {
             return Ok(());
         }
-        let pending = parent.pending_requests[pos];
+        let k = self.ws.kid_start[p] as usize + pos;
+        let pending = self.ws.kid_pending[k];
         let inbound = match self.cfg.protocol {
-            Protocol::NonInterruptible => {
-                u32::from(parent.sending.as_ref().is_some_and(|s| s.child_pos == pos))
-            }
-            Protocol::Interruptible => u32::from(parent.slots[pos].is_some()),
+            Protocol::NonInterruptible => u32::from(
+                self.ws.sending[p]
+                    .as_ref()
+                    .is_some_and(|s| s.child_pos == pos),
+            ),
+            Protocol::Interruptible => u32::from(self.ws.kid_slot[k].is_some()),
         };
         let me = &self.ws.faults[i];
         let unheard = me.lost_requests + me.pending_nacks;
@@ -395,7 +398,7 @@ impl<S: TraceSink> Simulation<S> {
     /// Per-protocol structural rules at node `i`.
     fn check_protocol_structure(&self, i: usize) -> Result<(), InvariantViolation> {
         let now = self.ws.agenda.now();
-        let n = &self.ws.nodes[i];
+        let n = &self.ws.hot[i];
         if let Some(since) = n.computing_since {
             if since > now {
                 return fail(
@@ -405,20 +408,25 @@ impl<S: TraceSink> Simulation<S> {
             }
         }
         // A departed child must be fully disentangled from its parent.
-        for (pos, &child) in self.ws.children[i].iter().enumerate() {
-            if self.ws.nodes[child].departed && n.pending_requests[pos] != 0 {
+        for k in self.ws.krange(i) {
+            let child = self.ws.kid_node[k] as usize;
+            if self.ws.hot[child].departed && self.ws.kid_pending[k] != 0 {
                 return fail(
                     "protocol-structure",
                     format!(
                         "node {i} still records {} requests from departed child {child}",
-                        n.pending_requests[pos]
+                        self.ws.kid_pending[k]
                     ),
                 );
             }
         }
         match self.cfg.protocol {
             Protocol::NonInterruptible => {
-                if n.active.is_some() || n.slots.iter().any(Option::is_some) {
+                if self.ws.active[i].is_some()
+                    || self.ws.kid_slot[self.ws.krange(i)]
+                        .iter()
+                        .any(Option::is_some)
+                {
                     return fail(
                         "protocol-structure",
                         format!("non-interruptible node {i} uses transfer slots"),
@@ -433,7 +441,7 @@ impl<S: TraceSink> Simulation<S> {
                         ),
                     );
                 }
-                if let Some(s) = &n.sending {
+                if let Some(s) = &self.ws.sending[i] {
                     if s.started_at > now {
                         return fail(
                             "protocol-structure",
@@ -449,14 +457,15 @@ impl<S: TraceSink> Simulation<S> {
                 }
             }
             Protocol::Interruptible => {
-                if n.sending.is_some() {
+                if self.ws.sending[i].is_some() {
                     return fail(
                         "protocol-structure",
                         format!("interruptible node {i} uses the single-send path"),
                     );
                 }
-                if let Some(a) = &n.active {
-                    let Some(slot) = n.slots.get(a.child_pos).and_then(Option::as_ref) else {
+                if let Some(a) = &self.ws.active[i] {
+                    let slots = &self.ws.kid_slot[self.ws.krange(i)];
+                    let Some(slot) = slots.get(a.child_pos).and_then(Option::as_ref) else {
                         return fail(
                             "protocol-structure",
                             format!(
@@ -498,11 +507,39 @@ impl<S: TraceSink> Simulation<S> {
         Ok(())
     }
 
+    /// The per-node cached aggregates the hot path short-circuits on
+    /// (`pending_sum`, `slots_used`) must equal what a scan of the CSR
+    /// row derives — a drifted cache would silently skip delegations.
+    fn check_row_caches(&self, i: usize) -> Result<(), InvariantViolation> {
+        let r = self.ws.krange(i);
+        let sum: u32 = self.ws.kid_pending[r.clone()].iter().sum();
+        if sum != self.ws.pending_sum[i] {
+            return fail(
+                "row-cache",
+                format!(
+                    "node {i} caches {} pending child requests but its row sums to {sum}",
+                    self.ws.pending_sum[i]
+                ),
+            );
+        }
+        let used = self.ws.kid_slot[r].iter().filter(|s| s.is_some()).count() as u32;
+        if used != self.ws.slots_used[i] {
+            return fail(
+                "row-cache",
+                format!(
+                    "node {i} caches {} occupied slots but its row holds {used}",
+                    self.ws.slots_used[i]
+                ),
+            );
+        }
+        Ok(())
+    }
+
     /// Work conservation at node `i` after a drained cascade: no resource
     /// idles with work available. Only meaningful mid-run (wind-down
     /// stops servicing).
     fn check_work_conservation(&self, i: usize) -> Result<(), InvariantViolation> {
-        let n = &self.ws.nodes[i];
+        let n = &self.ws.hot[i];
         let has_task = if i == 0 {
             self.remaining > 0
         } else {
@@ -515,8 +552,10 @@ impl<S: TraceSink> Simulation<S> {
             );
         }
         if matches!(self.cfg.protocol, Protocol::Interruptible)
-            && n.active.is_none()
-            && n.slots.iter().any(Option::is_some)
+            && self.ws.active[i].is_none()
+            && self.ws.kid_slot[self.ws.krange(i)]
+                .iter()
+                .any(Option::is_some)
         {
             return fail(
                 "work-conservation",
@@ -560,7 +599,7 @@ impl<S: TraceSink> Simulation<S> {
             return Ok(()); // platform mutated mid-run; theory inapplicable
         }
         let end_time = *times.last().expect("total_tasks >= 1");
-        for (i, n) in self.ws.nodes.iter().enumerate() {
+        for (i, n) in self.ws.hot.iter().enumerate() {
             let w = u128::from(self.tree.compute_time(NodeId(i as u32)));
             let expected = w * u128::from(n.tasks_computed);
             if u128::from(n.busy_compute) != expected {
@@ -625,7 +664,7 @@ impl<S: TraceSink> Simulation<S> {
             let span = end_time.saturating_sub(last_crash);
             let after = times.iter().filter(|&&t| t > last_crash).count() as u64;
             let mut slack: u64 = 2;
-            for (i, n) in self.ws.nodes.iter().enumerate() {
+            for (i, n) in self.ws.hot.iter().enumerate() {
                 if i == 0 || n.departed || n.crashed {
                     continue;
                 }
@@ -653,11 +692,12 @@ impl<S: TraceSink> Simulation<S> {
     /// run (no scripted changes), which is the only place it is called.
     fn surviving_tree(&self) -> Tree {
         let mut surv = Tree::new(self.tree.compute_time(NodeId::ROOT));
-        let mut map = vec![NodeId::ROOT; self.ws.nodes.len()];
+        let mut map = vec![NodeId::ROOT; self.ws.hot.len()];
         let mut stack = vec![0usize];
         while let Some(d) = stack.pop() {
-            for &c in &self.ws.children[d] {
-                if self.ws.nodes[c].crashed || self.ws.nodes[c].departed {
+            for &c in &self.ws.kid_node[self.ws.krange(d)] {
+                let c = c as usize;
+                if self.ws.hot[c].crashed || self.ws.hot[c].departed {
                     continue;
                 }
                 let id = NodeId(c as u32);

@@ -16,6 +16,7 @@
 pub mod accum;
 pub mod config;
 pub mod invariants;
+pub mod profile;
 pub mod result;
 pub mod sim;
 

@@ -35,7 +35,7 @@ pub struct FaultStats {
 }
 
 /// Everything the experiment harness needs from one run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunResult {
     /// `completion_times[k]` = timestep at which the `(k+1)`-th task
     /// completed (completions are globally ordered by the event loop).

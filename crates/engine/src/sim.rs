@@ -28,6 +28,24 @@
 //! finishes (the edge weight folds the result's return trip into the
 //! downward transfer; see DESIGN.md).
 //!
+//! ## Hot/cold state split (see DESIGN.md, "Event-kernel anatomy")
+//!
+//! Per-node runtime state is split by access frequency. [`HotNode`]
+//! holds only what the fault-free event loop touches on (nearly) every
+//! event — the ledger, the compute timer, the busy-time accumulators and
+//! the liveness bits — in ~1.5 cache lines (the old monolithic node
+//! record spanned more than five). Per-*child* protocol state lives in
+//! flat CSR arrays on the workspace (`kid_*`): node `i`'s children
+//! occupy the contiguous index range `kid_start[i]..kid_start[i+1]`, so
+//! the candidate-building loops of child selection and link reconciling
+//! stream over dense parallel arrays instead of chasing per-node `Vec`s
+//! and re-deriving estimates through the observer on every pass
+//! (`kid_comm` caches the estimate; it is refreshed at the few sites
+//! where an estimate can change). Everything only rare paths read —
+//! observer, selector, preemption counts, decay timestamps — lives in
+//! [`ColdNode`], and fault-recovery state stays in [`FaultRt`] behind
+//! the `fault_active` gate as before.
+//!
 //! ## Workspace reuse (campaign engine)
 //!
 //! All of a simulation's runtime containers — agenda, per-node state,
@@ -51,6 +69,15 @@ use std::collections::VecDeque;
 pub(crate) enum Event {
     ComputeDone {
         node: usize,
+    },
+    /// Elision macro-event: `count` back-to-back computations at `node`,
+    /// proven inert at schedule time (see `chain_len`). The handler
+    /// replays the per-completion bookkeeping at the original
+    /// timestamps, so results are bit-identical to `count` separate
+    /// `ComputeDone`s.
+    ComputeChain {
+        node: usize,
+        count: u64,
     },
     /// Non-interruptible send completion.
     SendDone {
@@ -78,6 +105,23 @@ pub(crate) enum Event {
     Reissue {
         count: u64,
     },
+}
+
+impl Event {
+    /// Profiler kind index (must match `profile::KIND_NAMES` order).
+    #[cfg(feature = "profile")]
+    fn kind(&self) -> usize {
+        match self {
+            Event::ComputeDone { .. } => 0,
+            Event::SendDone { .. } => 1,
+            Event::TransferDone { .. } => 2,
+            Event::ComputeChain { .. } => 3,
+            Event::Fault { .. } => 4,
+            Event::OutageEnd { .. } => 5,
+            Event::RequestTimeout { .. } => 6,
+            Event::Reissue { .. } => 7,
+        }
+    }
 }
 
 /// How an aborted transfer's negative acknowledgement reaches the
@@ -119,22 +163,21 @@ pub(crate) struct ActiveTransfer {
     pub(crate) handle: EventHandle,
 }
 
-pub(crate) struct NodeRt {
+/// Per-node *hot* runtime state: exactly the fields the fault-free event
+/// loop reads or writes on (nearly) every event involving the node.
+/// Everything per-child lives in the workspace's flat `kid_*` CSR
+/// arrays; everything rarely touched lives in [`ColdNode`].
+pub(crate) struct HotNode {
     /// Buffer ledger; `None` at the root (the repository draws from the
     /// task source directly).
     pub(crate) ledger: Option<BufferLedger>,
-    pub(crate) observer: LatencyObserver,
-    pub(crate) selector: ChildSelector,
-    /// Outstanding requests per child position.
-    pub(crate) pending_requests: Vec<u32>,
     /// Start time of the in-progress computation, if any.
     pub(crate) computing_since: Option<Time>,
-    pub(crate) sending: Option<Sending>,
-    pub(crate) slots: Vec<Option<SlotTransfer>>,
-    pub(crate) active: Option<ActiveTransfer>,
     pub(crate) tasks_computed: u64,
-    /// Preemptions performed on this node's outbound link.
-    pub(crate) preemptions: u64,
+    /// Accumulated processor busy time.
+    pub(crate) busy_compute: u64,
+    /// Accumulated outbound-link busy (transmitting) time.
+    pub(crate) busy_link: u64,
     /// True once the node has left the overlay (dynamic-topology
     /// extension); departed nodes ignore events and are never selected.
     pub(crate) departed: bool,
@@ -143,13 +186,53 @@ pub(crate) struct NodeRt {
     /// requests and keeps delegating until missed acks cross the
     /// threshold.
     pub(crate) crashed: bool,
-    /// Accumulated processor busy time.
-    pub(crate) busy_compute: u64,
-    /// Accumulated outbound-link busy (transmitting) time.
-    pub(crate) busy_link: u64,
+}
+
+impl HotNode {
+    fn fresh(index: usize, cfg: &SimConfig) -> HotNode {
+        HotNode {
+            ledger: (index != 0).then(|| BufferLedger::new(effective_buffers(cfg))),
+            computing_since: None,
+            tasks_computed: 0,
+            busy_compute: 0,
+            busy_link: 0,
+            departed: false,
+            crashed: false,
+        }
+    }
+}
+
+/// Per-node *cold* runtime state: consulted once per completed transfer
+/// (observer), per service pass (selector), or only on rare extension
+/// paths (decay, preemption accounting). Kept out of [`HotNode`] so the
+/// per-event working set stays small.
+pub(crate) struct ColdNode {
+    pub(crate) observer: LatencyObserver,
+    pub(crate) selector: ChildSelector,
+    /// Preemptions performed on this node's outbound link.
+    pub(crate) preemptions: u64,
     /// Last time a growth rule fired (drives the optional decay
     /// extension).
     pub(crate) last_pressure: Time,
+}
+
+impl ColdNode {
+    fn fresh(kids: usize, cfg: &SimConfig) -> ColdNode {
+        ColdNode {
+            observer: LatencyObserver::new(cfg.observer, kids),
+            selector: make_selector(cfg.selector),
+            preemptions: 0,
+            last_pressure: 0,
+        }
+    }
+
+    /// Reinitializes for a new run, keeping the observer's capacity.
+    fn reset(&mut self, kids: usize, cfg: &SimConfig) {
+        self.observer.reset(cfg.observer, kids);
+        self.selector = make_selector(cfg.selector);
+        self.preemptions = 0;
+        self.last_pressure = 0;
+    }
 }
 
 fn make_selector(kind: SelectorKind) -> ChildSelector {
@@ -182,55 +265,12 @@ fn effective_buffers(cfg: &SimConfig) -> BufferPolicy {
     }
 }
 
-impl NodeRt {
-    fn fresh(index: usize, kids: usize, cfg: &SimConfig) -> NodeRt {
-        NodeRt {
-            ledger: (index != 0).then(|| BufferLedger::new(effective_buffers(cfg))),
-            observer: LatencyObserver::new(cfg.observer, kids),
-            selector: make_selector(cfg.selector),
-            pending_requests: vec![0; kids],
-            computing_since: None,
-            sending: None,
-            slots: (0..kids).map(|_| None).collect(),
-            active: None,
-            tasks_computed: 0,
-            preemptions: 0,
-            departed: false,
-            crashed: false,
-            busy_compute: 0,
-            busy_link: 0,
-            last_pressure: 0,
-        }
-    }
-
-    /// Reinitializes this node for a new run, keeping the per-child
-    /// vectors' capacity.
-    fn reset(&mut self, index: usize, kids: usize, cfg: &SimConfig) {
-        self.ledger = (index != 0).then(|| BufferLedger::new(effective_buffers(cfg)));
-        self.observer.reset(cfg.observer, kids);
-        self.selector = make_selector(cfg.selector);
-        self.pending_requests.clear();
-        self.pending_requests.resize(kids, 0);
-        self.computing_since = None;
-        self.sending = None;
-        self.slots.clear();
-        self.slots.resize_with(kids, || None);
-        self.active = None;
-        self.tasks_computed = 0;
-        self.preemptions = 0;
-        self.departed = false;
-        self.crashed = false;
-        self.busy_compute = 0;
-        self.busy_link = 0;
-        self.last_pressure = 0;
-    }
-}
-
-/// Per-node fault-recovery state, kept out of [`NodeRt`] on purpose: the
-/// fault-free hot path never reads it (every access is behind the
-/// `fault_active` gate or inside fault event handlers), and folding these
-/// ~64 bytes into `NodeRt` measurably slows fault-free campaigns by
-/// growing the per-node working set.
+/// Per-node fault-recovery state, kept out of [`HotNode`] on purpose:
+/// the fault-free hot path never reads it (every access is behind the
+/// `fault_active` gate or inside fault event handlers), and folding
+/// these bytes into the hot record measurably slows fault-free campaigns
+/// by growing the per-node working set. Per-child missed-ack counters
+/// live in the workspace's `kid_missed` CSR array.
 #[derive(Default)]
 pub(crate) struct FaultRt {
     /// The node exhausted its request retries and presumes its parent
@@ -254,32 +294,6 @@ pub(crate) struct FaultRt {
     pub(crate) drop_batches: u32,
     /// Deliveries into this node still to be duplicated.
     pub(crate) dup_deliveries: u32,
-    /// Consecutive failed transfers toward each child; at the configured
-    /// threshold the child is presumed dead.
-    pub(crate) missed_acks: Vec<u8>,
-}
-
-impl FaultRt {
-    fn fresh(kids: usize) -> FaultRt {
-        FaultRt {
-            missed_acks: vec![0; kids],
-            ..FaultRt::default()
-        }
-    }
-
-    /// Reinitializes for a new run, keeping `missed_acks`' capacity.
-    fn reset(&mut self, kids: usize) {
-        self.orphaned = false;
-        self.lost_requests = 0;
-        self.pending_nacks = 0;
-        self.retry = 0;
-        self.timeout = None;
-        self.outage_until = 0;
-        self.drop_batches = 0;
-        self.dup_deliveries = 0;
-        self.missed_acks.clear();
-        self.missed_acks.resize(kids, 0);
-    }
 }
 
 /// Reusable simulation runtime state: every container a run needs, kept
@@ -289,17 +303,57 @@ impl FaultRt {
 /// [`Simulation::with_workspace`], get the workspace back from
 /// [`Simulation::run_reusing`], and the steady-state event loop stops
 /// allocating after the first few runs warm the arenas.
+///
+/// Child-indexed protocol state uses a CSR layout: node `i`'s children
+/// occupy indices `kid_start[i]..kid_start[i+1]` of the parallel
+/// `kid_*` arrays. Joins splice into the parent's row (rare, O(total
+/// children)); the hot-path loops get dense sequential scans.
 #[derive(Default)]
 pub struct SimWorkspace {
     pub(crate) agenda: Agenda<Event>,
-    pub(crate) nodes: Vec<NodeRt>,
-    /// Per-node fault-recovery state, parallel to `nodes` (see
+    /// Hot per-node state (see [`HotNode`]).
+    pub(crate) hot: Vec<HotNode>,
+    /// Cold per-node state, parallel to `hot` (see [`ColdNode`]).
+    pub(crate) cold: Vec<ColdNode>,
+    /// Non-IC: the single in-flight outbound transfer, per node.
+    pub(crate) sending: Vec<Option<Sending>>,
+    /// IC: the currently transmitting slot, per node.
+    pub(crate) active: Vec<Option<ActiveTransfer>>,
+    /// Per-node fault-recovery state, parallel to `hot` (see
     /// [`FaultRt`] for why it is a separate array).
     pub(crate) faults: Vec<FaultRt>,
     pub(crate) parent_of: Vec<Option<usize>>,
     /// Position of node `i` within its parent's child list.
     pub(crate) child_pos: Vec<usize>,
-    pub(crate) children: Vec<Vec<usize>>,
+    /// CSR row offsets: node `i`'s children are entries
+    /// `kid_start[i]..kid_start[i+1]` of the `kid_*` arrays below.
+    pub(crate) kid_start: Vec<u32>,
+    /// Child node index per entry.
+    pub(crate) kid_node: Vec<u32>,
+    /// Outstanding requests from that child.
+    pub(crate) kid_pending: Vec<u32>,
+    /// IC transfer slot toward that child.
+    pub(crate) kid_slot: Vec<Option<SlotTransfer>>,
+    /// Cached communication estimate for that child: the true edge
+    /// weight under an oracle observer, the observer's current estimate
+    /// otherwise. Refreshed wherever the estimate can change (observe
+    /// sites, scripted weight changes, joins).
+    pub(crate) kid_comm: Vec<u64>,
+    /// Cached compute weight of that child (scripted changes refresh it).
+    pub(crate) kid_compute: Vec<u64>,
+    /// Consecutive missed acks toward that child (fault model).
+    pub(crate) kid_missed: Vec<u8>,
+    /// Per-node sum of `kid_pending` over the node's row — lets the hot
+    /// path answer "any child requesting?" without scanning the row.
+    pub(crate) pending_sum: Vec<u32>,
+    /// Per-node count of occupied `kid_slot` entries — lets
+    /// `reconcile_link` skip the candidate scan when the active transfer
+    /// is the only occupied slot (the overwhelmingly common case).
+    pub(crate) slots_used: Vec<u32>,
+    /// Whether that child has departed — mirrors the child's
+    /// `HotNode::departed` so candidate loops never touch the child's
+    /// cache lines.
+    pub(crate) kid_gone: Vec<bool>,
     pub(crate) service_queue: VecDeque<usize>,
     pub(crate) queued: Vec<bool>,
     pub(crate) completion_times: Vec<Time>,
@@ -324,6 +378,18 @@ impl SimWorkspace {
         let (result, ws) = Simulation::with_workspace(tree, cfg, ws).run_reusing();
         *self = ws;
         result
+    }
+
+    /// CSR entry range of node `i`'s children.
+    #[inline(always)]
+    pub(crate) fn krange(&self, i: usize) -> std::ops::Range<usize> {
+        self.kid_start[i] as usize..self.kid_start[i + 1] as usize
+    }
+
+    /// Node index of `i`'s child at position `pos`.
+    #[inline(always)]
+    pub(crate) fn kid(&self, i: usize, pos: usize) -> usize {
+        self.kid_node[self.kid_start[i] as usize + pos] as usize
     }
 }
 
@@ -375,6 +441,13 @@ pub struct Simulation<S: TraceSink = NullSink> {
     pub(crate) lost_pending: u64,
     /// Fault/recovery accounting for the run result.
     pub(crate) fstats: FaultStats,
+    /// Static part of the elision gate (config- and sink-derived); the
+    /// per-decision part lives in `chain_len`.
+    elide_base: bool,
+    /// Events elided into macro-events (introspection only; never part
+    /// of `RunResult` — `events_processed` already counts replayed
+    /// completions as if they had been popped individually).
+    elided: u64,
 }
 
 impl Simulation {
@@ -421,42 +494,80 @@ impl<S: TraceSink> Simulation<S> {
         ws.checkpoint_records.reserve(cfg.checkpoints.len());
         ws.candidates.clear();
 
+        // Topology + CSR child tables.
         ws.parent_of.clear();
         ws.parent_of.resize(n, None);
         ws.child_pos.clear();
         ws.child_pos.resize(n, 0);
-        ws.children.truncate(n);
-        for c in &mut ws.children {
-            c.clear();
-        }
-        ws.children.resize_with(n, Vec::new);
+        ws.kid_start.clear();
+        ws.kid_node.clear();
+        ws.kid_start.push(0);
         for id in tree.ids() {
             for (pos, &ch) in tree.children(id).iter().enumerate() {
                 ws.parent_of[ch.index()] = Some(id.index());
                 ws.child_pos[ch.index()] = pos;
-                ws.children[id.index()].push(ch.index());
+                ws.kid_node.push(ch.index() as u32);
             }
+            ws.kid_start.push(ws.kid_node.len() as u32);
         }
+        let kids_total = ws.kid_node.len();
+        ws.kid_pending.clear();
+        ws.kid_pending.resize(kids_total, 0);
+        ws.kid_slot.clear();
+        ws.kid_slot.resize_with(kids_total, || None);
+        ws.kid_missed.clear();
+        ws.kid_missed.resize(kids_total, 0);
+        ws.pending_sum.clear();
+        ws.pending_sum.resize(n, 0);
+        ws.slots_used.clear();
+        ws.slots_used.resize(n, 0);
+        ws.kid_gone.clear();
+        ws.kid_gone.resize(kids_total, false);
+        ws.kid_compute.clear();
+        ws.kid_compute
+            .extend(ws.kid_node.iter().map(|&c| tree.compute_time(NodeId(c))));
 
-        // Rebuild per-node runtime state in place where possible.
-        let reusable = ws.nodes.len().min(n);
+        // Per-node runtime state, rebuilt in place where possible.
+        ws.hot.clear();
+        for i in 0..n {
+            ws.hot.push(HotNode::fresh(i, &cfg));
+        }
+        let reusable = ws.cold.len().min(n);
         for i in 0..reusable {
-            let kids = ws.children[i].len();
-            ws.nodes[i].reset(i, kids, &cfg);
+            let kids = (ws.kid_start[i + 1] - ws.kid_start[i]) as usize;
+            ws.cold[i].reset(kids, &cfg);
         }
         for i in reusable..n {
-            let kids = ws.children[i].len();
-            ws.nodes.push(NodeRt::fresh(i, kids, &cfg));
+            let kids = (ws.kid_start[i + 1] - ws.kid_start[i]) as usize;
+            ws.cold.push(ColdNode::fresh(kids, &cfg));
         }
-        ws.nodes.truncate(n);
-        let reusable_faults = ws.faults.len().min(n);
-        for i in 0..reusable_faults {
-            ws.faults[i].reset(ws.children[i].len());
+        ws.cold.truncate(n);
+        ws.sending.clear();
+        ws.sending.resize_with(n, || None);
+        ws.active.clear();
+        ws.active.resize_with(n, || None);
+        for f in ws.faults.iter_mut().take(n) {
+            *f = FaultRt::default();
         }
-        for i in reusable_faults..n {
-            ws.faults.push(FaultRt::fresh(ws.children[i].len()));
+        while ws.faults.len() < n {
+            ws.faults.push(FaultRt::default());
         }
         ws.faults.truncate(n);
+
+        // Estimate cache: the exact value `ChildInfo` used to derive on
+        // every candidate build.
+        ws.kid_comm.clear();
+        for i in 0..n {
+            let oracle = ws.cold[i].observer.is_oracle();
+            let r = ws.kid_start[i] as usize..ws.kid_start[i + 1] as usize;
+            for (pos, &c) in ws.kid_node[r].iter().enumerate() {
+                ws.kid_comm.push(if oracle {
+                    tree.comm_time(NodeId(c))
+                } else {
+                    ws.cold[i].observer.estimate(pos)
+                });
+            }
+        }
 
         let remaining = cfg.total_tasks;
         let fault_active = cfg.fault_plan.is_some();
@@ -470,6 +581,17 @@ impl<S: TraceSink> Simulation<S> {
         } else {
             u8::MAX
         };
+        // Elision is sound only where every inertness argument in
+        // `chain_len` holds unconditionally: no trace stream to keep
+        // faithful, no checker sweeps between events, no faults, and a
+        // fixed buffer policy (growth/decay react to the very services
+        // being elided).
+        let elide_base = cfg.elision
+            && !S::ENABLED
+            && !cfg.checked
+            && cfg.fault.is_none()
+            && !fault_active
+            && matches!(cfg.buffers, BufferPolicy::Fixed(_));
         Simulation {
             tree,
             cfg,
@@ -494,7 +616,17 @@ impl<S: TraceSink> Simulation<S> {
             dead_threshold,
             lost_pending: 0,
             fstats: FaultStats::default(),
+            elide_base,
+            elided: 0,
         }
+    }
+
+    /// Events that were elided into macro-events (the difference between
+    /// `events_processed` and the number of agenda pops). Zero whenever
+    /// [`SimConfig::elision`] is off or force-disabled (tracing, checked
+    /// mode, faults, non-fixed buffers).
+    pub fn events_elided(&self) -> u64 {
+        self.elided
     }
 
     /// Start-up: every node issues its initial requests; the cascade
@@ -512,13 +644,14 @@ impl<S: TraceSink> Simulation<S> {
                 self.ws.agenda.schedule(f.at, Event::Fault { index });
             }
         }
-        for i in 0..self.ws.nodes.len() {
+        for i in 0..self.ws.hot.len() {
             self.enqueue(i);
         }
-        if self.fault_active {
-            self.drain::<true>();
-        } else {
-            self.drain::<false>();
+        match (self.fault_active, self.cfg.protocol) {
+            (false, Protocol::Interruptible) => self.drain::<false, true>(),
+            (false, Protocol::NonInterruptible) => self.drain::<false, false>(),
+            (true, Protocol::Interruptible) => self.drain::<true, true>(),
+            (true, Protocol::NonInterruptible) => self.drain::<true, false>(),
         }
     }
 
@@ -527,18 +660,21 @@ impl<S: TraceSink> Simulation<S> {
     /// deadlock (empty agenda before the last completion) or event-budget
     /// exhaustion, like [`Simulation::run`].
     pub fn step(&mut self) -> bool {
-        if self.fault_active {
-            self.step_mono::<true>()
-        } else {
-            self.step_mono::<false>()
+        match (self.fault_active, self.cfg.protocol) {
+            (false, Protocol::Interruptible) => self.step_mono::<false, true>(),
+            (false, Protocol::NonInterruptible) => self.step_mono::<false, false>(),
+            (true, Protocol::Interruptible) => self.step_mono::<true, true>(),
+            (true, Protocol::NonInterruptible) => self.step_mono::<true, false>(),
         }
     }
 
     /// [`Simulation::step`], monomorphized on whether a fault plan is
-    /// active. The `FA = false` instantiation compiles every recovery
-    /// gate out of the event loop, keeping the fault-free hot path at its
-    /// pre-fault-model cost; `FA` always mirrors `self.fault_active`.
-    fn step_mono<const FA: bool>(&mut self) -> bool {
+    /// active and on the protocol. The `FA = false` instantiation
+    /// compiles every recovery gate out of the event loop, keeping the
+    /// fault-free hot path at its pre-fault-model cost; `IC` compiles
+    /// the other discipline's link path out of the service cascade. They
+    /// always mirror `self.fault_active` / `self.cfg.protocol`.
+    fn step_mono<const FA: bool, const IC: bool>(&mut self) -> bool {
         self.start();
         if self.finished {
             return false;
@@ -555,8 +691,12 @@ impl<S: TraceSink> Simulation<S> {
             "event budget exceeded ({}); runaway simulation",
             self.cfg.max_events
         );
+        #[cfg(feature = "profile")]
+        let (pk, pt) = (ev.kind(), crate::profile::start());
         self.handle::<FA>(ev);
-        self.drain::<FA>();
+        self.drain::<FA, IC>();
+        #[cfg(feature = "profile")]
+        crate::profile::record(pk, pt);
         if self.cfg.checked {
             self.checked_tick();
         }
@@ -579,10 +719,11 @@ impl<S: TraceSink> Simulation<S> {
     /// trace sink (with whatever it recorded).
     pub fn run_traced(mut self) -> (RunResult, SimWorkspace, S) {
         self.start();
-        if self.fault_active {
-            while self.step_mono::<true>() {}
-        } else {
-            while self.step_mono::<false>() {}
+        match (self.fault_active, self.cfg.protocol) {
+            (false, Protocol::Interruptible) => while self.step_mono::<false, true>() {},
+            (false, Protocol::NonInterruptible) => while self.step_mono::<false, false>() {},
+            (true, Protocol::Interruptible) => while self.step_mono::<true, true>() {},
+            (true, Protocol::NonInterruptible) => while self.step_mono::<true, false>() {},
         }
         self.into_result()
     }
@@ -605,28 +746,28 @@ impl<S: TraceSink> Simulation<S> {
         let end_time = completion_times.last().copied().unwrap_or(0);
         let result = RunResult {
             end_time,
-            tasks_per_node: self.ws.nodes.iter().map(|n| n.tasks_computed).collect(),
+            tasks_per_node: self.ws.hot.iter().map(|n| n.tasks_computed).collect(),
             max_buffers_per_node: self
                 .ws
-                .nodes
+                .hot
                 .iter()
                 .map(|n| n.ledger.as_ref().map_or(0, |l| l.max_capacity()))
                 .collect(),
             final_buffers_per_node: self
                 .ws
-                .nodes
+                .hot
                 .iter()
                 .map(|n| n.ledger.as_ref().map_or(0, |l| l.capacity()))
                 .collect(),
             peak_held_per_node: self
                 .ws
-                .nodes
+                .hot
                 .iter()
                 .map(|n| n.ledger.as_ref().map_or(0, |l| l.peak_held()))
                 .collect(),
-            busy_compute_per_node: self.ws.nodes.iter().map(|n| n.busy_compute).collect(),
-            busy_link_per_node: self.ws.nodes.iter().map(|n| n.busy_link).collect(),
-            preemptions_per_node: self.ws.nodes.iter().map(|n| n.preemptions).collect(),
+            busy_compute_per_node: self.ws.hot.iter().map(|n| n.busy_compute).collect(),
+            busy_link_per_node: self.ws.hot.iter().map(|n| n.busy_link).collect(),
+            preemptions_per_node: self.ws.cold.iter().map(|c| c.preemptions).collect(),
             checkpoint_max_buffers: checkpoint_records,
             events_processed: self.events_processed,
             preemptions: self.preemptions,
@@ -643,6 +784,7 @@ impl<S: TraceSink> Simulation<S> {
     fn handle<const FA: bool>(&mut self, ev: Event) {
         let node = match ev {
             Event::ComputeDone { node }
+            | Event::ComputeChain { node, .. }
             | Event::SendDone { node }
             | Event::TransferDone { node } => node,
             Event::Fault { index } => return self.on_fault(index),
@@ -650,13 +792,14 @@ impl<S: TraceSink> Simulation<S> {
             Event::RequestTimeout { node } => return self.on_request_timeout(node),
             Event::Reissue { count } => return self.on_reissue(count),
         };
-        if self.ws.nodes[node].departed || (FA && self.ws.nodes[node].crashed) {
+        if self.ws.hot[node].departed || (FA && self.ws.hot[node].crashed) {
             // Stale event of a node that left (task already reclaimed) or
             // crashed (task already in the lost ledger).
             return;
         }
         match ev {
             Event::ComputeDone { node } => self.on_compute_done(node),
+            Event::ComputeChain { node, count } => self.on_compute_chain(node, count),
             Event::SendDone { node } => self.on_send_done::<FA>(node),
             Event::TransferDone { node } => self.on_transfer_done::<FA>(node),
             _ => unreachable!("dispatched above"),
@@ -664,12 +807,12 @@ impl<S: TraceSink> Simulation<S> {
     }
 
     fn on_compute_done(&mut self, i: usize) {
-        let started = self.ws.nodes[i]
+        let started = self.ws.hot[i]
             .computing_since
             .take()
             .expect("ComputeDone on idle processor");
-        self.ws.nodes[i].busy_compute += self.ws.agenda.now() - started;
-        self.ws.nodes[i].tasks_computed += 1;
+        self.ws.hot[i].busy_compute += self.ws.agenda.now() - started;
+        self.ws.hot[i].tasks_computed += 1;
         self.emit(TraceEvent::ComputeFinish { node: i as u32 });
         self.record_completion();
         if self.finished {
@@ -677,23 +820,22 @@ impl<S: TraceSink> Simulation<S> {
         }
         // §3.1 growth rule 3: computation completed with all buffers empty.
         let now = self.ws.agenda.now();
-        if let Some(ledger) = &mut self.ws.nodes[i].ledger {
+        if let Some(ledger) = &mut self.ws.hot[i].ledger {
             if ledger.try_grow(GrowthEvent::ComputeCompleted, true) {
-                self.ws.nodes[i].last_pressure = now;
+                self.ws.cold[i].last_pressure = now;
             }
         }
         self.enqueue(i);
     }
 
     fn on_send_done<const FA: bool>(&mut self, i: usize) {
-        let s = self.ws.nodes[i]
-            .sending
+        let s = self.ws.sending[i]
             .take()
             .expect("SendDone without in-flight send");
         let now = self.ws.agenda.now();
         let duration = now - s.started_at;
-        self.ws.nodes[i].busy_link += duration;
-        let child = self.ws.children[i][s.child_pos];
+        self.ws.hot[i].busy_link += duration;
+        let child = self.ws.kid(i, s.child_pos);
         if FA && self.delivery_blocked(child) {
             // The receiver is dead or its link is dark: the sender
             // observes the reset, the task is lost. No latency sample —
@@ -702,7 +844,8 @@ impl<S: TraceSink> Simulation<S> {
             self.enqueue(i);
             return;
         }
-        self.ws.nodes[i].observer.observe(s.child_pos, duration);
+        self.ws.cold[i].observer.observe(s.child_pos, duration);
+        self.refresh_kid_comm(i, s.child_pos);
         self.emit(TraceEvent::TransferComplete {
             node: i as u32,
             child: child as u32,
@@ -712,22 +855,22 @@ impl<S: TraceSink> Simulation<S> {
         // §3.1 growth rule 2: send completed, buffers empty, child request
         // outstanding.
         let pressure = self.has_child_requests(i);
-        if let Some(ledger) = &mut self.ws.nodes[i].ledger {
+        if let Some(ledger) = &mut self.ws.hot[i].ledger {
             if ledger.try_grow(GrowthEvent::SendCompleted, pressure) {
-                self.ws.nodes[i].last_pressure = now;
+                self.ws.cold[i].last_pressure = now;
             }
         }
         self.enqueue(i);
     }
 
     fn on_transfer_done<const FA: bool>(&mut self, i: usize) {
-        let a = self.ws.nodes[i]
-            .active
+        let a = self.ws.active[i]
             .take()
             .expect("TransferDone without active transfer");
-        self.ws.nodes[i].busy_link += self.ws.agenda.now() - a.started_at;
+        self.ws.hot[i].busy_link += self.ws.agenda.now() - a.started_at;
         // The event firing means the remaining work ran to zero.
-        self.ws.nodes[i].slots[a.child_pos]
+        let k = self.ws.kid_start[i] as usize + a.child_pos;
+        self.ws.kid_slot[k]
             .as_mut()
             .expect("active transfer without slot")
             .remaining = 0;
@@ -735,9 +878,9 @@ impl<S: TraceSink> Simulation<S> {
         // Growth rule 2 applies to completed communications in general.
         let pressure = self.has_child_requests(i);
         let now = self.ws.agenda.now();
-        if let Some(ledger) = &mut self.ws.nodes[i].ledger {
+        if let Some(ledger) = &mut self.ws.hot[i].ledger {
             if ledger.try_grow(GrowthEvent::SendCompleted, pressure) {
-                self.ws.nodes[i].last_pressure = now;
+                self.ws.cold[i].last_pressure = now;
             }
         }
         self.reconcile_link::<FA>(i);
@@ -747,20 +890,23 @@ impl<S: TraceSink> Simulation<S> {
     /// Completes the (already inactive) transfer in `child_pos`'s slot:
     /// records the observation and delivers the task.
     fn finish_slot<const FA: bool>(&mut self, i: usize, child_pos: usize) {
-        let t = self.ws.nodes[i].slots[child_pos]
+        let k = self.ws.kid_start[i] as usize + child_pos;
+        let t = self.ws.kid_slot[k]
             .take()
             .expect("completing an empty slot");
+        self.ws.slots_used[i] -= 1;
         debug_assert_eq!(
             t.remaining, 0,
             "transfer completed with {} timesteps of work left",
             t.remaining
         );
-        let child = self.ws.children[i][child_pos];
+        let child = self.ws.kid_node[k] as usize;
         if FA && self.delivery_blocked(child) {
             self.on_delivery_failed(i, child_pos, child);
             return;
         }
-        self.ws.nodes[i].observer.observe(child_pos, t.total);
+        self.ws.cold[i].observer.observe(child_pos, t.total);
+        self.refresh_kid_comm(i, child_pos);
         self.emit(TraceEvent::TransferComplete {
             node: i as u32,
             child: child as u32,
@@ -776,7 +922,7 @@ impl<S: TraceSink> Simulation<S> {
             self.ws.faults[child].orphaned = false;
             self.ws.faults[child].retry = 0;
         }
-        let ledger = self.ws.nodes[child]
+        let ledger = self.ws.hot[child]
             .ledger
             .as_mut()
             .expect("delivery to the root");
@@ -789,7 +935,7 @@ impl<S: TraceSink> Simulation<S> {
                 capacity,
             });
         }
-        let ledger = self.ws.nodes[child]
+        let ledger = self.ws.hot[child]
             .ledger
             .as_mut()
             .expect("delivery to the root");
@@ -814,6 +960,13 @@ impl<S: TraceSink> Simulation<S> {
 
     fn record_completion(&mut self) {
         let now = self.ws.agenda.now();
+        self.record_completion_at(now);
+    }
+
+    /// [`Self::record_completion`] with an explicit completion time —
+    /// elided chains replay intermediate completions at timestamps that
+    /// predate the agenda clock.
+    fn record_completion_at(&mut self, now: Time) {
         self.completed += 1;
         self.ws.completion_times.push(now);
         while self.next_checkpoint < self.cfg.checkpoints.len()
@@ -821,7 +974,7 @@ impl<S: TraceSink> Simulation<S> {
         {
             let max = self
                 .ws
-                .nodes
+                .hot
                 .iter()
                 .map(|n| n.ledger.as_ref().map_or(0, |l| l.max_capacity()))
                 .max()
@@ -837,8 +990,24 @@ impl<S: TraceSink> Simulation<S> {
             let ch = self.cfg.changes[self.next_change];
             self.next_change += 1;
             match ch.kind {
-                ChangeKind::CommTime(c) => self.tree.set_comm_time(ch.node, c),
-                ChangeKind::ComputeTime(w) => self.tree.set_compute_time(ch.node, w),
+                ChangeKind::CommTime(c) => {
+                    self.tree.set_comm_time(ch.node, c);
+                    let i = ch.node.index();
+                    if let Some(p) = self.ws.parent_of[i] {
+                        if self.ws.cold[p].observer.is_oracle() {
+                            let k = self.ws.kid_start[p] as usize + self.ws.child_pos[i];
+                            self.ws.kid_comm[k] = c;
+                        }
+                    }
+                }
+                ChangeKind::ComputeTime(w) => {
+                    self.tree.set_compute_time(ch.node, w);
+                    let i = ch.node.index();
+                    if let Some(p) = self.ws.parent_of[i] {
+                        let k = self.ws.kid_start[p] as usize + self.ws.child_pos[i];
+                        self.ws.kid_compute[k] = w;
+                    }
+                }
                 ChangeKind::Join { comm, compute } => {
                     self.apply_join(ch.node, comm, compute);
                     continue;
@@ -868,7 +1037,7 @@ impl<S: TraceSink> Simulation<S> {
     /// other node learns anything.
     fn apply_join(&mut self, parent: NodeId, comm: u64, compute: u64) {
         let p = parent.index();
-        if p >= self.ws.nodes.len() || self.ws.nodes[p].departed || self.ws.nodes[p].crashed {
+        if p >= self.ws.hot.len() || self.ws.hot[p].departed || self.ws.hot[p].crashed {
             // The contact node is unknown or gone before the newcomer
             // arrived; in a real overlay the join simply fails.
             self.emit(TraceEvent::JoinDenied { parent: parent.0 });
@@ -876,25 +1045,46 @@ impl<S: TraceSink> Simulation<S> {
         }
         let id = self.tree.add_child(parent, comm, compute);
         let i = id.index();
-        debug_assert_eq!(i, self.ws.nodes.len());
+        debug_assert_eq!(i, self.ws.hot.len());
         self.ws.parent_of.push(Some(p));
-        self.ws.child_pos.push(self.ws.children[p].len());
-        self.ws.children[p].push(i);
-        self.ws.children.push(Vec::new());
-        let mut node = NodeRt::fresh(i, 0, &self.cfg);
-        node.last_pressure = self.ws.agenda.now();
-        self.ws.nodes.push(node);
-        self.ws.faults.push(FaultRt::fresh(0));
+        let pos = (self.ws.kid_start[p + 1] - self.ws.kid_start[p]) as usize;
+        self.ws.child_pos.push(pos);
+        // Splice the newcomer into the parent's CSR row. Joins are rare
+        // scripted events; the O(total children) shift stays off the hot
+        // path.
+        let at = self.ws.kid_start[p + 1] as usize;
+        self.ws.kid_node.insert(at, i as u32);
+        self.ws.kid_pending.insert(at, 0);
+        self.ws.kid_slot.insert(at, None);
+        self.ws.kid_missed.insert(at, 0);
+        self.ws.kid_gone.insert(at, false);
+        self.ws.kid_compute.insert(at, compute);
+        self.ws.cold[p].observer.add_child();
+        let est = if self.ws.cold[p].observer.is_oracle() {
+            comm
+        } else {
+            self.ws.cold[p].observer.estimate(pos)
+        };
+        self.ws.kid_comm.insert(at, est);
+        for s in self.ws.kid_start[p + 1..].iter_mut() {
+            *s += 1;
+        }
+        let end = *self.ws.kid_start.last().expect("kid_start is non-empty");
+        self.ws.kid_start.push(end); // the newcomer has no children yet
+        self.ws.hot.push(HotNode::fresh(i, &self.cfg));
+        let mut cold = ColdNode::fresh(0, &self.cfg);
+        cold.last_pressure = self.ws.agenda.now();
+        self.ws.cold.push(cold);
+        self.ws.sending.push(None);
+        self.ws.active.push(None);
+        self.ws.pending_sum.push(0);
+        self.ws.slots_used.push(0);
+        self.ws.faults.push(FaultRt::default());
+        self.ws.queued.push(false);
         self.emit(TraceEvent::NodeJoin {
             node: i as u32,
             parent: p as u32,
         });
-        // Parent-side per-child state.
-        self.ws.nodes[p].pending_requests.push(0);
-        self.ws.nodes[p].slots.push(None);
-        self.ws.faults[p].missed_acks.push(0);
-        self.ws.nodes[p].observer.add_child();
-        self.ws.queued.push(false);
         // The newcomer requests its initial tasks; the parent re-evaluates.
         self.enqueue(i);
         self.enqueue(p);
@@ -905,9 +1095,9 @@ impl<S: TraceSink> Simulation<S> {
     /// repository for re-dispatch.
     fn apply_leave(&mut self, node: NodeId) {
         let d0 = node.index();
-        assert!(d0 < self.ws.nodes.len(), "leave of unknown node {node}");
+        assert!(d0 < self.ws.hot.len(), "leave of unknown node {node}");
         assert!(d0 != 0, "the repository cannot leave");
-        if self.ws.nodes[d0].departed || self.ws.nodes[d0].crashed {
+        if self.ws.hot[d0].departed || self.ws.hot[d0].crashed {
             return; // already gone (a crash reclaimed nothing — the
                     // tasks are in the lost ledger, not handed back)
         }
@@ -916,8 +1106,10 @@ impl<S: TraceSink> Simulation<S> {
         let mut reclaimed: u64 = 0;
         let p = self.ws.parent_of[d0].expect("non-root has parent");
         let pos = self.ws.child_pos[d0];
-        let denied = self.ws.nodes[p].pending_requests[pos];
-        self.ws.nodes[p].pending_requests[pos] = 0;
+        let kp = self.ws.kid_start[p] as usize + pos;
+        let denied = self.ws.kid_pending[kp];
+        self.ws.kid_pending[kp] = 0;
+        self.ws.pending_sum[p] -= denied;
         if S::ENABLED && denied > 0 {
             self.emit(TraceEvent::RequestDeny {
                 node: p as u32,
@@ -925,22 +1117,23 @@ impl<S: TraceSink> Simulation<S> {
                 count: denied,
             });
         }
-        if let Some(sending) = &self.ws.nodes[p].sending {
+        if let Some(sending) = &self.ws.sending[p] {
             if sending.child_pos == pos {
-                let s = self.ws.nodes[p].sending.take().expect("checked above");
-                self.ws.nodes[p].busy_link += self.ws.agenda.now() - s.started_at;
+                let s = self.ws.sending[p].take().expect("checked above");
+                self.ws.hot[p].busy_link += self.ws.agenda.now() - s.started_at;
                 self.ws.agenda.cancel(s.handle);
                 reclaimed += 1;
             }
         }
-        if let Some(active) = &self.ws.nodes[p].active {
+        if let Some(active) = &self.ws.active[p] {
             if active.child_pos == pos {
-                let a = self.ws.nodes[p].active.take().expect("checked above");
-                self.ws.nodes[p].busy_link += self.ws.agenda.now() - a.started_at;
+                let a = self.ws.active[p].take().expect("checked above");
+                self.ws.hot[p].busy_link += self.ws.agenda.now() - a.started_at;
                 self.ws.agenda.cancel(a.handle);
             }
         }
-        if self.ws.nodes[p].slots[pos].take().is_some() {
+        if self.ws.kid_slot[kp].take().is_some() {
+            self.ws.slots_used[p] -= 1;
             reclaimed += 1;
         }
 
@@ -950,24 +1143,34 @@ impl<S: TraceSink> Simulation<S> {
         // again; its whole subtree is departed, so don't descend either.
         let mut stack = vec![d0];
         while let Some(d) = stack.pop() {
-            if self.ws.nodes[d].departed || self.ws.nodes[d].crashed {
+            if self.ws.hot[d].departed || self.ws.hot[d].crashed {
                 // A crashed branch's holdings are in the lost ledger, not
                 // reclaimable; its whole subtree is crashed too.
                 continue;
             }
-            stack.extend(self.ws.children[d].iter().copied());
-            let n = &mut self.ws.nodes[d];
-            n.departed = true;
-            if n.computing_since.take().is_some() {
+            let r = self.ws.krange(d);
+            stack.extend(self.ws.kid_node[r.clone()].iter().map(|&c| c as usize));
+            self.ws.hot[d].departed = true;
+            if self.ws.hot[d].computing_since.take().is_some() {
                 reclaimed += 1; // its ComputeDone event will be ignored
             }
-            if n.sending.take().is_some() {
+            if self.ws.sending[d].take().is_some() {
                 reclaimed += 1; // SendDone ignored; task vanishes with d
             }
-            n.active = None;
-            reclaimed += n.slots.iter_mut().filter_map(Option::take).count() as u64;
-            reclaimed += n.ledger.as_ref().map_or(0, |l| l.held()) as u64;
-            n.pending_requests.iter_mut().for_each(|r| *r = 0);
+            self.ws.active[d] = None;
+            reclaimed += self.ws.kid_slot[r.clone()]
+                .iter_mut()
+                .filter_map(Option::take)
+                .count() as u64;
+            self.ws.slots_used[d] = 0;
+            reclaimed += self.ws.hot[d].ledger.as_ref().map_or(0, |l| l.held()) as u64;
+            self.ws.kid_pending[r].iter_mut().for_each(|q| *q = 0);
+            self.ws.pending_sum[d] = 0;
+            // Mirror the departure into the parent's candidate filter.
+            if let Some(pp) = self.ws.parent_of[d] {
+                let k = self.ws.kid_start[pp] as usize + self.ws.child_pos[d];
+                self.ws.kid_gone[k] = true;
+            }
         }
 
         self.emit(TraceEvent::NodeLeave {
@@ -996,38 +1199,171 @@ impl<S: TraceSink> Simulation<S> {
         }
     }
 
-    fn drain<const FA: bool>(&mut self) {
+    fn drain<const FA: bool, const IC: bool>(&mut self) {
+        debug_assert_eq!(IC, self.cfg.protocol == Protocol::Interruptible);
         while let Some(i) = self.ws.service_queue.pop_front() {
             self.ws.queued[i] = false;
             if self.finished {
                 continue;
             }
-            self.service::<FA>(i);
+            self.service::<FA, IC>(i);
         }
     }
 
-    fn service<const FA: bool>(&mut self, i: usize) {
-        if self.ws.nodes[i].departed || (FA && self.ws.nodes[i].crashed) {
+    fn service<const FA: bool, const IC: bool>(&mut self, i: usize) {
+        if self.ws.hot[i].departed || (FA && self.ws.hot[i].crashed) {
             return;
         }
         if self.cfg.self_first {
             self.fill_processor(i);
-            self.fill_link::<FA>(i);
+            self.fill_link::<FA, IC>(i);
         } else {
-            self.fill_link::<FA>(i);
+            self.fill_link::<FA, IC>(i);
             self.fill_processor(i);
         }
         self.issue_requests::<FA>(i);
     }
 
     fn fill_processor(&mut self, i: usize) {
-        if self.ws.nodes[i].computing_since.is_some() || !self.take_task(i) {
+        if self.ws.hot[i].computing_since.is_some() || !self.take_task(i) {
             return;
         }
-        self.ws.nodes[i].computing_since = Some(self.ws.agenda.now());
+        self.ws.hot[i].computing_since = Some(self.ws.agenda.now());
         self.emit(TraceEvent::ComputeStart { node: i as u32 });
         let w = self.tree.compute_time(NodeId(i as u32));
+        if self.elide_base && self.ws.service_queue.is_empty() {
+            if let Some(count) = self.chain_len(i, w) {
+                self.ws
+                    .agenda
+                    .schedule(count * w, Event::ComputeChain { node: i, count });
+                return;
+            }
+        }
         self.ws.agenda.schedule(w, Event::ComputeDone { node: i });
+    }
+
+    /// Decides whether the computation just started at `i` can be elided
+    /// into a macro-chain, and how long the chain may run. Returns
+    /// `Some(k >= 2)` only when the unelided engine would provably do
+    /// *nothing but* `k` back-to-back compute cycles at `i` over the
+    /// span: the whole chain ends strictly before the next foreign
+    /// agenda event (so no other event can observe or perturb the
+    /// intermediate state), and every intermediate service cascade
+    /// reduces to the bookkeeping `on_compute_chain` replays:
+    ///
+    /// - the service queue is empty, so after the current cascade the
+    ///   simulation is at its service fixed point (every node's
+    ///   `uncovered` is 0, every IC link carries its best occupied
+    ///   slot), and nothing moves between chained completions;
+    /// - at the root, the outbound link is inert: non-IC with the link
+    ///   busy or no pending requests; IC with every requesting child's
+    ///   slot already occupied (so `fill_slots` finds no candidate);
+    /// - at a leaf, the parent cannot react to the per-take requests:
+    ///   it holds no task, so its processor, link, and slot paths are
+    ///   all no-ops (its own `uncovered` is 0 at the fixed point, so
+    ///   the cascade stops there);
+    /// - no platform change is pending (`next_change` exhausted) and —
+    ///   via `elide_base` — buffers are fixed, so `record_completion`'s
+    ///   checkpoint snapshots see frozen capacities.
+    ///
+    /// Interior nodes relay tasks (their own take triggers requests
+    /// *and* they field children), so they are never elided.
+    fn chain_len(&mut self, i: usize, w: u64) -> Option<u64> {
+        if self.next_change < self.cfg.changes.len() || w == 0 {
+            return None;
+        }
+        let spare = if i == 0 {
+            let inert = match self.cfg.protocol {
+                Protocol::NonInterruptible => {
+                    self.ws.sending[0].is_some() || self.ws.pending_sum[0] == 0
+                }
+                Protocol::Interruptible => {
+                    self.ws.pending_sum[0] == 0
+                        || self.ws.krange(0).all(|k| {
+                            self.ws.kid_pending[k] == 0
+                                || self.ws.kid_slot[k].is_some()
+                                || self.ws.kid_gone[k]
+                        })
+                }
+            };
+            if !inert {
+                return None;
+            }
+            self.remaining
+        } else {
+            if self.ws.kid_start[i + 1] != self.ws.kid_start[i] {
+                return None; // interior node
+            }
+            let p = self.ws.parent_of[i].expect("non-root has parent");
+            if self.has_task(p) {
+                return None;
+            }
+            self.ws.hot[i]
+                .ledger
+                .as_ref()
+                .expect("non-root has ledger")
+                .held() as u64
+        };
+        let bound = (1 + spare).min(self.cfg.total_tasks - self.completed);
+        if bound < 2 {
+            return None;
+        }
+        let t = self.ws.agenda.now();
+        let count = match self.ws.agenda.peek_time() {
+            None => bound,
+            // Largest k with t + k*w < next foreign event.
+            Some(tn) => ((tn - 1).saturating_sub(t) / w).min(bound),
+        };
+        (count >= 2).then_some(count)
+    }
+
+    /// Handles an elision macro-event: replays the `count` chained
+    /// completions' bookkeeping at their original timestamps. By
+    /// `chain_len`'s proof obligation the unelided engine would have
+    /// performed exactly this — each intermediate service cascade is a
+    /// no-op beyond the processor refill (and, for a leaf, the per-take
+    /// request to a parent that cannot respond).
+    fn on_compute_chain(&mut self, i: usize, count: u64) {
+        let w = self.tree.compute_time(NodeId(i as u32));
+        let start = self.ws.agenda.now() - count * w;
+        debug_assert_eq!(self.ws.hot[i].computing_since, Some(start));
+        self.events_processed += count - 1;
+        self.elided += count - 1;
+        for j in 1..=count {
+            self.ws.hot[i].computing_since = None;
+            self.ws.hot[i].busy_compute += w;
+            self.ws.hot[i].tasks_computed += 1;
+            self.record_completion_at(start + j * w);
+            if self.finished {
+                return;
+            }
+            if j < count {
+                self.chain_take(i);
+                self.ws.hot[i].computing_since = Some(start + j * w);
+            }
+        }
+        self.enqueue(i);
+    }
+
+    /// The take half of an elided intermediate service: pull the next
+    /// task and, at a leaf, cover the freed buffer with a request —
+    /// `take_task` + `issue_requests` minus the paths `chain_len` proved
+    /// dead (growth, decay, traces, faults, parent reaction).
+    fn chain_take(&mut self, i: usize) {
+        if i == 0 {
+            self.remaining -= 1;
+            return;
+        }
+        let ledger = self.ws.hot[i].ledger.as_mut().expect("non-root has ledger");
+        ledger.take_task();
+        let n = ledger.uncovered();
+        debug_assert!(n > 0, "chained take must free a buffer to cover");
+        ledger.note_requests_sent(n);
+        self.requests_sent += n as u64;
+        let p = self.ws.parent_of[i].expect("non-root has parent");
+        let k = self.ws.kid_start[p] as usize + self.ws.child_pos[i];
+        self.ws.kid_pending[k] += n;
+        self.ws.pending_sum[p] += n;
     }
 
     /// Takes one task for local use (compute or send start). Returns false
@@ -1043,10 +1379,7 @@ impl<S: TraceSink> Simulation<S> {
         }
         let pressure = self.has_child_requests(i);
         let now = self.ws.agenda.now();
-        let ledger = self.ws.nodes[i]
-            .ledger
-            .as_mut()
-            .expect("non-root has ledger");
+        let ledger = self.ws.hot[i].ledger.as_mut().expect("non-root has ledger");
         if ledger.held() == 0 {
             return false;
         }
@@ -1054,7 +1387,7 @@ impl<S: TraceSink> Simulation<S> {
         // Occupancy at the instant of removal, before any growth below.
         let (held, capacity) = (ledger.held(), ledger.capacity());
         if ledger.try_grow(GrowthEvent::ChildRequestPressure, pressure) {
-            self.ws.nodes[i].last_pressure = now;
+            self.ws.cold[i].last_pressure = now;
         }
         if S::ENABLED {
             self.emit(TraceEvent::BufferRelease {
@@ -1070,56 +1403,69 @@ impl<S: TraceSink> Simulation<S> {
         if i == 0 {
             self.remaining > 0
         } else {
-            self.ws.nodes[i]
-                .ledger
-                .as_ref()
-                .is_some_and(|l| l.held() > 0)
+            self.ws.hot[i].ledger.as_ref().is_some_and(|l| l.held() > 0)
         }
     }
 
     fn has_child_requests(&self, i: usize) -> bool {
-        self.ws.nodes[i].pending_requests.iter().any(|&r| r > 0)
+        self.ws.pending_sum[i] > 0
     }
 
+    /// The selection view of `i`'s child at `pos`, read straight from the
+    /// CSR caches (`kid_comm` holds exactly what the observer/tree would
+    /// say; see its field docs).
+    #[inline(always)]
     fn child_info(&self, i: usize, pos: usize) -> ChildInfo {
-        let child = self.ws.children[i][pos];
-        let comm = if self.ws.nodes[i].observer.is_oracle() {
-            self.tree.comm_time(NodeId(child as u32))
-        } else {
-            self.ws.nodes[i].observer.estimate(pos)
-        };
+        let k = self.ws.kid_start[i] as usize + pos;
         ChildInfo {
             index: pos,
-            comm_estimate: comm,
-            compute_estimate: self.tree.compute_time(NodeId(child as u32)),
+            comm_estimate: self.ws.kid_comm[k],
+            compute_estimate: self.ws.kid_compute[k],
         }
     }
 
-    fn fill_link<const FA: bool>(&mut self, i: usize) {
-        match self.cfg.protocol {
-            Protocol::NonInterruptible => self.fill_link_nonic::<FA>(i),
-            Protocol::Interruptible => {
-                self.fill_slots::<FA>(i);
-                self.reconcile_link::<FA>(i);
-            }
+    /// Re-derives the cached comm estimate for `i`'s child at `pos` after
+    /// an observation landed.
+    #[inline(always)]
+    fn refresh_kid_comm(&mut self, i: usize, pos: usize) {
+        let ob = &self.ws.cold[i].observer;
+        if !ob.is_oracle() {
+            let k = self.ws.kid_start[i] as usize + pos;
+            self.ws.kid_comm[k] = ob.estimate(pos);
+        }
+    }
+
+    fn fill_link<const FA: bool, const IC: bool>(&mut self, i: usize) {
+        if self.ws.kid_start[i + 1] == self.ws.kid_start[i] {
+            return; // leaves have no outbound link work, ever
+        }
+        if IC {
+            self.fill_slots::<FA>(i);
+            self.reconcile_link::<FA>(i);
+        } else {
+            self.fill_link_nonic::<FA>(i);
         }
     }
 
     fn fill_link_nonic<const FA: bool>(&mut self, i: usize) {
-        if self.ws.nodes[i].sending.is_some() || !self.has_task(i) {
+        if self.ws.sending[i].is_some() || self.ws.pending_sum[i] == 0 || !self.has_task(i) {
             return;
         }
         let mut candidates = std::mem::take(&mut self.ws.candidates);
         candidates.clear();
-        for p in 0..self.ws.children[i].len() {
-            if self.ws.nodes[i].pending_requests[p] > 0
-                && (!FA || self.ws.faults[i].missed_acks[p] < self.dead_threshold)
-                && !self.ws.nodes[self.ws.children[i][p]].departed
+        for (pos, k) in self.ws.krange(i).enumerate() {
+            if self.ws.kid_pending[k] > 0
+                && (!FA || self.ws.kid_missed[k] < self.dead_threshold)
+                && !self.ws.kid_gone[k]
             {
-                candidates.push(self.child_info(i, p));
+                candidates.push(ChildInfo {
+                    index: pos,
+                    comm_estimate: self.ws.kid_comm[k],
+                    compute_estimate: self.ws.kid_compute[k],
+                });
             }
         }
-        let chosen = self.ws.nodes[i].selector.select(&candidates);
+        let chosen = self.ws.cold[i].selector.select(&candidates);
         self.ws.candidates = candidates;
         let Some(pos) = chosen else {
             return;
@@ -1127,8 +1473,10 @@ impl<S: TraceSink> Simulation<S> {
         if !self.take_task(i) {
             return;
         }
-        self.ws.nodes[i].pending_requests[pos] -= 1;
-        let child = self.ws.children[i][pos];
+        let k = self.ws.kid_start[i] as usize + pos;
+        self.ws.kid_pending[k] -= 1;
+        self.ws.pending_sum[i] -= 1;
+        let child = self.ws.kid_node[k] as usize;
         let c = self.tree.comm_time(NodeId(child as u32));
         let now = self.ws.agenda.now();
         self.transfers_started += 1;
@@ -1138,7 +1486,7 @@ impl<S: TraceSink> Simulation<S> {
             work: c,
         });
         let handle = self.ws.agenda.schedule(c, Event::SendDone { node: i });
-        self.ws.nodes[i].sending = Some(Sending {
+        self.ws.sending[i] = Some(Sending {
             child_pos: pos,
             started_at: now,
             handle,
@@ -1148,36 +1496,46 @@ impl<S: TraceSink> Simulation<S> {
     /// IC: delegate buffered tasks into empty slots of requesting
     /// children, best-priority first, while tasks last.
     fn fill_slots<const FA: bool>(&mut self, i: usize) {
+        if self.ws.pending_sum[i] == 0 {
+            return; // no requesting child, so no candidate either
+        }
         let mut candidates = std::mem::take(&mut self.ws.candidates);
         loop {
-            if !self.has_task(i) {
+            if self.ws.pending_sum[i] == 0 || !self.has_task(i) {
                 break;
             }
             candidates.clear();
-            for p in 0..self.ws.children[i].len() {
-                if self.ws.nodes[i].pending_requests[p] > 0
-                    && self.ws.nodes[i].slots[p].is_none()
-                    && (!FA || self.ws.faults[i].missed_acks[p] < self.dead_threshold)
-                    && !self.ws.nodes[self.ws.children[i][p]].departed
+            for (pos, k) in self.ws.krange(i).enumerate() {
+                if self.ws.kid_pending[k] > 0
+                    && self.ws.kid_slot[k].is_none()
+                    && (!FA || self.ws.kid_missed[k] < self.dead_threshold)
+                    && !self.ws.kid_gone[k]
                 {
-                    candidates.push(self.child_info(i, p));
+                    candidates.push(ChildInfo {
+                        index: pos,
+                        comm_estimate: self.ws.kid_comm[k],
+                        compute_estimate: self.ws.kid_compute[k],
+                    });
                 }
             }
-            let Some(pos) = self.ws.nodes[i].selector.select(&candidates) else {
+            let Some(pos) = self.ws.cold[i].selector.select(&candidates) else {
                 break;
             };
             if !self.take_task(i) {
                 break;
             }
-            self.ws.nodes[i].pending_requests[pos] -= 1;
+            let k = self.ws.kid_start[i] as usize + pos;
+            self.ws.kid_pending[k] -= 1;
+            self.ws.pending_sum[i] -= 1;
             self.transfers_started += 1;
-            let child = self.ws.children[i][pos];
+            let child = self.ws.kid_node[k] as usize;
             let c = self.tree.comm_time(NodeId(child as u32));
-            self.ws.nodes[i].slots[pos] = Some(SlotTransfer {
+            self.ws.kid_slot[k] = Some(SlotTransfer {
                 remaining: c,
                 total: c,
                 started: false,
             });
+            self.ws.slots_used[i] += 1;
         }
         self.ws.candidates = candidates;
     }
@@ -1185,24 +1543,39 @@ impl<S: TraceSink> Simulation<S> {
     /// IC: ensure the link transmits the highest-priority occupied slot,
     /// preempting if a better slot appeared (§3.2).
     fn reconcile_link<const FA: bool>(&mut self, i: usize) {
+        // Fast paths on the occupancy count: nothing to transmit, or the
+        // active transfer is the only occupied slot (then the full scan
+        // below would find best == active and do nothing).
+        let used = self.ws.slots_used[i];
+        if used == 0 {
+            debug_assert!(self.ws.active[i].is_none(), "active without slots");
+            return;
+        }
+        if used == 1 && self.ws.active[i].is_some() {
+            return;
+        }
         let mut candidates = std::mem::take(&mut self.ws.candidates);
         candidates.clear();
-        for p in 0..self.ws.children[i].len() {
-            if self.ws.nodes[i].slots[p].is_some() {
-                candidates.push(self.child_info(i, p));
+        for (pos, k) in self.ws.krange(i).enumerate() {
+            if self.ws.kid_slot[k].is_some() {
+                candidates.push(ChildInfo {
+                    index: pos,
+                    comm_estimate: self.ws.kid_comm[k],
+                    compute_estimate: self.ws.kid_compute[k],
+                });
             }
         }
-        let best = self.ws.nodes[i].selector.best(&candidates);
+        let best = self.ws.cold[i].selector.best(&candidates);
         self.ws.candidates = candidates;
-        match (&self.ws.nodes[i].active, best) {
+        match (&self.ws.active[i], best) {
             (_, None) => {
-                debug_assert!(self.ws.nodes[i].active.is_none(), "active without slots");
+                debug_assert!(self.ws.active[i].is_none(), "active without slots");
             }
             (None, Some(b)) => self.activate(i, b),
             (Some(a), Some(b)) if b != a.child_pos => {
                 let a_info = self.child_info(i, a.child_pos);
                 let b_info = self.child_info(i, b);
-                if self.ws.nodes[i].selector.outranks(&b_info, &a_info) {
+                if self.ws.cold[i].selector.outranks(&b_info, &a_info) {
                     self.preempt::<FA>(i);
                     // The preempted transfer may have completed at this
                     // exact instant; re-rank rather than assuming `b`.
@@ -1214,8 +1587,9 @@ impl<S: TraceSink> Simulation<S> {
     }
 
     fn activate(&mut self, i: usize, pos: usize) {
-        debug_assert!(self.ws.nodes[i].active.is_none());
-        let slot = self.ws.nodes[i].slots[pos]
+        debug_assert!(self.ws.active[i].is_none());
+        let k = self.ws.kid_start[i] as usize + pos;
+        let slot = self.ws.kid_slot[k]
             .as_mut()
             .expect("activating an empty slot");
         let remaining = slot.remaining;
@@ -1223,7 +1597,7 @@ impl<S: TraceSink> Simulation<S> {
         let total = slot.total;
         slot.started = true;
         if S::ENABLED {
-            let child = self.ws.children[i][pos] as u32;
+            let child = self.ws.kid_node[k];
             self.emit(if first {
                 TraceEvent::TransferStart {
                     node: i as u32,
@@ -1243,7 +1617,7 @@ impl<S: TraceSink> Simulation<S> {
             .ws
             .agenda
             .schedule(remaining, Event::TransferDone { node: i });
-        self.ws.nodes[i].active = Some(ActiveTransfer {
+        self.ws.active[i] = Some(ActiveTransfer {
             child_pos: pos,
             started_at: now,
             remaining_at_start: remaining,
@@ -1255,24 +1629,22 @@ impl<S: TraceSink> Simulation<S> {
     /// exactly zero work left at this instant).
     fn preempt<const FA: bool>(&mut self, i: usize) {
         self.preemptions += 1;
-        self.ws.nodes[i].preemptions += 1;
-        let a = self.ws.nodes[i]
-            .active
-            .take()
-            .expect("preempting idle link");
+        self.ws.cold[i].preemptions += 1;
+        let a = self.ws.active[i].take().expect("preempting idle link");
         self.ws.agenda.cancel(a.handle);
         let elapsed = self.ws.agenda.now() - a.started_at;
-        self.ws.nodes[i].busy_link += elapsed;
+        self.ws.hot[i].busy_link += elapsed;
         let remaining = a
             .remaining_at_start
             .checked_sub(elapsed)
             .expect("transfer ran past its completion");
-        let slot = self.ws.nodes[i].slots[a.child_pos]
+        let k = self.ws.kid_start[i] as usize + a.child_pos;
+        let slot = self.ws.kid_slot[k]
             .as_mut()
             .expect("active transfer without slot");
         slot.remaining = remaining;
         if S::ENABLED {
-            let child = self.ws.children[i][a.child_pos] as u32;
+            let child = self.ws.kid_node[k];
             self.emit(TraceEvent::TransferPreempt {
                 node: i as u32,
                 child,
@@ -1293,18 +1665,15 @@ impl<S: TraceSink> Simulation<S> {
         let now = self.ws.agenda.now();
         // Decay (extension): reclaim an idle grown buffer after a quiet
         // window, before covering it with a fresh request.
-        let last_pressure = self.ws.nodes[i].last_pressure;
-        if let Some(ledger) = &mut self.ws.nodes[i].ledger {
+        let last_pressure = self.ws.cold[i].last_pressure;
+        if let Some(ledger) = &mut self.ws.hot[i].ledger {
             if let Some(window) = ledger.decay_after() {
                 if now.saturating_sub(last_pressure) >= window && ledger.try_shrink() {
-                    self.ws.nodes[i].last_pressure = now;
+                    self.ws.cold[i].last_pressure = now;
                 }
             }
         }
-        let ledger = self.ws.nodes[i]
-            .ledger
-            .as_mut()
-            .expect("non-root has ledger");
+        let ledger = self.ws.hot[i].ledger.as_mut().expect("non-root has ledger");
         let n = ledger.uncovered();
         if n == 0 {
             return;
@@ -1313,10 +1682,7 @@ impl<S: TraceSink> Simulation<S> {
             // Retry budget exhausted: presumed-dead parent, stop asking.
             return;
         }
-        let ledger = self.ws.nodes[i]
-            .ledger
-            .as_mut()
-            .expect("non-root has ledger");
+        let ledger = self.ws.hot[i].ledger.as_mut().expect("non-root has ledger");
         ledger.note_requests_sent(n);
         self.requests_sent += n as u64;
         self.emit(TraceEvent::Request {
@@ -1343,10 +1709,12 @@ impl<S: TraceSink> Simulation<S> {
         if FA {
             self.ws.faults[i].retry = 0;
         }
-        self.ws.nodes[parent].pending_requests[pos] += n;
-        if FA && self.ws.faults[parent].missed_acks[pos] >= self.dead_threshold {
+        let k = self.ws.kid_start[parent] as usize + pos;
+        self.ws.kid_pending[k] += n;
+        self.ws.pending_sum[parent] += n;
+        if FA && self.ws.kid_missed[k] >= self.dead_threshold {
             // Heard from a child previously presumed dead: revise.
-            self.ws.faults[parent].missed_acks[pos] = 0;
+            self.ws.kid_missed[k] = 0;
             self.fstats.children_revived += 1;
             self.emit(TraceEvent::ChildRevived {
                 node: parent as u32,
@@ -1372,12 +1740,12 @@ impl<S: TraceSink> Simulation<S> {
         let node = f.node.index();
         match f.kind {
             FaultKind::RequestLoss { batches } => {
-                if !self.ws.nodes[node].departed && !self.ws.nodes[node].crashed {
+                if !self.ws.hot[node].departed && !self.ws.hot[node].crashed {
                     self.ws.faults[node].drop_batches += batches;
                 }
             }
             FaultKind::DuplicateDelivery { copies } => {
-                if !self.ws.nodes[node].departed && !self.ws.nodes[node].crashed {
+                if !self.ws.hot[node].departed && !self.ws.hot[node].crashed {
                     self.ws.faults[node].dup_deliveries += copies;
                 }
             }
@@ -1394,7 +1762,7 @@ impl<S: TraceSink> Simulation<S> {
 
     /// Whether a completing transfer toward `child` can actually land.
     fn delivery_blocked(&self, child: usize) -> bool {
-        self.ws.nodes[child].crashed || self.link_down(child)
+        self.ws.hot[child].crashed || self.link_down(child)
     }
 
     /// A transfer from `i` toward child position `pos` completed its
@@ -1411,7 +1779,7 @@ impl<S: TraceSink> Simulation<S> {
         self.fstats.transfer_aborts += 1;
         self.lose_tasks(1);
         self.note_missed_ack(i, pos);
-        let c = &self.ws.nodes[child];
+        let c = &self.ws.hot[child];
         if !c.crashed && !c.departed {
             // Live but unreachable: the covering request is voided when
             // the link comes back.
@@ -1425,33 +1793,35 @@ impl<S: TraceSink> Simulation<S> {
     #[cold]
     #[inline(never)]
     fn abort_boundary(&mut self, child: usize, nack: Nack) {
-        if self.ws.nodes[child].departed {
+        if self.ws.hot[child].departed {
             return;
         }
         let Some(p) = self.ws.parent_of[child] else {
             return;
         };
-        if self.ws.nodes[p].departed || self.ws.nodes[p].crashed {
+        if self.ws.hot[p].departed || self.ws.hot[p].crashed {
             return;
         }
         let pos = self.ws.child_pos[child];
         let now = self.ws.agenda.now();
         let mut aborted = false;
-        if let Some(s) = &self.ws.nodes[p].sending {
+        if let Some(s) = &self.ws.sending[p] {
             if s.child_pos == pos {
-                let s = self.ws.nodes[p].sending.take().expect("checked above");
-                self.ws.nodes[p].busy_link += now - s.started_at;
+                let s = self.ws.sending[p].take().expect("checked above");
+                self.ws.hot[p].busy_link += now - s.started_at;
                 self.ws.agenda.cancel(s.handle);
                 aborted = true;
             }
         }
-        if let Some(a) = &self.ws.nodes[p].active {
+        if let Some(a) = &self.ws.active[p] {
             if a.child_pos == pos {
-                let a = self.ws.nodes[p].active.take().expect("checked above");
-                self.ws.nodes[p].busy_link += now - a.started_at;
+                let a = self.ws.active[p].take().expect("checked above");
+                self.ws.hot[p].busy_link += now - a.started_at;
                 self.ws.agenda.cancel(a.handle);
-                let t = self.ws.nodes[p].slots[pos].take();
+                let k = self.ws.kid_start[p] as usize + pos;
+                let t = self.ws.kid_slot[k].take();
                 debug_assert!(t.is_some(), "active transfer without slot");
+                self.ws.slots_used[p] -= 1;
                 aborted = true;
             }
         }
@@ -1469,7 +1839,7 @@ impl<S: TraceSink> Simulation<S> {
             Nack::Instant => {
                 // The child sees its inbound transfer reset: the covering
                 // request is void, so it re-requests immediately.
-                self.ws.nodes[child]
+                self.ws.hot[child]
                     .ledger
                     .as_mut()
                     .expect("non-root has ledger")
@@ -1491,7 +1861,7 @@ impl<S: TraceSink> Simulation<S> {
     #[cold]
     #[inline(never)]
     fn on_link_outage(&mut self, node: usize, duration: u64) {
-        if self.ws.nodes[node].departed || self.ws.nodes[node].crashed {
+        if self.ws.hot[node].departed || self.ws.hot[node].crashed {
             return;
         }
         let until = self.ws.agenda.now() + duration;
@@ -1513,7 +1883,7 @@ impl<S: TraceSink> Simulation<S> {
     #[cold]
     #[inline(never)]
     fn on_outage_end(&mut self, node: usize) {
-        if self.ws.nodes[node].departed || self.ws.nodes[node].crashed {
+        if self.ws.hot[node].departed || self.ws.hot[node].crashed {
             return;
         }
         if self.ws.agenda.now() < self.ws.faults[node].outage_until {
@@ -1522,7 +1892,7 @@ impl<S: TraceSink> Simulation<S> {
         let k = self.ws.faults[node].pending_nacks;
         self.ws.faults[node].pending_nacks = 0;
         if k > 0 {
-            self.ws.nodes[node]
+            self.ws.hot[node]
                 .ledger
                 .as_mut()
                 .expect("non-root has ledger")
@@ -1541,7 +1911,7 @@ impl<S: TraceSink> Simulation<S> {
     #[cold]
     #[inline(never)]
     fn apply_crash(&mut self, d0: usize) {
-        if self.ws.nodes[d0].departed || self.ws.nodes[d0].crashed {
+        if self.ws.hot[d0].departed || self.ws.hot[d0].crashed {
             return;
         }
         // The boundary in-flight transfer aborts immediately: the sender's
@@ -1550,26 +1920,31 @@ impl<S: TraceSink> Simulation<S> {
         let mut lost: u64 = 0;
         let mut stack = vec![d0];
         while let Some(d) = stack.pop() {
-            if self.ws.nodes[d].departed || self.ws.nodes[d].crashed {
+            if self.ws.hot[d].departed || self.ws.hot[d].crashed {
                 // Already-gone branches hold nothing (reclaimed or lost
                 // when they went); don't descend or count them again.
                 continue;
             }
-            stack.extend(self.ws.children[d].iter().copied());
-            let n = &mut self.ws.nodes[d];
-            n.crashed = true;
+            let r = self.ws.krange(d);
+            stack.extend(self.ws.kid_node[r.clone()].iter().map(|&c| c as usize));
+            self.ws.hot[d].crashed = true;
             let timeout = self.ws.faults[d].timeout.take();
-            if n.computing_since.take().is_some() {
+            if self.ws.hot[d].computing_since.take().is_some() {
                 lost += 1;
             }
-            let sending = n.sending.take();
+            let sending = self.ws.sending[d].take();
             if sending.is_some() {
                 lost += 1;
             }
-            let active = n.active.take();
-            lost += n.slots.iter_mut().filter_map(Option::take).count() as u64;
-            lost += n.ledger.as_ref().map_or(0, |l| l.held()) as u64;
-            n.pending_requests.iter_mut().for_each(|r| *r = 0);
+            let active = self.ws.active[d].take();
+            lost += self.ws.kid_slot[r.clone()]
+                .iter_mut()
+                .filter_map(Option::take)
+                .count() as u64;
+            self.ws.slots_used[d] = 0;
+            lost += self.ws.hot[d].ledger.as_ref().map_or(0, |l| l.held()) as u64;
+            self.ws.kid_pending[r].iter_mut().for_each(|q| *q = 0);
+            self.ws.pending_sum[d] = 0;
             if let Some(h) = timeout {
                 self.ws.agenda.cancel(h);
             }
@@ -1629,7 +2004,7 @@ impl<S: TraceSink> Simulation<S> {
     #[inline(never)]
     fn on_request_timeout(&mut self, i: usize) {
         self.ws.faults[i].timeout = None;
-        if self.ws.nodes[i].departed || self.ws.nodes[i].crashed {
+        if self.ws.hot[i].departed || self.ws.hot[i].crashed {
             return;
         }
         let lost = self.ws.faults[i].lost_requests;
@@ -1641,7 +2016,7 @@ impl<S: TraceSink> Simulation<S> {
         self.ws.faults[i].retry += 1;
         let retry = self.ws.faults[i].retry;
         self.ws.faults[i].lost_requests = 0;
-        self.ws.nodes[i]
+        self.ws.hot[i]
             .ledger
             .as_mut()
             .expect("non-root has ledger")
@@ -1686,11 +2061,12 @@ impl<S: TraceSink> Simulation<S> {
     #[cold]
     #[inline(never)]
     fn note_missed_ack(&mut self, i: usize, pos: usize) {
-        if self.ws.faults[i].missed_acks[pos] >= self.dead_threshold {
+        let k = self.ws.kid_start[i] as usize + pos;
+        if self.ws.kid_missed[k] >= self.dead_threshold {
             return;
         }
-        self.ws.faults[i].missed_acks[pos] += 1;
-        if self.ws.faults[i].missed_acks[pos] >= self.dead_threshold {
+        self.ws.kid_missed[k] += 1;
+        if self.ws.kid_missed[k] >= self.dead_threshold {
             self.declare_dead(i, pos);
         }
     }
@@ -1703,29 +2079,31 @@ impl<S: TraceSink> Simulation<S> {
     #[cold]
     #[inline(never)]
     fn declare_dead(&mut self, i: usize, pos: usize) {
-        let child = self.ws.children[i][pos];
+        let k = self.ws.kid_start[i] as usize + pos;
+        let child = self.ws.kid_node[k] as usize;
         self.fstats.children_declared_dead += 1;
         self.emit(TraceEvent::ChildDead {
             node: i as u32,
             child: child as u32,
         });
-        let denied = self.ws.nodes[i].pending_requests[pos];
+        let denied = self.ws.kid_pending[k];
         if denied == 0 {
             return;
         }
-        self.ws.nodes[i].pending_requests[pos] = 0;
+        self.ws.kid_pending[k] = 0;
+        self.ws.pending_sum[i] -= denied;
         self.emit(TraceEvent::RequestDeny {
             node: i as u32,
             child: child as u32,
             count: denied,
         });
-        if self.ws.nodes[child].crashed || self.ws.nodes[child].departed {
+        if self.ws.hot[child].crashed || self.ws.hot[child].departed {
             return;
         }
         if self.link_down(child) {
             self.ws.faults[child].pending_nacks += denied;
         } else {
-            self.ws.nodes[child]
+            self.ws.hot[child]
                 .ledger
                 .as_mut()
                 .expect("non-root has ledger")
@@ -1743,7 +2121,7 @@ impl<S: TraceSink> Simulation<S> {
             self.ws.faults[i].drop_batches -= 1;
             return true;
         }
-        self.link_down(i) || self.ws.nodes[parent].crashed
+        self.link_down(i) || self.ws.hot[parent].crashed
     }
 
     // ----- introspection (for tests) ---------------------------------------

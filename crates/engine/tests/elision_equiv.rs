@@ -1,0 +1,174 @@
+//! Saturated-regime event elision must be invisible: a run with elision
+//! enabled produces *exactly* the same `RunResult` (and `FaultStats`,
+//! and terminal-checker verdict) as the same run with elision off, over
+//! random platforms, every protocol variant, and fault-plan legs. The
+//! auto-disable gates (tracing, checked mode, faults, growable buffers)
+//! are regression-tested separately: under any of them the engine must
+//! elide nothing at all.
+
+use bc_core::ObserverKind;
+use bc_engine::{FaultEvent, FaultKind, FaultPlan, RunResult, SelectorKind, SimConfig, Simulation};
+use bc_platform::{RandomTreeConfig, Tree};
+use bc_simcore::VecSink;
+use proptest::prelude::*;
+
+/// The protocol variants the equivalence must hold for. The growable
+/// entries exercise the auto-disable path (elision gates itself off for
+/// non-fixed buffers); the fixed entries exercise real chains.
+fn variants(tasks: u64) -> Vec<(&'static str, SimConfig)> {
+    let mut v = vec![
+        ("ic-fb1", SimConfig::interruptible(1, tasks)),
+        ("ic-fb2", SimConfig::interruptible(2, tasks)),
+        ("ic-fb3", SimConfig::interruptible(3, tasks)),
+        ("nonic-fb1", SimConfig::non_interruptible_fixed(1, tasks)),
+        ("nonic-fb2", SimConfig::non_interruptible_fixed(2, tasks)),
+        ("nonic-ib1", SimConfig::non_interruptible(1, tasks)),
+    ];
+    let mut rr = SimConfig::interruptible(3, tasks);
+    rr.selector = SelectorKind::RoundRobin;
+    v.push(("ic-fb3-rr", rr));
+    let mut cc = SimConfig::interruptible(2, tasks);
+    cc.selector = SelectorKind::ComputeCentric;
+    v.push(("ic-fb2-cc", cc));
+    let mut lf = SimConfig::non_interruptible_fixed(2, tasks);
+    lf.self_first = false;
+    v.push(("nonic-fb2-linkfirst", lf));
+    let mut ob = SimConfig::interruptible(3, tasks);
+    ob.observer = ObserverKind::LastSample { initial: 5 };
+    v.push(("ic-fb3-lastsample", ob));
+    v
+}
+
+/// Steps a sim to completion, checks the terminal oracle, and returns
+/// `(result, events_elided)`.
+fn run_collect(tree: Tree, cfg: SimConfig) -> (RunResult, u64) {
+    let mut sim = Simulation::new(tree, cfg);
+    while sim.step() {}
+    sim.verify_terminal().expect("terminal oracle");
+    let elided = sim.events_elided();
+    (sim.run(), elided)
+}
+
+/// A fault plan whose legs hit several recovery paths; elision must
+/// gate itself off (and the differential still hold trivially).
+fn fault_plan(nodes: usize) -> FaultPlan {
+    let mid = ((nodes / 2).max(1)) as u32;
+    FaultPlan {
+        seed: 11,
+        faults: vec![
+            FaultEvent {
+                at: 40,
+                node: bc_platform::NodeId(mid),
+                kind: FaultKind::RequestLoss { batches: 1 },
+            },
+            FaultEvent {
+                at: 90,
+                node: bc_platform::NodeId(((nodes - 1).max(1)) as u32),
+                kind: FaultKind::LinkOutage { duration: 25 },
+            },
+        ],
+        recovery: Default::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Over random platforms (spanning dense and sparse event regimes)
+    /// and every protocol variant, elided and unelided runs are equal in
+    /// every field of `RunResult` (which embeds `FaultStats`), and both
+    /// pass the terminal checker.
+    #[test]
+    fn elision_is_invisible(
+        seed in 0u64..1_000_000,
+        scale_ix in 0usize..3,
+        faults_coin in 0u8..2,
+    ) {
+        let scale = [10u64, 60, 400][scale_ix];
+        let with_faults = faults_coin == 1;
+        let gen = RandomTreeConfig {
+            min_nodes: 2,
+            max_nodes: 18,
+            comm_min: 1,
+            comm_max: 10,
+            compute_scale: scale,
+        };
+        let tree = gen.generate(seed);
+        for (name, cfg) in variants(60) {
+            let mut cfg = cfg.with_checked(false);
+            if with_faults {
+                cfg = cfg.with_fault_plan(fault_plan(tree.len()));
+            }
+            let (on, elided) = run_collect(tree.clone(), cfg.clone().with_elision(true));
+            let (off, off_elided) = run_collect(tree.clone(), cfg.with_elision(false));
+            prop_assert_eq!(off_elided, 0, "off must elide nothing ({})", name);
+            if with_faults {
+                prop_assert_eq!(elided, 0, "fault plan must force elision off ({})", name);
+            }
+            prop_assert_eq!(&on, &off, "elision changed the result ({})", name);
+        }
+    }
+}
+
+/// On a platform sparse enough for chains (a lone repository computing
+/// everything itself), elision must actually fire — the whole run is
+/// one macro-event — and still match the unelided run.
+#[test]
+fn chains_fire_on_sparse_platforms() {
+    let tree = Tree::new(7); // repository only, compute time 7
+    let cfg = SimConfig::interruptible(3, 500).with_checked(false);
+    let (on, elided) = run_collect(tree.clone(), cfg.clone().with_elision(true));
+    let (off, _) = run_collect(tree, cfg.with_elision(false));
+    assert_eq!(on, off);
+    assert_eq!(elided, 499, "a lone repository is one 500-long chain");
+    assert_eq!(on.events_processed, off.events_processed);
+}
+
+/// Leaf-side chains: a two-node chain whose leaf drains its buffers
+/// during wind-down (the repository exhausted) must elide and match.
+#[test]
+fn leaf_chains_fire_and_match() {
+    let mut tree = Tree::new(1_000_000); // root effectively never computes
+    tree.add_child(bc_platform::NodeId::ROOT, 2, 9);
+    let cfg = SimConfig::interruptible(3, 40).with_checked(false);
+    let (on, elided) = run_collect(tree.clone(), cfg.clone().with_elision(true));
+    let (off, _) = run_collect(tree, cfg.with_elision(false));
+    assert_eq!(on, off);
+    assert!(elided > 0, "leaf wind-down chains should elide");
+}
+
+/// A tracing sink forces elision off: the trace stream must be the
+/// complete per-event one, so the engine may not skip any agenda pops.
+#[test]
+fn tracing_forces_elision_off() {
+    let tree = Tree::new(7);
+    let cfg = SimConfig::interruptible(3, 100)
+        .with_checked(false)
+        .with_elision(true);
+    let mut sim = Simulation::traced(
+        tree.clone(),
+        cfg.clone(),
+        bc_engine::SimWorkspace::new(),
+        VecSink::new(),
+    );
+    while sim.step() {}
+    assert_eq!(sim.events_elided(), 0, "tracing must disable elision");
+    let (_res, _ws, sink) = sim.run_traced();
+    // The trace matches the untraced-and-unelided event count: nothing
+    // was collapsed away.
+    let untraced = Simulation::new(tree, cfg.with_elision(false)).run();
+    assert!(sink.records.len() as u64 >= untraced.events_processed);
+}
+
+/// Checked mode forces elision off (the checker sweeps between events
+/// and would observe the skipped intermediate states).
+#[test]
+fn checked_mode_forces_elision_off() {
+    let tree = Tree::new(7);
+    let cfg = SimConfig::interruptible(3, 100)
+        .with_checked(true)
+        .with_elision(true);
+    let mut sim = Simulation::new(tree, cfg);
+    while sim.step() {}
+    assert_eq!(sim.events_elided(), 0, "checked mode must disable elision");
+}

@@ -47,6 +47,37 @@ use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
+// Artifact stability: committed JSON must diff cleanly across
+// regenerations, so timing fields are rounded to fixed precision
+// (nanosecond tails are pure noise) and every object's keys are sorted
+// before writing (layout independent of construction order).
+// ---------------------------------------------------------------------------
+
+/// Wall-clock milliseconds from nanoseconds, rounded to 1 µs.
+fn wall_ms(ns: f64) -> Value {
+    Value::Float((ns / 1e3).round() / 1e3)
+}
+
+/// Events per second, rounded to 0.1 events/s.
+fn events_per_sec(events: f64, ns: f64) -> Value {
+    Value::Float((events / (ns / 1e9) * 10.0).round() / 10.0)
+}
+
+/// Recursively sorts every object's keys.
+fn sort_keys(v: &mut Value) {
+    match v {
+        Value::Object(fields) => {
+            for (_, child) in fields.iter_mut() {
+                sort_keys(child);
+            }
+            fields.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        Value::Array(items) => items.iter_mut().for_each(sort_keys),
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Exact peak-live-bytes tracking (for the streaming-vs-materialized
 // memory comparison). Gated off outside the measured phases: the only
 // overhead the timing workloads see is one relaxed load per allocation.
@@ -398,8 +429,8 @@ fn threads_curve(campaign: &CampaignConfig, counts: &[usize], rounds: usize) -> 
         .map(|((&n, &ns), &events)| {
             object(vec![
                 ("threads", Value::Int(n as i128)),
-                ("wall_ms", Value::Float(ns / 1e6)),
-                ("events_per_sec", Value::Float(events as f64 / (ns / 1e9))),
+                ("wall_ms", wall_ms(ns)),
+                ("events_per_sec", events_per_sec(events as f64, ns)),
                 (
                     "speedup_vs_1_thread",
                     Value::Float(if mins[0].is_finite() {
@@ -485,13 +516,13 @@ fn streaming_report(campaign: &CampaignConfig, grid: &CampaignGrid, shard_size: 
             object(vec![
                 ("trees", Value::Int(campaign.trees as i128)),
                 ("shard_size", Value::Int(shard_size as i128)),
-                ("materialized_full_wall_ms", Value::Float(mat_ns / 1e6)),
+                ("materialized_full_wall_ms", wall_ms(mat_ns)),
                 ("materialized_full_peak_bytes", Value::Int(mat_peak as i128)),
                 (
                     "materialized_summaries_peak_bytes",
                     Value::Int(summaries_peak as i128),
                 ),
-                ("streaming_wall_ms", Value::Float(stream_ns / 1e6)),
+                ("streaming_wall_ms", wall_ms(stream_ns)),
                 ("streaming_peak_bytes", Value::Int(stream_peak as i128)),
                 (
                     "peak_bytes_ratio_full_vs_streaming",
@@ -506,11 +537,11 @@ fn streaming_report(campaign: &CampaignConfig, grid: &CampaignGrid, shard_size: 
                 ("cells", Value::Int(cells.len() as i128)),
                 ("trees_total", Value::Int(total_trees as i128)),
                 ("shard_size", Value::Int(shard_size as i128)),
-                ("wall_ms", Value::Float(grid_ns / 1e6)),
+                ("wall_ms", wall_ms(grid_ns)),
                 ("events_total", Value::Int(grid_events as i128)),
                 (
                     "events_per_sec",
-                    Value::Float(grid_events as f64 / (grid_ns / 1e9)),
+                    events_per_sec(grid_events as f64, grid_ns),
                 ),
                 ("streaming_peak_bytes", Value::Int(grid_peak as i128)),
                 (
@@ -564,9 +595,9 @@ fn paper_scale_report(scale: &CampaignScale) -> Value {
         }
         protocols.push(object(vec![
             ("protocol", Value::Str(name.to_string())),
-            ("wall_ms", Value::Float(ns / 1e6)),
+            ("wall_ms", wall_ms(ns)),
             ("events_total", Value::Int(events as i128)),
-            ("events_per_sec", Value::Float(events as f64 / (ns / 1e9))),
+            ("events_per_sec", events_per_sec(events as f64, ns)),
             ("fraction_reached_optimal", Value::Float(fraction)),
         ]));
     }
@@ -575,7 +606,7 @@ fn paper_scale_report(scale: &CampaignScale) -> Value {
         ("trees", Value::Int(scale.trees as i128)),
         ("tasks_per_tree", Value::Int(scale.tasks as i128)),
         ("threads", Value::Int(rayon::current_num_threads() as i128)),
-        ("prepare_wall_ms", Value::Float(prepare_ns / 1e6)),
+        ("prepare_wall_ms", wall_ms(prepare_ns)),
         ("protocols", Value::Array(protocols)),
     ])
 }
@@ -606,6 +637,7 @@ fn scaling_smoke(
     counts: &[usize],
     rounds: usize,
     min_speedup: Option<f64>,
+    min_events_per_sec: Option<f64>,
     out: &PathBuf,
 ) {
     let campaign = CampaignConfig {
@@ -613,7 +645,46 @@ fn scaling_smoke(
         ..bench_campaign()
     };
     let curve = threads_curve(&campaign, counts, rounds);
-    let report = object(vec![
+    // One instrumented pass for the profile artifact (collection stays
+    // off during the timed curve above; see `campaign_report`).
+    #[cfg(feature = "profile")]
+    let kernel_profile = {
+        bc_engine::profile::reset();
+        bc_engine::profile::enable(true);
+        let _ = run_campaign(&campaign, |t| bc_engine::SimConfig::interruptible(3, t));
+        bc_engine::profile::enable(false);
+        let p = bc_engine::profile::snapshot();
+        let kinds: Vec<Value> = p
+            .counts
+            .iter()
+            .zip(&p.histograms)
+            .map(|(&(name, n), &(_, hist))| {
+                let first = hist.iter().position(|&c| c > 0).unwrap_or(0);
+                let last = hist.iter().rposition(|&c| c > 0).unwrap_or(0);
+                object(vec![
+                    ("kind", Value::Str(name.to_string())),
+                    ("events", Value::Int(n as i128)),
+                    ("log2_cycles_first_bucket", Value::Int(first as i128)),
+                    (
+                        "log2_cycles_histogram",
+                        Value::Array(
+                            hist[first..=last]
+                                .iter()
+                                .map(|&c| Value::Int(c as i128))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        object(vec![
+            ("enabled", Value::Bool(true)),
+            ("kinds", Value::Array(kinds)),
+        ])
+    };
+    #[cfg(not(feature = "profile"))]
+    let kernel_profile = object(vec![("enabled", Value::Bool(false))]);
+    let mut report = object(vec![
         (
             "generated_by",
             Value::Str("bench_report --scaling-smoke".to_string()),
@@ -621,7 +692,9 @@ fn scaling_smoke(
         ("trees", Value::Int(trees as i128)),
         ("host_cpus", Value::Int(host_cpus() as i128)),
         ("threads_curve", curve.clone()),
+        ("kernel_profile", kernel_profile),
     ]);
+    sort_keys(&mut report);
     std::fs::create_dir_all(out).expect("create --out directory");
     let path = out.join("SCALING_smoke.json");
     std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap() + "\n")
@@ -636,6 +709,20 @@ fn scaling_smoke(
         Some(Value::Float(ms)) => *ms,
         _ => unreachable!("points carry wall_ms"),
     };
+    if let Some(min) = min_events_per_sec {
+        let idx = (0..points.len())
+            .find(|&i| matches!(points[i].get("threads"), Some(Value::Int(1))))
+            .expect("--assert-events-per-sec needs a 1-thread point (--threads 1,...)");
+        let eps = match points[idx].get("events_per_sec") {
+            Some(Value::Float(v)) => *v,
+            _ => unreachable!("points carry events_per_sec"),
+        };
+        println!("single-thread kernel throughput: {eps:.0} events/s (floor {min:.0})");
+        assert!(
+            eps >= min,
+            "single-thread kernel regressed: {eps:.0} events/s is below the floor {min:.0}"
+        );
+    }
     let first = wall_of(0);
     let last = wall_of(points.len() - 1);
     let speedup = first / last;
@@ -714,6 +801,65 @@ fn campaign_report(samples: usize, scale: &CampaignScale) -> Value {
     let events: u64 = runs.iter().map(|r| r.events).sum();
     let reached = runs.iter().filter(|r| r.reached()).count();
 
+    // Kernel profile: one instrumented pass over the same campaign,
+    // separate from the timed runs above (which keep collection disabled,
+    // so the headline numbers never include profiling overhead).
+    #[cfg(feature = "profile")]
+    let kernel_profile = {
+        bc_engine::profile::reset();
+        bc_engine::profile::enable(true);
+        let profiled = run_campaign(&campaign, |t| bc_engine::SimConfig::interruptible(3, t));
+        bc_engine::profile::enable(false);
+        assert_eq!(profiled.len(), runs.len());
+        let p = bc_engine::profile::snapshot();
+        let kinds: Vec<Value> = p
+            .counts
+            .iter()
+            .zip(&p.histograms)
+            .map(|(&(name, n), &(_, hist))| {
+                let first = hist.iter().position(|&c| c > 0).unwrap_or(0);
+                let last = hist.iter().rposition(|&c| c > 0).unwrap_or(0);
+                object(vec![
+                    ("kind", Value::Str(name.to_string())),
+                    ("events", Value::Int(n as i128)),
+                    ("log2_cycles_first_bucket", Value::Int(first as i128)),
+                    (
+                        "log2_cycles_histogram",
+                        Value::Array(
+                            hist[first..=last]
+                                .iter()
+                                .map(|&c| Value::Int(c as i128))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        object(vec![
+            ("enabled", Value::Bool(true)),
+            (
+                "note",
+                Value::Str(
+                    "per-event cost in cycles (rdtsc), service cascade included; histogram \
+                     bucket b counts events costing [2^(first+b), 2^(first+b+1)) cycles"
+                        .to_string(),
+                ),
+            ),
+            ("kinds", Value::Array(kinds)),
+        ])
+    };
+    #[cfg(not(feature = "profile"))]
+    let kernel_profile = object(vec![
+        ("enabled", Value::Bool(false)),
+        (
+            "note",
+            Value::Str(
+                "build with `--features profile` to collect per-event-kind cycle histograms"
+                    .to_string(),
+            ),
+        ),
+    ]);
+
     let curve = threads_curve(&campaign, &scale.curve_threads, samples);
     let streaming = streaming_report(&campaign, &scale.grid, scale.shard_size);
     let paper_scale = paper_scale_report(scale);
@@ -738,7 +884,7 @@ fn campaign_report(samples: usize, scale: &CampaignScale) -> Value {
         (
             "steady_analyze_100_trees",
             object(vec![
-                ("wall_ms", Value::Float(analyze_ns / 1e6)),
+                ("wall_ms", wall_ms(analyze_ns)),
                 (
                     "per_tree_us",
                     Value::Float(analyze_ns / 1e3 / trees.len() as f64),
@@ -749,30 +895,28 @@ fn campaign_report(samples: usize, scale: &CampaignScale) -> Value {
             "steady_analyze_paper_scale_tree",
             object(vec![
                 ("nodes", Value::Int(paper_tree.len() as i128)),
-                ("wall_ms", Value::Float(paper_ns / 1e6)),
+                ("wall_ms", wall_ms(paper_ns)),
             ]),
         ),
         (
             "lp_oracle_16_nodes",
-            object(vec![("wall_ms", Value::Float(lp_ns / 1e6))]),
+            object(vec![("wall_ms", wall_ms(lp_ns))]),
         ),
         (
             "simulation_campaign",
             object(vec![
                 ("trees", Value::Int(campaign.trees as i128)),
                 ("tasks_per_tree", Value::Int(campaign.tasks as i128)),
-                ("wall_ms", Value::Float(campaign_ns / 1e6)),
+                ("wall_ms", wall_ms(campaign_ns)),
                 ("events_total", Value::Int(events as i128)),
-                (
-                    "events_per_sec",
-                    Value::Float(events as f64 / (campaign_ns / 1e9)),
-                ),
+                ("events_per_sec", events_per_sec(events as f64, campaign_ns)),
                 (
                     "fraction_reached_optimal",
                     Value::Float(reached as f64 / runs.len() as f64),
                 ),
             ]),
         ),
+        ("kernel_profile", kernel_profile),
         ("threads_curve", curve),
         ("streaming_campaign", streaming),
         ("campaign_paper_scale", paper_scale),
@@ -799,6 +943,7 @@ fn main() {
     let mut scaling_smoke_requested = false;
     let mut scaling_trees = 256usize;
     let mut assert_speedup: Option<f64> = None;
+    let mut assert_events_per_sec: Option<f64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -862,12 +1007,20 @@ fn main() {
                 assert!(f > 0.0, "--assert-threads-speedup must be positive");
                 assert_speedup = Some(f);
             }
+            "--assert-events-per-sec" => {
+                let f: f64 = value("--assert-events-per-sec")
+                    .parse()
+                    .expect("--assert-events-per-sec must be a number");
+                assert!(f > 0.0, "--assert-events-per-sec must be positive");
+                assert_events_per_sec = Some(f);
+            }
             "--out" => out = PathBuf::from(value("--out")),
             other => panic!(
                 "unknown flag {other}; flags: --samples N --campaign-trees N \
                  --campaign-tasks N --assert-optimal-fraction X --threads A,B,.. \
                  --campaign-grid SPEC --grid-trees-per-cell N --shard-size N \
-                 --scaling-smoke --scaling-trees N --assert-threads-speedup X --out DIR"
+                 --scaling-smoke --scaling-trees N --assert-threads-speedup X \
+                 --assert-events-per-sec X --out DIR"
             ),
         }
     }
@@ -878,13 +1031,15 @@ fn main() {
             &scale.curve_threads,
             samples,
             assert_speedup,
+            assert_events_per_sec,
             &out,
         );
         return;
     }
 
     std::fs::create_dir_all(&out).expect("create --out directory");
-    let (rational, geomean) = rational_report(samples);
+    let (mut rational, geomean) = rational_report(samples);
+    sort_keys(&mut rational);
     let path = out.join("BENCH_rational.json");
     std::fs::write(
         &path,
@@ -897,7 +1052,8 @@ fn main() {
         geomean
     );
 
-    let campaign = campaign_report(samples, &scale);
+    let mut campaign = campaign_report(samples, &scale);
+    sort_keys(&mut campaign);
     let path = out.join("BENCH_campaign.json");
     std::fs::write(
         &path,

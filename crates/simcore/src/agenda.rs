@@ -14,11 +14,55 @@
 //! * **Integer time.** All paper parameters are integer timesteps and
 //!   preemptions happen at event times, so `u64` time is exact — no float
 //!   drift anywhere in the simulator.
+//!
+//! ## Two-tier ladder front-end
+//!
+//! Nearly every event a protocol run schedules lands a short delay ahead:
+//! transfer completions are one edge weight out (tens of timesteps) and
+//! compute completions one node weight (hundreds). A binary/4-ary heap
+//! pays O(log n) sift work per operation for ordering generality those
+//! events never use. The agenda therefore splits by horizon:
+//!
+//! * **Near tier** — a calendar of [`NEAR_BUCKETS`] one-timestep buckets
+//!   covering `[now, now + NEAR_BUCKETS)`. An event due `< NEAR_BUCKETS`
+//!   from now is appended to the bucket of its timestamp (`time mod
+//!   NEAR_BUCKETS`): O(1) insert. Because the global sequence number is
+//!   monotone, a bucket's append order *is* its `(time, seq)` order, so
+//!   popping walks an occupancy bitmap to the first non-empty bucket and
+//!   takes its front entry: O(1) amortized, a couple of cache lines.
+//! * **Far tier** — everything at or beyond the window goes to the packed
+//!   4-ary heap ([`crate::quad_heap`]) exactly as before. Far events are
+//!   rare (scripted faults, recovery timeouts, degenerate platforms), and
+//!   an event never migrates: by the time the clock brings its due time
+//!   inside the window it simply wins the front comparison below.
+//!
+//! Each pop compares the near front against the far front **by full
+//! packed key** — the same `time:64 | seq:44 | slot:20` `u128` either
+//! tier stores — so the merged order is bit-exactly the order the
+//! single-heap agenda produced (golden traces do not move).
+//!
+//! Tombstones exist in both tiers. Near tombstones are skimmed when
+//! their bucket reaches the front and compacted wholesale when they
+//! outnumber live near entries (interruptible-communication churn
+//! cancels mostly short-horizon events); far tombstones purge on the
+//! heap-local ratio, not the global live count, so a cancel-heavy near
+//! tier can no longer force pointless heap rebuilds (and vice versa).
 
 use crate::quad_heap::{PackedEvent, QuadHeap, MAX_SEQ, MAX_SLOT};
 
 /// Simulation time in integer timesteps.
 pub type Time = u64;
+
+/// Width of the near-tier calendar window, in timesteps (one bucket per
+/// timestep). Power of two so the bucket index is a mask. 1024 covers
+/// every delay the protocol schedules under the paper's parameter ranges
+/// (edge weights ≤ ~100, node weights ≤ ~1000 in the dense campaigns);
+/// longer delays take the far heap, which is merely slower, never wrong.
+const NEAR_BUCKETS: usize = 1024;
+/// Bitmap words backing the bucket-occupancy index.
+const NEAR_WORDS: usize = NEAR_BUCKETS / 64;
+/// Near-tier compaction floor (mirrors the far tier's 64-entry floor).
+const NEAR_PURGE_FLOOR: usize = 64;
 
 /// Handle to a scheduled event; survives the event firing (becomes stale).
 ///
@@ -27,7 +71,7 @@ pub type Time = u64;
 /// Slot generations advance with `wrapping_add(1)` **everywhere** —
 /// cancel, fire, and [`Agenda::reset`] — and are compared only for
 /// equality, never ordered. Wrapping is sound because a slot is recycled
-/// only after its single outstanding heap entry leaves the heap, so a
+/// only after its single outstanding entry leaves its tier, so a
 /// stale handle can only resurrect if the *same slot* runs through all
 /// 2^32 generations while the handle is retained; no simulation holds a
 /// handle across four billion reuses of one slot (handles live for one
@@ -42,25 +86,52 @@ pub struct EventHandle {
 
 struct Slot<E> {
     generation: u32,
+    /// Which tier holds this slot's outstanding entry (meaningful only
+    /// while the payload is present). Events never migrate, so the flag
+    /// set at schedule time stays correct for the entry's whole life.
+    in_far: bool,
     payload: Option<E>,
+}
+
+/// One near-tier calendar bucket: entries appended in seq order, drained
+/// front-to-back via `head` (cleared for reuse once fully drained).
+#[derive(Default)]
+struct Bucket {
+    entries: Vec<PackedEvent>,
+    head: usize,
 }
 
 /// A discrete-event agenda over payload type `E`.
 ///
-/// The priority queue is a packed-key 4-ary heap (see
-/// [`crate::quad_heap`]): each pending event is one `u128` ordered by
-/// `(time, seq)`, with the slot index riding in the low bits. A slot has
-/// at most one outstanding heap entry at a time (slots are recycled only
-/// after their entry leaves the heap), so liveness at pop time is just
-/// "does the slot still hold a payload" — generations exist only to
-/// invalidate stale [`EventHandle`]s.
+/// Pending events live in one of two tiers (see the module docs): a
+/// bucket calendar for the near window and a packed-key 4-ary heap for
+/// the far future. Both store the same `u128` key ordered by `(time,
+/// seq)` with the slot index in the low bits. A slot has at most one
+/// outstanding entry at a time (slots are recycled only after their
+/// entry leaves its tier), so liveness at pop time is just "does the
+/// slot still hold a payload" — generations exist only to invalidate
+/// stale [`EventHandle`]s.
 pub struct Agenda<E> {
+    /// Far tier: events due `>= NEAR_BUCKETS` from their scheduling time.
     heap: QuadHeap,
+    /// Near tier: `buckets[t % NEAR_BUCKETS]` holds the events due at
+    /// `t` for `t` in `[now, now + NEAR_BUCKETS)`. Allocated on first
+    /// use, reused forever after.
+    buckets: Vec<Bucket>,
+    /// Occupancy bitmap over `buckets` (bit set ⇔ bucket non-empty,
+    /// counting tombstones until they are skimmed).
+    bits: [u64; NEAR_WORDS],
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     now: Time,
     seq: u64,
     live: usize,
+    /// Live (non-cancelled) entries in the near tier.
+    near_live: usize,
+    /// Total entries (live + tombstones) across all near buckets.
+    near_entries: usize,
+    /// Tombstones currently in the far heap.
+    far_dead: usize,
 }
 
 impl<E> Default for Agenda<E> {
@@ -74,25 +145,35 @@ impl<E> Agenda<E> {
     pub fn new() -> Self {
         Agenda {
             heap: QuadHeap::new(),
+            buckets: Vec::new(),
+            bits: [0; NEAR_WORDS],
             slots: Vec::new(),
             free: Vec::new(),
             now: 0,
             seq: 0,
             live: 0,
+            near_live: 0,
+            near_entries: 0,
+            far_dead: 0,
         }
     }
 
     /// Returns the agenda to its initial state (time 0, nothing pending)
-    /// while keeping every allocation — heap arena, slot table, free
-    /// list. The campaign engine calls this between simulations so the
-    /// steady-state event loop never reallocates across the thousands of
-    /// runs one worker executes.
+    /// while keeping every allocation — heap arena, calendar buckets,
+    /// slot table, free list. The campaign engine calls this between
+    /// simulations so the steady-state event loop never reallocates
+    /// across the thousands of runs one worker executes.
     ///
     /// Handles issued before the reset are invalidated (their slots'
     /// generations advance), so a stale handle can never cancel an event
     /// scheduled after the reset.
     pub fn reset(&mut self) {
         self.heap.clear();
+        for b in &mut self.buckets {
+            b.entries.clear();
+            b.head = 0;
+        }
+        self.bits = [0; NEAR_WORDS];
         self.free.clear();
         for s in &mut self.slots {
             s.generation = s.generation.wrapping_add(1);
@@ -104,6 +185,9 @@ impl<E> Agenda<E> {
         self.now = 0;
         self.seq = 0;
         self.live = 0;
+        self.near_live = 0;
+        self.near_entries = 0;
+        self.far_dead = 0;
     }
 
     /// Current simulation time.
@@ -122,6 +206,7 @@ impl<E> Agenda<E> {
     }
 
     /// Schedules `payload` to fire `delay` timesteps from now.
+    #[inline]
     pub fn schedule(&mut self, delay: Time, payload: E) -> EventHandle {
         let time = self
             .now
@@ -133,9 +218,12 @@ impl<E> Agenda<E> {
     /// Schedules `payload` at an absolute time (≥ now).
     pub fn schedule_at(&mut self, time: Time, payload: E) -> EventHandle {
         assert!(time >= self.now, "cannot schedule into the past");
+        let in_far = time - self.now >= NEAR_BUCKETS as Time;
         let slot = match self.free.pop() {
             Some(s) => {
-                self.slots[s as usize].payload = Some(payload);
+                let sl = &mut self.slots[s as usize];
+                sl.payload = Some(payload);
+                sl.in_far = in_far;
                 s
             }
             None => {
@@ -145,6 +233,7 @@ impl<E> Agenda<E> {
                 );
                 self.slots.push(Slot {
                     generation: 0,
+                    in_far,
                     payload: Some(payload),
                 });
                 (self.slots.len() - 1) as u32
@@ -153,7 +242,22 @@ impl<E> Agenda<E> {
         let generation = self.slots[slot as usize].generation;
         self.seq += 1;
         assert!(self.seq <= MAX_SEQ, "agenda sequence number overflow");
-        self.heap.push(PackedEvent::pack(time, self.seq, slot));
+        let key = PackedEvent::pack(time, self.seq, slot);
+        if in_far {
+            self.heap.push(key);
+        } else {
+            if self.buckets.is_empty() {
+                self.buckets.resize_with(NEAR_BUCKETS, Bucket::default);
+            }
+            let b = time as usize & (NEAR_BUCKETS - 1);
+            // Monotone seq ⇒ appends keep the bucket in (time, seq) order
+            // (all live entries of one bucket share one timestamp; see
+            // the module docs).
+            self.buckets[b].entries.push(key);
+            self.bits[b / 64] |= 1u64 << (b % 64);
+            self.near_live += 1;
+            self.near_entries += 1;
+        }
         self.live += 1;
         EventHandle { slot, generation }
     }
@@ -169,32 +273,46 @@ impl<E> Agenda<E> {
         // Wrapping: see the generation-arithmetic note on [`EventHandle`].
         slot.generation = slot.generation.wrapping_add(1);
         self.live -= 1;
-        // The heap entry remains as a tombstone; reuse of the slot is
-        // deferred until the tombstone pops, so the heap never refers to
-        // a recycled slot with a matching generation.
+        // The entry remains in its tier as a tombstone; reuse of the slot
+        // is deferred until the tombstone leaves the tier, so neither
+        // tier ever refers to a recycled slot with a matching generation.
         let payload = slot.payload.take();
-        // Compact when tombstones dominate: interruptible-communication
-        // churn can cancel far more events than ever fire, and popping
-        // each dead entry through the heap costs O(log n) apiece. The
-        // 2× threshold amortizes the O(n) rebuild; the size floor keeps
-        // tiny agendas on the simple path.
-        if self.heap.len() > 64 && self.heap.len() > 2 * self.live {
-            self.purge_tombstones();
+        if slot.in_far {
+            // Compact when far tombstones dominate the far tier. The
+            // ratio is heap-local on purpose: near-tier churn must not
+            // trigger (pointless) heap rebuilds, and a tombstone-choked
+            // heap must compact even while thousands of near events are
+            // live. The 2× threshold amortizes the O(n) rebuild; the
+            // size floor keeps tiny heaps on the simple path.
+            self.far_dead += 1;
+            if self.heap.len() > 64 && self.far_dead * 2 > self.heap.len() {
+                self.purge_far_tombstones();
+            }
+        } else {
+            // Near tombstones are skimmed for free when their bucket
+            // reaches the front; the sweep below only matters when churn
+            // cancels faster than the clock drains (it reclaims slots
+            // and keeps bucket scans short).
+            self.near_live -= 1;
+            let dead = self.near_entries - self.near_live;
+            if dead > NEAR_PURGE_FLOOR && dead > 2 * self.near_live {
+                self.sweep_near_tombstones();
+            }
         }
         payload
     }
 
-    /// Number of heap entries, live plus tombstones (capacity
-    /// introspection for tests and benchmarks).
+    /// Number of retained entries across both tiers, live plus tombstones
+    /// (capacity introspection for tests and benchmarks).
     pub fn heap_entries(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.near_entries
     }
 
-    /// Rebuilds the heap keeping only live entries, freeing the slots of
-    /// dropped tombstones. Safe because each slot has at most one
-    /// outstanding heap entry (a slot is never reused until its previous
-    /// entry leaves the heap).
-    fn purge_tombstones(&mut self) {
+    /// Rebuilds the far heap keeping only live entries, freeing the slots
+    /// of dropped tombstones. Safe because each slot has at most one
+    /// outstanding entry (a slot is never reused until its previous
+    /// entry leaves its tier).
+    fn purge_far_tombstones(&mut self) {
         let slots = &self.slots;
         let free = &mut self.free;
         self.heap.retain(|entry| {
@@ -206,6 +324,45 @@ impl<E> Agenda<E> {
                 false
             }
         });
+        self.far_dead = 0;
+    }
+
+    /// Compacts every near bucket in place, dropping tombstones (freeing
+    /// their slots) and clearing the occupancy bit of emptied buckets.
+    /// Entry order within a bucket is preserved, so the merged pop order
+    /// is untouched.
+    fn sweep_near_tombstones(&mut self) {
+        let slots = &self.slots;
+        let free = &mut self.free;
+        let mut total = 0;
+        for (b, bucket) in self.buckets.iter_mut().enumerate() {
+            if bucket.entries.is_empty() {
+                continue;
+            }
+            let head = std::mem::take(&mut bucket.head);
+            let mut kept = 0;
+            bucket.entries.retain(|&e| {
+                // Entries before the drain head already left the tier
+                // (their slots were recycled at pop/skim time); drop them
+                // without touching the free list.
+                if kept < head {
+                    kept += 1;
+                    return false;
+                }
+                if slots[e.slot() as usize].payload.is_some() {
+                    true
+                } else {
+                    free.push(e.slot());
+                    false
+                }
+            });
+            if bucket.entries.is_empty() {
+                self.bits[b / 64] &= !(1u64 << (b % 64));
+            }
+            total += bucket.entries.len();
+        }
+        self.near_entries = total;
+        debug_assert_eq!(self.near_entries, self.near_live);
     }
 
     /// True if the handle still refers to a pending event.
@@ -217,44 +374,142 @@ impl<E> Agenda<E> {
 
     /// Time of the next pending event without firing it.
     pub fn peek_time(&mut self) -> Option<Time> {
-        self.skim_tombstones();
-        self.heap.peek().map(|e| e.time())
+        let near = self.near_front();
+        let far = self.far_front();
+        match (near, far) {
+            (Some(n), Some(f)) => Some(n.min(f).time()),
+            (Some(n), None) => Some(n.time()),
+            (None, Some(f)) => Some(f.time()),
+            (None, None) => None,
+        }
     }
 
     /// Pops the next event, advancing the clock to its time.
     #[allow(clippy::should_implement_trait)] // a DES agenda is not an Iterator: popping mutates the clock
     pub fn next(&mut self) -> Option<(Time, E)> {
-        loop {
-            let entry = self.heap.pop()?;
-            let slot = entry.slot();
-            let s = &mut self.slots[slot as usize];
-            // A slot has one outstanding heap entry, so this entry is the
-            // slot's current one: payload present = live, absent =
-            // cancelled tombstone. Either way the slot recycles now.
-            if let Some(payload) = s.payload.take() {
-                // Wrapping: see the generation-arithmetic note on
-                // [`EventHandle`].
-                s.generation = s.generation.wrapping_add(1);
-                self.free.push(slot);
-                self.live -= 1;
-                let time = entry.time();
-                debug_assert!(time >= self.now, "heap produced time travel");
-                self.now = time;
-                return Some((time, payload));
+        let near = self.near_front();
+        let far = self.far_front();
+        // Full-key comparison: time first, then the global seq — the
+        // exact order the single-heap agenda produced.
+        let entry = match (near, far) {
+            (Some(n), Some(f)) => {
+                if n < f {
+                    self.pop_near(n)
+                } else {
+                    self.heap.pop().expect("far front exists");
+                    f
+                }
             }
-            self.free.push(slot);
+            (Some(n), None) => self.pop_near(n),
+            (None, Some(f)) => {
+                self.heap.pop().expect("far front exists");
+                f
+            }
+            (None, None) => return None,
+        };
+        let slot = entry.slot();
+        let s = &mut self.slots[slot as usize];
+        let payload = s.payload.take().expect("front entries are live");
+        // Wrapping: see the generation-arithmetic note on [`EventHandle`].
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        let time = entry.time();
+        debug_assert!(time >= self.now, "agenda produced time travel");
+        self.now = time;
+        Some((time, payload))
+    }
+
+    /// Removes `entry` — the near front just returned by
+    /// [`Self::near_front`] — from its bucket.
+    #[inline]
+    fn pop_near(&mut self, entry: PackedEvent) -> PackedEvent {
+        let b = entry.time() as usize & (NEAR_BUCKETS - 1);
+        let bucket = &mut self.buckets[b];
+        debug_assert_eq!(bucket.entries[bucket.head], entry);
+        bucket.head += 1;
+        self.near_entries -= 1;
+        self.near_live -= 1;
+        if bucket.head == bucket.entries.len() {
+            bucket.entries.clear();
+            bucket.head = 0;
+            self.bits[b / 64] &= !(1u64 << (b % 64));
+        }
+        entry
+    }
+
+    /// The smallest live near-tier entry, skimming tombstones off bucket
+    /// fronts (recycling their slots) along the way.
+    fn near_front(&mut self) -> Option<PackedEvent> {
+        loop {
+            if self.near_live == 0 {
+                if self.near_entries > 0 {
+                    // All-dead near tier: reclaim the tombstones' slots
+                    // now (the single-heap agenda freed them at pop
+                    // time). Amortized free — the sweep zeroes
+                    // `near_entries`, so it cannot run twice in a row.
+                    self.sweep_near_tombstones();
+                }
+                return None;
+            }
+            let b = self.first_bucket()?;
+            let bucket = &mut self.buckets[b];
+            while let Some(&e) = bucket.entries.get(bucket.head) {
+                let slot = e.slot();
+                if self.slots[slot as usize].payload.is_some() {
+                    return Some(e);
+                }
+                // Skim the tombstone: the entry leaves the tier, so its
+                // slot recycles now.
+                bucket.head += 1;
+                self.near_entries -= 1;
+                self.free.push(slot);
+            }
+            bucket.entries.clear();
+            bucket.head = 0;
+            self.bits[b / 64] &= !(1u64 << (b % 64));
         }
     }
 
-    fn skim_tombstones(&mut self) {
+    /// Index of the first occupied bucket in circular window order from
+    /// `now` (every live near entry's time is in `[now, now +
+    /// NEAR_BUCKETS)`, so circular order from `now` is time order).
+    #[inline]
+    fn first_bucket(&self) -> Option<usize> {
+        let start = self.now as usize & (NEAR_BUCKETS - 1);
+        let (sw, sb) = (start / 64, start % 64);
+        let w = self.bits[sw] & (!0u64 << sb);
+        if w != 0 {
+            return Some(sw * 64 + w.trailing_zeros() as usize);
+        }
+        for k in 1..NEAR_WORDS {
+            let wi = (sw + k) % NEAR_WORDS;
+            let w = self.bits[wi];
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        // Wrapped all the way: the bits of the start word before `start`.
+        let w = self.bits[sw] & !(!0u64 << sb);
+        if w != 0 {
+            return Some(sw * 64 + w.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// The smallest live far-tier entry, popping tombstones (recycling
+    /// their slots) off the heap top along the way.
+    fn far_front(&mut self) -> Option<PackedEvent> {
         while let Some(entry) = self.heap.peek() {
             let slot = entry.slot();
             if self.slots[slot as usize].payload.is_some() {
-                break;
+                return Some(entry);
             }
             self.heap.pop();
+            self.far_dead -= 1;
             self.free.push(slot);
         }
+        None
     }
 }
 
@@ -366,18 +621,21 @@ mod tests {
     }
 
     #[test]
-    fn purge_compacts_tombstone_heavy_heaps() {
+    fn purge_compacts_tombstone_heavy_tiers() {
+        // Half the events land in the near window, half in the far heap;
+        // cancelling almost all of them must compact BOTH tiers (neither
+        // tier's tombstones may linger until pop time).
         let mut a = Agenda::new();
-        let handles: Vec<_> = (0..1000u64).map(|i| a.schedule(10 + i, i)).collect();
-        // Cancel all but the last 10: the dead entries must not linger
-        // in the heap until pop time.
+        let handles: Vec<_> = (0..1000u64)
+            .map(|i| a.schedule(10 + i * 4, i)) // delays 10..4006 straddle the window
+            .collect();
         for &h in &handles[..990] {
             a.cancel(h);
         }
         assert_eq!(a.len(), 10);
         assert!(
             a.heap_entries() <= 2 * a.len().max(64),
-            "heap kept {} entries for {} live events",
+            "tiers kept {} entries for {} live events",
             a.heap_entries(),
             a.len()
         );
@@ -392,6 +650,31 @@ mod tests {
             fired.push(v);
         }
         assert_eq!(fired, (990..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_purge_is_heap_local() {
+        // A tombstone-choked far heap must compact even while plenty of
+        // near events stay live (the old global-ratio heuristic would
+        // never fire here).
+        let mut a = Agenda::new();
+        for i in 0..500u64 {
+            a.schedule(1 + (i % 800), i); // near tier, all live
+        }
+        let far: Vec<_> = (0..200u64).map(|i| a.schedule(5000 + i, i)).collect();
+        for &h in &far[..199] {
+            a.cancel(h);
+        }
+        assert!(
+            a.heap_entries() <= 501 + 2 * 199,
+            "far tombstones lingered: {} entries",
+            a.heap_entries()
+        );
+        let mut fired = 0;
+        while a.next().is_some() {
+            fired += 1;
+        }
+        assert_eq!(fired, 501);
     }
 
     #[test]
@@ -419,9 +702,68 @@ mod tests {
     }
 
     #[test]
+    fn near_far_merge_preserves_global_seq_order() {
+        // An event scheduled into the far heap early must still outrank a
+        // near event scheduled later at the SAME time (smaller seq wins),
+        // and vice versa — the tie-break must not depend on the tier.
+        let mut a = Agenda::new();
+        a.schedule(2000, "far-first"); // seq 1, far tier (2000 - 0 >= window)
+        a.schedule(1500, "mid"); // seq 2, far tier
+        assert_eq!(a.next(), Some((1500, "mid"))); // clock to 1500
+        a.schedule_at(2000, "near-second"); // seq 3, near tier (500 out)
+        assert_eq!(a.next(), Some((2000, "far-first")));
+        assert_eq!(a.next(), Some((2000, "near-second")));
+    }
+
+    #[test]
+    fn window_boundary_and_wraparound() {
+        // Delays straddling the window boundary, popped across several
+        // window generations, stay globally ordered.
+        let mut a = Agenda::new();
+        let mut expect = Vec::new();
+        let mut t = 0u64;
+        for i in 0..300u64 {
+            let delay = (i * 37) % 2100; // 0..2100: near, boundary, far
+            a.schedule_at(t + delay, (t + delay, i));
+            expect.push((t + delay, i));
+            if i % 5 == 0 {
+                // Fire one event to advance the clock irregularly.
+                if let Some((nt, _)) = a.next() {
+                    t = nt;
+                    expect.sort();
+                    expect.remove(0);
+                }
+            }
+        }
+        expect.sort();
+        let mut fired = Vec::new();
+        while let Some((_, v)) = a.next() {
+            fired.push(v);
+        }
+        assert_eq!(fired, expect);
+    }
+
+    #[test]
+    fn bucket_reuse_across_epochs() {
+        // The same bucket index serves time t and t + NEAR_BUCKETS once
+        // the window slides; stale tombstones left in the bucket must not
+        // confuse the new epoch's entries.
+        let mut a = Agenda::new();
+        let h = a.schedule(5, "old"); // bucket 5
+        a.schedule(6, "live");
+        a.cancel(h); // tombstone stays in bucket 5
+        assert_eq!(a.next(), Some((6, "live")));
+        // Clock at 6; schedule at 5 + NEAR_BUCKETS (same bucket index 5).
+        let t2 = 5 + NEAR_BUCKETS as u64;
+        a.schedule_at(t2, "new-epoch");
+        assert_eq!(a.next(), Some((t2, "new-epoch")));
+        assert_eq!(a.next(), None);
+    }
+
+    #[test]
     fn reset_restores_fresh_semantics_and_keeps_capacity() {
         let mut a = Agenda::new();
-        let handles: Vec<_> = (0..200u64).map(|i| a.schedule(10 + i, i)).collect();
+        let handles: Vec<_> = (0..200u64).map(|i| a.schedule(10 + i * 10, i)).collect();
         for &h in &handles[..50] {
             a.cancel(h);
         }
@@ -458,7 +800,7 @@ mod tests {
         let mut a: Agenda<u64> = Agenda::new();
         let h0 = a.schedule(1, 0);
         assert_eq!(a.cancel(h0), Some(0)); // slot 0 exists, tombstoned
-        assert_eq!(a.next(), None); // tombstone popped, slot 0 free
+        assert_eq!(a.next(), None); // tombstone skimmed, slot 0 free
         a.slots[0].generation = u32::MAX - 3;
 
         let mut stale: Vec<EventHandle> = Vec::new();
@@ -536,5 +878,68 @@ mod tests {
         let evens: Vec<u64> = fired[25..].to_vec();
         assert!(evens.iter().all(|v| v % 2 == 0));
         assert!(evens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn matches_reference_model_under_random_churn() {
+        // Differential test: the two-tier agenda against a sorted-vec
+        // reference, under schedule/cancel/pop churn spanning both tiers.
+        let mut a = Agenda::new();
+        let mut reference: Vec<(u64, u64, u64)> = Vec::new(); // (time, seq, val)
+        let mut handles: Vec<(EventHandle, u64)> = Vec::new(); // (handle, seq)
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut seq = 0u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..5000u64 {
+            match rng() % 10 {
+                0..=5 => {
+                    let delay = match rng() % 3 {
+                        0 => rng() % 30,        // dense near
+                        1 => 900 + rng() % 300, // boundary straddle
+                        _ => rng() % 5000,      // anywhere
+                    };
+                    seq += 1;
+                    let h = a.schedule(delay, step);
+                    reference.push((a.now() + delay, seq, step));
+                    handles.push((h, seq));
+                }
+                6..=7 => {
+                    if !handles.is_empty() {
+                        let k = (rng() % handles.len() as u64) as usize;
+                        let (h, s) = handles.swap_remove(k);
+                        let cancelled = a.cancel(h);
+                        let pos = reference.iter().position(|&(_, rs, _)| rs == s);
+                        match pos {
+                            Some(p) => {
+                                assert!(cancelled.is_some());
+                                reference.remove(p);
+                            }
+                            None => assert!(cancelled.is_none()),
+                        }
+                    }
+                }
+                _ => {
+                    reference.sort();
+                    let expect = if reference.is_empty() {
+                        None
+                    } else {
+                        let (t, _, v) = reference.remove(0);
+                        Some((t, v))
+                    };
+                    assert_eq!(a.next(), expect, "divergence at step {step}");
+                }
+            }
+            assert_eq!(a.len(), reference.len(), "live count at step {step}");
+        }
+        reference.sort();
+        for &(t, _, v) in &reference {
+            assert_eq!(a.next(), Some((t, v)));
+        }
+        assert_eq!(a.next(), None);
     }
 }
