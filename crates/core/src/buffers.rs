@@ -98,7 +98,60 @@ pub struct BufferLedger {
     grown_since_arrival: bool,
 }
 
+/// A verbatim dump of a [`BufferLedger`]'s internal state, for snapshot
+/// serialization. Fields are public by design; the only supported uses
+/// are [`BufferLedger::state`] → encode and decode →
+/// [`BufferLedger::from_state`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerState {
+    /// Sizing policy.
+    pub policy: BufferPolicy,
+    /// Current pool capacity.
+    pub capacity: u32,
+    /// Tasks currently held.
+    pub held: u32,
+    /// Empty buffers covered by an outstanding request or delivery.
+    pub covered: u32,
+    /// High-water pool capacity.
+    pub max_capacity: u32,
+    /// High-water held count.
+    pub peak_held: u32,
+    /// `AfterPoolFilled` gate latch.
+    pub filled_since_growth: bool,
+    /// `OncePerArrival` gate latch.
+    pub grown_since_arrival: bool,
+}
+
 impl BufferLedger {
+    /// Captures the complete internal state (see [`LedgerState`]).
+    pub fn state(&self) -> LedgerState {
+        LedgerState {
+            policy: self.policy,
+            capacity: self.capacity,
+            held: self.held,
+            covered: self.covered,
+            max_capacity: self.max_capacity,
+            peak_held: self.peak_held,
+            filled_since_growth: self.filled_since_growth,
+            grown_since_arrival: self.grown_since_arrival,
+        }
+    }
+
+    /// Rebuilds a ledger from a captured [`LedgerState`], bit-identical
+    /// to the ledger it was captured from.
+    pub fn from_state(s: LedgerState) -> Self {
+        BufferLedger {
+            policy: s.policy,
+            capacity: s.capacity,
+            held: s.held,
+            covered: s.covered,
+            max_capacity: s.max_capacity,
+            peak_held: s.peak_held,
+            filled_since_growth: s.filled_since_growth,
+            grown_since_arrival: s.grown_since_arrival,
+        }
+    }
+
     /// A ledger with the policy's initial capacity, empty and uncovered.
     pub fn new(policy: BufferPolicy) -> Self {
         let capacity = policy.initial();

@@ -22,6 +22,6 @@ pub mod buffers;
 pub mod observer;
 pub mod priority;
 
-pub use buffers::{BufferLedger, BufferPolicy, GrowthEvent, GrowthGate};
-pub use observer::{LatencyObserver, ObserverKind};
+pub use buffers::{BufferLedger, BufferPolicy, GrowthEvent, GrowthGate, LedgerState};
+pub use observer::{LatencyObserver, ObserverKind, ObserverState};
 pub use priority::{ChildInfo, ChildSelector};

@@ -43,7 +43,39 @@ pub struct LatencyObserver {
     samples: Vec<u64>,
 }
 
+/// A verbatim dump of a [`LatencyObserver`]'s internal state, for
+/// snapshot serialization (capture via [`LatencyObserver::state`],
+/// rebuild via [`LatencyObserver::from_state`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObserverState {
+    /// Estimation strategy.
+    pub kind: ObserverKind,
+    /// Per-child current estimates.
+    pub estimates: Vec<u64>,
+    /// Per-child observation counts.
+    pub samples: Vec<u64>,
+}
+
 impl LatencyObserver {
+    /// Captures the complete internal state (see [`ObserverState`]).
+    pub fn state(&self) -> ObserverState {
+        ObserverState {
+            kind: self.kind,
+            estimates: self.estimates.clone(),
+            samples: self.samples.clone(),
+        }
+    }
+
+    /// Rebuilds an observer from a captured [`ObserverState`],
+    /// bit-identical to the observer it was captured from.
+    pub fn from_state(s: ObserverState) -> Self {
+        LatencyObserver {
+            kind: s.kind,
+            estimates: s.estimates,
+            samples: s.samples,
+        }
+    }
+
     /// Creates an observer for `children` children.
     pub fn new(kind: ObserverKind, children: usize) -> Self {
         if let ObserverKind::Ema { num, den, .. } = kind {

@@ -106,6 +106,7 @@ impl<S: TraceSink> Simulation<S> {
         let now = self.ws.agenda.now();
         if now < self.check_last_now {
             self.dump_trace_tail();
+            self.dump_time_travel();
             panic!(
                 "invariant violated [monotone-time]: agenda moved backward ({} -> {})",
                 self.check_last_now, now
@@ -118,15 +119,20 @@ impl<S: TraceSink> Simulation<S> {
             self.events_since_sweep = 0;
             if let Err(v) = self.verify_invariants() {
                 self.dump_trace_tail();
+                self.dump_time_travel();
                 panic!(
                     "checked mode: {v} (at t={now}, event {})",
                     self.events_processed
                 );
             }
+            // The state just passed a full sweep — keep a periodic
+            // snapshot of it for time travel (see `snapshot.rs`).
+            self.time_travel_tick();
         }
         if self.finished {
             if let Err(v) = self.verify_terminal() {
                 self.dump_trace_tail();
+                self.dump_time_travel();
                 panic!("checked mode: {v}");
             }
         }

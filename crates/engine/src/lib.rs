@@ -19,6 +19,7 @@ pub mod invariants;
 pub mod profile;
 pub mod result;
 pub mod sim;
+pub mod snapshot;
 
 pub use accum::RunStatsAccumulator;
 pub use config::{
@@ -28,6 +29,7 @@ pub use config::{
 pub use invariants::InvariantViolation;
 pub use result::{FaultStats, RunResult};
 pub use sim::{SimWorkspace, Simulation};
+pub use snapshot::{SimSnapshot, SnapshotError, WhatIf, WorkspaceSnapshot};
 
 // Trace plumbing, re-exported so engine users name one crate: the sink
 // trait the simulator is generic over plus the stock sinks/writers.

@@ -57,9 +57,11 @@
 //! allocation at all** (verified by the `alloc_free` integration test).
 
 use crate::config::{
-    ChangeKind, FaultInjection, FaultKind, Protocol, RecoveryTuning, SelectorKind, SimConfig,
+    ChangeKind, FaultEvent, FaultInjection, FaultKind, FaultPlan, Protocol, RecoveryTuning,
+    SelectorKind, SimConfig,
 };
 use crate::result::{FaultStats, RunResult};
+use crate::snapshot::{CursorSnapshot, SimSnapshot, TimeTravel};
 use bc_core::{BufferLedger, BufferPolicy, ChildInfo, ChildSelector, GrowthEvent, LatencyObserver};
 use bc_platform::{NodeId, Tree};
 use bc_simcore::{split_seed, Agenda, EventHandle, NullSink, Time, TraceEvent, TraceSink};
@@ -137,6 +139,7 @@ enum Nack {
 }
 
 /// Non-IC: the single in-flight outbound transfer.
+#[derive(Clone)]
 pub(crate) struct Sending {
     pub(crate) child_pos: usize,
     pub(crate) started_at: Time,
@@ -144,6 +147,7 @@ pub(crate) struct Sending {
 }
 
 /// IC: a task parked in (or transmitting from) a per-child transfer slot.
+#[derive(Clone)]
 pub(crate) struct SlotTransfer {
     /// Transmission work left, in timesteps.
     pub(crate) remaining: u64,
@@ -156,6 +160,7 @@ pub(crate) struct SlotTransfer {
 }
 
 /// IC: the currently transmitting slot.
+#[derive(Clone)]
 pub(crate) struct ActiveTransfer {
     pub(crate) child_pos: usize,
     pub(crate) started_at: Time,
@@ -167,6 +172,7 @@ pub(crate) struct ActiveTransfer {
 /// loop reads or writes on (nearly) every event involving the node.
 /// Everything per-child lives in the workspace's flat `kid_*` CSR
 /// arrays; everything rarely touched lives in [`ColdNode`].
+#[derive(Clone)]
 pub(crate) struct HotNode {
     /// Buffer ledger; `None` at the root (the repository draws from the
     /// task source directly).
@@ -206,6 +212,7 @@ impl HotNode {
 /// (observer), per service pass (selector), or only on rare extension
 /// paths (decay, preemption accounting). Kept out of [`HotNode`] so the
 /// per-event working set stays small.
+#[derive(Clone)]
 pub(crate) struct ColdNode {
     pub(crate) observer: LatencyObserver,
     pub(crate) selector: ChildSelector,
@@ -271,7 +278,7 @@ fn effective_buffers(cfg: &SimConfig) -> BufferPolicy {
 /// these bytes into the hot record measurably slows fault-free campaigns
 /// by growing the per-node working set. Per-child missed-ack counters
 /// live in the workspace's `kid_missed` CSR array.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub(crate) struct FaultRt {
     /// The node exhausted its request retries and presumes its parent
     /// dead; it stops requesting (a successful delivery revives it).
@@ -448,6 +455,11 @@ pub struct Simulation<S: TraceSink = NullSink> {
     /// of `RunResult` — `events_processed` already counts replayed
     /// completions as if they had been popped individually).
     elided: u64,
+    /// Checked-mode time travel: periodic snapshots so an invariant
+    /// violation can be replayed from just before it (see
+    /// `snapshot.rs`). `None` whenever checked mode is off, so the
+    /// campaign hot path never touches it.
+    pub(crate) time_travel: Option<Box<TimeTravel>>,
 }
 
 impl Simulation {
@@ -592,6 +604,7 @@ impl<S: TraceSink> Simulation<S> {
             && cfg.fault.is_none()
             && !fault_active
             && matches!(cfg.buffers, BufferPolicy::Fixed(_));
+        let time_travel = cfg.checked.then(|| Box::new(TimeTravel::from_env()));
         Simulation {
             tree,
             cfg,
@@ -618,6 +631,7 @@ impl<S: TraceSink> Simulation<S> {
             fstats: FaultStats::default(),
             elide_base,
             elided: 0,
+            time_travel,
         }
     }
 
@@ -2134,5 +2148,184 @@ impl<S: TraceSink> Simulation<S> {
     /// Current simulation time.
     pub fn now(&self) -> Time {
         self.ws.agenda.now()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // ----- snapshot / restore (see `snapshot.rs`) ---------------------------
+
+    /// Captures the complete mid-run state. Valid at any quiescent
+    /// point: before the first [`Simulation::step`], between steps, or
+    /// after the run finished. The snapshot is independent of this
+    /// simulation — see [`SimSnapshot`] for resuming, forking, and
+    /// serialization.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            tree: self.tree.clone(),
+            cfg: self.cfg.clone(),
+            ws: self.ws.snapshot(),
+            cur: CursorSnapshot {
+                remaining: self.remaining,
+                completed: self.completed,
+                next_checkpoint: self.next_checkpoint as u64,
+                next_change: self.next_change as u64,
+                events_processed: self.events_processed,
+                preemptions: self.preemptions,
+                transfers_started: self.transfers_started,
+                requests_sent: self.requests_sent,
+                started: self.started,
+                finished: self.finished,
+                check_last_now: self.check_last_now,
+                events_since_sweep: self.events_since_sweep,
+                faulty_deliveries: self.faulty_deliveries,
+                fault_active: self.fault_active,
+                recovery: self.recovery,
+                fault_seed: self.fault_seed,
+                dead_threshold: self.dead_threshold,
+                lost_pending: self.lost_pending,
+                fstats: self.fstats.clone(),
+                elided: self.elided,
+            },
+        }
+    }
+
+    /// Rebuilds the captured run from `snap`, reusing `ws`'s
+    /// allocations and streaming the continuation into `sink`. The
+    /// continuation behaves exactly as the captured run would have:
+    /// same `RunResult`, same trace suffix, same event counts. The
+    /// elision gate is recomputed from the configuration and the sink
+    /// (it is config- and sink-derived, not runtime state), so a traced
+    /// restore of an untraced capture elides nothing — results are
+    /// bit-identical either way, per the elision-equivalence guarantee.
+    pub fn from_snapshot_traced(
+        snap: &SimSnapshot,
+        mut ws: SimWorkspace,
+        sink: S,
+    ) -> Simulation<S> {
+        ws.restore(&snap.ws);
+        let c = &snap.cur;
+        let elide_base = snap.cfg.elision
+            && !S::ENABLED
+            && !snap.cfg.checked
+            && snap.cfg.fault.is_none()
+            && !c.fault_active
+            && matches!(snap.cfg.buffers, BufferPolicy::Fixed(_));
+        let time_travel = snap.cfg.checked.then(|| Box::new(TimeTravel::from_env()));
+        Simulation {
+            tree: snap.tree.clone(),
+            cfg: snap.cfg.clone(),
+            ws,
+            sink,
+            remaining: c.remaining,
+            completed: c.completed,
+            next_checkpoint: c.next_checkpoint as usize,
+            next_change: c.next_change as usize,
+            events_processed: c.events_processed,
+            preemptions: c.preemptions,
+            transfers_started: c.transfers_started,
+            requests_sent: c.requests_sent,
+            started: c.started,
+            finished: c.finished,
+            check_last_now: c.check_last_now,
+            events_since_sweep: c.events_since_sweep,
+            faulty_deliveries: c.faulty_deliveries,
+            fault_active: c.fault_active,
+            recovery: c.recovery,
+            fault_seed: c.fault_seed,
+            dead_threshold: c.dead_threshold,
+            lost_pending: c.lost_pending,
+            fstats: c.fstats.clone(),
+            elide_base,
+            elided: c.elided,
+            time_travel,
+        }
+    }
+
+    /// Runs until the clock is about to reach `t`: processes every
+    /// event scheduled strictly before `t`, leaving events at or after
+    /// `t` pending. Returns `false` if the run finished first. With
+    /// elision enabled the boundary granularity is macro-events (a
+    /// chain ending at or past `t` is left pending).
+    pub fn run_to_time(&mut self, t: Time) -> bool {
+        self.start();
+        while !self.finished {
+            match self.ws.agenda.peek_time() {
+                Some(next) if next < t => {
+                    if !self.step() {
+                        return false;
+                    }
+                }
+                _ => return true,
+            }
+        }
+        false
+    }
+
+    /// Applies a what-if fork's recorded edits (see
+    /// [`SimSnapshot::fork`]): schedules newly injected faults and
+    /// re-examines weight-changed neighborhoods, exactly like scripted
+    /// changes applied at the fork instant. On a pre-start snapshot the
+    /// plan faults and the full service pass are deferred to `start`.
+    pub(crate) fn apply_fork_edits(&mut self, touched: &[usize], injected: &[FaultEvent]) {
+        if !injected.is_empty() {
+            let n = self.ws.hot.len();
+            for f in injected {
+                assert!(
+                    f.node.index() < n,
+                    "fault targets unknown node {} (tree has {n})",
+                    f.node
+                );
+            }
+            let now = self.ws.agenda.now();
+            let plan = self.cfg.fault_plan.get_or_insert_with(FaultPlan::default);
+            let base = plan.faults.len();
+            plan.faults.extend_from_slice(injected);
+            let (seed, recovery) = (plan.seed, plan.recovery);
+            if !self.fault_active {
+                self.fault_active = true;
+                self.recovery = recovery;
+                self.fault_seed = seed;
+                self.dead_threshold = recovery.missed_ack_threshold;
+            }
+            // Injected faults void `chain_len`'s inertness argument.
+            self.elide_base = false;
+            if self.started {
+                for (j, f) in injected.iter().enumerate() {
+                    self.ws
+                        .agenda
+                        .schedule(f.at.saturating_sub(now), Event::Fault { index: base + j });
+                }
+            }
+        }
+        if !self.started || self.finished {
+            return;
+        }
+        for &i in touched {
+            if i < self.ws.hot.len() {
+                self.enqueue(i);
+            }
+        }
+        match (self.fault_active, self.cfg.protocol) {
+            (false, Protocol::Interruptible) => self.drain::<false, true>(),
+            (false, Protocol::NonInterruptible) => self.drain::<false, false>(),
+            (true, Protocol::Interruptible) => self.drain::<true, true>(),
+            (true, Protocol::NonInterruptible) => self.drain::<true, false>(),
+        }
+    }
+}
+
+impl Simulation {
+    /// Rebuilds the captured run from `snap` with a fresh workspace and
+    /// no tracing — the plain continuation.
+    pub fn from_snapshot(snap: &SimSnapshot) -> Simulation {
+        Simulation::from_snapshot_traced(snap, SimWorkspace::new(), NullSink)
+    }
+
+    /// [`Simulation::from_snapshot`] reusing `ws`'s allocations.
+    pub fn from_snapshot_with(snap: &SimSnapshot, ws: SimWorkspace) -> Simulation {
+        Simulation::from_snapshot_traced(snap, ws, NullSink)
     }
 }

@@ -7,8 +7,11 @@
 //! elide nothing at all.
 
 use bc_core::ObserverKind;
-use bc_engine::{FaultEvent, FaultKind, FaultPlan, RunResult, SelectorKind, SimConfig, Simulation};
-use bc_platform::{RandomTreeConfig, Tree};
+use bc_engine::{
+    ChangeKind, FaultEvent, FaultKind, FaultPlan, PlannedChange, RunResult, SelectorKind,
+    SimConfig, Simulation,
+};
+use bc_platform::{NodeId, RandomTreeConfig, Tree};
 use bc_simcore::VecSink;
 use proptest::prelude::*;
 
@@ -108,6 +111,83 @@ proptest! {
             prop_assert_eq!(&on, &off, "elision changed the result ({})", name);
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tombstone-heavy profile: interruptible single-buffer runs churn
+    /// the agenda with preemption cancellations, and an early change
+    /// script (a weight shift, then a subtree leave) cancels whole
+    /// batches of scheduled events. Elision re-arms once the script is
+    /// exhausted, over an agenda still littered with tombstones — the
+    /// "next foreign event" chain bound must skip the purged entries
+    /// rather than capping chains at a stale cancelled time. Equality
+    /// with the unelided run proves it.
+    #[test]
+    fn elision_skips_tombstones(
+        seed in 0u64..1_000_000,
+        comm_after in 1u64..10,
+        leave_after in 10u64..30,
+    ) {
+        let gen = RandomTreeConfig {
+            min_nodes: 3,
+            max_nodes: 12,
+            comm_min: 1,
+            comm_max: 8,
+            compute_scale: 80,
+        };
+        let tree = gen.generate(seed);
+        let mid = NodeId(((tree.len() / 2).max(1)) as u32);
+        let profile = [
+            ("ic-fb1", SimConfig::interruptible(1, 80)),
+            ("ic-fb2", SimConfig::interruptible(2, 80)),
+            ("nonic-fb1", SimConfig::non_interruptible_fixed(1, 80)),
+        ];
+        for (name, cfg) in profile {
+            let mut cfg = cfg.with_checked(false);
+            cfg.changes = vec![
+                PlannedChange {
+                    after_tasks: comm_after,
+                    node: mid,
+                    kind: ChangeKind::CommTime(12),
+                },
+                PlannedChange {
+                    after_tasks: leave_after,
+                    node: mid,
+                    kind: ChangeKind::Leave,
+                },
+            ];
+            let (on, _) = run_collect(tree.clone(), cfg.clone().with_elision(true));
+            let (off, off_elided) = run_collect(tree.clone(), cfg.with_elision(false));
+            prop_assert_eq!(off_elided, 0, "off must elide nothing ({})", name);
+            prop_assert_eq!(&on, &off, "elision over tombstones changed the result ({})", name);
+        }
+    }
+}
+
+/// Deterministic tombstone companion: after an early leave cancels the
+/// departing child's scheduled events, the repository computes the rest
+/// alone — those tail chains must actually fire (elided > 0) over the
+/// tombstoned agenda and still match the unelided run.
+#[test]
+fn chains_fire_over_tombstoned_agenda() {
+    let mut tree = Tree::new(5);
+    let kid = tree.add_child(NodeId::ROOT, 7, 9);
+    let cfg = SimConfig::interruptible(2, 300)
+        .with_checked(false)
+        .with_change(PlannedChange {
+            after_tasks: 10,
+            node: kid,
+            kind: ChangeKind::Leave,
+        });
+    let (on, elided) = run_collect(tree.clone(), cfg.clone().with_elision(true));
+    let (off, _) = run_collect(tree, cfg.with_elision(false));
+    assert_eq!(on, off);
+    assert!(
+        elided > 0,
+        "the post-leave repository tail should chain despite agenda tombstones"
+    );
 }
 
 /// On a platform sparse enough for chains (a lone repository computing

@@ -418,3 +418,78 @@ fn join_under_crashed_parent_is_denied() {
     let r = Simulation::new(fig1_tree(), cfg).run();
     assert_eq!(r.tasks_completed(), 400);
 }
+
+/// Regression: a scripted `Leave` landing while the parent is
+/// mid-transfer toward the departing child. The incremental row caches
+/// (`pending_sum`, `slots_used`) and `kid_gone` flags must stay
+/// coherent with a full recount — `verify_invariants` (which recounts
+/// via `check_row_caches`) is consulted after *every* event, stricter
+/// than checked mode's amortized sweep — and every reclaimed task must
+/// be re-dispatched, so the run still completes exactly.
+#[test]
+fn leave_with_in_flight_transfer_keeps_row_caches_coherent() {
+    // Node 1's uplink is slow (transfers toward it are long-lived) and
+    // it has a grandchild, so the departing subtree carries pending
+    // requests, held buffers, and possibly its own active transfer.
+    let mut tree = Tree::new(3);
+    let slow = tree.add_child(NodeId::ROOT, 9, 4);
+    tree.add_child(NodeId::ROOT, 2, 6);
+    tree.add_child(slow, 2, 5);
+
+    let mut saw_in_flight = false;
+    for after_tasks in [3, 5, 8, 13] {
+        for (name, cfg) in variants(60) {
+            let mut cfg = cfg.with_checked(false);
+            cfg.changes = vec![PlannedChange {
+                after_tasks,
+                node: slow,
+                kind: ChangeKind::Leave,
+            }];
+            let mut sim =
+                Simulation::traced(tree.clone(), cfg, SimWorkspace::new(), VecSink::new());
+            sim.start();
+            sim.verify_invariants().expect("start state");
+            loop {
+                let more = sim.step();
+                sim.verify_invariants().unwrap_or_else(|v| {
+                    panic!("{name} leave@{after_tasks}: {v} (t={})", sim.now())
+                });
+                if !more {
+                    break;
+                }
+            }
+            sim.verify_terminal()
+                .unwrap_or_else(|v| panic!("{name} leave@{after_tasks}: terminal {v}"));
+            let (res, _ws, sink) = sim.run_traced();
+            assert_eq!(res.tasks_completed(), 60, "{name} leave@{after_tasks}");
+
+            // Was a transfer toward the leaver open on the parent's link
+            // at the leave instant? (Starts/resumes minus completes/
+            // preempts, up to the NodeLeave record.)
+            let mut open = 0i64;
+            for r in &sink.records {
+                match r.event {
+                    TraceEvent::NodeLeave { node, .. } if node == slow.0 => break,
+                    TraceEvent::TransferStart { child, .. }
+                    | TraceEvent::TransferResume { child, .. }
+                        if child == slow.0 =>
+                    {
+                        open += 1;
+                    }
+                    TraceEvent::TransferComplete { child, .. }
+                    | TraceEvent::TransferPreempt { child, .. }
+                        if child == slow.0 =>
+                    {
+                        open -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            saw_in_flight |= open > 0;
+        }
+    }
+    assert!(
+        saw_in_flight,
+        "no scheduled leave ever interrupted an in-flight transfer; the scenario lost its bite"
+    );
+}

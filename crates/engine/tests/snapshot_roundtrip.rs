@@ -1,0 +1,319 @@
+//! Snapshot exactness: a simulation restored from a mid-run
+//! [`SimSnapshot`] — directly or through the serialized binary form —
+//! must continue **bit-identically**: the same `RunResult` (which
+//! embeds `FaultStats`), the same trace suffix, the same event counts.
+//! Proptested over random platforms × protocol variants × fault legs ×
+//! scripted-change legs × elision on/off × random capture points.
+
+use bc_engine::{
+    ChangeKind, FaultEvent, FaultKind, FaultPlan, PlannedChange, RunResult, SelectorKind,
+    SimConfig, SimSnapshot, SimWorkspace, Simulation, SnapshotError,
+};
+use bc_platform::{NodeId, RandomTreeConfig, Tree};
+use bc_simcore::VecSink;
+use proptest::prelude::*;
+
+/// Protocol variants the round trip must hold for (a compressed version
+/// of the elision-equivalence matrix: both disciplines, fixed and
+/// growable buffers, every selector family, a measuring observer).
+fn variants(tasks: u64) -> Vec<(&'static str, SimConfig)> {
+    let mut v = vec![
+        ("ic-fb2", SimConfig::interruptible(2, tasks)),
+        ("nonic-fb2", SimConfig::non_interruptible_fixed(2, tasks)),
+        ("nonic-ib1", SimConfig::non_interruptible(1, tasks)),
+    ];
+    let mut rr = SimConfig::interruptible(3, tasks);
+    rr.selector = SelectorKind::RoundRobin;
+    v.push(("ic-fb3-rr", rr));
+    let mut ob = SimConfig::interruptible(3, tasks);
+    ob.observer = bc_core::ObserverKind::Ema {
+        initial: 4,
+        num: 1,
+        den: 2,
+    };
+    v.push(("ic-fb3-ema", ob));
+    v
+}
+
+/// A fault plan hitting several recovery paths (request loss, outage,
+/// crash) so the capture lands amid armed timeouts, pending nacks, and
+/// lost-task ledgers.
+fn fault_plan(nodes: usize) -> FaultPlan {
+    let mid = ((nodes / 2).max(1)) as u32;
+    let last = ((nodes - 1).max(1)) as u32;
+    FaultPlan {
+        seed: 23,
+        faults: vec![
+            FaultEvent {
+                at: 30,
+                node: NodeId(mid),
+                kind: FaultKind::RequestLoss { batches: 1 },
+            },
+            FaultEvent {
+                at: 70,
+                node: NodeId(last),
+                kind: FaultKind::LinkOutage { duration: 30 },
+            },
+            FaultEvent {
+                at: 140,
+                node: NodeId(mid),
+                kind: FaultKind::Crash,
+            },
+        ],
+        recovery: Default::default(),
+    }
+}
+
+/// Scripted platform changes (weight shifts, a join, a leave) so the
+/// capture can land with the change cursor mid-script and the tree
+/// mutated away from its original shape.
+fn change_script(nodes: usize) -> Vec<PlannedChange> {
+    let mid = NodeId(((nodes / 2).max(1)) as u32);
+    vec![
+        PlannedChange {
+            after_tasks: 5,
+            node: mid,
+            kind: ChangeKind::CommTime(7),
+        },
+        PlannedChange {
+            after_tasks: 12,
+            node: NodeId(0),
+            kind: ChangeKind::Join {
+                comm: 3,
+                compute: 6,
+            },
+        },
+        PlannedChange {
+            after_tasks: 25,
+            node: mid,
+            kind: ChangeKind::Leave,
+        },
+    ]
+}
+
+/// Steps to completion and returns the result (keeping the terminal
+/// oracle in the loop).
+fn finish(mut sim: Simulation) -> RunResult {
+    while sim.step() {}
+    sim.verify_terminal().expect("terminal oracle");
+    sim.run()
+}
+
+/// Reference run plus a mid-run snapshot after `k` events (capped to
+/// the run's length).
+fn run_and_capture(tree: Tree, cfg: SimConfig, k: u64) -> (RunResult, SimSnapshot) {
+    let mut sim = Simulation::new(tree, cfg);
+    let mut stepped = 0u64;
+    while stepped < k && sim.step() {
+        stepped += 1;
+    }
+    let snap = sim.snapshot();
+    (finish(sim), snap)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `restore(snapshot(t))` then run-to-completion is bit-identical
+    /// to never snapshotting, across the full variant matrix — both
+    /// restoring the in-memory snapshot and round-tripping it through
+    /// the serialized form. The serialized form itself must re-encode
+    /// byte-identically after decoding.
+    #[test]
+    fn restore_continues_bit_identically(
+        seed in 0u64..1_000_000,
+        k in 0u64..600,
+        leg in 0u8..3,
+        elide_coin in 0u8..2,
+    ) {
+        let elide = elide_coin == 1;
+        let gen = RandomTreeConfig {
+            min_nodes: 2,
+            max_nodes: 14,
+            comm_min: 1,
+            comm_max: 9,
+            compute_scale: 40,
+        };
+        let tree = gen.generate(seed);
+        for (name, cfg) in variants(60) {
+            let mut cfg = cfg.with_checked(false).with_elision(elide);
+            match leg {
+                1 => cfg = cfg.with_fault_plan(fault_plan(tree.len())),
+                2 => { cfg.changes = change_script(tree.len()); }
+                _ => {}
+            }
+            cfg = cfg.with_checkpoints(vec![10, 30]);
+            let (reference, snap) = run_and_capture(tree.clone(), cfg, k);
+
+            // In-memory restore.
+            let restored = finish(snap.resume());
+            prop_assert_eq!(&restored, &reference, "in-memory restore diverged ({})", name);
+
+            // Serialized round trip: decode(encode(s)) restores the same
+            // run, and re-encoding reproduces the bytes.
+            let bytes = snap.to_bytes();
+            let decoded = SimSnapshot::from_bytes(&bytes).expect("decode own snapshot");
+            prop_assert_eq!(decoded.to_bytes(), bytes, "re-encode not byte-identical ({})", name);
+            let redone = finish(Simulation::from_snapshot_with(&decoded, SimWorkspace::new()));
+            prop_assert_eq!(&redone, &reference, "serialized restore diverged ({})", name);
+        }
+    }
+
+    /// The trace suffix of a restored continuation is bit-identical to
+    /// the corresponding tail of an uninterrupted traced run.
+    #[test]
+    fn trace_suffix_is_bit_identical(
+        seed in 0u64..1_000_000,
+        k in 0u64..400,
+        faulted_coin in 0u8..2,
+    ) {
+        let faulted = faulted_coin == 1;
+        let gen = RandomTreeConfig {
+            min_nodes: 2,
+            max_nodes: 10,
+            comm_min: 1,
+            comm_max: 8,
+            compute_scale: 25,
+        };
+        let tree = gen.generate(seed);
+        let mut cfg = SimConfig::interruptible(2, 50).with_checked(false);
+        if faulted {
+            cfg = cfg.with_fault_plan(fault_plan(tree.len()));
+        }
+        let mut sim = Simulation::traced(tree, cfg, SimWorkspace::new(), VecSink::new());
+        let mut stepped = 0u64;
+        while stepped < k && sim.step() {
+            stepped += 1;
+        }
+        let snap = sim.snapshot();
+        let (_res, _ws, sink) = sim.run_traced();
+        let full = sink.records;
+
+        let branch = Simulation::from_snapshot_traced(&snap, SimWorkspace::new(), VecSink::new());
+        let (_res2, _ws2, sink2) = branch.run_traced();
+        let suffix = sink2.records;
+        prop_assert!(suffix.len() <= full.len());
+        prop_assert_eq!(&full[full.len() - suffix.len()..], &suffix[..],
+            "restored trace suffix diverged");
+    }
+}
+
+/// A pre-start snapshot (taken before the first step) restores to the
+/// exact full run, including fault-plan scheduling done by `start`.
+#[test]
+fn pre_start_snapshot_restores_full_run() {
+    let gen = RandomTreeConfig::default();
+    let tree = gen.generate(7);
+    let cfg = SimConfig::interruptible(3, 80)
+        .with_checked(false)
+        .with_fault_plan(fault_plan(tree.len()));
+    let sim = Simulation::new(tree.clone(), cfg.clone());
+    let snap = sim.snapshot();
+    let reference = finish(sim);
+    assert_eq!(finish(snap.resume()), reference);
+    let decoded = SimSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    assert_eq!(finish(decoded.resume()), reference);
+}
+
+/// A post-finish snapshot restores to a finished simulation whose
+/// result equals the original's.
+#[test]
+fn finished_snapshot_round_trips() {
+    let tree = RandomTreeConfig::default().generate(11);
+    let mut sim = Simulation::new(tree, SimConfig::interruptible(2, 40).with_checked(false));
+    while sim.step() {}
+    let snap = sim.snapshot();
+    let reference = sim.run();
+    let branch = snap.resume();
+    assert_eq!(finish(branch), reference);
+}
+
+/// Forking with no tweaks is exactly `resume`; forking K branches off
+/// one snapshot leaves the snapshot (and each other) untouched.
+#[test]
+fn fork_without_tweaks_is_resume() {
+    let tree = RandomTreeConfig::default().generate(3);
+    let cfg = SimConfig::interruptible(2, 60).with_checked(false);
+    let (reference, snap) = run_and_capture(tree, cfg, 100);
+    let a = finish(snap.fork(|_| {}));
+    let b = finish(snap.resume());
+    let c = finish(snap.fork(|_| {}));
+    assert_eq!(a, reference);
+    assert_eq!(b, reference);
+    assert_eq!(c, reference);
+}
+
+/// What-if branches diverge as specified and still complete all tasks:
+/// a degraded edge and an injected crash both finish (recovery
+/// reissues), while the unperturbed branch equals the reference.
+#[test]
+fn whatif_branches_diverge_and_complete() {
+    let mut tree = Tree::new(50);
+    let a = tree.add_child(NodeId::ROOT, 2, 8);
+    let _b = tree.add_child(NodeId::ROOT, 3, 9);
+    let cfg = SimConfig::interruptible(2, 120).with_checked(false);
+    let (reference, snap) = run_and_capture(tree, cfg, 150);
+
+    let baseline = finish(snap.fork(|_| {}));
+    assert_eq!(baseline, reference);
+
+    let degraded = finish(snap.fork(|w| w.set_comm_time(a, 40)));
+    assert_eq!(degraded.tasks_completed(), 120);
+    assert_ne!(
+        degraded, reference,
+        "degrading a live edge mid-run must change the outcome"
+    );
+
+    let crashed = finish(snap.fork(|w| {
+        w.add_fault(FaultEvent {
+            at: w.now() + 10,
+            node: a,
+            kind: FaultKind::Crash,
+        })
+    }));
+    assert_eq!(crashed.tasks_completed(), 120);
+    assert!(crashed.faults.crashes >= 1, "injected crash must strike");
+    assert!(crashed.end_time >= reference.end_time);
+}
+
+/// Checked-mode time travel keeps a periodic snapshot that resumes to
+/// the same result as the run it was captured from.
+#[test]
+fn time_travel_snapshot_resumes_exactly() {
+    let tree = RandomTreeConfig::default().generate(5);
+    let cfg = SimConfig::interruptible(2, 200).with_checked(true);
+    let mut sim = Simulation::new(tree, cfg);
+    sim.enable_time_travel(64);
+    while sim.step() {}
+    let (snap, at) = sim
+        .last_time_travel_snapshot()
+        .expect("periodic capture must have fired");
+    assert!(at >= 64);
+    let resumed = snap.clone();
+    let reference = sim.run();
+    assert_eq!(finish(resumed.resume()), reference);
+}
+
+/// Malformed input is rejected, never panics.
+#[test]
+fn from_bytes_rejects_garbage() {
+    assert_eq!(
+        SimSnapshot::from_bytes(b"").unwrap_err(),
+        SnapshotError::BadMagic
+    );
+    assert_eq!(
+        SimSnapshot::from_bytes(b"NOPE\x01").unwrap_err(),
+        SnapshotError::BadMagic
+    );
+    assert_eq!(
+        SimSnapshot::from_bytes(b"BCSS\x63").unwrap_err(),
+        SnapshotError::UnsupportedVersion(0x63)
+    );
+    let tree = RandomTreeConfig::default().generate(1);
+    let sim = Simulation::new(tree, SimConfig::interruptible(2, 10).with_checked(false));
+    let bytes = sim.snapshot().to_bytes();
+    // Any truncation of a valid snapshot must fail cleanly.
+    for cut in [5, bytes.len() / 2, bytes.len() - 1] {
+        assert!(SimSnapshot::from_bytes(&bytes[..cut]).is_err());
+    }
+}

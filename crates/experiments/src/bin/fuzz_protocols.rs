@@ -12,6 +12,11 @@
 //!   task leak, swallowed reissue) and verify the checker catches them
 //!   and the shrinker minimizes the FB case to ≤ 5 nodes. Exit 1 if the
 //!   checker misses.
+//! * `--fork-smoke` — exercise fork mode: runs capture periodic
+//!   snapshots, and a violation must reproduce identically when only
+//!   the suffix after the last snapshot is replayed (also part of
+//!   `--smoke`). Exit 1 if the suffix replay disagrees with the full
+//!   run.
 //! * `--repro SPEC --variant NAME [--fault fb|leak:N|swallow]` — re-run
 //!   one shrunk case printed by a previous fuzz run (the spec's third
 //!   `|` segment, when present, is its fault schedule). Exit 1 while
@@ -21,8 +26,8 @@
 
 use bc_engine::FaultInjection;
 use bc_experiments::fuzz::{
-    case_config, fuzz, parse_fault, run_case, shrink, trace_tail, variant_by_name, variants,
-    with_quiet_panics, CaseSpec, Failure, FAULT_PLAN_VARIANTS,
+    case_config, fork_smoke, fuzz, parse_fault, run_case, shrink, trace_tail, variant_by_name,
+    variants, with_quiet_panics, CaseSpec, Failure, FAULT_PLAN_VARIANTS,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -33,6 +38,7 @@ struct Args {
     seed: u64,
     smoke: bool,
     self_test: bool,
+    fork_smoke: bool,
     repro: Option<String>,
     variant: Option<String>,
     fault: Option<FaultInjection>,
@@ -40,7 +46,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: fuzz_protocols [--cases N] [--tasks N] [--seed N] [--threads N]\n\
-                     \x20                     [--smoke] [--self-test]\n\
+                     \x20                     [--smoke] [--self-test] [--fork-smoke]\n\
                      \x20                     [--repro SPEC --variant NAME [--fault fb|leak:N|swallow]]\n\
                      defaults: cases=1000, tasks=250, seed=2003";
 
@@ -51,6 +57,7 @@ fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<Stri
         seed: 2003,
         smoke: false,
         self_test: false,
+        fork_smoke: false,
         repro: None,
         variant: None,
         fault: None,
@@ -79,6 +86,7 @@ fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<Stri
             }
             "--smoke" => out.smoke = true,
             "--self-test" => out.self_test = true,
+            "--fork-smoke" => out.fork_smoke = true,
             "--repro" => out.repro = Some(value("--repro")?),
             "--variant" => out.variant = Some(value("--variant")?),
             "--fault" => out.fault = Some(parse_fault(&value("--fault")?).map_err(Some)?),
@@ -263,7 +271,24 @@ fn main() -> ExitCode {
                 ok = false;
             }
         }
-        if args.self_test && !args.smoke {
+        if args.self_test && !args.smoke && !args.fork_smoke {
+            return if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    }
+
+    if args.fork_smoke || args.smoke {
+        match fork_smoke(args.seed, args.tasks.min(200)) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("FORK SMOKE FAILED: {msg}");
+                ok = false;
+            }
+        }
+        if args.fork_smoke && !args.smoke {
             return if ok {
                 ExitCode::SUCCESS
             } else {

@@ -1,0 +1,408 @@
+//! What-if branching from a mid-run snapshot: run a scenario to a
+//! capture point, fork K divergent continuations off the frozen state,
+//! and diff their outcomes through the run results and per-node
+//! timeline folds.
+//!
+//! Every invocation carries an implicit `resume` branch (the snapshot
+//! continued untweaked); its result is asserted bit-identical to the
+//! uninterrupted reference run, so the comparison baseline is proven
+//! exact before any perturbed branch is read.
+//!
+//! Branch flags (each adds one branch; all may repeat):
+//!
+//! * `--degrade NODE:FACTOR` — multiply the node's uplink comm time.
+//! * `--comm NODE:C` / `--compute NODE:W` — set a weight outright.
+//! * `--crash NODE[:DT]` — crash the node DT timesteps after capture
+//!   (default 10); recovery reissues its in-flight work.
+//! * `--outage NODE:DUR[:DT]` — sever the node's uplink for DUR.
+//!
+//! Without branch flags, a demo pair is derived from the baseline fold:
+//! the busiest non-root worker gets its uplink degraded x8 in one
+//! branch and crashed in another.
+//!
+//! See EXPERIMENTS.md ("What-if branching") for the workflow.
+
+use bc_engine::{FaultEvent, FaultKind, RunResult, SimConfig, SimWorkspace, Simulation, WhatIf};
+use bc_experiments::fuzz::{variant_by_name, variants, CaseSpec};
+use bc_experiments::goldens::{golden_trees, golden_variants};
+use bc_metrics::fold_timelines;
+use bc_platform::{NodeId, Tree};
+use bc_simcore::{TraceRecord, VecSink};
+use std::process::ExitCode;
+
+struct Args {
+    tree: Option<String>,
+    spec: Option<String>,
+    variant: Option<String>,
+    tasks: u64,
+    at: Option<u64>,
+    branches: Vec<BranchSpec>,
+}
+
+/// One requested divergence, parsed from a branch flag.
+enum BranchSpec {
+    Degrade { node: u32, factor: u64 },
+    Comm { node: u32, c: u64 },
+    Compute { node: u32, w: u64 },
+    Crash { node: u32, dt: u64 },
+    Outage { node: u32, duration: u64, dt: u64 },
+}
+
+impl BranchSpec {
+    fn label(&self) -> String {
+        match *self {
+            BranchSpec::Degrade { node, factor } => format!("degrade-{node}-x{factor}"),
+            BranchSpec::Comm { node, c } => format!("comm-{node}={c}"),
+            BranchSpec::Compute { node, w } => format!("compute-{node}={w}"),
+            BranchSpec::Crash { node, dt } => format!("crash-{node}+{dt}"),
+            BranchSpec::Outage { node, duration, dt } => format!("outage-{node}-{duration}+{dt}"),
+        }
+    }
+
+    /// Applies the divergence to a fork in progress.
+    fn apply(&self, w: &mut WhatIf) {
+        match *self {
+            BranchSpec::Degrade { node, factor } => {
+                let id = NodeId(node);
+                let c = w.tree().comm_time(id).saturating_mul(factor).max(1);
+                w.set_comm_time(id, c);
+            }
+            BranchSpec::Comm { node, c } => w.set_comm_time(NodeId(node), c),
+            BranchSpec::Compute { node, w: wt } => w.set_compute_time(NodeId(node), wt),
+            BranchSpec::Crash { node, dt } => w.add_fault(FaultEvent {
+                at: w.now() + dt,
+                node: NodeId(node),
+                kind: FaultKind::Crash,
+            }),
+            BranchSpec::Outage { node, duration, dt } => w.add_fault(FaultEvent {
+                at: w.now() + dt,
+                node: NodeId(node),
+                kind: FaultKind::LinkOutage { duration },
+            }),
+        }
+    }
+
+    /// The non-root node the branch perturbs (for bounds checking).
+    fn node(&self) -> u32 {
+        match *self {
+            BranchSpec::Degrade { node, .. }
+            | BranchSpec::Comm { node, .. }
+            | BranchSpec::Compute { node, .. }
+            | BranchSpec::Crash { node, .. }
+            | BranchSpec::Outage { node, .. } => node,
+        }
+    }
+}
+
+const USAGE: &str = "usage: whatif --tree NAME|--spec SPEC --variant NAME [--tasks N] [--at T]\n\
+                     \x20             [--degrade NODE:FACTOR] [--comm NODE:C] [--compute NODE:W]\n\
+                     \x20             [--crash NODE[:DT]] [--outage NODE:DUR[:DT]]\n\
+                     defaults: tasks=120, at=end/3, branches=demo pair off the busiest worker";
+
+fn parse_fields(name: &str, raw: &str, want: usize, defaults: &[u64]) -> Result<Vec<u64>, String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    if parts.len() > want || parts.len() + defaults.len() < want {
+        return Err(format!(
+            "{name} takes {want} colon-separated field(s), got {raw:?}"
+        ));
+    }
+    let mut out = Vec::with_capacity(want);
+    for p in &parts {
+        out.push(
+            p.parse::<u64>()
+                .map_err(|_| format!("{name}: bad number {p:?} in {raw:?}"))?,
+        );
+    }
+    let missing = want - out.len();
+    out.extend_from_slice(&defaults[defaults.len() - missing..]);
+    Ok(out)
+}
+
+fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<String>> {
+    let mut out = Args {
+        tree: None,
+        spec: None,
+        variant: None,
+        tasks: 120,
+        at: None,
+        branches: Vec::new(),
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| Some(format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--tree" => out.tree = Some(value("--tree")?),
+            "--spec" => out.spec = Some(value("--spec")?),
+            "--variant" => out.variant = Some(value("--variant")?),
+            "--tasks" => {
+                let raw = value("--tasks")?;
+                out.tasks = raw
+                    .parse::<u64>()
+                    .map_err(|_| Some(format!("--tasks must be a number, got {raw:?}")))?
+                    .max(1);
+            }
+            "--at" => {
+                let raw = value("--at")?;
+                out.at = Some(
+                    raw.parse::<u64>()
+                        .map_err(|_| Some(format!("--at must be a time, got {raw:?}")))?,
+                );
+            }
+            "--degrade" => {
+                let f = parse_fields("--degrade", &value("--degrade")?, 2, &[]).map_err(Some)?;
+                out.branches.push(BranchSpec::Degrade {
+                    node: f[0] as u32,
+                    factor: f[1].max(1),
+                });
+            }
+            "--comm" => {
+                let f = parse_fields("--comm", &value("--comm")?, 2, &[]).map_err(Some)?;
+                out.branches.push(BranchSpec::Comm {
+                    node: f[0] as u32,
+                    c: f[1].max(1),
+                });
+            }
+            "--compute" => {
+                let f = parse_fields("--compute", &value("--compute")?, 2, &[]).map_err(Some)?;
+                out.branches.push(BranchSpec::Compute {
+                    node: f[0] as u32,
+                    w: f[1].max(1),
+                });
+            }
+            "--crash" => {
+                let f = parse_fields("--crash", &value("--crash")?, 2, &[10]).map_err(Some)?;
+                out.branches.push(BranchSpec::Crash {
+                    node: f[0] as u32,
+                    dt: f[1],
+                });
+            }
+            "--outage" => {
+                let f = parse_fields("--outage", &value("--outage")?, 3, &[10]).map_err(Some)?;
+                out.branches.push(BranchSpec::Outage {
+                    node: f[0] as u32,
+                    duration: f[1].max(1),
+                    dt: f[2],
+                });
+            }
+            "--help" | "-h" => return Err(None),
+            other => return Err(Some(format!("unknown flag {other}"))),
+        }
+    }
+    if out.tree.is_some() == out.spec.is_some() {
+        return Err(Some("exactly one of --tree or --spec is required".into()));
+    }
+    if out.variant.is_none() {
+        return Err(Some("--variant is required".into()));
+    }
+    Ok(out)
+}
+
+fn resolve_tree(args: &Args) -> Result<Tree, String> {
+    if let Some(name) = &args.tree {
+        return golden_trees()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .ok_or_else(|| {
+                let known: Vec<String> = golden_trees().into_iter().map(|(n, _)| n).collect();
+                format!("unknown tree {name}; known: {}", known.join(", "))
+            });
+    }
+    let spec = args.spec.as_deref().expect("checked in try_parse");
+    Ok(CaseSpec::decode(spec)?.to_tree())
+}
+
+fn resolve_variant(name: &str, tasks: u64) -> Result<SimConfig, String> {
+    golden_variants(tasks)
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, c)| c)
+        .or_else(|| variant_by_name(name, tasks))
+        .ok_or_else(|| {
+            let mut known: Vec<&str> = golden_variants(1).iter().map(|(n, _)| *n).collect();
+            for (n, _) in variants(1) {
+                if !known.contains(&n) {
+                    known.push(n);
+                }
+            }
+            format!("unknown variant {name}; known: {}", known.join(", "))
+        })
+}
+
+/// One completed branch, ready to diff.
+struct Branch {
+    name: String,
+    result: RunResult,
+    suffix: Vec<TraceRecord>,
+}
+
+fn run() -> Result<(), String> {
+    let args = match try_parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(None) => {
+            println!("{USAGE}");
+            return Ok(());
+        }
+        Err(Some(msg)) => return Err(format!("{msg}\n{USAGE}")),
+    };
+    let tree = resolve_tree(&args)?;
+    let name = args.variant.as_deref().expect("checked in try_parse");
+    let cfg = resolve_variant(name, args.tasks)?.with_checked(false);
+    for b in &args.branches {
+        let n = b.node() as usize;
+        if n == 0 || n >= tree.len() {
+            return Err(format!(
+                "branch {} targets node {n}, but only workers 1..{} can be perturbed",
+                b.label(),
+                tree.len()
+            ));
+        }
+    }
+
+    // Uninterrupted reference run (also sizes the default capture point
+    // and picks the demo branches' target).
+    let (reference, _, ref_sink) = Simulation::traced(
+        tree.clone(),
+        cfg.clone(),
+        SimWorkspace::new(),
+        VecSink::new(),
+    )
+    .run_traced();
+    let folds = fold_timelines(&ref_sink.records);
+
+    let branches: Vec<BranchSpec> = if args.branches.is_empty() {
+        let busiest = folds
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by_key(|(_, tl)| tl.tasks_computed)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(1);
+        vec![
+            BranchSpec::Degrade {
+                node: busiest,
+                factor: 8,
+            },
+            BranchSpec::Crash {
+                node: busiest,
+                dt: 10,
+            },
+        ]
+    } else {
+        args.branches
+    };
+
+    // Capture: run a fresh simulation to the fork instant and freeze it.
+    let at = args.at.unwrap_or(reference.end_time / 3);
+    let mut sim = Simulation::new(tree, cfg);
+    sim.run_to_time(at);
+    let snap = sim.snapshot();
+    println!(
+        "captured at t={} ({} events, {}/{} tasks complete); reference ends at t={}",
+        snap.now(),
+        snap.events_processed(),
+        snap.completed(),
+        args.tasks,
+        reference.end_time
+    );
+
+    // The resume branch: the snapshot continued untweaked. Its suffix
+    // must land exactly on the reference — the exactness proof that
+    // makes every other diff meaningful.
+    let mut runs = Vec::new();
+    let (res, _, sink) = snap
+        .fork_traced(SimWorkspace::new(), VecSink::new(), |_| {})
+        .run_traced();
+    if res != reference {
+        return Err("resume branch diverged from the uninterrupted run".into());
+    }
+    println!("resume branch is bit-identical to the reference (snapshot exact)");
+    runs.push(Branch {
+        name: "resume".into(),
+        result: res,
+        suffix: sink.records,
+    });
+
+    for b in &branches {
+        let (res, _, sink) = snap
+            .fork_traced(SimWorkspace::new(), VecSink::new(), |w| b.apply(w))
+            .run_traced();
+        runs.push(Branch {
+            name: b.label(),
+            result: res,
+            suffix: sink.records,
+        });
+    }
+
+    // Headline diff: completion, makespan, recovery work per branch.
+    println!("\nbranch                end    Δend  tasks  preempt  transfers  reissued  crashes");
+    let base_end = runs[0].result.end_time;
+    for b in &runs {
+        let r = &b.result;
+        let delta = r.end_time as i64 - base_end as i64;
+        println!(
+            "{:<20} {:>6}  {:>+5}  {:>5}  {:>7}  {:>9}  {:>8}  {:>7}",
+            b.name,
+            r.end_time,
+            delta,
+            r.tasks_completed(),
+            r.preemptions,
+            r.transfers_started,
+            r.faults.tasks_reissued,
+            r.faults.crashes,
+        );
+    }
+
+    // Timeline-fold diff: where each branch's post-fork work moved,
+    // node by node, against the resume suffix.
+    let base_fold = fold_timelines(&runs[0].suffix);
+    for b in runs.iter().skip(1) {
+        let fold = fold_timelines(&b.suffix);
+        let first_div = runs[0]
+            .suffix
+            .iter()
+            .zip(&b.suffix)
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| runs[0].suffix.len().min(b.suffix.len()));
+        println!(
+            "\n{}: suffix diverges from resume at event {} of {}",
+            b.name,
+            first_div,
+            b.suffix.len()
+        );
+        println!("  node  Δcomputed  Δbusy-comp  Δbusy-link  Δpreempt  Δreqs");
+        for i in 0..base_fold.len().max(fold.len()) {
+            let z = bc_metrics::NodeTimeline::default();
+            let a = base_fold.get(i).unwrap_or(&z);
+            let c = fold.get(i).unwrap_or(&z);
+            let d = |x: u64, y: u64| y as i64 - x as i64;
+            let row = [
+                d(a.tasks_computed, c.tasks_computed),
+                d(a.busy_compute, c.busy_compute),
+                d(a.busy_link, c.busy_link),
+                d(a.preemptions, c.preemptions),
+                d(a.requests_sent, c.requests_sent),
+            ];
+            if row.iter().any(|&v| v != 0) {
+                println!(
+                    "  {i:>4}  {:>+9}  {:>+10}  {:>+10}  {:>+8}  {:>+5}",
+                    row[0], row[1], row[2], row[3], row[4]
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

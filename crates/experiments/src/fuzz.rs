@@ -17,7 +17,7 @@
 use bc_core::{GrowthGate, ObserverKind};
 use bc_engine::{
     FaultEvent, FaultInjection, FaultKind, FaultPlan, RecoveryTuning, SelectorKind, SimConfig,
-    SimWorkspace, Simulation,
+    SimSnapshot, SimWorkspace, Simulation,
 };
 use bc_platform::{NodeId, Tree};
 use bc_simcore::trace::{RingRecorder, TraceEvent, TraceRecord, TraceSink};
@@ -604,6 +604,182 @@ pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
 }
 
 // ---------------------------------------------------------------------
+// Fork mode: periodic snapshots and suffix replay
+// ---------------------------------------------------------------------
+
+/// Default events between fork-mode snapshot captures.
+pub const FORK_SNAPSHOT_PERIOD: u64 = 256;
+
+/// Outcome of a fork-mode run: the verdict plus the last periodic
+/// [`SimSnapshot`] captured at a checker-verified point *before* the
+/// verdict, so a failure can be re-examined by replaying only the
+/// suffix instead of the whole run.
+pub struct ForkRun {
+    /// First violation (or panic text), as in [`run_case`].
+    pub verdict: Result<(), String>,
+    /// The last snapshot captured before the verdict. `None` only when
+    /// the run ended (or failed) before the first capture was due.
+    pub snapshot: Option<Box<SimSnapshot>>,
+    /// Events processed when [`ForkRun::snapshot`] was captured.
+    pub snapshot_events: u64,
+    /// Events processed by the whole run (up to the failure, if any).
+    pub total_events: u64,
+}
+
+/// Runs one case exactly like [`run_case`], additionally capturing a
+/// snapshot every `period` events — each taken right after the checker
+/// passed, so every capture is a verified-good state. The returned
+/// snapshot is the fork point for [`replay_suffix`].
+pub fn run_case_snapshotting(tree: &Tree, cfg: &SimConfig, period: u64) -> ForkRun {
+    let mut cfg = cfg.clone().with_checked(false);
+    cfg.max_events = FUZZ_MAX_EVENTS;
+    let tree = tree.clone();
+    let period = period.max(1);
+    // The snapshot and counters live behind shared ownership so they
+    // survive an engine panic (catch_unwind consumes the simulation).
+    type Kept = (Option<Box<SimSnapshot>>, u64, u64);
+    let kept: Arc<Mutex<Kept>> = Arc::new(Mutex::new((None, 0, 0)));
+    let keeper = Arc::clone(&kept);
+    let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<(), String> {
+        let mut sim = Simulation::with_workspace(tree, cfg, SimWorkspace::new());
+        sim.start();
+        sim.verify_invariants().map_err(|v| v.to_string())?;
+        let mut next_capture = period;
+        loop {
+            if sim.events_processed() >= next_capture {
+                let mut k = keeper.lock().expect("fork slot poisoned");
+                k.0 = Some(Box::new(sim.snapshot()));
+                k.1 = sim.events_processed();
+                next_capture = sim.events_processed() + period;
+            }
+            let more = sim.step();
+            keeper.lock().expect("fork slot poisoned").2 = sim.events_processed();
+            sim.verify_invariants()
+                .map_err(|v| format!("{v} (at t={}, {} completed)", sim.now(), sim.completed()))?;
+            if !more {
+                break;
+            }
+        }
+        sim.verify_terminal().map_err(|v| v.to_string())
+    }));
+    let verdict = match outcome {
+        Ok(run) => run,
+        Err(payload) => Err(format!("engine panic: {}", panic_text(&payload))),
+    };
+    let (snapshot, snapshot_events, total_events) =
+        std::mem::take(&mut *kept.lock().expect("fork slot poisoned"));
+    ForkRun {
+        verdict,
+        snapshot,
+        snapshot_events,
+        total_events,
+    }
+}
+
+/// Replays a fork-mode suffix: restores the snapshot and re-checks
+/// every remaining event, exactly like [`run_case`] from that point on.
+/// Returns the verdict plus the events the replay processed — for a
+/// deterministic engine a [`run_case_snapshotting`] failure must
+/// reproduce here with an identical message in
+/// `total_events - snapshot_events` events.
+pub fn replay_suffix(snap: &SimSnapshot) -> (Result<(), String>, u64) {
+    let replayed = Arc::new(Mutex::new(0u64));
+    let counter = Arc::clone(&replayed);
+    let snap = snap.clone();
+    let base = snap.events_processed();
+    let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<(), String> {
+        let mut sim = Simulation::from_snapshot(&snap);
+        sim.verify_invariants().map_err(|v| v.to_string())?;
+        loop {
+            let more = sim.step();
+            *counter.lock().expect("replay counter poisoned") = sim.events_processed() - base;
+            sim.verify_invariants()
+                .map_err(|v| format!("{v} (at t={}, {} completed)", sim.now(), sim.completed()))?;
+            if !more {
+                break;
+            }
+        }
+        sim.verify_terminal().map_err(|v| v.to_string())
+    }));
+    let verdict = match outcome {
+        Ok(run) => run,
+        Err(payload) => Err(format!("engine panic: {}", panic_text(&payload))),
+    };
+    let n = *replayed.lock().expect("replay counter poisoned");
+    (verdict, n)
+}
+
+/// Fork-mode self-test: a known-bad run's violation must reproduce from
+/// the last periodic snapshot's suffix (with an identical message, in
+/// fewer events than the whole run), and a faithful run's snapshot must
+/// replay cleanly to the end. Returns a summary, or what broke.
+pub fn fork_smoke(seed: u64, tasks: u64) -> Result<String, String> {
+    let spec = generate_case(seed, 0);
+    let tree = spec.to_tree();
+    let period = 16;
+
+    // Leg 1: a faithful run — the suffix replays to the same clean end.
+    // Elision off, so the event stream (and thus the suffix) is dense.
+    let good_cfg = variant_by_name("ic-fb2", tasks)
+        .expect("known variant")
+        .with_elision(false);
+    let good = run_case_snapshotting(&tree, &good_cfg, period);
+    good.verdict
+        .as_ref()
+        .map_err(|e| format!("faithful fork-mode run flagged: {e}"))?;
+    let snap = good
+        .snapshot
+        .as_ref()
+        .ok_or("faithful run ended before the first capture")?;
+    let (verdict, replayed) = replay_suffix(snap);
+    verdict.map_err(|e| format!("faithful suffix replay flagged: {e}"))?;
+    if replayed != good.total_events - good.snapshot_events {
+        return Err(format!(
+            "faithful suffix replayed {replayed} events, expected {}",
+            good.total_events - good.snapshot_events
+        ));
+    }
+
+    // Leg 2: an injected slow task leak — it breaks conservation well
+    // after the first captures, and the violation must reproduce from
+    // the suffix alone, word for word.
+    let bad_cfg = good_cfg.with_fault(FaultInjection::LeakTask { every: 25 });
+    let bad = with_quiet_panics(|| run_case_snapshotting(&tree, &bad_cfg, period));
+    let message = match &bad.verdict {
+        Err(m) => m.clone(),
+        Ok(()) => return Err("injected task leak went undetected in fork mode".into()),
+    };
+    let Some(snap) = bad.snapshot.as_ref() else {
+        return Err("failing run produced no snapshot before the violation".into());
+    };
+    let (verdict, replayed) = with_quiet_panics(|| replay_suffix(snap));
+    match verdict {
+        Ok(()) => return Err("violation vanished when replayed from the suffix".into()),
+        Err(m) if m != message => {
+            return Err(format!(
+                "suffix replay found a different violation:\n  full run: {message}\n  suffix:   {m}"
+            ));
+        }
+        Err(_) => {}
+    }
+    if replayed > bad.total_events - bad.snapshot_events {
+        return Err(format!(
+            "suffix replay took {replayed} events, more than the {} it skipped to",
+            bad.total_events - bad.snapshot_events
+        ));
+    }
+    Ok(format!(
+        "fork smoke: clean suffix of {replayed_good} event(s) replayed exactly; \
+         leak violation reproduced from a snapshot at event {at} of {total} \
+         ({replayed} suffix event(s) instead of a full rerun)",
+        replayed_good = good.total_events - good.snapshot_events,
+        at = bad.snapshot_events,
+        total = bad.total_events,
+        replayed = replayed,
+    ))
+}
+
+// ---------------------------------------------------------------------
 // Shrinking
 // ---------------------------------------------------------------------
 
@@ -955,6 +1131,32 @@ mod tests {
             "got: {}",
             failures[0].message
         );
+    }
+
+    #[test]
+    fn fork_smoke_validates_suffix_replay() {
+        let msg = fork_smoke(2003, 120).expect("fork smoke must pass on a faithful engine");
+        assert!(msg.contains("reproduced"), "{msg}");
+    }
+
+    #[test]
+    fn suffix_replay_matches_the_full_verdict() {
+        // A failing run's violation reproduces word-for-word from the
+        // last snapshot; the suffix is shorter than the whole run. The
+        // slow leak fails long after the first captures (FB off-by-one
+        // would trip before any snapshot exists).
+        let spec = generate_case(7, 3);
+        let cfg = variant_by_name("ic-fb3", 150)
+            .unwrap()
+            .with_elision(false)
+            .with_fault(FaultInjection::LeakTask { every: 30 });
+        let fork = with_quiet_panics(|| run_case_snapshotting(&spec.to_tree(), &cfg, 32));
+        let message = fork.verdict.expect_err("task leak must be caught");
+        let snap = fork.snapshot.expect("snapshot before the violation");
+        assert!(fork.snapshot_events < fork.total_events);
+        let (verdict, replayed) = with_quiet_panics(|| replay_suffix(&snap));
+        assert_eq!(verdict.expect_err("must reproduce"), message);
+        assert!(replayed <= fork.total_events - fork.snapshot_events);
     }
 
     #[test]

@@ -68,6 +68,23 @@ impl PackedEvent {
     pub fn slot(self) -> u32 {
         (self.0 as u32) & MAX_SLOT
     }
+
+    /// The raw packed key, for verbatim serialization (snapshots). The
+    /// bit layout is part of the snapshot format: `time:64 | seq:44 |
+    /// slot:20`, most significant first.
+    #[inline]
+    pub fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Rebuilds an entry from a raw packed key previously obtained via
+    /// [`PackedEvent::raw`]. No validation: the key is trusted to have
+    /// been produced by `pack` (snapshot decode paths validate the
+    /// container, not each key).
+    #[inline]
+    pub fn from_raw(raw: u128) -> Self {
+        PackedEvent(raw)
+    }
 }
 
 /// A 4-ary min-heap of [`PackedEvent`]s backed by a flat `Vec`.
@@ -103,6 +120,23 @@ impl QuadHeap {
     #[inline]
     pub fn peek(&self) -> Option<PackedEvent> {
         self.data.first().copied()
+    }
+
+    /// The backing array in heap layout (not sorted order). Captured
+    /// verbatim by agenda snapshots so a restore reproduces the exact
+    /// array — and therefore the exact future pop/sift behavior — of the
+    /// moment the snapshot was taken.
+    pub fn entries(&self) -> &[PackedEvent] {
+        &self.data
+    }
+
+    /// Replaces the backing array verbatim, retaining the allocation.
+    /// `entries` must be a heap-ordered array previously obtained from
+    /// [`QuadHeap::entries`]; no heapify is performed, so a restore is
+    /// exact rather than merely equivalent.
+    pub fn restore_from(&mut self, entries: &[PackedEvent]) {
+        self.data.clear();
+        self.data.extend_from_slice(entries);
     }
 
     /// Inserts an entry.
