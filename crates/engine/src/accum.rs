@@ -205,6 +205,7 @@ mod tests {
             transfers_started: 2,
             requests_sent: 3,
             faults: FaultStats::default(),
+            arrivals: crate::result::ArrivalStats::default(),
         }
     }
 

@@ -1,6 +1,7 @@
 //! Simulation configuration: protocol variant, buffer policy, scheduling
 //! policy, observation mode, workload size, and planned platform changes.
 
+use crate::arrivals::ArrivalPlan;
 use bc_core::{BufferPolicy, GrowthGate, ObserverKind};
 use bc_platform::NodeId;
 
@@ -91,6 +92,17 @@ pub enum FaultInjection {
     /// conservation at the next checker sweep, which is how the ledger
     /// extension proves it watches the recovery path.
     SwallowReissue,
+    /// The repository drops every `every`-th *deferred* arrival on
+    /// admission instead of queueing it (without counting it rejected) —
+    /// a lost-submission bug in the open-world admission path. Only
+    /// meaningful together with an [`ArrivalPlan`]; violates the
+    /// open-world conservation term `submitted == done + in_flight +
+    /// queued + rejected` at the next checker sweep, proving the
+    /// arrival leg of the checker actually fires.
+    LeakQueuedTask {
+        /// Leak period, in deferred arrivals (≥ 1).
+        every: u64,
+    },
 }
 
 /// One scheduled environment fault (absolute simulation time). Unlike
@@ -253,6 +265,13 @@ pub struct SimConfig {
     /// network, and the recovery plumbing stays entirely off the hot
     /// path.
     pub fault_plan: Option<FaultPlan>,
+    /// Open-world streaming workload (see [`crate::arrivals`]). `None` =
+    /// the paper's closed batch of `total_tasks` tasks, and the arrival
+    /// plumbing stays entirely off the hot path (its own `const`
+    /// monomorphization leg, like the fault split). When set,
+    /// `total_tasks` must equal the plan's total unit count —
+    /// [`SimConfig::with_arrivals`] maintains this.
+    pub arrivals: Option<ArrivalPlan>,
 }
 
 impl SimConfig {
@@ -311,6 +330,7 @@ impl SimConfig {
             elision: true,
             fault: None,
             fault_plan: None,
+            arrivals: None,
         }
     }
 
@@ -341,6 +361,17 @@ impl SimConfig {
         self
     }
 
+    /// Switches the run to the open-world streaming workload described
+    /// by `plan` (see [`crate::arrivals`]). `total_tasks` is set to the
+    /// plan's total unit count so the closed-world accounting (results,
+    /// oracles) stays meaningful; with a `Drop` admission policy the run
+    /// finishes when every *admitted* unit completes.
+    pub fn with_arrivals(mut self, plan: ArrivalPlan) -> Self {
+        self.total_tasks = plan.total_units();
+        self.arrivals = Some(plan);
+        self
+    }
+
     /// Adds a scripted change (keeps `changes` sorted by trigger count).
     pub fn with_change(mut self, change: PlannedChange) -> Self {
         self.changes.push(change);
@@ -362,6 +393,9 @@ impl SimConfig {
         }
         if let Some(FaultInjection::LeakTask { every: 0 }) = self.fault {
             return Err("LeakTask fault needs every >= 1".into());
+        }
+        if let Some(FaultInjection::LeakQueuedTask { every: 0 }) = self.fault {
+            return Err("LeakQueuedTask fault needs every >= 1".into());
         }
         if self.buffers.initial() == 0 {
             return Err("buffer pools must start with >= 1 buffer".into());
@@ -403,6 +437,16 @@ impl SimConfig {
                     }
                     _ => {}
                 }
+            }
+        }
+        if let Some(plan) = &self.arrivals {
+            plan.validate()?;
+            if self.total_tasks != plan.total_units() {
+                return Err(format!(
+                    "total_tasks ({}) must equal the arrival plan's unit count ({})",
+                    self.total_tasks,
+                    plan.total_units()
+                ));
             }
         }
         Ok(())
@@ -529,6 +573,28 @@ mod tests {
             .with_fault_plan(degenerate)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn arrival_plan_wiring() {
+        use crate::arrivals::ArrivalPlan;
+        let plan = ArrivalPlan::poisson(5, 4, 30, 6);
+        let cfg = SimConfig::interruptible(3, 1).with_arrivals(plan.clone());
+        assert_eq!(cfg.total_tasks, plan.total_units());
+        cfg.validate().unwrap();
+        // Desynchronized total_tasks is rejected.
+        let mut bad = SimConfig::interruptible(3, 1).with_arrivals(plan);
+        bad.total_tasks = 7;
+        assert!(bad.validate().is_err());
+        // The new self-test fault validates like the others.
+        assert!(SimConfig::interruptible(3, 10)
+            .with_fault(FaultInjection::LeakQueuedTask { every: 0 })
+            .validate()
+            .is_err());
+        SimConfig::interruptible(3, 10)
+            .with_fault(FaultInjection::LeakQueuedTask { every: 2 })
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! ```
 
 pub mod accum;
+pub mod arrivals;
 pub mod config;
 pub mod invariants;
 pub mod profile;
@@ -22,12 +23,13 @@ pub mod sim;
 pub mod snapshot;
 
 pub use accum::RunStatsAccumulator;
+pub use arrivals::{AdmissionPolicy, Arrival, ArrivalPlan, ArrivalProcess, TaskClass};
 pub use config::{
     ChangeKind, FaultEvent, FaultInjection, FaultKind, FaultPlan, PlannedChange, Protocol,
     RecoveryTuning, SelectorKind, SimConfig,
 };
 pub use invariants::InvariantViolation;
-pub use result::{FaultStats, RunResult};
+pub use result::{ArrivalStats, FaultStats, RunResult};
 pub use sim::{SimWorkspace, Simulation};
 pub use snapshot::{SimSnapshot, SnapshotError, WhatIf, WorkspaceSnapshot};
 

@@ -21,7 +21,7 @@ mod imp {
 
     /// Event kinds tracked by the profiler, in histogram order. The
     /// indices match [`super::EventKind`]'s discriminants.
-    pub const KIND_NAMES: [&str; 8] = [
+    pub const KIND_NAMES: [&str; 9] = [
         "compute_done",
         "send_done",
         "transfer_done",
@@ -30,6 +30,7 @@ mod imp {
         "outage_end",
         "request_timeout",
         "reissue",
+        "arrival",
     ];
     pub const KINDS: usize = KIND_NAMES.len();
     /// log2 cycle buckets: bucket `b` holds events costing `[2^b, 2^(b+1))`

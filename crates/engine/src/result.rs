@@ -34,6 +34,40 @@ pub struct FaultStats {
     pub last_crash_time: Option<Time>,
 }
 
+/// Open-world arrival/admission accounting of one run, plus the raw
+/// per-unit timestamps the latency metrics derive sojourn/service/wait
+/// distributions from. All empty/zero when no [`crate::ArrivalPlan`]
+/// was configured, so batch results are unaffected.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArrivalStats {
+    /// Unit tasks submitted by the arrival process (admitted or not).
+    pub submitted: u64,
+    /// Unit tasks admitted into the repository queue.
+    pub admitted: u64,
+    /// Unit tasks rejected by the `Drop` admission policy.
+    pub rejected: u64,
+    /// Arrivals that had to wait in the deferred queue (backpressure
+    /// engagements, `Defer` policy).
+    pub deferrals: u64,
+    /// Peak deferred-queue depth, in unit tasks.
+    pub peak_deferred: u64,
+    /// `admit_times[k]` = timestep the `(k+1)`-th admitted unit entered
+    /// the repository queue (admission order).
+    pub admit_times: Vec<Time>,
+    /// `dispatch_times[k]` = timestep the `(k+1)`-th unit left the
+    /// repository queue (taken by the root's processor or sent to a
+    /// child), in dispatch order. Under faults, reissued units dispatch
+    /// again, so this can be longer than `admit_times`.
+    pub dispatch_times: Vec<Time>,
+    /// Per-class completed unit counts (class order of the plan). Exact
+    /// only in fault-free runs — completions are matched to classes in
+    /// admission order (units are interchangeable; see DESIGN.md
+    /// "Open-world service mode").
+    pub completed_per_class: Vec<u64>,
+    /// Per-class admitted unit counts (class order of the plan).
+    pub admitted_per_class: Vec<u64>,
+}
+
 /// Everything the experiment harness needs from one run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunResult {
@@ -71,6 +105,8 @@ pub struct RunResult {
     pub requests_sent: u64,
     /// Fault/recovery accounting (all zero without a fault plan).
     pub faults: FaultStats,
+    /// Open-world arrival accounting (all empty without an arrival plan).
+    pub arrivals: ArrivalStats,
 }
 
 impl RunResult {
@@ -145,6 +181,7 @@ mod tests {
             transfers_started: 2,
             requests_sent: 3,
             faults: FaultStats::default(),
+            arrivals: ArrivalStats::default(),
         }
     }
 

@@ -56,12 +56,13 @@
 //! warm the capacities, subsequent runs perform **no steady-state heap
 //! allocation at all** (verified by the `alloc_free` integration test).
 
+use crate::arrivals::{AdmissionPolicy, Arrival};
 use crate::config::{
     ChangeKind, FaultEvent, FaultInjection, FaultKind, FaultPlan, Protocol, RecoveryTuning,
     SelectorKind, SimConfig,
 };
-use crate::result::{FaultStats, RunResult};
-use crate::snapshot::{CursorSnapshot, SimSnapshot, TimeTravel};
+use crate::result::{ArrivalStats, FaultStats, RunResult};
+use crate::snapshot::{ArrivalCursor, CursorSnapshot, SimSnapshot, TimeTravel};
 use bc_core::{BufferLedger, BufferPolicy, ChildInfo, ChildSelector, GrowthEvent, LatencyObserver};
 use bc_platform::{NodeId, Tree};
 use bc_simcore::{split_seed, Agenda, EventHandle, NullSink, Time, TraceEvent, TraceSink};
@@ -107,6 +108,10 @@ pub(crate) enum Event {
     Reissue {
         count: u64,
     },
+    /// Open-world mode: the arrival cursor reached its next instant.
+    /// The handler injects every arrival due now and re-chains itself,
+    /// so the agenda never holds more than one pending arrival.
+    Arrival,
 }
 
 impl Event {
@@ -122,6 +127,7 @@ impl Event {
             Event::OutageEnd { .. } => 5,
             Event::RequestTimeout { .. } => 6,
             Event::Reissue { .. } => 7,
+            Event::Arrival => 8,
         }
     }
 }
@@ -303,6 +309,67 @@ pub(crate) struct FaultRt {
     pub(crate) dup_deliveries: u32,
 }
 
+/// Open-world arrival runtime: the pregenerated schedule, the injection
+/// cursor, the deferred (backpressured) queue, and the admission /
+/// latency accounting. Boxed on the [`Simulation`] and `None` in batch
+/// mode, so the closed-world hot path carries one dead pointer and the
+/// `AR = false` monomorphization compiles every touch point out.
+pub(crate) struct ArrivalRt {
+    /// The plan's pregenerated sorted schedule (regenerated, not
+    /// serialized, on snapshot restore — it is a pure function of the
+    /// configuration).
+    pub(crate) schedule: Vec<Arrival>,
+    /// Next schedule entry to inject.
+    pub(crate) cursor: usize,
+    /// Admission bound and policy, copied out of the plan.
+    pub(crate) queue_cap: u64,
+    pub(crate) policy: AdmissionPolicy,
+    /// Deferred arrivals (schedule indices), FIFO.
+    pub(crate) deferred: VecDeque<u32>,
+    /// Unit tasks currently sitting in `deferred`.
+    pub(crate) deferred_units: u64,
+    /// Accounting (see [`ArrivalStats`] for semantics).
+    pub(crate) submitted: u64,
+    pub(crate) admitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) deferrals: u64,
+    pub(crate) peak_deferred: u64,
+    /// Per-admitted-unit admission timestamps, admission order.
+    pub(crate) admit_times: Vec<Time>,
+    /// Per-unit root-dispatch timestamps, dispatch order.
+    pub(crate) dispatch_times: Vec<Time>,
+    /// Class of each admitted unit, admission order (drives the
+    /// per-class completion attribution).
+    pub(crate) admit_class: Vec<u32>,
+    pub(crate) admitted_per_class: Vec<u64>,
+    /// `LeakQueuedTask` checker-validation fault: deferrals counted
+    /// toward the leak period.
+    pub(crate) leak_tick: u64,
+}
+
+impl ArrivalRt {
+    fn new(plan: &crate::arrivals::ArrivalPlan) -> Box<ArrivalRt> {
+        Box::new(ArrivalRt {
+            schedule: plan.schedule(),
+            cursor: 0,
+            queue_cap: plan.queue_cap,
+            policy: plan.policy,
+            deferred: VecDeque::new(),
+            deferred_units: 0,
+            submitted: 0,
+            admitted: 0,
+            rejected: 0,
+            deferrals: 0,
+            peak_deferred: 0,
+            admit_times: Vec::new(),
+            dispatch_times: Vec::new(),
+            admit_class: Vec::new(),
+            admitted_per_class: vec![0; plan.classes.len()],
+            leak_tick: 0,
+        })
+    }
+}
+
 /// Reusable simulation runtime state: every container a run needs, kept
 /// between runs with capacity intact.
 ///
@@ -413,9 +480,16 @@ pub struct Simulation<S: TraceSink = NullSink> {
     pub(crate) cfg: SimConfig,
     pub(crate) ws: SimWorkspace,
     pub(crate) sink: S,
-    /// Tasks the root has not yet dispensed (to itself or a child).
+    /// Tasks the root has not yet dispensed (to itself or a child). In
+    /// open-world mode this is the *admitted* queue — the quantity the
+    /// admission bound caps — and starts at 0.
     pub(crate) remaining: u64,
     pub(crate) completed: u64,
+    /// Completion count that ends the run: `total_tasks`, minus (in
+    /// open-world `Drop` mode) every rejected unit. Counting unarrived
+    /// units keeps the check `completed >= finish_target` exact — it can
+    /// only fire once everything submittable has been served.
+    pub(crate) finish_target: u64,
     next_checkpoint: usize,
     next_change: usize,
     pub(crate) events_processed: u64,
@@ -460,6 +534,9 @@ pub struct Simulation<S: TraceSink = NullSink> {
     /// `snapshot.rs`). `None` whenever checked mode is off, so the
     /// campaign hot path never touches it.
     pub(crate) time_travel: Option<Box<TimeTravel>>,
+    /// Open-world arrival runtime; `None` in batch mode (always mirrors
+    /// `cfg.arrivals.is_some()`, like `fault_active` mirrors the plan).
+    pub(crate) arrivals: Option<Box<ArrivalRt>>,
 }
 
 impl Simulation {
@@ -581,7 +658,13 @@ impl<S: TraceSink> Simulation<S> {
             }
         }
 
-        let remaining = cfg.total_tasks;
+        let arrivals = cfg.arrivals.as_ref().map(ArrivalRt::new);
+        let remaining = if arrivals.is_some() {
+            0
+        } else {
+            cfg.total_tasks
+        };
+        let finish_target = cfg.total_tasks;
         let fault_active = cfg.fault_plan.is_some();
         let recovery = cfg
             .fault_plan
@@ -595,14 +678,17 @@ impl<S: TraceSink> Simulation<S> {
         };
         // Elision is sound only where every inertness argument in
         // `chain_len` holds unconditionally: no trace stream to keep
-        // faithful, no checker sweeps between events, no faults, and a
-        // fixed buffer policy (growth/decay react to the very services
-        // being elided).
+        // faithful, no checker sweeps between events, no faults, no
+        // streaming arrivals (an arrival or deferred-queue drain can
+        // land inside a chain and `chain_len`'s remaining-task bound
+        // assumes a fixed pool), and a fixed buffer policy (growth/decay
+        // react to the very services being elided).
         let elide_base = cfg.elision
             && !S::ENABLED
             && !cfg.checked
             && cfg.fault.is_none()
             && !fault_active
+            && arrivals.is_none()
             && matches!(cfg.buffers, BufferPolicy::Fixed(_));
         let time_travel = cfg.checked.then(|| Box::new(TimeTravel::from_env()));
         Simulation {
@@ -612,6 +698,7 @@ impl<S: TraceSink> Simulation<S> {
             sink,
             remaining,
             completed: 0,
+            finish_target,
             next_checkpoint: 0,
             next_change: 0,
             events_processed: 0,
@@ -632,6 +719,7 @@ impl<S: TraceSink> Simulation<S> {
             elide_base,
             elided: 0,
             time_travel,
+            arrivals,
         }
     }
 
@@ -658,14 +746,27 @@ impl<S: TraceSink> Simulation<S> {
                 self.ws.agenda.schedule(f.at, Event::Fault { index });
             }
         }
+        if let Some(ar) = &self.arrivals {
+            if let Some(first) = ar.schedule.first() {
+                self.ws.agenda.schedule(first.at, Event::Arrival);
+            }
+        }
         for i in 0..self.ws.hot.len() {
             self.enqueue(i);
         }
-        match (self.fault_active, self.cfg.protocol) {
-            (false, Protocol::Interruptible) => self.drain::<false, true>(),
-            (false, Protocol::NonInterruptible) => self.drain::<false, false>(),
-            (true, Protocol::Interruptible) => self.drain::<true, true>(),
-            (true, Protocol::NonInterruptible) => self.drain::<true, false>(),
+        match (
+            self.fault_active,
+            self.cfg.protocol,
+            self.arrivals.is_some(),
+        ) {
+            (false, Protocol::Interruptible, false) => self.drain::<false, true, false>(),
+            (false, Protocol::NonInterruptible, false) => self.drain::<false, false, false>(),
+            (true, Protocol::Interruptible, false) => self.drain::<true, true, false>(),
+            (true, Protocol::NonInterruptible, false) => self.drain::<true, false, false>(),
+            (false, Protocol::Interruptible, true) => self.drain::<false, true, true>(),
+            (false, Protocol::NonInterruptible, true) => self.drain::<false, false, true>(),
+            (true, Protocol::Interruptible, true) => self.drain::<true, true, true>(),
+            (true, Protocol::NonInterruptible, true) => self.drain::<true, false, true>(),
         }
     }
 
@@ -674,21 +775,32 @@ impl<S: TraceSink> Simulation<S> {
     /// deadlock (empty agenda before the last completion) or event-budget
     /// exhaustion, like [`Simulation::run`].
     pub fn step(&mut self) -> bool {
-        match (self.fault_active, self.cfg.protocol) {
-            (false, Protocol::Interruptible) => self.step_mono::<false, true>(),
-            (false, Protocol::NonInterruptible) => self.step_mono::<false, false>(),
-            (true, Protocol::Interruptible) => self.step_mono::<true, true>(),
-            (true, Protocol::NonInterruptible) => self.step_mono::<true, false>(),
+        match (
+            self.fault_active,
+            self.cfg.protocol,
+            self.arrivals.is_some(),
+        ) {
+            (false, Protocol::Interruptible, false) => self.step_mono::<false, true, false>(),
+            (false, Protocol::NonInterruptible, false) => self.step_mono::<false, false, false>(),
+            (true, Protocol::Interruptible, false) => self.step_mono::<true, true, false>(),
+            (true, Protocol::NonInterruptible, false) => self.step_mono::<true, false, false>(),
+            (false, Protocol::Interruptible, true) => self.step_mono::<false, true, true>(),
+            (false, Protocol::NonInterruptible, true) => self.step_mono::<false, false, true>(),
+            (true, Protocol::Interruptible, true) => self.step_mono::<true, true, true>(),
+            (true, Protocol::NonInterruptible, true) => self.step_mono::<true, false, true>(),
         }
     }
 
     /// [`Simulation::step`], monomorphized on whether a fault plan is
-    /// active and on the protocol. The `FA = false` instantiation
-    /// compiles every recovery gate out of the event loop, keeping the
-    /// fault-free hot path at its pre-fault-model cost; `IC` compiles
-    /// the other discipline's link path out of the service cascade. They
-    /// always mirror `self.fault_active` / `self.cfg.protocol`.
-    fn step_mono<const FA: bool, const IC: bool>(&mut self) -> bool {
+    /// active, on the protocol, and on whether an arrival plan is
+    /// active. The `FA = false` instantiation compiles every recovery
+    /// gate out of the event loop, keeping the fault-free hot path at
+    /// its pre-fault-model cost; `IC` compiles the other discipline's
+    /// link path out of the service cascade; `AR = false` compiles the
+    /// open-world admission/latency plumbing out the same way. They
+    /// always mirror `self.fault_active` / `self.cfg.protocol` /
+    /// `self.arrivals.is_some()`.
+    fn step_mono<const FA: bool, const IC: bool, const AR: bool>(&mut self) -> bool {
         self.start();
         if self.finished {
             return false;
@@ -707,8 +819,8 @@ impl<S: TraceSink> Simulation<S> {
         );
         #[cfg(feature = "profile")]
         let (pk, pt) = (ev.kind(), crate::profile::start());
-        self.handle::<FA>(ev);
-        self.drain::<FA, IC>();
+        self.handle::<FA, AR>(ev);
+        self.drain::<FA, IC, AR>();
         #[cfg(feature = "profile")]
         crate::profile::record(pk, pt);
         if self.cfg.checked {
@@ -733,11 +845,33 @@ impl<S: TraceSink> Simulation<S> {
     /// trace sink (with whatever it recorded).
     pub fn run_traced(mut self) -> (RunResult, SimWorkspace, S) {
         self.start();
-        match (self.fault_active, self.cfg.protocol) {
-            (false, Protocol::Interruptible) => while self.step_mono::<false, true>() {},
-            (false, Protocol::NonInterruptible) => while self.step_mono::<false, false>() {},
-            (true, Protocol::Interruptible) => while self.step_mono::<true, true>() {},
-            (true, Protocol::NonInterruptible) => while self.step_mono::<true, false>() {},
+        match (
+            self.fault_active,
+            self.cfg.protocol,
+            self.arrivals.is_some(),
+        ) {
+            (false, Protocol::Interruptible, false) => {
+                while self.step_mono::<false, true, false>() {}
+            }
+            (false, Protocol::NonInterruptible, false) => {
+                while self.step_mono::<false, false, false>() {}
+            }
+            (true, Protocol::Interruptible, false) => {
+                while self.step_mono::<true, true, false>() {}
+            }
+            (true, Protocol::NonInterruptible, false) => {
+                while self.step_mono::<true, false, false>() {}
+            }
+            (false, Protocol::Interruptible, true) => {
+                while self.step_mono::<false, true, true>() {}
+            }
+            (false, Protocol::NonInterruptible, true) => {
+                while self.step_mono::<false, false, true>() {}
+            }
+            (true, Protocol::Interruptible, true) => while self.step_mono::<true, true, true>() {},
+            (true, Protocol::NonInterruptible, true) => {
+                while self.step_mono::<true, false, true>() {}
+            }
         }
         self.into_result()
     }
@@ -788,6 +922,29 @@ impl<S: TraceSink> Simulation<S> {
             transfers_started: self.transfers_started,
             requests_sent: self.requests_sent,
             faults: self.fstats.clone(),
+            arrivals: match self.arrivals.take() {
+                Some(ar) => {
+                    let mut completed_per_class = vec![0u64; ar.admitted_per_class.len()];
+                    // Completions are matched to classes in admission order
+                    // (units are interchangeable; exact when fault-free).
+                    let served = (completion_times.len()).min(ar.admit_class.len());
+                    for &class in &ar.admit_class[..served] {
+                        completed_per_class[class as usize] += 1;
+                    }
+                    ArrivalStats {
+                        submitted: ar.submitted,
+                        admitted: ar.admitted,
+                        rejected: ar.rejected,
+                        deferrals: ar.deferrals,
+                        peak_deferred: ar.peak_deferred,
+                        admit_times: ar.admit_times,
+                        dispatch_times: ar.dispatch_times,
+                        completed_per_class,
+                        admitted_per_class: ar.admitted_per_class,
+                    }
+                }
+                None => ArrivalStats::default(),
+            },
             completion_times,
         };
         (result, self.ws, self.sink)
@@ -795,7 +952,7 @@ impl<S: TraceSink> Simulation<S> {
 
     // ----- event handling -------------------------------------------------
 
-    fn handle<const FA: bool>(&mut self, ev: Event) {
+    fn handle<const FA: bool, const AR: bool>(&mut self, ev: Event) {
         let node = match ev {
             Event::ComputeDone { node }
             | Event::ComputeChain { node, .. }
@@ -805,6 +962,10 @@ impl<S: TraceSink> Simulation<S> {
             Event::OutageEnd { node } => return self.on_outage_end(node),
             Event::RequestTimeout { node } => return self.on_request_timeout(node),
             Event::Reissue { count } => return self.on_reissue(count),
+            Event::Arrival => {
+                debug_assert!(AR, "Arrival event without an arrival plan");
+                return self.on_arrival();
+            }
         };
         if self.ws.hot[node].departed || (FA && self.ws.hot[node].crashed) {
             // Stale event of a node that left (task already reclaimed) or
@@ -812,7 +973,7 @@ impl<S: TraceSink> Simulation<S> {
             return;
         }
         match ev {
-            Event::ComputeDone { node } => self.on_compute_done(node),
+            Event::ComputeDone { node } => self.on_compute_done::<AR>(node),
             Event::ComputeChain { node, count } => self.on_compute_chain(node, count),
             Event::SendDone { node } => self.on_send_done::<FA>(node),
             Event::TransferDone { node } => self.on_transfer_done::<FA>(node),
@@ -820,7 +981,7 @@ impl<S: TraceSink> Simulation<S> {
         }
     }
 
-    fn on_compute_done(&mut self, i: usize) {
+    fn on_compute_done<const AR: bool>(&mut self, i: usize) {
         let started = self.ws.hot[i]
             .computing_since
             .take()
@@ -828,7 +989,7 @@ impl<S: TraceSink> Simulation<S> {
         self.ws.hot[i].busy_compute += self.ws.agenda.now() - started;
         self.ws.hot[i].tasks_computed += 1;
         self.emit(TraceEvent::ComputeFinish { node: i as u32 });
-        self.record_completion();
+        self.record_completion::<AR>();
         if self.finished {
             return;
         }
@@ -972,15 +1133,15 @@ impl<S: TraceSink> Simulation<S> {
         self.enqueue(child);
     }
 
-    fn record_completion(&mut self) {
+    fn record_completion<const AR: bool>(&mut self) {
         let now = self.ws.agenda.now();
-        self.record_completion_at(now);
+        self.record_completion_at::<AR>(now);
     }
 
     /// [`Self::record_completion`] with an explicit completion time —
     /// elided chains replay intermediate completions at timestamps that
     /// predate the agenda clock.
-    fn record_completion_at(&mut self, now: Time) {
+    fn record_completion_at<const AR: bool>(&mut self, now: Time) {
         self.completed += 1;
         self.ws.completion_times.push(now);
         while self.next_checkpoint < self.cfg.checkpoints.len()
@@ -1039,7 +1200,12 @@ impl<S: TraceSink> Simulation<S> {
                 self.enqueue(p);
             }
         }
-        if self.completed >= self.cfg.total_tasks {
+        if AR {
+            // A completion will shortly free queue room (the dispatch
+            // already did): re-admit deferred arrivals up to the bound.
+            self.drain_deferred();
+        }
+        if self.completed >= self.finish_target {
             self.finished = true;
         }
     }
@@ -1213,33 +1379,33 @@ impl<S: TraceSink> Simulation<S> {
         }
     }
 
-    fn drain<const FA: bool, const IC: bool>(&mut self) {
+    fn drain<const FA: bool, const IC: bool, const AR: bool>(&mut self) {
         debug_assert_eq!(IC, self.cfg.protocol == Protocol::Interruptible);
         while let Some(i) = self.ws.service_queue.pop_front() {
             self.ws.queued[i] = false;
             if self.finished {
                 continue;
             }
-            self.service::<FA, IC>(i);
+            self.service::<FA, IC, AR>(i);
         }
     }
 
-    fn service<const FA: bool, const IC: bool>(&mut self, i: usize) {
+    fn service<const FA: bool, const IC: bool, const AR: bool>(&mut self, i: usize) {
         if self.ws.hot[i].departed || (FA && self.ws.hot[i].crashed) {
             return;
         }
         if self.cfg.self_first {
-            self.fill_processor(i);
-            self.fill_link::<FA, IC>(i);
+            self.fill_processor::<AR>(i);
+            self.fill_link::<FA, IC, AR>(i);
         } else {
-            self.fill_link::<FA, IC>(i);
-            self.fill_processor(i);
+            self.fill_link::<FA, IC, AR>(i);
+            self.fill_processor::<AR>(i);
         }
         self.issue_requests::<FA>(i);
     }
 
-    fn fill_processor(&mut self, i: usize) {
-        if self.ws.hot[i].computing_since.is_some() || !self.take_task(i) {
+    fn fill_processor<const AR: bool>(&mut self, i: usize) {
+        if self.ws.hot[i].computing_since.is_some() || !self.take_task::<AR>(i) {
             return;
         }
         self.ws.hot[i].computing_since = Some(self.ws.agenda.now());
@@ -1338,6 +1504,9 @@ impl<S: TraceSink> Simulation<S> {
     /// no-op beyond the processor refill (and, for a leaf, the per-take
     /// request to a parent that cannot respond).
     fn on_compute_chain(&mut self, i: usize, count: u64) {
+        // `elide_base` is false whenever an arrival plan is active, so
+        // chains never carry open-world bookkeeping.
+        debug_assert!(self.arrivals.is_none(), "elision under arrivals");
         let w = self.tree.compute_time(NodeId(i as u32));
         let start = self.ws.agenda.now() - count * w;
         debug_assert_eq!(self.ws.hot[i].computing_since, Some(start));
@@ -1347,7 +1516,7 @@ impl<S: TraceSink> Simulation<S> {
             self.ws.hot[i].computing_since = None;
             self.ws.hot[i].busy_compute += w;
             self.ws.hot[i].tasks_computed += 1;
-            self.record_completion_at(start + j * w);
+            self.record_completion_at::<false>(start + j * w);
             if self.finished {
                 return;
             }
@@ -1382,13 +1551,19 @@ impl<S: TraceSink> Simulation<S> {
 
     /// Takes one task for local use (compute or send start). Returns false
     /// if none is available. Applies §3.1 growth rule 1 on the transition
-    /// to empty.
-    fn take_task(&mut self, i: usize) -> bool {
+    /// to empty. Under `AR`, a root take is a *dispatch*: the unit leaves
+    /// the admission queue and its wait ends (latency accounting).
+    fn take_task<const AR: bool>(&mut self, i: usize) -> bool {
         if i == 0 {
             if self.remaining == 0 {
                 return false;
             }
             self.remaining -= 1;
+            if AR {
+                let now = self.ws.agenda.now();
+                let ar = self.arrivals.as_deref_mut().expect("AR without runtime");
+                ar.dispatch_times.push(now);
+            }
             return true;
         }
         let pressure = self.has_child_requests(i);
@@ -1449,19 +1624,19 @@ impl<S: TraceSink> Simulation<S> {
         }
     }
 
-    fn fill_link<const FA: bool, const IC: bool>(&mut self, i: usize) {
+    fn fill_link<const FA: bool, const IC: bool, const AR: bool>(&mut self, i: usize) {
         if self.ws.kid_start[i + 1] == self.ws.kid_start[i] {
             return; // leaves have no outbound link work, ever
         }
         if IC {
-            self.fill_slots::<FA>(i);
+            self.fill_slots::<FA, AR>(i);
             self.reconcile_link::<FA>(i);
         } else {
-            self.fill_link_nonic::<FA>(i);
+            self.fill_link_nonic::<FA, AR>(i);
         }
     }
 
-    fn fill_link_nonic<const FA: bool>(&mut self, i: usize) {
+    fn fill_link_nonic<const FA: bool, const AR: bool>(&mut self, i: usize) {
         if self.ws.sending[i].is_some() || self.ws.pending_sum[i] == 0 || !self.has_task(i) {
             return;
         }
@@ -1484,7 +1659,7 @@ impl<S: TraceSink> Simulation<S> {
         let Some(pos) = chosen else {
             return;
         };
-        if !self.take_task(i) {
+        if !self.take_task::<AR>(i) {
             return;
         }
         let k = self.ws.kid_start[i] as usize + pos;
@@ -1509,7 +1684,7 @@ impl<S: TraceSink> Simulation<S> {
 
     /// IC: delegate buffered tasks into empty slots of requesting
     /// children, best-priority first, while tasks last.
-    fn fill_slots<const FA: bool>(&mut self, i: usize) {
+    fn fill_slots<const FA: bool, const AR: bool>(&mut self, i: usize) {
         if self.ws.pending_sum[i] == 0 {
             return; // no requesting child, so no candidate either
         }
@@ -1535,7 +1710,7 @@ impl<S: TraceSink> Simulation<S> {
             let Some(pos) = self.ws.cold[i].selector.select(&candidates) else {
                 break;
             };
-            if !self.take_task(i) {
+            if !self.take_task::<AR>(i) {
                 break;
             }
             let k = self.ws.kid_start[i] as usize + pos;
@@ -2011,6 +2186,122 @@ impl<S: TraceSink> Simulation<S> {
         self.enqueue(0);
     }
 
+    // ----- open-world arrivals (extension) ----------------------------------
+
+    /// The arrival cursor's chained event fired: inject every arrival
+    /// due now, then re-chain for the next instant. Arrivals are rare
+    /// relative to protocol events, so this stays off the inline path.
+    #[cold]
+    #[inline(never)]
+    fn on_arrival(&mut self) {
+        let now = self.ws.agenda.now();
+        loop {
+            let ar = self.arrivals.as_deref_mut().expect("AR without runtime");
+            let Some(&a) = ar.schedule.get(ar.cursor) else {
+                return; // schedule exhausted; no re-chain
+            };
+            if a.at > now {
+                self.ws.agenda.schedule(a.at - now, Event::Arrival);
+                return;
+            }
+            let idx = ar.cursor as u32;
+            ar.cursor += 1;
+            ar.submitted += a.units;
+            self.emit(TraceEvent::TaskArrival {
+                class: a.class,
+                units: a.units,
+            });
+            self.submit_arrival(a, idx);
+        }
+    }
+
+    /// Admission control for one arrival: admit within the queue bound,
+    /// otherwise shed (`Drop`) or backpressure (`Defer`).
+    fn submit_arrival(&mut self, a: Arrival, idx: u32) {
+        let ar = self.arrivals.as_deref_mut().expect("AR without runtime");
+        if self.remaining + a.units <= ar.queue_cap {
+            self.admit_units(a.class, a.units);
+            return;
+        }
+        match ar.policy {
+            AdmissionPolicy::Drop => {
+                ar.rejected += a.units;
+                self.finish_target -= a.units;
+                self.emit(TraceEvent::TaskReject {
+                    class: a.class,
+                    units: a.units,
+                });
+                // The shed units may have been the last outstanding work.
+                if self.completed >= self.finish_target {
+                    self.finished = true;
+                }
+            }
+            AdmissionPolicy::Defer => {
+                if let Some(FaultInjection::LeakQueuedTask { every }) = self.cfg.fault {
+                    ar.leak_tick += 1;
+                    if ar.leak_tick.is_multiple_of(every) {
+                        // The injected bug: the arrival is counted as
+                        // submitted but silently dropped — neither queued,
+                        // admitted, nor rejected. Open-world conservation
+                        // breaks and the checker must say so.
+                        return;
+                    }
+                }
+                ar.deferred.push_back(idx);
+                ar.deferred_units += a.units;
+                ar.deferrals += 1;
+                ar.peak_deferred = ar.peak_deferred.max(ar.deferred_units);
+                let waiting = ar.deferred_units;
+                self.emit(TraceEvent::TaskDefer {
+                    class: a.class,
+                    units: a.units,
+                    waiting,
+                });
+            }
+        }
+    }
+
+    /// `units` tasks of `class` enter the repository queue.
+    fn admit_units(&mut self, class: u32, units: u64) {
+        let now = self.ws.agenda.now();
+        self.remaining += units;
+        let queued = self.remaining;
+        let ar = self.arrivals.as_deref_mut().expect("AR without runtime");
+        ar.admitted += units;
+        ar.admitted_per_class[class as usize] += units;
+        for _ in 0..units {
+            ar.admit_times.push(now);
+            ar.admit_class.push(class);
+        }
+        self.emit(TraceEvent::TaskAdmit {
+            class,
+            units,
+            queued,
+        });
+        self.enqueue(0);
+    }
+
+    /// Re-admits deferred arrivals while the queue bound allows (called
+    /// at each completion in open-world mode — dispatches have already
+    /// freed the room by then).
+    #[cold]
+    #[inline(never)]
+    fn drain_deferred(&mut self) {
+        loop {
+            let ar = self.arrivals.as_deref_mut().expect("AR without runtime");
+            let Some(&idx) = ar.deferred.front() else {
+                return;
+            };
+            let a = ar.schedule[idx as usize];
+            if self.remaining + a.units > ar.queue_cap {
+                return;
+            }
+            ar.deferred.pop_front();
+            ar.deferred_units -= a.units;
+            self.admit_units(a.class, a.units);
+        }
+    }
+
     /// `i`'s request timeout fired: withdraw any lost requests and re-send
     /// them, or give up after the retry budget (a later successful
     /// delivery revives the node).
@@ -2188,6 +2479,22 @@ impl<S: TraceSink> Simulation<S> {
                 lost_pending: self.lost_pending,
                 fstats: self.fstats.clone(),
                 elided: self.elided,
+                finish_target: self.finish_target,
+                arrivals: self.arrivals.as_deref().map(|ar| ArrivalCursor {
+                    cursor: ar.cursor as u64,
+                    deferred: ar.deferred.iter().copied().collect(),
+                    deferred_units: ar.deferred_units,
+                    submitted: ar.submitted,
+                    admitted: ar.admitted,
+                    rejected: ar.rejected,
+                    deferrals: ar.deferrals,
+                    peak_deferred: ar.peak_deferred,
+                    leak_tick: ar.leak_tick,
+                    admit_times: ar.admit_times.clone(),
+                    dispatch_times: ar.dispatch_times.clone(),
+                    admit_class: ar.admit_class.clone(),
+                    admitted_per_class: ar.admitted_per_class.clone(),
+                }),
             },
         }
     }
@@ -2212,8 +2519,32 @@ impl<S: TraceSink> Simulation<S> {
             && !snap.cfg.checked
             && snap.cfg.fault.is_none()
             && !c.fault_active
-            && matches!(snap.cfg.buffers, BufferPolicy::Fixed(_));
+            && matches!(snap.cfg.buffers, BufferPolicy::Fixed(_))
+            && snap.cfg.arrivals.is_none();
         let time_travel = snap.cfg.checked.then(|| Box::new(TimeTravel::from_env()));
+        // The arrival schedule is a pure function of the plan, so the
+        // restore regenerates it and overlays the captured cursor state.
+        let arrivals = snap.cfg.arrivals.as_ref().map(|plan| {
+            let mut rt = ArrivalRt::new(plan);
+            let cur = c
+                .arrivals
+                .as_ref()
+                .expect("arrival plan without cursor state");
+            rt.cursor = cur.cursor as usize;
+            rt.deferred = cur.deferred.iter().copied().collect();
+            rt.deferred_units = cur.deferred_units;
+            rt.submitted = cur.submitted;
+            rt.admitted = cur.admitted;
+            rt.rejected = cur.rejected;
+            rt.deferrals = cur.deferrals;
+            rt.peak_deferred = cur.peak_deferred;
+            rt.leak_tick = cur.leak_tick;
+            rt.admit_times = cur.admit_times.clone();
+            rt.dispatch_times = cur.dispatch_times.clone();
+            rt.admit_class = cur.admit_class.clone();
+            rt.admitted_per_class = cur.admitted_per_class.clone();
+            rt
+        });
         Simulation {
             tree: snap.tree.clone(),
             cfg: snap.cfg.clone(),
@@ -2240,6 +2571,8 @@ impl<S: TraceSink> Simulation<S> {
             fstats: c.fstats.clone(),
             elide_base,
             elided: c.elided,
+            finish_target: c.finish_target,
+            arrivals,
             time_travel,
         }
     }
@@ -2308,11 +2641,19 @@ impl<S: TraceSink> Simulation<S> {
                 self.enqueue(i);
             }
         }
-        match (self.fault_active, self.cfg.protocol) {
-            (false, Protocol::Interruptible) => self.drain::<false, true>(),
-            (false, Protocol::NonInterruptible) => self.drain::<false, false>(),
-            (true, Protocol::Interruptible) => self.drain::<true, true>(),
-            (true, Protocol::NonInterruptible) => self.drain::<true, false>(),
+        match (
+            self.fault_active,
+            self.cfg.protocol,
+            self.arrivals.is_some(),
+        ) {
+            (false, Protocol::Interruptible, false) => self.drain::<false, true, false>(),
+            (false, Protocol::NonInterruptible, false) => self.drain::<false, false, false>(),
+            (true, Protocol::Interruptible, false) => self.drain::<true, true, false>(),
+            (true, Protocol::NonInterruptible, false) => self.drain::<true, false, false>(),
+            (false, Protocol::Interruptible, true) => self.drain::<false, true, true>(),
+            (false, Protocol::NonInterruptible, true) => self.drain::<false, false, true>(),
+            (true, Protocol::Interruptible, true) => self.drain::<true, true, true>(),
+            (true, Protocol::NonInterruptible, true) => self.drain::<true, false, true>(),
         }
     }
 }

@@ -31,6 +31,7 @@
 //! state) and re-encoding a decoded snapshot reproduces the input
 //! bytes exactly.
 
+use crate::arrivals::{AdmissionPolicy, ArrivalPlan, ArrivalProcess, TaskClass};
 use crate::config::{
     ChangeKind, FaultEvent, FaultInjection, FaultKind, FaultPlan, PlannedChange, Protocol,
     RecoveryTuning, SelectorKind, SimConfig,
@@ -110,6 +111,28 @@ pub(crate) struct CursorSnapshot {
     pub(crate) lost_pending: u64,
     pub(crate) fstats: FaultStats,
     pub(crate) elided: u64,
+    pub(crate) finish_target: u64,
+    pub(crate) arrivals: Option<ArrivalCursor>,
+}
+
+/// Open-world arrival runtime state at capture — everything except the
+/// pregenerated schedule, which is a pure function of the configuration
+/// and is regenerated on restore (bit-identically, by design).
+#[derive(Clone)]
+pub(crate) struct ArrivalCursor {
+    pub(crate) cursor: u64,
+    pub(crate) deferred: Vec<u32>,
+    pub(crate) deferred_units: u64,
+    pub(crate) submitted: u64,
+    pub(crate) admitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) deferrals: u64,
+    pub(crate) peak_deferred: u64,
+    pub(crate) leak_tick: u64,
+    pub(crate) admit_times: Vec<Time>,
+    pub(crate) dispatch_times: Vec<Time>,
+    pub(crate) admit_class: Vec<u32>,
+    pub(crate) admitted_per_class: Vec<u64>,
 }
 
 /// Complete mid-run state of a [`Simulation`], captured by
@@ -536,7 +559,8 @@ impl std::fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 const MAGIC: &[u8; 4] = b"BCSS";
-const VERSION: u8 = 1;
+// v2: open-world arrivals (config plan, `Arrival` event tag, cursor layer).
+const VERSION: u8 = 2;
 
 fn put_u8(b: &mut Vec<u8>, v: u8) {
     b.push(v);
@@ -645,6 +669,15 @@ impl<'a> Rd<'a> {
         }
         Ok(len)
     }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        let n = self.len_capped(1)?;
+        let end = self.pos + n; // len_capped bounds n by the remainder
+        let s = std::str::from_utf8(&self.buf[self.pos..end])
+            .map_err(|_| SnapshotError::Corrupt("string not UTF-8"))?;
+        self.pos = end;
+        Ok(s.to_owned())
+    }
 }
 
 fn put_handle(b: &mut Vec<u8>, h: EventHandle) {
@@ -694,6 +727,7 @@ fn put_event(b: &mut Vec<u8>, e: &Event) {
             put_u8(b, 7);
             put_v(b, count);
         }
+        Event::Arrival => put_u8(b, 8),
     }
 }
 
@@ -710,6 +744,7 @@ fn get_event(r: &mut Rd) -> Result<Event, SnapshotError> {
         5 => Event::OutageEnd { node: r.vus()? },
         6 => Event::RequestTimeout { node: r.vus()? },
         7 => Event::Reissue { count: r.v()? },
+        8 => Event::Arrival,
         _ => return Err(SnapshotError::Corrupt("event tag out of range")),
     })
 }
@@ -947,6 +982,10 @@ fn put_cfg(b: &mut Vec<u8>, cfg: &SimConfig) {
             put_v(b, *every);
         }
         Some(FaultInjection::SwallowReissue) => put_u8(b, 3),
+        Some(FaultInjection::LeakQueuedTask { every }) => {
+            put_u8(b, 4);
+            put_v(b, *every);
+        }
     }
     match &cfg.fault_plan {
         None => put_u8(b, 0),
@@ -962,6 +1001,185 @@ fn put_cfg(b: &mut Vec<u8>, cfg: &SimConfig) {
             put_recovery(b, &plan.recovery);
         }
     }
+    match &cfg.arrivals {
+        None => put_u8(b, 0),
+        Some(plan) => {
+            put_u8(b, 1);
+            put_arrival_plan(b, plan);
+        }
+    }
+}
+
+fn put_arrival_plan(b: &mut Vec<u8>, plan: &ArrivalPlan) {
+    put_v(b, plan.seed);
+    put_v(b, plan.classes.len() as u64);
+    for class in &plan.classes {
+        put_v(b, class.name.len() as u64);
+        b.extend_from_slice(class.name.as_bytes());
+        put_v(b, class.work_units);
+        match &class.process {
+            ArrivalProcess::Poisson { mean_gap, count } => {
+                put_u8(b, 0);
+                put_v(b, *mean_gap);
+                put_v(b, *count);
+            }
+            ArrivalProcess::Burst {
+                phase,
+                period,
+                size,
+                bursts,
+            } => {
+                put_u8(b, 1);
+                put_v(b, *phase);
+                put_v(b, *period);
+                put_v(b, *size);
+                put_v(b, *bursts);
+            }
+            ArrivalProcess::Trace { times } => {
+                put_u8(b, 2);
+                put_v(b, times.len() as u64);
+                for &t in times {
+                    put_v(b, t);
+                }
+            }
+        }
+    }
+    put_v(b, plan.queue_cap);
+    put_u8(
+        b,
+        match plan.policy {
+            AdmissionPolicy::Drop => 0,
+            AdmissionPolicy::Defer => 1,
+        },
+    );
+}
+
+fn get_arrival_plan(r: &mut Rd) -> Result<ArrivalPlan, SnapshotError> {
+    let seed = r.v()?;
+    let mut classes = Vec::with_capacity(r.len_capped(3)?);
+    for _ in 0..classes.capacity() {
+        let name = r.string()?;
+        let work_units = r.v()?;
+        let process = match r.u8()? {
+            0 => ArrivalProcess::Poisson {
+                mean_gap: r.v()?,
+                count: r.v()?,
+            },
+            1 => ArrivalProcess::Burst {
+                phase: r.v()?,
+                period: r.v()?,
+                size: r.v()?,
+                bursts: r.v()?,
+            },
+            2 => {
+                let mut times = Vec::with_capacity(r.len_capped(1)?);
+                for _ in 0..times.capacity() {
+                    times.push(r.v()?);
+                }
+                ArrivalProcess::Trace { times }
+            }
+            _ => return Err(SnapshotError::Corrupt("arrival process tag out of range")),
+        };
+        classes.push(TaskClass {
+            name,
+            work_units,
+            process,
+        });
+    }
+    let queue_cap = r.v()?;
+    let policy = match r.u8()? {
+        0 => AdmissionPolicy::Drop,
+        1 => AdmissionPolicy::Defer,
+        _ => return Err(SnapshotError::Corrupt("admission policy tag out of range")),
+    };
+    Ok(ArrivalPlan {
+        seed,
+        classes,
+        queue_cap,
+        policy,
+    })
+}
+
+fn put_arrival_cursor(b: &mut Vec<u8>, c: &ArrivalCursor) {
+    put_v(b, c.cursor);
+    put_v(b, c.deferred.len() as u64);
+    for &d in &c.deferred {
+        put_v(b, d as u64);
+    }
+    put_v(b, c.deferred_units);
+    put_v(b, c.submitted);
+    put_v(b, c.admitted);
+    put_v(b, c.rejected);
+    put_v(b, c.deferrals);
+    put_v(b, c.peak_deferred);
+    put_v(b, c.leak_tick);
+    put_v(b, c.admit_times.len() as u64);
+    for &t in &c.admit_times {
+        put_v(b, t);
+    }
+    put_v(b, c.dispatch_times.len() as u64);
+    for &t in &c.dispatch_times {
+        put_v(b, t);
+    }
+    // admit_class has admit_times's length by construction; no second
+    // prefix needed, but keep one so the record is self-describing.
+    put_v(b, c.admit_class.len() as u64);
+    for &cl in &c.admit_class {
+        put_v(b, cl as u64);
+    }
+    put_v(b, c.admitted_per_class.len() as u64);
+    for &n in &c.admitted_per_class {
+        put_v(b, n);
+    }
+}
+
+fn get_arrival_cursor(r: &mut Rd) -> Result<ArrivalCursor, SnapshotError> {
+    let cursor = r.v()?;
+    let mut deferred = Vec::with_capacity(r.len_capped(1)?);
+    for _ in 0..deferred.capacity() {
+        deferred.push(r.v32()?);
+    }
+    let deferred_units = r.v()?;
+    let submitted = r.v()?;
+    let admitted = r.v()?;
+    let rejected = r.v()?;
+    let deferrals = r.v()?;
+    let peak_deferred = r.v()?;
+    let leak_tick = r.v()?;
+    let mut admit_times = Vec::with_capacity(r.len_capped(1)?);
+    for _ in 0..admit_times.capacity() {
+        admit_times.push(r.v()?);
+    }
+    let mut dispatch_times = Vec::with_capacity(r.len_capped(1)?);
+    for _ in 0..dispatch_times.capacity() {
+        dispatch_times.push(r.v()?);
+    }
+    let mut admit_class = Vec::with_capacity(r.len_capped(1)?);
+    for _ in 0..admit_class.capacity() {
+        admit_class.push(r.v32()?);
+    }
+    if admit_class.len() != admit_times.len() {
+        return Err(SnapshotError::Corrupt("admit class/time length mismatch"));
+    }
+    let mut admitted_per_class = Vec::with_capacity(r.len_capped(1)?);
+    for _ in 0..admitted_per_class.capacity() {
+        admitted_per_class.push(r.v()?);
+    }
+    Ok(ArrivalCursor {
+        cursor,
+        deferred,
+        deferred_units,
+        submitted,
+        admitted,
+        rejected,
+        deferrals,
+        peak_deferred,
+        leak_tick,
+        admit_times,
+        dispatch_times,
+        admit_class,
+        admitted_per_class,
+    })
 }
 
 fn get_cfg(r: &mut Rd) -> Result<SimConfig, SnapshotError> {
@@ -1012,6 +1230,7 @@ fn get_cfg(r: &mut Rd) -> Result<SimConfig, SnapshotError> {
         1 => Some(FaultInjection::FbOffByOne),
         2 => Some(FaultInjection::LeakTask { every: r.v()? }),
         3 => Some(FaultInjection::SwallowReissue),
+        4 => Some(FaultInjection::LeakQueuedTask { every: r.v()? }),
         _ => return Err(SnapshotError::Corrupt("fault-injection tag out of range")),
     };
     let fault_plan = match r.u8()? {
@@ -1034,6 +1253,11 @@ fn get_cfg(r: &mut Rd) -> Result<SimConfig, SnapshotError> {
         }
         _ => return Err(SnapshotError::Corrupt("fault-plan tag out of range")),
     };
+    let arrivals = match r.u8()? {
+        0 => None,
+        1 => Some(get_arrival_plan(r)?),
+        _ => return Err(SnapshotError::Corrupt("arrival-plan tag out of range")),
+    };
     Ok(SimConfig {
         protocol,
         buffers,
@@ -1048,6 +1272,7 @@ fn get_cfg(r: &mut Rd) -> Result<SimConfig, SnapshotError> {
         elision,
         fault,
         fault_plan,
+        arrivals,
     })
 }
 
@@ -1561,6 +1786,14 @@ impl SimSnapshot {
         put_v(&mut b, c.lost_pending);
         put_fstats(&mut b, &c.fstats);
         put_v(&mut b, c.elided);
+        put_v(&mut b, c.finish_target);
+        match &c.arrivals {
+            None => put_u8(&mut b, 0),
+            Some(ar) => {
+                put_u8(&mut b, 1);
+                put_arrival_cursor(&mut b, ar);
+            }
+        }
         b
     }
 
@@ -1608,6 +1841,12 @@ impl SimSnapshot {
             lost_pending: r.v()?,
             fstats: get_fstats(&mut r)?,
             elided: r.v()?,
+            finish_target: r.v()?,
+            arrivals: match r.u8()? {
+                0 => None,
+                1 => Some(get_arrival_cursor(&mut r)?),
+                _ => return Err(SnapshotError::Corrupt("arrival-cursor tag out of range")),
+            },
         };
         if r.pos != bytes.len() {
             return Err(SnapshotError::Corrupt("trailing bytes"));

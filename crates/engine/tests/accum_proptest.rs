@@ -54,6 +54,7 @@ fn arb_run() -> impl Strategy<Value = RunResult> {
                         crashes,
                         ..FaultStats::default()
                     },
+                    arrivals: bc_engine::ArrivalStats::default(),
                 }
             },
         )

@@ -1,0 +1,439 @@
+//! Open-world service mode end to end: streaming arrivals through the
+//! admission gate, under both admission policies, composed with faults,
+//! checked mode, and every entry point — with determinism proptested
+//! over random plans (Poisson, burst, and trace classes all covered).
+
+use bc_engine::{
+    AdmissionPolicy, ArrivalPlan, ArrivalProcess, FaultEvent, FaultInjection, FaultKind, FaultPlan,
+    RunResult, SimConfig, SimWorkspace, Simulation, TaskClass,
+};
+use bc_platform::examples::fig1_tree;
+use bc_platform::{NodeId, RandomTreeConfig, Tree};
+use bc_simcore::VecSink;
+use proptest::prelude::*;
+
+fn small_tree(seed: u64) -> Tree {
+    RandomTreeConfig {
+        min_nodes: 4,
+        max_nodes: 10,
+        comm_min: 1,
+        comm_max: 8,
+        compute_scale: 30,
+    }
+    .generate(seed)
+}
+
+/// A three-class plan covering every arrival process: unit Poisson
+/// background, heavy periodic bursts, and a replayed trace.
+fn mixed_plan(seed: u64, queue_cap: u64, policy: AdmissionPolicy) -> ArrivalPlan {
+    ArrivalPlan {
+        seed,
+        classes: vec![
+            TaskClass {
+                name: "background".into(),
+                work_units: 1,
+                process: ArrivalProcess::Poisson {
+                    mean_gap: 4,
+                    count: 30,
+                },
+            },
+            TaskClass {
+                name: "batchjob".into(),
+                work_units: 3,
+                process: ArrivalProcess::Burst {
+                    phase: 15,
+                    period: 40,
+                    size: 2,
+                    bursts: 3,
+                },
+            },
+            TaskClass {
+                name: "replay".into(),
+                work_units: 2,
+                process: ArrivalProcess::Trace {
+                    times: vec![5, 5, 62, 130],
+                },
+            },
+        ],
+        queue_cap,
+        policy,
+    }
+}
+
+/// Steps to completion keeping the terminal oracle in the loop.
+fn finish(mut sim: Simulation) -> RunResult {
+    while sim.step() {}
+    sim.verify_terminal().expect("terminal oracle");
+    sim.run()
+}
+
+/// Under `Defer`, every submitted unit is eventually admitted and
+/// served: backpressure delays work, never loses it. Checked mode
+/// sweeps the open-world conservation ledger after every event.
+#[test]
+fn defer_policy_serves_every_submitted_unit() {
+    let plan = mixed_plan(11, 6, AdmissionPolicy::Defer);
+    let total = plan.total_units();
+    let cfg = SimConfig::interruptible(3, 1)
+        .with_arrivals(plan)
+        .with_checked(true);
+    let r = Simulation::new(fig1_tree(), cfg).run();
+    assert_eq!(r.tasks_completed(), total);
+    let ar = &r.arrivals;
+    assert_eq!(ar.submitted, total);
+    assert_eq!(ar.admitted, total);
+    assert_eq!(ar.rejected, 0);
+    assert_eq!(ar.admit_times.len() as u64, ar.admitted);
+    assert!(
+        ar.admit_times.windows(2).all(|w| w[0] <= w[1]),
+        "admission order is time order"
+    );
+    // Fault-free: every admitted unit dispatches exactly once.
+    assert_eq!(ar.dispatch_times.len() as u64, ar.admitted);
+}
+
+/// Under `Drop`, overflow arrivals are shed and the ledger balances
+/// exactly: submitted = admitted + rejected, and the run ends when the
+/// admitted work is done.
+#[test]
+fn drop_policy_sheds_load_exactly() {
+    // Bursts of 6 units into a queue of 4 guarantee rejections.
+    let plan = ArrivalPlan {
+        seed: 3,
+        classes: vec![TaskClass {
+            name: "burst".into(),
+            work_units: 3,
+            process: ArrivalProcess::Burst {
+                phase: 2,
+                period: 9,
+                size: 2,
+                bursts: 8,
+            },
+        }],
+        queue_cap: 4,
+        policy: AdmissionPolicy::Drop,
+    };
+    let total = plan.total_units();
+    let cfg = SimConfig::interruptible(2, 1)
+        .with_arrivals(plan)
+        .with_checked(true);
+    let r = Simulation::new(small_tree(7), cfg).run();
+    let ar = &r.arrivals;
+    assert!(ar.rejected > 0, "the burst must overflow the cap");
+    assert_eq!(ar.submitted, total);
+    assert_eq!(ar.admitted + ar.rejected, ar.submitted);
+    assert_eq!(r.tasks_completed() as u64 + ar.rejected, total);
+    assert_eq!(r.tasks_completed() as u64, ar.admitted);
+    assert_eq!(ar.deferrals, 0, "Drop never defers");
+}
+
+/// Under `Defer`, the same overload engages backpressure instead:
+/// deferrals are counted, the peak backlog is tracked, and the queue
+/// fully drains by the end.
+#[test]
+fn defer_policy_backpressure_engages_and_drains() {
+    let plan = ArrivalPlan {
+        seed: 3,
+        classes: vec![TaskClass {
+            name: "burst".into(),
+            work_units: 3,
+            process: ArrivalProcess::Burst {
+                phase: 2,
+                period: 9,
+                size: 2,
+                bursts: 8,
+            },
+        }],
+        queue_cap: 4,
+        policy: AdmissionPolicy::Defer,
+    };
+    let total = plan.total_units();
+    let cfg = SimConfig::interruptible(2, 1)
+        .with_arrivals(plan)
+        .with_checked(true);
+    let r = Simulation::new(small_tree(7), cfg).run();
+    let ar = &r.arrivals;
+    assert!(ar.deferrals > 0, "the burst must hit the cap");
+    assert!(ar.peak_deferred >= 3, "a whole class arrival waits");
+    assert_eq!(ar.rejected, 0);
+    assert_eq!(ar.admitted, total, "deferred work is admitted eventually");
+    assert_eq!(r.tasks_completed() as u64, total);
+}
+
+/// Per-class accounting: admitted and completed unit counts split by
+/// class, and in a fault-free full-service run both match the plan.
+#[test]
+fn per_class_accounting_is_exact() {
+    let plan = mixed_plan(29, 8, AdmissionPolicy::Defer);
+    let per_class: Vec<u64> = plan
+        .classes
+        .iter()
+        .map(|c| c.work_units * c.arrival_count())
+        .collect();
+    let cfg = SimConfig::interruptible(3, 1)
+        .with_arrivals(plan)
+        .with_checked(true);
+    let r = Simulation::new(fig1_tree(), cfg).run();
+    let ar = &r.arrivals;
+    assert_eq!(ar.admitted_per_class, per_class);
+    assert_eq!(ar.completed_per_class, per_class);
+    assert_eq!(
+        ar.completed_per_class.iter().sum::<u64>(),
+        r.tasks_completed() as u64
+    );
+}
+
+/// Open-world mode composes with the fault layer: a link outage and a
+/// crash mid-stream still end with every admitted unit served (recovery
+/// reissues), and the checker's admission-bound check stands down for
+/// the reissue path without disabling conservation.
+#[test]
+fn arrivals_compose_with_fault_recovery() {
+    let tree = small_tree(13);
+    let plan = mixed_plan(5, 10, AdmissionPolicy::Defer);
+    let total = plan.total_units();
+    let faults = FaultPlan {
+        seed: 99,
+        faults: vec![
+            FaultEvent {
+                at: 25,
+                node: NodeId(1),
+                kind: FaultKind::LinkOutage { duration: 30 },
+            },
+            FaultEvent {
+                at: 60,
+                node: NodeId(2),
+                kind: FaultKind::Crash,
+            },
+        ],
+        recovery: Default::default(),
+    };
+    let cfg = SimConfig::interruptible(2, 1)
+        .with_arrivals(plan)
+        .with_fault_plan(faults)
+        .with_checked(true);
+    let r = Simulation::new(tree, cfg).run();
+    assert_eq!(r.tasks_completed() as u64, total);
+    assert!(r.faults.crashes >= 1, "the crash must strike");
+    // Reissued units dispatch again: the dispatch log can exceed the
+    // admission log, never trail it.
+    assert!(r.arrivals.dispatch_times.len() >= r.arrivals.admit_times.len());
+}
+
+/// The checker's open-world ledger has teeth: a deliberately injected
+/// admission-gate leak (counted submitted, neither queued nor rejected)
+/// trips `arrival-conservation` at the next sweep.
+#[test]
+#[should_panic(expected = "arrival-conservation")]
+fn leaked_queued_task_is_caught() {
+    // Guaranteed deferrals: bursts of 6 units into a cap of 4, Defer.
+    let plan = ArrivalPlan {
+        seed: 3,
+        classes: vec![TaskClass {
+            name: "burst".into(),
+            work_units: 3,
+            process: ArrivalProcess::Burst {
+                phase: 2,
+                period: 9,
+                size: 2,
+                bursts: 8,
+            },
+        }],
+        queue_cap: 4,
+        policy: AdmissionPolicy::Defer,
+    };
+    let cfg = SimConfig::interruptible(2, 1)
+        .with_arrivals(plan)
+        .with_checked(true)
+        .with_fault(FaultInjection::LeakQueuedTask { every: 2 });
+    let _ = Simulation::new(small_tree(7), cfg).run();
+}
+
+/// The same leak surfaces as `Err` through the manual entry point (the
+/// channel the fuzzer's shrinker uses).
+#[test]
+fn leaked_queued_task_surfaces_as_violation_when_unchecked() {
+    let plan = ArrivalPlan {
+        seed: 3,
+        classes: vec![TaskClass {
+            name: "burst".into(),
+            work_units: 2,
+            process: ArrivalProcess::Burst {
+                phase: 2,
+                period: 7,
+                size: 3,
+                bursts: 10,
+            },
+        }],
+        queue_cap: 3,
+        policy: AdmissionPolicy::Defer,
+    };
+    let cfg = SimConfig::interruptible(2, 1)
+        .with_arrivals(plan)
+        .with_checked(false)
+        .with_fault(FaultInjection::LeakQueuedTask { every: 1 });
+    let mut sim = Simulation::with_workspace(small_tree(7), cfg, SimWorkspace::new());
+    sim.start();
+    let mut caught = None;
+    while caught.is_none() && sim.step() {
+        caught = sim.verify_invariants().err();
+    }
+    let v = caught.expect("the leak must be visible mid-run");
+    assert_eq!(v.check, "arrival-conservation");
+}
+
+/// Checking is read-only in open-world mode too: a checked and an
+/// unchecked run of the same streamed workload are identical.
+#[test]
+fn checked_mode_is_transparent_under_arrivals() {
+    for policy in [AdmissionPolicy::Defer, AdmissionPolicy::Drop] {
+        let plan = mixed_plan(17, 5, policy);
+        let tree = small_tree(21);
+        let cfg = SimConfig::interruptible(2, 1).with_arrivals(plan);
+        let checked = Simulation::new(tree.clone(), cfg.clone().with_checked(true)).run();
+        let unchecked = Simulation::new(tree, cfg.with_checked(false)).run();
+        assert_eq!(checked, unchecked);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism proptests (batch vs streaming entry points, snapshots)
+// ---------------------------------------------------------------------------
+
+/// Strategy: an arbitrary valid plan always containing a Poisson, a
+/// burst, and a trace class, random cap and policy.
+fn arb_plan() -> impl Strategy<Value = ArrivalPlan> {
+    (
+        any::<u64>(),
+        (1u64..6, 1u64..20),                    // poisson: mean_gap, count
+        (0u64..25, 1u64..15, 1u64..3, 1u64..4), // burst: phase, period, size, bursts
+        prop::collection::vec(0u64..120, 1..5), // trace times (unsorted)
+        (1u64..3, 4u64..10),                    // burst class width, queue cap
+        any::<bool>(),                          // policy coin
+    )
+        .prop_map(
+            |(
+                seed,
+                (mean_gap, count),
+                (phase, period, size, bursts),
+                times,
+                (width, cap),
+                defer,
+            )| {
+                ArrivalPlan {
+                    seed,
+                    classes: vec![
+                        TaskClass {
+                            name: "p".into(),
+                            work_units: 1,
+                            process: ArrivalProcess::Poisson { mean_gap, count },
+                        },
+                        TaskClass {
+                            name: "b".into(),
+                            work_units: width,
+                            process: ArrivalProcess::Burst {
+                                phase,
+                                period,
+                                size,
+                                bursts,
+                            },
+                        },
+                        TaskClass {
+                            name: "t".into(),
+                            work_units: 1,
+                            process: ArrivalProcess::Trace { times },
+                        },
+                    ],
+                    queue_cap: cap,
+                    policy: if defer {
+                        AdmissionPolicy::Defer
+                    } else {
+                        AdmissionPolicy::Drop
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One plan, every entry point, bit-identical everywhere: the batch
+    /// `run()`, the manual step loop, the traced run (twice — the event
+    /// stream itself must be reproducible), and a run resumed from a
+    /// mid-stream snapshot all yield the same `RunResult`.
+    #[test]
+    fn arrival_runs_are_deterministic_across_entry_points(
+        plan in arb_plan(),
+        tree_seed in 0u64..1_000_000,
+        k in 0u64..300,
+    ) {
+        let tree = small_tree(tree_seed);
+        let cfg = SimConfig::interruptible(2, 1)
+            .with_arrivals(plan)
+            .with_checked(false);
+
+        // Batch entry point, twice: same bits.
+        let reference = Simulation::new(tree.clone(), cfg.clone()).run();
+        let again = Simulation::new(tree.clone(), cfg.clone()).run();
+        prop_assert_eq!(&again, &reference);
+
+        // Streaming entry point: manual step loop + terminal oracle.
+        let stepped = finish(Simulation::new(tree.clone(), cfg.clone()));
+        prop_assert_eq!(&stepped, &reference);
+
+        // Traced entry point, twice: identical result AND identical
+        // event stream.
+        let sim = Simulation::traced(tree.clone(), cfg.clone(), SimWorkspace::new(), VecSink::new());
+        let (r1, _, s1) = sim.run_traced();
+        let sim = Simulation::traced(tree.clone(), cfg.clone(), SimWorkspace::new(), VecSink::new());
+        let (r2, _, s2) = sim.run_traced();
+        prop_assert_eq!(&r1, &reference);
+        prop_assert_eq!(&r2, &reference);
+        prop_assert_eq!(s1.records, s2.records, "trace stream must be reproducible");
+
+        // Snapshot mid-stream (possibly with pending arrivals and a
+        // non-empty deferred queue), resume, finish: same bits.
+        let mut sim = Simulation::new(tree, cfg);
+        let mut stepped_events = 0u64;
+        while stepped_events < k && sim.step() {
+            stepped_events += 1;
+        }
+        let snap = sim.snapshot();
+        prop_assert_eq!(&finish(sim), &reference);
+        prop_assert_eq!(&finish(snap.resume()), &reference);
+    }
+
+    /// The schedule the engine consumed is exactly the plan's
+    /// pregenerated one: total submissions and the per-class split match
+    /// the static schedule, independent of tree and policy.
+    #[test]
+    fn submission_ledger_matches_static_schedule(
+        plan in arb_plan(),
+        tree_seed in 0u64..1_000_000,
+    ) {
+        let schedule_units: u64 = plan.schedule().iter().map(|a| a.units).sum();
+        let total = plan.total_units();
+        prop_assert_eq!(schedule_units, total);
+        let policy = plan.policy;
+        let cfg = SimConfig::interruptible(2, 1)
+            .with_arrivals(plan)
+            .with_checked(true);
+        let r = Simulation::new(small_tree(tree_seed), cfg).run();
+        let ar = &r.arrivals;
+        prop_assert_eq!(ar.submitted, total);
+        prop_assert_eq!(ar.admitted + ar.rejected, total);
+        if policy == AdmissionPolicy::Defer {
+            prop_assert_eq!(ar.rejected, 0);
+        }
+        prop_assert_eq!({ r.tasks_completed() }, ar.admitted);
+        prop_assert_eq!(
+            ar.admitted_per_class.iter().sum::<u64>(),
+            ar.admitted
+        );
+        prop_assert_eq!(
+            ar.completed_per_class.iter().sum::<u64>(),
+            { r.tasks_completed() }
+        );
+    }
+}

@@ -6,8 +6,9 @@
 //! scripted-change legs × elision on/off × random capture points.
 
 use bc_engine::{
-    ChangeKind, FaultEvent, FaultKind, FaultPlan, PlannedChange, RunResult, SelectorKind,
-    SimConfig, SimSnapshot, SimWorkspace, Simulation, SnapshotError,
+    AdmissionPolicy, ArrivalPlan, ArrivalProcess, ChangeKind, FaultEvent, FaultKind, FaultPlan,
+    PlannedChange, RunResult, SelectorKind, SimConfig, SimSnapshot, SimWorkspace, Simulation,
+    SnapshotError, TaskClass,
 };
 use bc_platform::{NodeId, RandomTreeConfig, Tree};
 use bc_simcore::VecSink;
@@ -91,6 +92,38 @@ fn change_script(nodes: usize) -> Vec<PlannedChange> {
     ]
 }
 
+/// An open-world workload whose bursts overrun the admission queue, so
+/// mid-run captures land with pending arrivals and (under `Defer`) a
+/// non-empty deferred queue — the `ArrivalCursor` layer of the snapshot
+/// is exercised in anger, not just in its empty state.
+fn arrival_plan(policy: AdmissionPolicy) -> ArrivalPlan {
+    ArrivalPlan {
+        seed: 31,
+        classes: vec![
+            TaskClass {
+                name: "background".into(),
+                work_units: 1,
+                process: ArrivalProcess::Poisson {
+                    mean_gap: 3,
+                    count: 25,
+                },
+            },
+            TaskClass {
+                name: "burst".into(),
+                work_units: 3,
+                process: ArrivalProcess::Burst {
+                    phase: 8,
+                    period: 20,
+                    size: 2,
+                    bursts: 5,
+                },
+            },
+        ],
+        queue_cap: 4,
+        policy,
+    }
+}
+
 /// Steps to completion and returns the result (keeping the terminal
 /// oracle in the loop).
 fn finish(mut sim: Simulation) -> RunResult {
@@ -118,12 +151,14 @@ proptest! {
     /// to never snapshotting, across the full variant matrix — both
     /// restoring the in-memory snapshot and round-tripping it through
     /// the serialized form. The serialized form itself must re-encode
-    /// byte-identically after decoding.
+    /// byte-identically after decoding. Legs 3/4 run the open-world
+    /// arrival layer (Defer and Drop), so captures land with pending
+    /// arrivals and deferred backlogs.
     #[test]
     fn restore_continues_bit_identically(
         seed in 0u64..1_000_000,
         k in 0u64..600,
-        leg in 0u8..3,
+        leg in 0u8..5,
         elide_coin in 0u8..2,
     ) {
         let elide = elide_coin == 1;
@@ -140,6 +175,8 @@ proptest! {
             match leg {
                 1 => cfg = cfg.with_fault_plan(fault_plan(tree.len())),
                 2 => { cfg.changes = change_script(tree.len()); }
+                3 => cfg = cfg.with_arrivals(arrival_plan(AdmissionPolicy::Defer)),
+                4 => cfg = cfg.with_arrivals(arrival_plan(AdmissionPolicy::Drop)),
                 _ => {}
             }
             cfg = cfg.with_checkpoints(vec![10, 30]);
@@ -165,9 +202,8 @@ proptest! {
     fn trace_suffix_is_bit_identical(
         seed in 0u64..1_000_000,
         k in 0u64..400,
-        faulted_coin in 0u8..2,
+        leg in 0u8..3,
     ) {
-        let faulted = faulted_coin == 1;
         let gen = RandomTreeConfig {
             min_nodes: 2,
             max_nodes: 10,
@@ -177,8 +213,12 @@ proptest! {
         };
         let tree = gen.generate(seed);
         let mut cfg = SimConfig::interruptible(2, 50).with_checked(false);
-        if faulted {
-            cfg = cfg.with_fault_plan(fault_plan(tree.len()));
+        match leg {
+            1 => cfg = cfg.with_fault_plan(fault_plan(tree.len())),
+            // The restored stream must replay admission decisions
+            // (arrival/admit/defer events) bit-identically too.
+            2 => cfg = cfg.with_arrivals(arrival_plan(AdmissionPolicy::Defer)),
+            _ => {}
         }
         let mut sim = Simulation::traced(tree, cfg, SimWorkspace::new(), VecSink::new());
         let mut stepped = 0u64;
@@ -195,6 +235,52 @@ proptest! {
         prop_assert!(suffix.len() <= full.len());
         prop_assert_eq!(&full[full.len() - suffix.len()..], &suffix[..],
             "restored trace suffix diverged");
+    }
+}
+
+/// Exhaustive mid-stream sweep for the arrival layer: snapshot after
+/// *every* event of an overloaded `Defer` run, restore each, and demand
+/// the exact reference result. Some captures necessarily land with a
+/// non-empty deferred queue and arrivals still pending (the run's
+/// deferral count proves backpressure engaged), so the `ArrivalCursor`
+/// state — cursor, deferred indices, per-class ledgers — must round-trip
+/// through both the in-memory and the serialized path.
+#[test]
+fn arrival_snapshots_restore_exactly_at_every_event() {
+    let tree = RandomTreeConfig::default().generate(17);
+    let cfg = SimConfig::interruptible(2, 1)
+        .with_arrivals(arrival_plan(AdmissionPolicy::Defer))
+        .with_checked(false);
+    let reference = finish(Simulation::new(tree.clone(), cfg.clone()));
+    assert!(
+        reference.arrivals.deferrals > 0,
+        "workload must engage backpressure for this sweep to mean anything"
+    );
+    let mut sim = Simulation::new(tree, cfg);
+    let mut event = 0u64;
+    loop {
+        let snap = sim.snapshot();
+        assert_eq!(
+            finish(snap.resume()),
+            reference,
+            "in-memory restore diverged at event {event}"
+        );
+        // Serialize every 7th capture (the cursor layer moves every few
+        // events; encoding all ~1k would only slow the suite down).
+        if event.is_multiple_of(7) {
+            let bytes = snap.to_bytes();
+            let decoded = SimSnapshot::from_bytes(&bytes).expect("decode own snapshot");
+            assert_eq!(decoded.to_bytes(), bytes, "re-encode at event {event}");
+            assert_eq!(
+                finish(decoded.resume()),
+                reference,
+                "serialized restore diverged at event {event}"
+            );
+        }
+        if !sim.step() {
+            break;
+        }
+        event += 1;
     }
 }
 

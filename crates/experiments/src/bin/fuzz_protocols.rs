@@ -17,17 +17,25 @@
 //!   the suffix after the last snapshot is replayed (also part of
 //!   `--smoke`). Exit 1 if the suffix replay disagrees with the full
 //!   run.
-//! * `--repro SPEC --variant NAME [--fault fb|leak:N|swallow]` — re-run
-//!   one shrunk case printed by a previous fuzz run (the spec's third
-//!   `|` segment, when present, is its fault schedule). Exit 1 while
-//!   the failure reproduces, 0 once it is fixed.
+//! * `--arrival-smoke` — exercise the open-world streaming legs: a
+//!   generated arrival plan checked per event, a mid-stream fork whose
+//!   suffix replays cleanly, and the `LeakQueuedTask` validation fault
+//!   caught as an arrival-conservation violation (also part of
+//!   `--smoke`). Exit 1 if any leg disagrees.
+//! * `--repro SPEC --variant NAME [--arrivals N] [--fault
+//!   fb|leak:N|leakq:N|swallow]` — re-run one shrunk case printed by a
+//!   previous fuzz run (the spec's third `|` segment, when present, is
+//!   its fault schedule; `--arrivals` regenerates the open-world plan
+//!   of an arrival-leg failure from its seed). Exit 1 while the failure
+//!   reproduces, 0 once it is fixed.
 //!
 //! See EXPERIMENTS.md ("Fuzzing the protocols") for the workflow.
 
 use bc_engine::FaultInjection;
 use bc_experiments::fuzz::{
-    case_config, fork_smoke, fuzz, parse_fault, run_case, shrink, trace_tail, variant_by_name,
-    variants, with_quiet_panics, CaseSpec, Failure, FAULT_PLAN_VARIANTS,
+    arrival_smoke, case_config, fork_smoke, fuzz, fuzz_arrival_plan, parse_fault, run_case, shrink,
+    trace_tail, variant_by_name, variants, with_quiet_panics, CaseSpec, Failure, ARRIVAL_VARIANTS,
+    FAULT_PLAN_VARIANTS,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -39,15 +47,18 @@ struct Args {
     smoke: bool,
     self_test: bool,
     fork_smoke: bool,
+    arrival_smoke: bool,
     repro: Option<String>,
     variant: Option<String>,
+    arrivals: Option<u64>,
     fault: Option<FaultInjection>,
     threads: Option<usize>,
 }
 
 const USAGE: &str = "usage: fuzz_protocols [--cases N] [--tasks N] [--seed N] [--threads N]\n\
-                     \x20                     [--smoke] [--self-test] [--fork-smoke]\n\
-                     \x20                     [--repro SPEC --variant NAME [--fault fb|leak:N|swallow]]\n\
+                     \x20                     [--smoke] [--self-test] [--fork-smoke] [--arrival-smoke]\n\
+                     \x20                     [--repro SPEC --variant NAME [--arrivals N]\n\
+                     \x20                      [--fault fb|leak:N|leakq:N|swallow]]\n\
                      defaults: cases=1000, tasks=250, seed=2003";
 
 fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<String>> {
@@ -58,8 +69,10 @@ fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<Stri
         smoke: false,
         self_test: false,
         fork_smoke: false,
+        arrival_smoke: false,
         repro: None,
         variant: None,
+        arrivals: None,
         fault: None,
         threads: None,
     };
@@ -87,8 +100,10 @@ fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<Stri
             "--smoke" => out.smoke = true,
             "--self-test" => out.self_test = true,
             "--fork-smoke" => out.fork_smoke = true,
+            "--arrival-smoke" => out.arrival_smoke = true,
             "--repro" => out.repro = Some(value("--repro")?),
             "--variant" => out.variant = Some(value("--variant")?),
+            "--arrivals" => out.arrivals = Some(number("--arrivals", value("--arrivals")?)?),
             "--fault" => out.fault = Some(parse_fault(&value("--fault")?).map_err(Some)?),
             "--help" | "-h" => return Err(None),
             other => return Err(Some(format!("unknown flag {other}"))),
@@ -96,6 +111,9 @@ fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, Option<Stri
     }
     if out.repro.is_some() && out.variant.is_none() {
         return Err(Some("--repro requires --variant".into()));
+    }
+    if out.arrivals.is_some() && out.repro.is_none() {
+        return Err(Some("--arrivals only makes sense with --repro".into()));
     }
     Ok(out)
 }
@@ -174,13 +192,38 @@ fn self_test(seed: u64, tasks: u64) -> Result<String, String> {
             swallow_failures[0].message
         ));
     }
+    // Queued-task leak: only the open-world legs have an admission
+    // queue to corrupt, so exactly they must break arrival conservation.
+    let (_, qleak_failures) = with_quiet_panics(|| {
+        fuzz(
+            seed,
+            4,
+            tasks.max(100),
+            Some(FaultInjection::LeakQueuedTask { every: 1 }),
+        )
+    });
+    if qleak_failures.is_empty() {
+        return Err("queued-task-leak fault went UNDETECTED".into());
+    }
+    if !qleak_failures
+        .iter()
+        .any(|f| f.message.contains("arrival-conservation") && f.arrival_seed.is_some())
+    {
+        return Err(format!(
+            "queued-task leak was caught but not as an arrival-conservation \
+             violation on an open-world leg: {}",
+            qleak_failures[0].message
+        ));
+    }
     Ok(format!(
         "self-test: FB off-by-one caught in {} runs (worst reproducer {} nodes), \
-         task leak caught in {} runs, swallowed reissue caught in {} runs",
+         task leak caught in {} runs, swallowed reissue caught in {} runs, \
+         queued-task leak caught in {} open-world runs",
         fb_failures.len(),
         worst,
         leak_failures.len(),
-        swallow_failures.len()
+        swallow_failures.len(),
+        qleak_failures.len()
     ))
 }
 
@@ -224,6 +267,12 @@ fn main() -> ExitCode {
                     .join(", ")
             );
             return ExitCode::from(2);
+        };
+        // An arrival-leg failure's workload is a pure function of its
+        // printed seed; regenerate it so the repro streams the same plan.
+        let cfg = match args.arrivals {
+            Some(s) => cfg.with_arrivals(fuzz_arrival_plan(s)),
+            None => cfg,
         };
         let cfg = match args.fault {
             Some(f) => cfg.with_fault(f),
@@ -271,7 +320,7 @@ fn main() -> ExitCode {
                 ok = false;
             }
         }
-        if args.self_test && !args.smoke && !args.fork_smoke {
+        if args.self_test && !args.smoke && !args.fork_smoke && !args.arrival_smoke {
             return if ok {
                 ExitCode::SUCCESS
             } else {
@@ -288,7 +337,24 @@ fn main() -> ExitCode {
                 ok = false;
             }
         }
-        if args.fork_smoke && !args.smoke {
+        if args.fork_smoke && !args.smoke && !args.arrival_smoke {
+            return if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    }
+
+    if args.arrival_smoke || args.smoke {
+        match arrival_smoke(args.seed, args.tasks.min(200)) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("ARRIVAL SMOKE FAILED: {msg}");
+                ok = false;
+            }
+        }
+        if args.arrival_smoke && !args.smoke {
             return if ok {
                 ExitCode::SUCCESS
             } else {
@@ -304,10 +370,11 @@ fn main() -> ExitCode {
     };
     let (runs, failures) = with_quiet_panics(|| fuzz(args.seed, cases, args.tasks, None));
     println!(
-        "fuzzed {cases} trees x {} variants ({} fault-plan legs each) = {runs} checked runs \
-         in {:.1}s: {} violation(s)",
+        "fuzzed {cases} trees x {} variants ({} fault-plan + {} arrival legs each) = \
+         {runs} checked runs in {:.1}s: {} violation(s)",
         variants(1).len(),
         FAULT_PLAN_VARIANTS.len(),
+        ARRIVAL_VARIANTS.len(),
         started.elapsed().as_secs_f64(),
         failures.len()
     );

@@ -1,0 +1,25 @@
+//! Runs the latency-under-sustained-load sweep (open-world extension)
+//! and optionally refreshes the committed `BENCH_latency.json`.
+
+use bc_experiments::cli::{parse, write_artifact, Defaults};
+use bc_experiments::latency_load::{self, LatencyLoadConfig};
+
+fn main() {
+    let cli = parse(
+        std::env::args().skip(1),
+        Defaults {
+            trees: 32,
+            full_trees: 256,
+            tasks: 120,
+        },
+    );
+    let cfg = LatencyLoadConfig {
+        trees: cli.trees,
+        tasks: cli.tasks,
+        seed: cli.seed,
+        ..LatencyLoadConfig::default()
+    };
+    let report = latency_load::run(&cfg);
+    print!("{}", latency_load::render(&report));
+    write_artifact(&cli, "latency_load.json", &latency_load::to_json(&report));
+}

@@ -16,8 +16,8 @@
 
 use bc_core::{GrowthGate, ObserverKind};
 use bc_engine::{
-    FaultEvent, FaultInjection, FaultKind, FaultPlan, RecoveryTuning, SelectorKind, SimConfig,
-    SimSnapshot, SimWorkspace, Simulation,
+    AdmissionPolicy, ArrivalPlan, ArrivalProcess, FaultEvent, FaultInjection, FaultKind, FaultPlan,
+    RecoveryTuning, SelectorKind, SimConfig, SimSnapshot, SimWorkspace, Simulation, TaskClass,
 };
 use bc_platform::{NodeId, Tree};
 use bc_simcore::trace::{RingRecorder, TraceEvent, TraceRecord, TraceSink};
@@ -40,6 +40,57 @@ pub const FUZZ_FAULT_SEED: u64 = 0xFA17;
 /// fixed and growable pools). Reproduce with the same `--variant` name —
 /// the fault schedule rides in the spec's third segment.
 pub const FAULT_PLAN_VARIANTS: [&str; 3] = ["ic-fb3", "nonic-ib1-every", "nonic-fb2"];
+
+/// Variants the open-world arrival legs run under. Reproduce with the
+/// same `--variant` name plus `--arrivals <seed>` (the whole plan is a
+/// pure function of that seed; see [`fuzz_arrival_plan`]).
+pub const ARRIVAL_VARIANTS: [&str; 3] = ["ic-fb2", "nonic-ib1-every", "nonic-fb2"];
+
+/// Salt mixed into the campaign seed to derive per-case arrival seeds.
+pub const FUZZ_ARRIVAL_SALT: u64 = 0xA881;
+
+/// Deterministically derives an open-world workload from one seed: a
+/// Poisson background class plus a bursty class sized so a full burst
+/// always overruns the admission queue (every plan exercises the
+/// admission gate, not just the happy path). Policy is `Defer` three
+/// times in four — backpressure has the richer invariant surface — and
+/// `Drop` otherwise.
+pub fn fuzz_arrival_plan(arr_seed: u64) -> ArrivalPlan {
+    let mut rng = SmallRng::seed_from_u64(arr_seed);
+    let width = rng.random_range(1..=2u64);
+    let cap = rng.random_range(3..=8u64).max(width);
+    // size * width > cap: the burst instant must hit the bound.
+    let size = cap / width + 1;
+    ArrivalPlan {
+        seed: rng.random(),
+        classes: vec![
+            TaskClass {
+                name: "background".into(),
+                work_units: 1,
+                process: ArrivalProcess::Poisson {
+                    mean_gap: rng.random_range(1..=5),
+                    count: rng.random_range(15..=40),
+                },
+            },
+            TaskClass {
+                name: "burst".into(),
+                work_units: width,
+                process: ArrivalProcess::Burst {
+                    phase: rng.random_range(0..=20),
+                    period: rng.random_range(5..=25),
+                    size,
+                    bursts: rng.random_range(2..=4),
+                },
+            },
+        ],
+        queue_cap: cap,
+        policy: if rng.random_range(0..4) < 3 {
+            AdmissionPolicy::Defer
+        } else {
+            AdmissionPolicy::Drop
+        },
+    }
+}
 
 // ---------------------------------------------------------------------
 // Case specification
@@ -484,7 +535,16 @@ pub fn parse_fault(s: &str) -> Result<FaultInjection, String> {
         }
         return Ok(FaultInjection::LeakTask { every });
     }
-    Err(format!("unknown fault {s:?}; use fb, leak:N, or swallow"))
+    if let Some(n) = s.strip_prefix("leakq:") {
+        let every: u64 = n.parse().map_err(|_| format!("bad leakq period {n:?}"))?;
+        if every == 0 {
+            return Err("leakq period must be >= 1".into());
+        }
+        return Ok(FaultInjection::LeakQueuedTask { every });
+    }
+    Err(format!(
+        "unknown fault {s:?}; use fb, leak:N, leakq:N, or swallow"
+    ))
 }
 
 /// Renders a fault back to its `--fault` operand.
@@ -493,6 +553,7 @@ pub fn fault_flag(f: FaultInjection) -> String {
         FaultInjection::FbOffByOne => "fb".into(),
         FaultInjection::LeakTask { every } => format!("leak:{every}"),
         FaultInjection::SwallowReissue => "swallow".into(),
+        FaultInjection::LeakQueuedTask { every } => format!("leakq:{every}"),
     }
 }
 
@@ -779,6 +840,73 @@ pub fn fork_smoke(seed: u64, tasks: u64) -> Result<String, String> {
     ))
 }
 
+/// Open-world (streaming) smoke: a generated arrival plan on a generated
+/// tree must (1) pass per-event checking end to end, (2) survive a
+/// mid-stream fork — snapshot taken while the arrival schedule is still
+/// partially consumed, suffix replayed cleanly to the same end — and
+/// (3) have its `LeakQueuedTask` checker-validation fault caught as an
+/// `arrival-conservation` violation. Returns a summary, or what broke.
+pub fn arrival_smoke(seed: u64, tasks: u64) -> Result<String, String> {
+    let spec = generate_case(seed, 0);
+    let tree = spec.to_tree();
+    // Scan for a deferring plan — backpressure is the richer leg (Drop
+    // sheds the overrun instead of queueing it), and `LeakQueuedTask`
+    // needs deferrals to corrupt. Three in four plans defer, so this
+    // terminates almost immediately; it stays a pure function of `seed`.
+    let arr_seed = (0u64..16)
+        .map(|k| split_seed(seed ^ FUZZ_ARRIVAL_SALT, k))
+        .find(|&s| fuzz_arrival_plan(s).policy == AdmissionPolicy::Defer)
+        .ok_or("no deferring plan in 16 derived seeds")?;
+    let plan = fuzz_arrival_plan(arr_seed);
+    let cfg = variant_by_name("ic-fb2", tasks)
+        .expect("known variant")
+        .with_arrivals(plan)
+        .with_elision(false);
+
+    // Leg 1: the streamed run passes per-event checking.
+    run_case(&tree, &cfg).map_err(|e| format!("faithful streamed run flagged: {e}"))?;
+
+    // Leg 2: mid-stream fork. A small period lands the kept snapshot
+    // inside the stream (pending arrivals and, under backpressure, a
+    // non-empty admission queue), and the suffix must replay to the
+    // same clean end in exactly the events it skipped to.
+    let fork = run_case_snapshotting(&tree, &cfg, 32);
+    fork.verdict
+        .as_ref()
+        .map_err(|e| format!("streamed fork-mode run flagged: {e}"))?;
+    let snap = fork
+        .snapshot
+        .as_ref()
+        .ok_or("streamed run ended before the first capture")?;
+    let (verdict, replayed) = replay_suffix(snap);
+    verdict.map_err(|e| format!("streamed suffix replay flagged: {e}"))?;
+    if replayed != fork.total_events - fork.snapshot_events {
+        return Err(format!(
+            "streamed suffix replayed {replayed} events, expected {}",
+            fork.total_events - fork.snapshot_events
+        ));
+    }
+
+    // Leg 3: the checker must catch a leaked queued task immediately.
+    let leaky = cfg.with_fault(FaultInjection::LeakQueuedTask { every: 1 });
+    match with_quiet_panics(|| run_case(&tree, &leaky)) {
+        Ok(()) => return Err("injected queued-task leak went undetected".into()),
+        Err(m) if !m.contains("arrival-conservation") => {
+            return Err(format!(
+                "queued-task leak surfaced as the wrong violation: {m}"
+            ));
+        }
+        Err(_) => {}
+    }
+    Ok(format!(
+        "arrival smoke: streamed run checked per-event; suffix of {replayed} \
+         event(s) (fork at event {at} of {total}) replayed exactly; injected \
+         queued-task leak caught as arrival-conservation (arrival seed {arr_seed})",
+        at = fork.snapshot_events,
+        total = fork.total_events,
+    ))
+}
+
 // ---------------------------------------------------------------------
 // Shrinking
 // ---------------------------------------------------------------------
@@ -873,6 +1001,9 @@ pub struct Failure {
     pub tasks: u64,
     /// Injected fault, if any (self-test runs).
     pub fault: Option<FaultInjection>,
+    /// Arrival-plan seed, when the failure came from an open-world leg
+    /// (the full plan is [`fuzz_arrival_plan`] of this seed).
+    pub arrival_seed: Option<u64>,
 }
 
 impl Failure {
@@ -885,6 +1016,9 @@ impl Failure {
             self.variant,
             self.tasks
         );
+        if let Some(s) = self.arrival_seed {
+            cmd.push_str(&format!(" --arrivals {s}"));
+        }
         if let Some(f) = self.fault {
             cmd.push_str(&format!(" --fault {}", fault_flag(f)));
         }
@@ -894,9 +1028,10 @@ impl Failure {
 
 /// Fuzz `cases` generated trees, each under every protocol variant —
 /// fault-free, then under a generated low-intensity fault plan for the
-/// [`FAULT_PLAN_VARIANTS`] subset — in parallel. Failures are shrunk
-/// before being returned. `fault` injects a deliberate bug into every
-/// run (self-test mode).
+/// [`FAULT_PLAN_VARIANTS`] subset, then under a generated open-world
+/// arrival plan for the [`ARRIVAL_VARIANTS`] subset — in parallel.
+/// Failures are shrunk before being returned. `fault` injects a
+/// deliberate bug into every run (self-test mode).
 pub fn fuzz(
     seed: u64,
     cases: usize,
@@ -910,7 +1045,11 @@ pub fn fuzz(
             let tree = spec.to_tree();
             let mut runs = 0u64;
             let mut failures = Vec::new();
-            let mut check = |spec: &CaseSpec, tree: &Tree, name: &'static str, base: SimConfig| {
+            let mut check = |spec: &CaseSpec,
+                             tree: &Tree,
+                             name: &'static str,
+                             base: SimConfig,
+                             arrival_seed: Option<u64>| {
                 let base = match fault {
                     Some(f) => base.with_fault(f),
                     None => base,
@@ -925,11 +1064,12 @@ pub fn fuzz(
                         spec: shrink(spec.clone(), &base),
                         tasks,
                         fault,
+                        arrival_seed,
                     });
                 }
             };
             for (name, cfg) in variants(tasks) {
-                check(&spec, &tree, name, cfg);
+                check(&spec, &tree, name, cfg, None);
             }
             let faulted = CaseSpec {
                 faults: generate_faults(seed, i, &spec),
@@ -937,7 +1077,17 @@ pub fn fuzz(
             };
             for name in FAULT_PLAN_VARIANTS {
                 let cfg = variant_by_name(name, tasks).expect("known fault-plan variant");
-                check(&faulted, &tree, name, cfg);
+                check(&faulted, &tree, name, cfg, None);
+            }
+            // Open-world legs: the same tree fed by a streamed workload
+            // (fault-free spec, so the admission-bound invariant stays
+            // armed). The plan is a pure function of the arrival seed.
+            let arr_seed = split_seed(seed ^ FUZZ_ARRIVAL_SALT, i as u64);
+            for name in ARRIVAL_VARIANTS {
+                let cfg = variant_by_name(name, tasks)
+                    .expect("known arrival variant")
+                    .with_arrivals(fuzz_arrival_plan(arr_seed));
+                check(&spec, &tree, name, cfg, Some(arr_seed));
             }
             (runs, failures)
         })
@@ -1061,7 +1211,7 @@ mod tests {
         let (runs, failures) = fuzz(2003, 12, 120, None);
         assert_eq!(
             runs,
-            12 * (variants(1).len() + FAULT_PLAN_VARIANTS.len()) as u64
+            12 * (variants(1).len() + FAULT_PLAN_VARIANTS.len() + ARRIVAL_VARIANTS.len()) as u64
         );
         assert!(
             failures.is_empty(),
@@ -1137,6 +1287,49 @@ mod tests {
     fn fork_smoke_validates_suffix_replay() {
         let msg = fork_smoke(2003, 120).expect("fork smoke must pass on a faithful engine");
         assert!(msg.contains("reproduced"), "{msg}");
+    }
+
+    #[test]
+    fn arrival_smoke_validates_open_world_checking() {
+        let msg = arrival_smoke(2003, 120).expect("arrival smoke must pass on a faithful engine");
+        assert!(msg.contains("arrival-conservation"), "{msg}");
+        assert!(msg.contains("replayed exactly"), "{msg}");
+    }
+
+    #[test]
+    fn injected_queued_task_leak_is_caught_on_arrival_legs() {
+        // `LeakQueuedTask` only bites where there is an admission queue
+        // to corrupt — the closed-world legs never defer, so exactly the
+        // open-world legs (with a deferring plan) must flag it.
+        let failures = with_quiet_panics(|| {
+            let (_, f) = fuzz(
+                2003,
+                4,
+                120,
+                Some(FaultInjection::LeakQueuedTask { every: 1 }),
+            );
+            f
+        });
+        assert!(!failures.is_empty(), "queued-task leak went undetected");
+        let flagged = failures
+            .iter()
+            .find(|f| f.message.contains("arrival-conservation"))
+            .expect("leak must surface as arrival-conservation");
+        let arr_seed = flagged.arrival_seed.expect("an open-world leg caught it");
+        assert!(
+            flagged
+                .repro_command()
+                .contains(&format!("--arrivals {arr_seed}")),
+            "{}",
+            flagged.repro_command()
+        );
+        // The reproducer's ingredients rebuild a failing run.
+        let cfg = variant_by_name(flagged.variant, flagged.tasks)
+            .unwrap()
+            .with_arrivals(fuzz_arrival_plan(arr_seed))
+            .with_fault(FaultInjection::LeakQueuedTask { every: 1 });
+        let spec = CaseSpec::decode(&flagged.spec.encode()).unwrap();
+        assert!(with_quiet_panics(|| run_case(&spec.to_tree(), &cfg)).is_err());
     }
 
     #[test]

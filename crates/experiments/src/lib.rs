@@ -17,6 +17,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fuzz;
 pub mod goldens;
+pub mod latency_load;
 pub mod overlay;
 pub mod resilience;
 pub mod startup;

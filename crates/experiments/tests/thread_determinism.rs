@@ -6,7 +6,7 @@
 //! bit-identical to folding the materialized campaign, again at every
 //! thread count.
 
-use bc_engine::SimConfig;
+use bc_engine::{AdmissionPolicy, ArrivalPlan, ArrivalProcess, SimConfig, TaskClass};
 use bc_experiments::campaign::{
     accumulate_materialized, run_campaign, run_campaign_streaming, run_campaign_with_results,
     CampaignConfig, TreeRun,
@@ -59,6 +59,39 @@ fn fingerprint(runs: &[TreeRun]) -> Vec<(usize, Option<u64>, u64, u64, u32, Stri
         .collect()
 }
 
+/// An open-world config for the arrival-leg tests below: a Poisson
+/// background plus a burst class that overruns the queue, deferred. The
+/// plan is a pure function of the campaign seed, so every worker
+/// regenerates the same schedule.
+fn arrival_config(seed: u64) -> SimConfig {
+    let plan = ArrivalPlan {
+        seed,
+        classes: vec![
+            TaskClass {
+                name: "background".into(),
+                work_units: 1,
+                process: ArrivalProcess::Poisson {
+                    mean_gap: 3,
+                    count: 200,
+                },
+            },
+            TaskClass {
+                name: "burst".into(),
+                work_units: 4,
+                process: ArrivalProcess::Burst {
+                    phase: 10,
+                    period: 30,
+                    size: 3,
+                    bursts: 10,
+                },
+            },
+        ],
+        queue_cap: 6,
+        policy: AdmissionPolicy::Defer,
+    };
+    SimConfig::interruptible(3, 1).with_arrivals(plan)
+}
+
 #[test]
 fn campaign_summaries_are_bit_identical_across_thread_counts() {
     let _pool = POOL.lock().unwrap();
@@ -69,19 +102,25 @@ fn campaign_summaries_are_bit_identical_across_thread_counts() {
         assert_eq!(rayon::current_num_threads(), threads);
         let ic = run_campaign(&c, |t| SimConfig::interruptible(3, t));
         let nonic = run_campaign(&c, |t| SimConfig::non_interruptible(1, t));
+        let arrivals = run_campaign(&c, |_| arrival_config(c.seed));
         baselines.push(fingerprint(&ic));
         baselines.push(fingerprint(&nonic));
+        baselines.push(fingerprint(&arrivals));
     }
     // Restore automatic sizing; the global override outlives the test.
     set_threads(0);
-    for pair in baselines.chunks(2).skip(1) {
+    for group in baselines.chunks(3).skip(1) {
         assert_eq!(
-            baselines[0], pair[0],
+            baselines[0], group[0],
             "IC campaign differs from the single-thread baseline"
         );
         assert_eq!(
-            baselines[1], pair[1],
+            baselines[1], group[1],
             "non-IC campaign differs from the single-thread baseline"
+        );
+        assert_eq!(
+            baselines[2], group[2],
+            "open-world campaign differs from the single-thread baseline"
         );
     }
 }
@@ -107,6 +146,31 @@ fn streamed_campaign_is_bit_identical_to_materialized_across_thread_counts() {
             assert_eq!(
                 streamed, reference,
                 "streamed aggregate diverged at {threads} threads, shard size {shard_size}"
+            );
+        }
+    }
+    set_threads(0);
+}
+
+/// The same contract for the open-world arrival leg: the batch
+/// (materialized) and streaming sharded entry points agree bit for bit
+/// on a streamed-workload campaign at 1/2/4 worker threads.
+#[test]
+fn arrival_campaign_is_bit_identical_across_entry_points_and_threads() {
+    let _pool = POOL.lock().unwrap();
+    let c = campaign();
+    set_threads(1);
+    let reference =
+        accumulate_materialized(&run_campaign_with_results(&c, |_| arrival_config(c.seed)));
+    for threads in [1usize, 2, 4] {
+        set_threads(threads);
+        assert_eq!(rayon::current_num_threads(), threads);
+        for shard_size in [1usize, 8, 24] {
+            let streamed = run_campaign_streaming(&c, shard_size, |_| arrival_config(c.seed));
+            assert_eq!(
+                streamed, reference,
+                "open-world streamed aggregate diverged at {threads} threads, \
+                 shard size {shard_size}"
             );
         }
     }

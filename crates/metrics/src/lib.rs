@@ -2,9 +2,10 @@
 //!
 //! The sliding growing window of §4.1 ([`windows`]), the empirical
 //! onset-of-optimal-steady-state heuristic ([`onset`]), the recovery
-//! metrics for fault-injected runs ([`recovery`]), and the statistics
-//! helpers (medians, histograms, table/CSV rendering) the experiment
-//! harness builds tables and figures from ([`stats`]).
+//! metrics for fault-injected runs ([`recovery`]), the per-task latency
+//! decomposition for open-world streamed workloads ([`latency`]), and
+//! the statistics helpers (medians, histograms, table/CSV rendering)
+//! the experiment harness builds tables and figures from ([`stats`]).
 //!
 //! ```
 //! use bc_metrics::{detect_onset, OnsetConfig};
@@ -16,6 +17,7 @@
 //! assert_eq!(onset, Some(302)); // 2nd qualifying window past 300
 //! ```
 
+pub mod latency;
 pub mod onset;
 pub mod plot;
 pub mod recovery;
@@ -23,6 +25,9 @@ pub mod stats;
 pub mod timeline;
 pub mod windows;
 
+pub use latency::{
+    latency_profile, per_class_throughput, rolling_utilization, LatencyProfile, LatencySummary,
+};
 pub use onset::{detect_onset, onset_cdf, reached_optimal, OnsetConfig};
 pub use plot::Chart;
 pub use recovery::{chunk_rates, degraded_fraction, time_to_rate};

@@ -201,7 +201,11 @@ pub fn fold_timelines(records: &[TraceRecord]) -> Vec<NodeTimeline> {
             | TraceEvent::ChildDead { .. }
             | TraceEvent::ChildRevived { .. }
             | TraceEvent::DuplicateDrop { .. }
-            | TraceEvent::JoinDenied { .. } => {}
+            | TraceEvent::JoinDenied { .. }
+            | TraceEvent::TaskArrival { .. }
+            | TraceEvent::TaskAdmit { .. }
+            | TraceEvent::TaskReject { .. }
+            | TraceEvent::TaskDefer { .. } => {}
         }
     }
     for i in 0..timelines.len() {

@@ -1,0 +1,71 @@
+//! `bc-serve` — a long-running JSON-per-line simulation server.
+//!
+//! Reads one request per line on stdin, writes zero or more response
+//! lines per request on stdout, and exits on `{"cmd":"shutdown"}` or
+//! end of input. All state lives in [`bc_serve::Server`]; this binary
+//! is only the stdio plumbing.
+//!
+//! ```text
+//! bc-serve [--threads N]
+//! ```
+//!
+//! `--threads N` pins the rayon worker pool (used by `run-all`) to `N`
+//! threads. Output is byte-identical for any `N` — the flag trades
+//! wall-clock for cores, never determinism.
+
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0);
+                match v {
+                    Some(n) => threads = Some(n),
+                    None => {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: bc-serve [--threads N]");
+                println!("reads JSON requests line-by-line on stdin; see crate docs");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(n) = threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("rayon pool already initialized");
+    }
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut server = bc_serve::Server::new();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        for resp in server.handle_line(&line) {
+            writeln!(out, "{resp}").expect("stdout write failed");
+        }
+        out.flush().expect("stdout flush failed");
+        if server.is_shutdown() {
+            break;
+        }
+    }
+}

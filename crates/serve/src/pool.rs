@@ -1,0 +1,77 @@
+//! Reusable [`SimWorkspace`] pool: concurrent sessions borrow a
+//! workspace on open (or restore) and give it back when the run
+//! finishes, so a long-lived server serving many short sims converges
+//! to steady-state allocations instead of re-growing every arena per
+//! request. The pool is a plain LIFO — reuse is an allocation-level
+//! optimization only and never observable in results (a fresh and a
+//! reused workspace produce bit-identical runs; the engine's campaign
+//! tests enforce this).
+
+use bc_engine::SimWorkspace;
+
+/// A LIFO pool of simulation workspaces with reuse accounting.
+#[derive(Default)]
+pub struct WorkspacePool {
+    free: Vec<SimWorkspace>,
+    created: u64,
+    reused: u64,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a workspace, reusing a released one when available.
+    pub fn acquire(&mut self) -> SimWorkspace {
+        match self.free.pop() {
+            Some(ws) => {
+                self.reused += 1;
+                ws
+            }
+            None => {
+                self.created += 1;
+                SimWorkspace::new()
+            }
+        }
+    }
+
+    /// Returns a workspace to the pool for the next acquire.
+    pub fn release(&mut self, ws: SimWorkspace) {
+        self.free.push(ws);
+    }
+
+    /// Workspaces currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Workspaces ever constructed by this pool.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Acquires that were served from the pool instead of allocating.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_prefers_released_workspaces() {
+        let mut pool = WorkspacePool::new();
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!((pool.created(), pool.reused(), pool.idle()), (2, 0, 0));
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.idle(), 2);
+        let _c = pool.acquire();
+        assert_eq!((pool.created(), pool.reused(), pool.idle()), (2, 1, 1));
+    }
+}

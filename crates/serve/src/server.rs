@@ -1,0 +1,680 @@
+//! The session engine behind `bc-serve`: a pure line-in/lines-out state
+//! machine multiplexing any number of concurrent simulations over one
+//! [`WorkspacePool`].
+//!
+//! [`Server::handle_line`] is deliberately free of I/O — the binary
+//! feeds it stdin lines and prints what comes back, and the e2e tests
+//! drive it in-process and compare byte-for-byte against golden
+//! streams. Determinism contract: the output lines are a pure function
+//! of the request lines, independent of worker-thread count (`run-all`
+//! runs sessions in parallel but emits each session's chunk in
+//! session-name order).
+
+use crate::pool::WorkspacePool;
+use crate::proto::{parse_request, to_hex, OpenSpec, Request};
+use bc_engine::{RunResult, SimSnapshot, SimWorkspace, Simulation, TraceRecord, TraceSink};
+use bc_metrics::{latency_profile, per_class_throughput, LatencyProfile, LatencySummary};
+use bc_simcore::{Time, TraceEvent};
+use rayon::IntoParallelIterator;
+use serde::{object, Value};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------
+// Trace streaming
+// ---------------------------------------------------------------------
+
+/// A sink that appends into a shared buffer the session drains into
+/// output lines between steps. Sessions opened without `"trace":true`
+/// still carry one (so every session has the same `Simulation` type and
+/// identical semantics) but record nothing.
+pub struct StreamSink {
+    buf: Arc<Mutex<Vec<TraceRecord>>>,
+    enabled: bool,
+}
+
+impl TraceSink for StreamSink {
+    fn record(&mut self, time: Time, event: TraceEvent) {
+        if self.enabled {
+            self.buf
+                .lock()
+                .expect("trace buffer poisoned")
+                .push(TraceRecord { time, event });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------
+
+enum State {
+    /// Engine state in memory, ready to step.
+    Live(Box<Simulation<StreamSink>>),
+    /// Snapshot-backed: the engine state was captured and dropped.
+    Paused(Box<SimSnapshot>),
+    /// Finished; the result is kept for metrics queries.
+    Done(Box<RunResult>),
+    /// Transient placeholder while ownership moves (never observable).
+    Moving,
+}
+
+struct Session {
+    state: State,
+    trace: bool,
+    metrics_every: u64,
+    next_metric: u64,
+    buf: Arc<Mutex<Vec<TraceRecord>>>,
+    /// Arrival class names, for per-class throughput in `done`/`metrics`.
+    classes: Vec<String>,
+}
+
+impl Session {
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Live(_) => "live",
+            State::Paused(_) => "paused",
+            State::Done(_) => "done",
+            State::Moving => unreachable!("transient state escaped"),
+        }
+    }
+
+    /// Moves buffered trace records into output lines.
+    fn drain_trace(&mut self, name: &str, out: &mut Vec<String>) {
+        let mut buf = self.buf.lock().expect("trace buffer poisoned");
+        for rec in buf.drain(..) {
+            // The Display form is padded for column alignment; collapse
+            // runs of spaces so wire lines stay compact.
+            let text = rec.to_string();
+            let text: Vec<&str> = text.split_whitespace().collect();
+            out.push(line(
+                "trace",
+                Some(name),
+                vec![
+                    ("t", Value::Int(rec.time as i128)),
+                    ("text", Value::Str(text.join(" "))),
+                ],
+            ));
+        }
+    }
+
+    /// Emits `metric` lines for every `metrics_every` boundary the event
+    /// counter has crossed.
+    fn drain_metrics(&mut self, name: &str, out: &mut Vec<String>) {
+        if self.metrics_every == 0 {
+            return;
+        }
+        if let State::Live(sim) = &self.state {
+            while sim.events_processed() >= self.next_metric {
+                out.push(line(
+                    "metric",
+                    Some(name),
+                    vec![
+                        ("t", Value::Int(sim.now() as i128)),
+                        ("events", Value::Int(sim.events_processed() as i128)),
+                        ("completed", Value::Int(sim.completed() as i128)),
+                    ],
+                ));
+                self.next_metric += self.metrics_every;
+            }
+        }
+    }
+
+    /// Finishes a `Live` session whose engine reported completion:
+    /// builds the `RunResult`, emits the `done` line, and hands the
+    /// workspace back for the pool.
+    fn finalize(&mut self, name: &str, out: &mut Vec<String>) -> SimWorkspace {
+        let State::Live(sim) = std::mem::replace(&mut self.state, State::Moving) else {
+            unreachable!("finalize on a non-live session");
+        };
+        let (result, ws, _sink) = sim.run_traced();
+        self.drain_trace(name, out);
+        out.push(done_line(name, &result, &self.classes));
+        self.state = State::Done(Box::new(result));
+        ws
+    }
+
+    /// Steps up to `budget` events, streaming trace/metric lines.
+    /// Returns `(events_stepped, finished_workspace)`.
+    fn step_n(
+        &mut self,
+        name: &str,
+        budget: u64,
+        out: &mut Vec<String>,
+    ) -> (u64, Option<SimWorkspace>) {
+        let mut did = 0;
+        let mut finished = false;
+        if let State::Live(sim) = &mut self.state {
+            sim.start();
+            for _ in 0..budget {
+                if !sim.step() {
+                    finished = true;
+                    break;
+                }
+                did += 1;
+            }
+        }
+        self.drain_trace(name, out);
+        self.drain_metrics(name, out);
+        if finished {
+            let summary = self.progress();
+            out.push(line("stepped", Some(name), with_more(summary, false)));
+            let ws = self.finalize(name, out);
+            (did, Some(ws))
+        } else {
+            let summary = self.progress();
+            out.push(line("stepped", Some(name), with_more(summary, true)));
+            (did, None)
+        }
+    }
+
+    /// Runs to completion, streaming metric lines at the configured
+    /// cadence (and trace lines at the end of each stride).
+    fn run_to_end(&mut self, name: &str, out: &mut Vec<String>) -> Option<SimWorkspace> {
+        loop {
+            let mut finished = false;
+            if let State::Live(sim) = &mut self.state {
+                sim.start();
+                // Stride to the next metric boundary (or the end) so
+                // untraced, unmetered runs stay a tight loop.
+                if self.metrics_every == 0 {
+                    while sim.step() {}
+                    finished = true;
+                } else {
+                    let target = self.next_metric;
+                    while sim.events_processed() < target {
+                        if !sim.step() {
+                            finished = true;
+                            break;
+                        }
+                    }
+                }
+            } else {
+                return None;
+            }
+            self.drain_trace(name, out);
+            self.drain_metrics(name, out);
+            if finished {
+                return Some(self.finalize(name, out));
+            }
+        }
+    }
+
+    /// Progress fields of a live session.
+    fn progress(&self) -> Vec<(&'static str, Value)> {
+        match &self.state {
+            State::Live(sim) => vec![
+                ("t", Value::Int(sim.now() as i128)),
+                ("events", Value::Int(sim.events_processed() as i128)),
+                ("completed", Value::Int(sim.completed() as i128)),
+            ],
+            State::Done(r) => vec![
+                ("t", Value::Int(r.end_time as i128)),
+                ("events", Value::Int(r.events_processed as i128)),
+                ("completed", Value::Int(r.completion_times.len() as i128)),
+            ],
+            State::Paused(s) => vec![("events", Value::Int(s.events_processed() as i128))],
+            State::Moving => unreachable!("transient state escaped"),
+        }
+    }
+}
+
+fn with_more(mut fields: Vec<(&'static str, Value)>, more: bool) -> Vec<(&'static str, Value)> {
+    fields.push(("more", Value::Bool(more)));
+    fields
+}
+
+// ---------------------------------------------------------------------
+// Output lines
+// ---------------------------------------------------------------------
+
+fn line(ev: &str, sim: Option<&str>, fields: Vec<(&str, Value)>) -> String {
+    let mut all = vec![("ev", Value::Str(ev.into()))];
+    if let Some(s) = sim {
+        all.push(("sim", Value::Str(s.into())));
+    }
+    all.extend(fields);
+    serde_json::to_string(&object(all)).expect("serialization is infallible")
+}
+
+fn err_line(sim: Option<&str>, msg: &str) -> String {
+    line("error", sim, vec![("msg", Value::Str(msg.into()))])
+}
+
+fn summary_value(s: &LatencySummary) -> Value {
+    let num = |v: Option<u64>| match v {
+        Some(n) => Value::Int(n as i128),
+        None => Value::Null,
+    };
+    object(vec![
+        ("count", Value::Int(s.count() as i128)),
+        (
+            "mean",
+            match s.mean() {
+                Some(m) => Value::Str(m.to_string()),
+                None => Value::Null,
+            },
+        ),
+        ("p50", num(s.p50())),
+        ("p99", num(s.p99())),
+        ("min", num(s.min())),
+        ("max", num(s.max())),
+    ])
+}
+
+fn latency_value(p: &LatencyProfile) -> Value {
+    object(vec![
+        ("sojourn", summary_value(&p.sojourn)),
+        ("queue_wait", summary_value(&p.queue_wait)),
+        ("service", summary_value(&p.service)),
+    ])
+}
+
+fn arrival_values(r: &RunResult, classes: &[String]) -> Vec<(&'static str, Value)> {
+    let ar = &r.arrivals;
+    let profile = latency_profile(&ar.admit_times, &ar.dispatch_times, &r.completion_times);
+    let throughput = per_class_throughput(&ar.completed_per_class, r.end_time);
+    vec![
+        (
+            "arrivals",
+            object(vec![
+                ("submitted", Value::Int(ar.submitted as i128)),
+                ("admitted", Value::Int(ar.admitted as i128)),
+                ("rejected", Value::Int(ar.rejected as i128)),
+                ("deferrals", Value::Int(ar.deferrals as i128)),
+                ("peak_deferred", Value::Int(ar.peak_deferred as i128)),
+            ]),
+        ),
+        ("latency", latency_value(&profile)),
+        (
+            "throughput",
+            Value::Array(
+                classes
+                    .iter()
+                    .zip(ar.completed_per_class.iter().zip(&throughput))
+                    .map(|(name, (&completed, rate))| {
+                        object(vec![
+                            ("class", Value::Str(name.clone())),
+                            ("completed", Value::Int(completed as i128)),
+                            ("rate", Value::Str(rate.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+fn done_line(name: &str, r: &RunResult, classes: &[String]) -> String {
+    let mut fields = vec![
+        ("end_time", Value::Int(r.end_time as i128)),
+        ("completed", Value::Int(r.completion_times.len() as i128)),
+        ("events", Value::Int(r.events_processed as i128)),
+        ("preemptions", Value::Int(r.preemptions as i128)),
+        ("transfers", Value::Int(r.transfers_started as i128)),
+        ("requests", Value::Int(r.requests_sent as i128)),
+        (
+            "max_buffers",
+            Value::Int(r.max_buffers_per_node.iter().copied().max().unwrap_or(0) as i128),
+        ),
+    ];
+    if r.faults.faults_injected > 0 {
+        let f = &r.faults;
+        fields.push((
+            "faults",
+            object(vec![
+                ("injected", Value::Int(f.faults_injected as i128)),
+                ("tasks_lost", Value::Int(f.tasks_lost as i128)),
+                ("reissued", Value::Int(f.tasks_reissued as i128)),
+                ("retries", Value::Int(f.retries as i128)),
+                ("crashes", Value::Int(f.crashes as i128)),
+                ("aborts", Value::Int(f.transfer_aborts as i128)),
+            ]),
+        ));
+    }
+    if r.arrivals.submitted > 0 {
+        fields.extend(arrival_values(r, classes));
+    }
+    line("done", Some(name), fields)
+}
+
+// ---------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------
+
+/// A multiplexing simulation server; see the module docs.
+#[derive(Default)]
+pub struct Server {
+    sessions: BTreeMap<String, Session>,
+    pool: WorkspacePool,
+    shutdown: bool,
+}
+
+impl Server {
+    /// A server with no sessions and an empty workspace pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once a `shutdown` request was handled; the driving loop
+    /// should stop feeding lines.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Handles one request line, returning the response lines in order.
+    /// Blank lines are ignored. Never panics on malformed input — bad
+    /// requests produce one `error` line and change nothing.
+    pub fn handle_line(&mut self, raw: &str) -> Vec<String> {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Vec::new();
+        }
+        let req = match parse_request(raw) {
+            Ok(r) => r,
+            Err(msg) => return vec![err_line(None, &msg)],
+        };
+        let mut out = Vec::new();
+        match req {
+            Request::Open { sim, spec } => self.open(&sim, &spec, &mut out),
+            Request::Step { sim, events } => {
+                self.with_session(&sim, &mut out, |s, name, out| match s.state {
+                    State::Live(_) => {
+                        let (_, ws) = s.step_n(name, events, out);
+                        Ok(ws)
+                    }
+                    _ => Err(format!("sim {name:?} is {}, not live", s.state_name())),
+                })
+            }
+            Request::Run { sim } => {
+                self.with_session(&sim, &mut out, |s, name, out| match s.state {
+                    State::Live(_) => Ok(s.run_to_end(name, out)),
+                    _ => Err(format!("sim {name:?} is {}, not live", s.state_name())),
+                })
+            }
+            Request::RunAll => self.run_all(&mut out),
+            Request::RunUntil { sim, time } => self.with_session(&sim, &mut out, |s, name, out| {
+                let State::Live(sim) = &mut s.state else {
+                    return Err(format!("sim {name:?} is {}, not live", s.state_name()));
+                };
+                let more = sim.run_to_time(time);
+                s.drain_trace(name, out);
+                s.drain_metrics(name, out);
+                let summary = s.progress();
+                out.push(line("ran", Some(name), with_more(summary, more)));
+                Ok(if more {
+                    None
+                } else {
+                    Some(s.finalize(name, out))
+                })
+            }),
+            Request::Pause { sim } => self.with_session(&sim, &mut out, |s, name, out| {
+                let State::Live(sim) = &mut s.state else {
+                    return Err(format!("sim {name:?} is {}, not live", s.state_name()));
+                };
+                sim.start();
+                let snap = sim.snapshot();
+                let fields = vec![
+                    ("t", Value::Int(sim.now() as i128)),
+                    ("events", Value::Int(sim.events_processed() as i128)),
+                ];
+                s.state = State::Paused(Box::new(snap));
+                s.drain_trace(name, out);
+                out.push(line("paused", Some(name), fields));
+                Ok(None)
+            }),
+            Request::Resume { sim } => match self.sessions.get_mut(&sim) {
+                None => out.push(err_line(Some(&sim), &format!("no sim {sim:?}"))),
+                Some(s) => {
+                    let State::Paused(snap) = &s.state else {
+                        out.push(err_line(
+                            Some(&sim),
+                            &format!("sim {sim:?} is {}, not paused", s.state_name()),
+                        ));
+                        return out;
+                    };
+                    let sink = StreamSink {
+                        buf: Arc::clone(&s.buf),
+                        enabled: s.trace,
+                    };
+                    let live = Simulation::from_snapshot_traced(snap, self.pool.acquire(), sink);
+                    let fields = vec![
+                        ("t", Value::Int(live.now() as i128)),
+                        ("events", Value::Int(live.events_processed() as i128)),
+                    ];
+                    s.state = State::Live(Box::new(live));
+                    out.push(line("resumed", Some(&sim), fields));
+                }
+            },
+            Request::Snapshot { sim } => self.with_session(&sim, &mut out, |s, name, out| {
+                let bytes = match &mut s.state {
+                    State::Live(sim) => {
+                        sim.start();
+                        sim.snapshot().to_bytes()
+                    }
+                    State::Paused(snap) => snap.to_bytes(),
+                    State::Done(_) => {
+                        return Err(format!("sim {name:?} is done; nothing to snapshot"))
+                    }
+                    State::Moving => unreachable!("transient state escaped"),
+                };
+                s.drain_trace(name, out);
+                out.push(line(
+                    "snapshot",
+                    Some(name),
+                    vec![
+                        ("len", Value::Int(bytes.len() as i128)),
+                        ("bytes", Value::Str(to_hex(&bytes))),
+                    ],
+                ));
+                Ok(None)
+            }),
+            Request::Restore { sim, bytes } => self.restore(&sim, &bytes, &mut out),
+            Request::Metrics { sim } => self.with_session(&sim, &mut out, |s, name, out| {
+                let mut fields = vec![("state", Value::Str(s.state_name().into()))];
+                fields.extend(s.progress());
+                if let State::Done(r) = &s.state {
+                    if r.arrivals.submitted > 0 {
+                        fields.extend(arrival_values(r, &s.classes));
+                    }
+                }
+                out.push(line("metrics", Some(name), fields));
+                Ok(None)
+            }),
+            Request::Status => self.status(&mut out),
+            Request::Close { sim } => {
+                if self.sessions.remove(&sim).is_some() {
+                    out.push(line("closed", Some(&sim), vec![]));
+                } else {
+                    out.push(err_line(Some(&sim), &format!("no sim {sim:?}")));
+                }
+            }
+            Request::Shutdown => {
+                self.shutdown = true;
+                out.push(line(
+                    "bye",
+                    None,
+                    vec![("sims", Value::Int(self.sessions.len() as i128))],
+                ));
+            }
+        }
+        out
+    }
+
+    /// Runs the session closure, routing a missing session or a closure
+    /// error to an `error` line and releasing any returned workspace.
+    fn with_session(
+        &mut self,
+        name: &str,
+        out: &mut Vec<String>,
+        f: impl FnOnce(&mut Session, &str, &mut Vec<String>) -> Result<Option<SimWorkspace>, String>,
+    ) {
+        match self.sessions.get_mut(name) {
+            None => out.push(err_line(Some(name), &format!("no sim {name:?}"))),
+            Some(s) => match f(s, name, out) {
+                Ok(Some(ws)) => self.pool.release(ws),
+                Ok(None) => {}
+                Err(msg) => out.push(err_line(Some(name), &msg)),
+            },
+        }
+    }
+
+    fn open(&mut self, name: &str, spec: &OpenSpec, out: &mut Vec<String>) {
+        if self.sessions.contains_key(name) {
+            out.push(err_line(Some(name), &format!("sim {name:?} already open")));
+            return;
+        }
+        let tree = match spec.tree.build() {
+            Ok(t) => t,
+            Err(msg) => return out.push(err_line(Some(name), &msg)),
+        };
+        if let Err(msg) = spec.cfg.validate() {
+            return out.push(err_line(Some(name), &msg));
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = StreamSink {
+            buf: Arc::clone(&buf),
+            enabled: spec.trace,
+        };
+        let nodes = tree.len();
+        let mut sim = Simulation::traced(tree, spec.cfg.clone(), self.pool.acquire(), sink);
+        sim.start();
+        let mut session = Session {
+            state: State::Live(Box::new(sim)),
+            trace: spec.trace,
+            metrics_every: spec.metrics_every,
+            next_metric: spec.metrics_every.max(1),
+            buf,
+            classes: spec
+                .cfg
+                .arrivals
+                .as_ref()
+                .map(|p| p.classes.iter().map(|c| c.name.clone()).collect())
+                .unwrap_or_default(),
+        };
+        out.push(line(
+            "opened",
+            Some(name),
+            vec![
+                ("nodes", Value::Int(nodes as i128)),
+                ("tasks", Value::Int(spec.cfg.total_tasks as i128)),
+                ("open_world", Value::Bool(spec.cfg.arrivals.is_some())),
+            ],
+        ));
+        session.drain_trace(name, out);
+        session.drain_metrics(name, out);
+        self.sessions.insert(name.to_string(), session);
+    }
+
+    fn restore(&mut self, name: &str, bytes: &[u8], out: &mut Vec<String>) {
+        if self.sessions.contains_key(name) {
+            out.push(err_line(Some(name), &format!("sim {name:?} already open")));
+            return;
+        }
+        let snap = match SimSnapshot::from_bytes(bytes) {
+            Ok(s) => s,
+            Err(e) => return out.push(err_line(Some(name), &format!("bad snapshot: {e:?}"))),
+        };
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        // A restored session starts untraced and unmetered; its state
+        // (and results) are exactly the captured run's continuation.
+        let sink = StreamSink {
+            buf: Arc::clone(&buf),
+            enabled: false,
+        };
+        let classes = snap
+            .cfg()
+            .arrivals
+            .as_ref()
+            .map(|p| p.classes.iter().map(|c| c.name.clone()).collect())
+            .unwrap_or_default();
+        let sim = Simulation::from_snapshot_traced(&snap, self.pool.acquire(), sink);
+        let fields = vec![
+            ("t", Value::Int(sim.now() as i128)),
+            ("events", Value::Int(sim.events_processed() as i128)),
+        ];
+        self.sessions.insert(
+            name.to_string(),
+            Session {
+                state: State::Live(Box::new(sim)),
+                trace: false,
+                metrics_every: 0,
+                next_metric: 1,
+                buf,
+                classes,
+            },
+        );
+        out.push(line("restored", Some(name), fields));
+    }
+
+    /// Runs every live session to completion in parallel. Sessions are
+    /// simulated concurrently (rayon worker pool), but output chunks
+    /// are emitted strictly in session-name order — the worker count is
+    /// invisible in the byte stream.
+    fn run_all(&mut self, out: &mut Vec<String>) {
+        let live: Vec<String> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| matches!(s.state, State::Live(_)))
+            .map(|(name, _)| name.clone())
+            .collect();
+        let taken: Vec<(String, Session)> = live
+            .iter()
+            .map(|name| {
+                let s = self.sessions.remove(name).expect("listed above");
+                (name.clone(), s)
+            })
+            .collect();
+        let ran: Vec<(String, Session, Vec<String>, Option<SimWorkspace>)> = taken
+            .into_par_iter()
+            .map(|(name, mut s)| {
+                let mut lines = Vec::new();
+                let ws = s.run_to_end(&name, &mut lines);
+                (name, s, lines, ws)
+            })
+            .collect();
+        let count = ran.len();
+        for (name, session, lines, ws) in ran {
+            out.extend(lines);
+            if let Some(ws) = ws {
+                self.pool.release(ws);
+            }
+            self.sessions.insert(name, session);
+        }
+        out.push(line(
+            "ran-all",
+            None,
+            vec![("sims", Value::Int(count as i128))],
+        ));
+    }
+
+    fn status(&mut self, out: &mut Vec<String>) {
+        let sims: Vec<Value> = self
+            .sessions
+            .iter()
+            .map(|(name, s)| {
+                let mut fields = vec![
+                    ("sim", Value::Str(name.clone())),
+                    ("state", Value::Str(s.state_name().into())),
+                ];
+                fields.extend(s.progress());
+                object(fields)
+            })
+            .collect();
+        out.push(line(
+            "status",
+            None,
+            vec![
+                ("sims", Value::Array(sims)),
+                (
+                    "pool",
+                    object(vec![
+                        ("idle", Value::Int(self.pool.idle() as i128)),
+                        ("created", Value::Int(self.pool.created() as i128)),
+                        ("reused", Value::Int(self.pool.reused() as i128)),
+                    ]),
+                ),
+            ],
+        ));
+    }
+}

@@ -227,6 +227,43 @@ pub enum TraceEvent {
         /// The contact node the join was addressed to.
         parent: u32,
     },
+    /// Open-world mode: an arrival of `units` unit tasks of class
+    /// `class` was submitted to the repository.
+    TaskArrival {
+        /// Index into the arrival plan's class list.
+        class: u32,
+        /// Unit tasks submitted.
+        units: u64,
+    },
+    /// Open-world mode: `units` unit tasks entered the repository's
+    /// admission queue; `queued` is the queue depth *after* admission.
+    TaskAdmit {
+        /// Index into the arrival plan's class list.
+        class: u32,
+        /// Unit tasks admitted.
+        units: u64,
+        /// Admitted-but-undispatched units after this admission.
+        queued: u64,
+    },
+    /// Open-world mode, `Drop` policy: an arrival overflowed the
+    /// admission bound and was shed.
+    TaskReject {
+        /// Index into the arrival plan's class list.
+        class: u32,
+        /// Unit tasks rejected.
+        units: u64,
+    },
+    /// Open-world mode, `Defer` policy: an arrival overflowed the
+    /// admission bound and joined the deferred queue; `waiting` is the
+    /// deferred backlog *after* this deferral, in unit tasks.
+    TaskDefer {
+        /// Index into the arrival plan's class list.
+        class: u32,
+        /// Unit tasks deferred.
+        units: u64,
+        /// Deferred backlog after this deferral.
+        waiting: u64,
+    },
 }
 
 /// A [`TraceEvent`] stamped with its simulation time.
@@ -266,6 +303,10 @@ impl TraceEvent {
             TraceEvent::ChildRevived { .. } => "child-revived",
             TraceEvent::DuplicateDrop { .. } => "duplicate-drop",
             TraceEvent::JoinDenied { .. } => "join-denied",
+            TraceEvent::TaskArrival { .. } => "task-arrival",
+            TraceEvent::TaskAdmit { .. } => "task-admit",
+            TraceEvent::TaskReject { .. } => "task-reject",
+            TraceEvent::TaskDefer { .. } => "task-defer",
         }
     }
 
@@ -294,9 +335,13 @@ impl TraceEvent {
             | TraceEvent::ChildDead { node, .. }
             | TraceEvent::ChildRevived { node, .. }
             | TraceEvent::DuplicateDrop { node } => node,
-            // Reissues happen at the repository; a denied join names only
-            // the contact node it was addressed to.
-            TraceEvent::TaskReissue { .. } => 0,
+            // Reissues and arrival admission happen at the repository; a
+            // denied join names only the contact node it was addressed to.
+            TraceEvent::TaskReissue { .. }
+            | TraceEvent::TaskArrival { .. }
+            | TraceEvent::TaskAdmit { .. }
+            | TraceEvent::TaskReject { .. }
+            | TraceEvent::TaskDefer { .. } => 0,
             TraceEvent::JoinDenied { parent } => parent,
         }
     }
@@ -547,6 +592,29 @@ impl TraceRecord {
             TraceEvent::JoinDenied { parent } => {
                 w(out, format_args!(",\"parent\":{parent}"));
             }
+            TraceEvent::TaskArrival { class, units } | TraceEvent::TaskReject { class, units } => {
+                w(out, format_args!(",\"class\":{class},\"units\":{units}"));
+            }
+            TraceEvent::TaskAdmit {
+                class,
+                units,
+                queued,
+            } => {
+                w(
+                    out,
+                    format_args!(",\"class\":{class},\"units\":{units},\"queued\":{queued}"),
+                );
+            }
+            TraceEvent::TaskDefer {
+                class,
+                units,
+                waiting,
+            } => {
+                w(
+                    out,
+                    format_args!(",\"class\":{class},\"units\":{units},\"waiting\":{waiting}"),
+                );
+            }
         }
         out.push('}');
     }
@@ -705,6 +773,24 @@ impl TraceRecord {
             "join-denied" => TraceEvent::JoinDenied {
                 parent: narrow("parent")?,
             },
+            "task-arrival" => TraceEvent::TaskArrival {
+                class: narrow("class")?,
+                units: get("units")?,
+            },
+            "task-admit" => TraceEvent::TaskAdmit {
+                class: narrow("class")?,
+                units: get("units")?,
+                queued: get("queued")?,
+            },
+            "task-reject" => TraceEvent::TaskReject {
+                class: narrow("class")?,
+                units: get("units")?,
+            },
+            "task-defer" => TraceEvent::TaskDefer {
+                class: narrow("class")?,
+                units: get("units")?,
+                waiting: get("waiting")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(TraceRecord { time, event })
@@ -758,6 +844,22 @@ impl fmt::Display for TraceRecord {
             TraceEvent::ChildDead { child, .. } => write!(f, " presumed dead: {child}"),
             TraceEvent::ChildRevived { child, .. } => write!(f, " heard from: {child}"),
             TraceEvent::JoinDenied { .. } => Ok(()),
+            TraceEvent::TaskArrival { class, units } => {
+                write!(f, " (class {class}, {units} units)")
+            }
+            TraceEvent::TaskAdmit {
+                class,
+                units,
+                queued,
+            } => write!(f, " (class {class}, {units} units, {queued} queued)"),
+            TraceEvent::TaskReject { class, units } => {
+                write!(f, " (class {class}, {units} units shed)")
+            }
+            TraceEvent::TaskDefer {
+                class,
+                units,
+                waiting,
+            } => write!(f, " (class {class}, {units} units, {waiting} waiting)"),
         }
     }
 }
@@ -826,7 +928,7 @@ impl<W: Write> TraceSink for JsonlWriter<W> {
 // ---------------------------------------------------------------------
 
 /// Event-kind tags of the binary encoding (stable; new kinds append).
-const TAGS: [&str; 23] = [
+const TAGS: [&str; 27] = [
     "transfer-start",
     "transfer-preempt",
     "transfer-resume",
@@ -850,6 +952,10 @@ const TAGS: [&str; 23] = [
     "child-revived",
     "duplicate-drop",
     "join-denied",
+    "task-arrival",
+    "task-admit",
+    "task-reject",
+    "task-defer",
 ];
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -933,6 +1039,19 @@ impl TraceRecord {
             TraceEvent::NodeCrash { node, lost } => (tag, [node.into(), lost, 0], 2),
             TraceEvent::TaskReissue { count } => (tag, [count, 0, 0], 1),
             TraceEvent::JoinDenied { parent } => (tag, [parent.into(), 0, 0], 1),
+            TraceEvent::TaskArrival { class, units } | TraceEvent::TaskReject { class, units } => {
+                (tag, [class.into(), units, 0], 2)
+            }
+            TraceEvent::TaskAdmit {
+                class,
+                units,
+                queued,
+            } => (tag, [class.into(), units, queued], 3),
+            TraceEvent::TaskDefer {
+                class,
+                units,
+                waiting,
+            } => (tag, [class.into(), units, waiting], 3),
         }
     }
 
@@ -1071,6 +1190,24 @@ impl TraceRecord {
             "join-denied" => TraceEvent::JoinDenied {
                 parent: narrow(next()?, "parent")?,
             },
+            "task-arrival" | "task-reject" => {
+                let (class, units) = (narrow(next()?, "class")?, next()?);
+                if kind == "task-arrival" {
+                    TraceEvent::TaskArrival { class, units }
+                } else {
+                    TraceEvent::TaskReject { class, units }
+                }
+            }
+            "task-admit" => TraceEvent::TaskAdmit {
+                class: narrow(next()?, "class")?,
+                units: next()?,
+                queued: next()?,
+            },
+            "task-defer" => TraceEvent::TaskDefer {
+                class: narrow(next()?, "class")?,
+                units: next()?,
+                waiting: next()?,
+            },
             _ => unreachable!("kind comes from TAGS"),
         };
         Ok(TraceRecord { time, event })
@@ -1196,6 +1333,18 @@ mod tests {
             TraceEvent::ChildRevived { node: 0, child: 4 },
             TraceEvent::DuplicateDrop { node: 3 },
             TraceEvent::JoinDenied { parent: 9 },
+            TraceEvent::TaskArrival { class: 1, units: 3 },
+            TraceEvent::TaskAdmit {
+                class: 1,
+                units: 3,
+                queued: 5,
+            },
+            TraceEvent::TaskReject { class: 2, units: 4 },
+            TraceEvent::TaskDefer {
+                class: 0,
+                units: 2,
+                waiting: 6,
+            },
         ];
         assert_eq!(events.len(), super::TAGS.len(), "one sample per kind");
         events
