@@ -16,6 +16,7 @@
 pub mod accum;
 pub mod arrivals;
 pub mod config;
+pub mod durability;
 pub mod invariants;
 pub mod profile;
 pub mod result;
@@ -27,6 +28,9 @@ pub use arrivals::{AdmissionPolicy, Arrival, ArrivalPlan, ArrivalProcess, TaskCl
 pub use config::{
     ChangeKind, FaultEvent, FaultInjection, FaultKind, FaultPlan, PlannedChange, Protocol,
     RecoveryTuning, SelectorKind, SimConfig,
+};
+pub use durability::{
+    CheckpointError, CheckpointKind, CheckpointStore, LoadedCheckpoint, SkippedGeneration,
 };
 pub use invariants::InvariantViolation;
 pub use result::{ArrivalStats, FaultStats, RunResult};

@@ -1851,6 +1851,11 @@ impl SimSnapshot {
         if r.pos != bytes.len() {
             return Err(SnapshotError::Corrupt("trailing bytes"));
         }
+        // Cross-layer consistency: an arrival plan in the config must come
+        // with cursor state and vice versa — restore unwraps the pairing.
+        if cfg.arrivals.is_some() != cur.arrivals.is_some() {
+            return Err(SnapshotError::Corrupt("arrival plan/cursor mismatch"));
+        }
         Ok(SimSnapshot { tree, cfg, ws, cur })
     }
 }

@@ -10,9 +10,18 @@
 //!
 //! `--stream` is implied (and accepted); `--shard-size` bounds the trees
 //! a worker folds before handing its shard accumulator back.
+//!
+//! With `--checkpoint-dir DIR` the sweep persists its per-cell
+//! accumulators and (cell, shard) cursor every `--checkpoint-every`
+//! shards (atomic, checksummed generations — see DESIGN.md "Durability
+//! & crash recovery"); after a crash, the same command line plus
+//! `--resume` continues from the last good generation and the final
+//! aggregates are bit-identical to an uninterrupted run.
 
 use bc_engine::SimConfig;
-use bc_experiments::campaign::{run_grid_streaming, CampaignGrid};
+use bc_experiments::campaign::{
+    run_grid_streaming, run_grid_streaming_checkpointed, CampaignGrid, CheckpointPolicy,
+};
 use bc_experiments::cli::{parse, write_artifact, Defaults};
 
 fn main() {
@@ -24,13 +33,40 @@ fn main() {
             tasks: 500,
         },
     );
+    if cli.resume && cli.checkpoint_dir.is_none() {
+        eprintln!("error: --resume requires --checkpoint-dir");
+        std::process::exit(2);
+    }
     let mut grid = CampaignGrid::default_grid(cli.trees, cli.seed);
     grid.tasks = vec![cli.tasks];
     let total = grid.total_trees();
     let t0 = std::time::Instant::now();
-    let cells = run_grid_streaming(&grid, cli.shard_size, |c| {
-        SimConfig::interruptible(c.buffers, c.tasks)
-    });
+    let cells = match &cli.checkpoint_dir {
+        None => run_grid_streaming(&grid, cli.shard_size, |c| {
+            SimConfig::interruptible(c.buffers, c.tasks)
+        }),
+        Some(dir) => {
+            let policy = CheckpointPolicy::new(dir, cli.checkpoint_every).resuming(cli.resume);
+            let outcome = run_grid_streaming_checkpointed(
+                &grid,
+                cli.shard_size,
+                |c| SimConfig::interruptible(c.buffers, c.tasks),
+                &policy,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            if let Some(generation) = outcome.resumed_from_generation {
+                eprintln!(
+                    "resumed from checkpoint generation {generation} \
+                     ({}/{} shards now done)",
+                    outcome.shards_done, outcome.shards_total,
+                );
+            }
+            outcome.results
+        }
+    };
     let wall = t0.elapsed().as_secs_f64();
 
     let mut csv = String::from(

@@ -13,6 +13,8 @@
 //! embedding) use directly.
 
 use bc_core::GrowthGate;
+#[cfg(test)]
+use std::path::Path;
 use std::path::PathBuf;
 
 /// Parsed command line for an experiment binary.
@@ -39,6 +41,13 @@ pub struct Cli {
     pub shard_size: usize,
     /// Directory for CSV artifacts.
     pub out: Option<PathBuf>,
+    /// Durable-checkpoint directory for resumable streaming campaigns
+    /// (None = no checkpointing; the fault-free hot path is untouched).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Shards between checkpoint generations.
+    pub checkpoint_every: usize,
+    /// Continue from the newest good checkpoint generation.
+    pub resume: bool,
 }
 
 /// Defaults an experiment passes to [`parse`].
@@ -64,8 +73,10 @@ pub enum CliError {
 fn usage_line(defaults: Defaults) -> String {
     format!(
         "flags: --trees N --tasks N --seed N --full --gate every|arrival|filled --threads N \
-         --stream --shard-size N --out DIR\n\
-         defaults: trees={} (full: {}), tasks={}, seed=2003, shard-size=512",
+         --stream --shard-size N --out DIR \
+         --checkpoint-dir DIR --checkpoint-every N --resume\n\
+         defaults: trees={} (full: {}), tasks={}, seed=2003, shard-size=512, \
+         checkpoint-every=8",
         defaults.trees, defaults.full_trees, defaults.tasks
     )
 }
@@ -88,6 +99,9 @@ pub fn try_parse(
         stream: false,
         shard_size: 512,
         out: None,
+        checkpoint_dir: None,
+        checkpoint_every: 8,
+        resume: false,
     };
     let mut it = args.into_iter();
     let mut explicit_trees = false;
@@ -136,6 +150,19 @@ pub fn try_parse(
                 cli.shard_size = n;
             }
             "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--checkpoint-dir" => {
+                cli.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?))
+            }
+            "--checkpoint-every" => {
+                let n = number("--checkpoint-every", value("--checkpoint-every")?)? as usize;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "--checkpoint-every must be at least 1".into(),
+                    ));
+                }
+                cli.checkpoint_every = n;
+            }
+            "--resume" => cli.resume = true,
             "--help" | "-h" => return Err(CliError::Help),
             other => return Err(CliError::Usage(format!("unknown flag {other}"))),
         }
@@ -244,6 +271,34 @@ mod tests {
         assert_eq!(
             try_parse(args(&["--shard-size", "0"]), D),
             Err(CliError::Usage("--shard-size must be at least 1".into()))
+        );
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let cli = try_parse(args(&[]), D).unwrap();
+        assert!(cli.checkpoint_dir.is_none());
+        assert_eq!(cli.checkpoint_every, 8);
+        assert!(!cli.resume);
+        let cli = try_parse(
+            args(&[
+                "--checkpoint-dir",
+                "ckpt",
+                "--checkpoint-every",
+                "3",
+                "--resume",
+            ]),
+            D,
+        )
+        .unwrap();
+        assert_eq!(cli.checkpoint_dir.as_deref(), Some(Path::new("ckpt")));
+        assert_eq!(cli.checkpoint_every, 3);
+        assert!(cli.resume);
+        assert_eq!(
+            try_parse(args(&["--checkpoint-every", "0"]), D),
+            Err(CliError::Usage(
+                "--checkpoint-every must be at least 1".into()
+            ))
         );
     }
 

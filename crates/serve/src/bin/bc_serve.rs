@@ -3,40 +3,94 @@
 //! Reads one request per line on stdin, writes zero or more response
 //! lines per request on stdout, and exits on `{"cmd":"shutdown"}` or
 //! end of input. All state lives in [`bc_serve::Server`]; this binary
-//! is only the stdio plumbing.
+//! is only the stdio plumbing plus the durability hooks.
 //!
 //! ```text
-//! bc-serve [--threads N]
+//! bc-serve [--threads N] [--max-sessions N]
+//!          [--journal DIR [--journal-every N]] [--recover DIR]
 //! ```
 //!
 //! `--threads N` pins the rayon worker pool (used by `run-all`) to `N`
 //! threads. Output is byte-identical for any `N` — the flag trades
 //! wall-clock for cores, never determinism.
+//!
+//! `--journal DIR` persists a session journal (every open live/paused
+//! session as a `BCSS` snapshot, wrapped in a checksummed `BCCK`
+//! checkpoint generation — see DESIGN.md "Durability & crash recovery")
+//! every `--journal-every` request lines and once more at shutdown or
+//! end of input. `--recover DIR` rehydrates the newest good journal
+//! generation on startup, emitting one `{"ev":"recovered"}` line;
+//! corrupt generations are detected by checksum and skipped, never
+//! trusted. Point both flags at the same directory for a server that
+//! survives SIGKILL with at most `--journal-every` lines of lost
+//! progress.
+//!
+//! Stdin is read through a bounded-line reader: a line longer than
+//! [`bc_serve::MAX_LINE_LEN`] is discarded in fixed-size chunks (never
+//! accumulated) and answered with one structured `"line-too-long"`
+//! error, so a hostile endless line cannot exhaust memory.
 
-use std::io::{BufRead, Write};
+use bc_engine::{CheckpointKind, CheckpointStore};
+use bc_serve::MAX_LINE_LEN;
+use std::io::{BufRead, Read, Write};
+use std::path::PathBuf;
 
-fn main() {
-    let mut threads: Option<usize> = None;
+struct Args {
+    threads: Option<usize>,
+    max_sessions: Option<usize>,
+    journal: Option<PathBuf>,
+    journal_every: u64,
+    recover: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        threads: None,
+        max_sessions: None,
+        journal: None,
+        journal_every: 64,
+        recover: None,
+    };
+    fn need(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    }
+    fn positive(value: &str, flag: &str) -> usize {
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => {
-                let v = args
-                    .next()
-                    .and_then(|s| s.parse::<usize>().ok())
-                    .filter(|&n| n > 0);
-                match v {
-                    Some(n) => threads = Some(n),
-                    None => {
-                        eprintln!("--threads needs a positive integer");
-                        std::process::exit(2);
-                    }
-                }
+                parsed.threads = Some(positive(&need(&mut args, "--threads"), "--threads"));
             }
+            "--max-sessions" => {
+                parsed.max_sessions = Some(positive(
+                    &need(&mut args, "--max-sessions"),
+                    "--max-sessions",
+                ));
+            }
+            "--journal" => parsed.journal = Some(PathBuf::from(need(&mut args, "--journal"))),
+            "--journal-every" => {
+                parsed.journal_every =
+                    positive(&need(&mut args, "--journal-every"), "--journal-every") as u64;
+            }
+            "--recover" => parsed.recover = Some(PathBuf::from(need(&mut args, "--recover"))),
             "--help" | "-h" => {
-                println!("usage: bc-serve [--threads N]");
+                println!(
+                    "usage: bc-serve [--threads N] [--max-sessions N] \
+                     [--journal DIR [--journal-every N]] [--recover DIR]"
+                );
                 println!("reads JSON requests line-by-line on stdin; see crate docs");
-                return;
+                std::process::exit(0);
             }
             other => {
                 eprintln!("unknown argument {other:?} (try --help)");
@@ -44,7 +98,54 @@ fn main() {
             }
         }
     }
-    if let Some(n) = threads {
+    parsed
+}
+
+/// Retained journal generations: enough that a torn newest write (or
+/// even two) still leaves good generations to fall back to.
+const JOURNAL_KEEP: usize = 4;
+
+fn open_store(dir: &std::path::Path) -> CheckpointStore {
+    CheckpointStore::open(dir, "serve", CheckpointKind::ServeJournal, JOURNAL_KEEP).unwrap_or_else(
+        |e| {
+            eprintln!("cannot open journal directory {}: {e}", dir.display());
+            std::process::exit(1);
+        },
+    )
+}
+
+/// Reads one newline-terminated line into `buf` without ever holding
+/// more than `MAX_LINE_LEN + 1` bytes of it. Returns `(n_read,
+/// oversized)`; `n_read == 0` is end of input. When the bound is hit,
+/// the rest of the line is consumed and discarded in bounded chunks
+/// (`read_until` never reads past its delimiter, so the next line stays
+/// intact in the reader).
+fn read_bounded_line(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<(usize, bool)> {
+    buf.clear();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE_LEN as u64 + 1)
+        .read_until(b'\n', buf)?;
+    if n == 0 || buf.last() == Some(&b'\n') || buf.len() <= MAX_LINE_LEN {
+        return Ok((n, false));
+    }
+    loop {
+        buf.clear();
+        let m = reader.by_ref().take(1 << 16).read_until(b'\n', buf)?;
+        if m == 0 || buf.last() == Some(&b'\n') {
+            break;
+        }
+    }
+    buf.clear();
+    Ok((1, true))
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(n) = args.threads {
         rayon::ThreadPoolBuilder::new()
             .num_threads(n)
             .build_global()
@@ -55,17 +156,73 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     let mut server = bc_serve::Server::new();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
+    if let Some(n) = args.max_sessions {
+        server.set_max_sessions(n);
+    }
+
+    if let Some(dir) = &args.recover {
+        let store = open_store(dir);
+        match store.load_latest() {
+            Ok(Some(loaded)) => match server.recover_from_bytes(&loaded.payload) {
+                Ok(report) => {
+                    for (name, why) in &report.skipped {
+                        eprintln!("recover: skipped session {name:?}: {why}");
+                    }
+                    writeln!(
+                        out,
+                        "{{\"ev\":\"recovered\",\"sims\":{},\"skipped\":{},\"generation\":{}}}",
+                        report.recovered.len(),
+                        report.skipped.len(),
+                        loaded.generation
+                    )
+                    .expect("stdout write failed");
+                }
+                Err(e) => {
+                    eprintln!("recover: journal payload unusable: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Ok(None) => eprintln!("recover: no journal in {}; starting fresh", dir.display()),
+            Err(e) => {
+                eprintln!("recover: {e}");
+                std::process::exit(1);
+            }
+        }
+        out.flush().expect("stdout flush failed");
+    }
+
+    let mut journal = args.journal.as_deref().map(open_store);
+    let mut lines_handled: u64 = 0;
+    let mut reader = stdin.lock();
+    let mut buf: Vec<u8> = Vec::new();
+    while let Ok((n, oversized)) = read_bounded_line(&mut reader, &mut buf) {
+        if n == 0 {
+            break;
+        }
+        let responses = if oversized {
+            vec![bc_serve::oversized_line_error()]
+        } else {
+            server.handle_line(&String::from_utf8_lossy(&buf))
         };
-        for resp in server.handle_line(&line) {
+        for resp in responses {
             writeln!(out, "{resp}").expect("stdout write failed");
         }
         out.flush().expect("stdout flush failed");
+        lines_handled += 1;
+        if let Some(store) = &mut journal {
+            if lines_handled.is_multiple_of(args.journal_every) {
+                if let Err(e) = store.save(&server.journal_bytes()) {
+                    eprintln!("journal: {e}");
+                }
+            }
+        }
         if server.is_shutdown() {
             break;
+        }
+    }
+    if let Some(store) = &mut journal {
+        if let Err(e) = store.save(&server.journal_bytes()) {
+            eprintln!("journal: {e}");
         }
     }
 }

@@ -22,6 +22,16 @@ use serde::Value;
 /// without picking one.
 pub const DEFAULT_FAULT_SEED: u64 = 0xBC5E;
 
+/// Hard bound on an accepted request line, in bytes. Generous enough
+/// for a hex-encoded restore of a large mid-run snapshot (hex doubles
+/// the byte count), tight enough that a hostile endless line cannot
+/// buffer unboundedly: both `Server::handle_line` and the binary's
+/// stdin reader enforce it.
+pub const MAX_LINE_LEN: usize = 4 << 20;
+
+/// Hard bound on a session name, in bytes.
+pub const MAX_SIM_NAME_LEN: usize = 64;
+
 /// One parsed request line.
 #[derive(Debug)]
 pub enum Request {
@@ -127,8 +137,8 @@ fn req<T: serde::Deserialize>(v: &Value, key: &str) -> Result<T, String> {
 
 fn sim_name(v: &Value) -> Result<String, String> {
     let name: String = req(v, "sim")?;
-    if name.is_empty() || name.len() > 64 {
-        return Err("`sim` must be 1..=64 characters".into());
+    if name.is_empty() || name.len() > MAX_SIM_NAME_LEN {
+        return Err(format!("`sim` must be 1..={MAX_SIM_NAME_LEN} characters"));
     }
     Ok(name)
 }

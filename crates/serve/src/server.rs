@@ -18,6 +18,7 @@ use bc_simcore::{Time, TraceEvent};
 use rayon::IntoParallelIterator;
 use serde::{object, Value};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------
@@ -55,6 +56,10 @@ enum State {
     Paused(Box<SimSnapshot>),
     /// Finished; the result is kept for metrics queries.
     Done(Box<RunResult>),
+    /// Quarantined after a panic inside a session operation; the string
+    /// is the panic message. Every further operation except `close` and
+    /// `metrics`/`status` is rejected.
+    Poisoned(String),
     /// Transient placeholder while ownership moves (never observable).
     Moving,
 }
@@ -75,6 +80,7 @@ impl Session {
             State::Live(_) => "live",
             State::Paused(_) => "paused",
             State::Done(_) => "done",
+            State::Poisoned(_) => "poisoned",
             State::Moving => unreachable!("transient state escaped"),
         }
     }
@@ -214,8 +220,20 @@ impl Session {
                 ("completed", Value::Int(r.completion_times.len() as i128)),
             ],
             State::Paused(s) => vec![("events", Value::Int(s.events_processed() as i128))],
+            State::Poisoned(_) => vec![],
             State::Moving => unreachable!("transient state escaped"),
         }
+    }
+}
+
+/// Best-effort text of a panic payload for the quarantine error line.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -239,6 +257,35 @@ fn line(ev: &str, sim: Option<&str>, fields: Vec<(&str, Value)>) -> String {
 
 fn err_line(sim: Option<&str>, msg: &str) -> String {
     line("error", sim, vec![("msg", Value::Str(msg.into()))])
+}
+
+/// The structured error line the binary emits for an oversized stdin
+/// line it refused to buffer (the true length is unknown there — the
+/// line was discarded in bounded chunks, never accumulated).
+pub fn oversized_line_error() -> String {
+    err_line_code(
+        None,
+        "line-too-long",
+        &format!(
+            "request line exceeds the {}-byte bound",
+            crate::proto::MAX_LINE_LEN
+        ),
+    )
+}
+
+/// An `error` line carrying a stable machine-readable `code` alongside
+/// the human-readable message. Used for the hardening rejections
+/// (`line-too-long`, `session-limit`, `poisoned`) that clients are
+/// expected to branch on.
+fn err_line_code(sim: Option<&str>, code: &str, msg: &str) -> String {
+    line(
+        "error",
+        sim,
+        vec![
+            ("code", Value::Str(code.into())),
+            ("msg", Value::Str(msg.into())),
+        ],
+    )
 }
 
 fn summary_value(s: &LatencySummary) -> Value {
@@ -342,18 +389,75 @@ fn done_line(name: &str, r: &RunResult, classes: &[String]) -> String {
 // The server
 // ---------------------------------------------------------------------
 
+/// Default bound on concurrently open sessions; see
+/// [`Server::set_max_sessions`].
+pub const DEFAULT_MAX_SESSIONS: usize = 1024;
+
+/// Version byte of the [`Server::journal_bytes`] payload.
+const JOURNAL_VERSION: u8 = 1;
+
+/// What [`Server::recover_from_bytes`] managed to bring back.
+#[derive(Debug, Default)]
+pub struct RecoverReport {
+    /// Session names rehydrated, in journal order.
+    pub recovered: Vec<String>,
+    /// Sessions that could not be rehydrated, with the reason each was
+    /// skipped.
+    pub skipped: Vec<(String, String)>,
+}
+
+impl RecoverReport {
+    fn skip(&mut self, name: String, why: &str) {
+        self.skipped.push((name, why.to_string()));
+    }
+}
+
 /// A multiplexing simulation server; see the module docs.
-#[derive(Default)]
 pub struct Server {
     sessions: BTreeMap<String, Session>,
     pool: WorkspacePool,
     shutdown: bool,
+    max_sessions: usize,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self {
+            sessions: BTreeMap::new(),
+            pool: WorkspacePool::new(),
+            shutdown: false,
+            max_sessions: DEFAULT_MAX_SESSIONS,
+        }
+    }
 }
 
 impl Server {
     /// A server with no sessions and an empty workspace pool.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bounds concurrently open sessions: `open`/`restore` beyond the
+    /// bound are rejected with a structured `"session-limit"` error
+    /// instead of growing without limit. Zero is clamped to one.
+    pub fn set_max_sessions(&mut self, n: usize) {
+        self.max_sessions = n.max(1);
+    }
+
+    /// True when one more session may be admitted.
+    fn admit(&self, name: &str, out: &mut Vec<String>) -> bool {
+        if self.sessions.len() >= self.max_sessions {
+            out.push(err_line_code(
+                Some(name),
+                "session-limit",
+                &format!(
+                    "session limit of {} reached; close a sim first",
+                    self.max_sessions
+                ),
+            ));
+            return false;
+        }
+        true
     }
 
     /// True once a `shutdown` request was handled; the driving loop
@@ -364,8 +468,23 @@ impl Server {
 
     /// Handles one request line, returning the response lines in order.
     /// Blank lines are ignored. Never panics on malformed input — bad
-    /// requests produce one `error` line and change nothing.
+    /// requests produce one `error` line and change nothing. Lines over
+    /// [`crate::proto::MAX_LINE_LEN`] bytes are rejected outright with a
+    /// structured `"line-too-long"` error (the binary additionally caps
+    /// its read buffer at the same bound, so an endless line cannot
+    /// exhaust memory before it ever reaches this check).
     pub fn handle_line(&mut self, raw: &str) -> Vec<String> {
+        if raw.len() > crate::proto::MAX_LINE_LEN {
+            return vec![err_line_code(
+                None,
+                "line-too-long",
+                &format!(
+                    "request line of {} bytes exceeds the {}-byte bound",
+                    raw.len(),
+                    crate::proto::MAX_LINE_LEN
+                ),
+            )];
+        }
         let raw = raw.trim();
         if raw.is_empty() {
             return Vec::new();
@@ -453,8 +572,11 @@ impl Server {
                         sim.snapshot().to_bytes()
                     }
                     State::Paused(snap) => snap.to_bytes(),
-                    State::Done(_) => {
-                        return Err(format!("sim {name:?} is done; nothing to snapshot"))
+                    State::Done(_) | State::Poisoned(_) => {
+                        return Err(format!(
+                            "sim {name:?} is {}; nothing to snapshot",
+                            s.state_name()
+                        ))
                     }
                     State::Moving => unreachable!("transient state escaped"),
                 };
@@ -477,6 +599,9 @@ impl Server {
                     if r.arrivals.submitted > 0 {
                         fields.extend(arrival_values(r, &s.classes));
                     }
+                }
+                if let State::Poisoned(why) = &s.state {
+                    fields.push(("msg", Value::Str(why.clone())));
                 }
                 out.push(line("metrics", Some(name), fields));
                 Ok(None)
@@ -503,6 +628,13 @@ impl Server {
 
     /// Runs the session closure, routing a missing session or a closure
     /// error to an `error` line and releasing any returned workspace.
+    ///
+    /// The closure runs inside a `catch_unwind` fence: a panicking
+    /// simulation poisons *its own session* (lines it emitted before the
+    /// panic are discarded, one `error` line with code `"poisoned"` is
+    /// emitted instead) and every other session — and the server itself
+    /// — keeps running. The panicking session's workspace is lost to the
+    /// pool; the pool simply allocates a fresh one later.
     fn with_session(
         &mut self,
         name: &str,
@@ -511,17 +643,43 @@ impl Server {
     ) {
         match self.sessions.get_mut(name) {
             None => out.push(err_line(Some(name), &format!("no sim {name:?}"))),
-            Some(s) => match f(s, name, out) {
-                Ok(Some(ws)) => self.pool.release(ws),
-                Ok(None) => {}
-                Err(msg) => out.push(err_line(Some(name), &msg)),
-            },
+            Some(s) => {
+                let emitted = out.len();
+                match catch_unwind(AssertUnwindSafe(|| f(s, name, out))) {
+                    Ok(Ok(Some(ws))) => self.pool.release(ws),
+                    Ok(Ok(None)) => {}
+                    Ok(Err(msg)) => out.push(err_line(Some(name), &msg)),
+                    Err(payload) => {
+                        out.truncate(emitted);
+                        s.state = State::Poisoned(panic_message(payload));
+                        out.push(err_line_code(
+                            Some(name),
+                            "poisoned",
+                            &format!("sim {name:?} panicked and was quarantined"),
+                        ));
+                    }
+                }
+            }
         }
+    }
+
+    /// Test-only hook: routes a panic through the same quarantine fence
+    /// every session operation uses, so the `catch_unwind` path can be
+    /// pinned by integration tests without crafting a genuinely
+    /// panicking workload.
+    #[doc(hidden)]
+    pub fn inject_panic(&mut self, name: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.with_session(name, &mut out, |_, _, _| panic!("injected fault"));
+        out
     }
 
     fn open(&mut self, name: &str, spec: &OpenSpec, out: &mut Vec<String>) {
         if self.sessions.contains_key(name) {
             out.push(err_line(Some(name), &format!("sim {name:?} already open")));
+            return;
+        }
+        if !self.admit(name, out) {
             return;
         }
         let tree = match spec.tree.build() {
@@ -569,6 +727,9 @@ impl Server {
     fn restore(&mut self, name: &str, bytes: &[u8], out: &mut Vec<String>) {
         if self.sessions.contains_key(name) {
             out.push(err_line(Some(name), &format!("sim {name:?} already open")));
+            return;
+        }
+        if !self.admit(name, out) {
             return;
         }
         let snap = match SimSnapshot::from_bytes(bytes) {
@@ -628,9 +789,23 @@ impl Server {
         let ran: Vec<(String, Session, Vec<String>, Option<SimWorkspace>)> = taken
             .into_par_iter()
             .map(|(name, mut s)| {
+                // Same quarantine contract as `with_session`, applied
+                // inside the worker so one panicking simulation cannot
+                // tear down the whole `run-all` round.
                 let mut lines = Vec::new();
-                let ws = s.run_to_end(&name, &mut lines);
-                (name, s, lines, ws)
+                match catch_unwind(AssertUnwindSafe(|| s.run_to_end(&name, &mut lines))) {
+                    Ok(ws) => (name, s, lines, ws),
+                    Err(payload) => {
+                        lines.clear();
+                        s.state = State::Poisoned(panic_message(payload));
+                        lines.push(err_line_code(
+                            Some(&name),
+                            "poisoned",
+                            &format!("sim {name:?} panicked and was quarantined"),
+                        ));
+                        (name, s, lines, None)
+                    }
+                }
             })
             .collect();
         let count = ran.len();
@@ -646,6 +821,158 @@ impl Server {
             None,
             vec![("sims", Value::Int(count as i128))],
         ));
+    }
+
+    // -----------------------------------------------------------------
+    // Crash-recovery journal
+    // -----------------------------------------------------------------
+
+    /// Serializes every `live` and `paused` session into one journal
+    /// payload (live engine state is captured through the same `BCSS`
+    /// snapshot path `pause` uses, without disturbing the run). `done`
+    /// and `poisoned` sessions are deliberately not journaled — finished
+    /// results are queryable in-process but are not state worth
+    /// resurrecting, and a quarantined session must not come back from
+    /// the dead on restart.
+    ///
+    /// The payload carries no checksum or framing magic of its own:
+    /// integrity, atomic writes, and generation fallback are the
+    /// `bc_engine::durability` container's job (the binary wraps this
+    /// payload in a [`CheckpointKind::ServeJournal`] checkpoint).
+    ///
+    /// [`CheckpointKind::ServeJournal`]: bc_engine::CheckpointKind
+    pub fn journal_bytes(&mut self) -> Vec<u8> {
+        let mut entries: Vec<(&String, u8, u64, u64, Vec<u8>)> = Vec::new();
+        for (name, s) in self.sessions.iter_mut() {
+            let (live, snap_bytes) = match &mut s.state {
+                State::Live(sim) => {
+                    sim.start();
+                    (true, sim.snapshot().to_bytes())
+                }
+                State::Paused(snap) => (false, snap.to_bytes()),
+                State::Done(_) | State::Poisoned(_) => continue,
+                State::Moving => unreachable!("transient state escaped"),
+            };
+            let flags = (s.trace as u8) | ((live as u8) << 1);
+            entries.push((name, flags, s.metrics_every, s.next_metric, snap_bytes));
+        }
+        let mut out = vec![JOURNAL_VERSION];
+        out.extend((entries.len() as u64).to_le_bytes());
+        for (name, flags, every, next, snap) in entries {
+            out.extend((name.len() as u64).to_le_bytes());
+            out.extend(name.as_bytes());
+            out.push(flags);
+            out.extend(every.to_le_bytes());
+            out.extend(next.to_le_bytes());
+            out.extend((snap.len() as u64).to_le_bytes());
+            out.extend(snap);
+        }
+        out
+    }
+
+    /// Rebuilds sessions from a [`journal_bytes`](Self::journal_bytes)
+    /// payload. Malformed framing is a typed `Err` (never a panic); a
+    /// session whose snapshot fails to decode, collides with an existing
+    /// name, or panics during rehydration is *skipped* with a reason —
+    /// one rotten entry must not block recovery of the rest.
+    pub fn recover_from_bytes(&mut self, bytes: &[u8]) -> Result<RecoverReport, String> {
+        fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], String> {
+            let (head, tail) = input
+                .split_at_checked(n)
+                .ok_or_else(|| "journal truncated".to_string())?;
+            *input = tail;
+            Ok(head)
+        }
+        fn take_u64(input: &mut &[u8]) -> Result<u64, String> {
+            Ok(u64::from_le_bytes(take(input, 8)?.try_into().unwrap()))
+        }
+
+        let mut input = bytes;
+        let version = *take(&mut input, 1)?.first().unwrap();
+        if version != JOURNAL_VERSION {
+            return Err(format!("unsupported journal version {version}"));
+        }
+        let n = take_u64(&mut input)?;
+        if n > (1 << 20) {
+            return Err(format!("implausible journal session count {n}"));
+        }
+        let mut report = RecoverReport::default();
+        for _ in 0..n {
+            let name_len = take_u64(&mut input)? as usize;
+            if name_len > crate::proto::MAX_SIM_NAME_LEN {
+                return Err(format!("implausible journal name length {name_len}"));
+            }
+            let name = std::str::from_utf8(take(&mut input, name_len)?)
+                .map_err(|_| "journal name is not UTF-8".to_string())?
+                .to_string();
+            let flags = *take(&mut input, 1)?.first().unwrap();
+            let metrics_every = take_u64(&mut input)?;
+            let next_metric = take_u64(&mut input)?;
+            let snap_len = take_u64(&mut input)? as usize;
+            let snap_bytes = take(&mut input, snap_len)?;
+            let trace = flags & 1 != 0;
+            let was_live = flags & 2 != 0;
+
+            if self.sessions.contains_key(&name) {
+                report.skip(name, "name already in use");
+                continue;
+            }
+            if self.sessions.len() >= self.max_sessions {
+                report.skip(name, "session limit reached");
+                continue;
+            }
+            let snap = match SimSnapshot::from_bytes(snap_bytes) {
+                Ok(s) => s,
+                Err(e) => {
+                    report.skip(name, &format!("bad snapshot: {e:?}"));
+                    continue;
+                }
+            };
+            let classes: Vec<String> = snap
+                .cfg()
+                .arrivals
+                .as_ref()
+                .map(|p| p.classes.iter().map(|c| c.name.clone()).collect())
+                .unwrap_or_default();
+            let buf = Arc::new(Mutex::new(Vec::new()));
+            let state = if was_live {
+                let sink = StreamSink {
+                    buf: Arc::clone(&buf),
+                    enabled: trace,
+                };
+                let ws = self.pool.acquire();
+                match catch_unwind(AssertUnwindSafe(|| {
+                    Simulation::from_snapshot_traced(&snap, ws, sink)
+                })) {
+                    Ok(sim) => State::Live(Box::new(sim)),
+                    Err(payload) => {
+                        report.skip(
+                            name,
+                            &format!("rehydration panic: {}", panic_message(payload)),
+                        );
+                        continue;
+                    }
+                }
+            } else {
+                State::Paused(Box::new(snap))
+            };
+            self.sessions.insert(
+                name.clone(),
+                Session {
+                    state,
+                    trace,
+                    metrics_every,
+                    next_metric,
+                    buf,
+                    classes,
+                },
+            );
+            report.recovered.push(name);
+        }
+        if !input.is_empty() {
+            return Err(format!("{} trailing bytes after journal", input.len()));
+        }
+        Ok(report)
     }
 
     fn status(&mut self, out: &mut Vec<String>) {

@@ -365,6 +365,191 @@ fn errors_are_isolated_and_sessions_survive() {
     assert_eq!(field_str(&metrics[0], "state"), "done");
 }
 
+// ---------------------------------------------------------------------
+// Crash recovery and hardening
+// ---------------------------------------------------------------------
+
+/// The kill/recover satellite: journal a traced session mid-run, drop
+/// the server (the crash), recover the journal into a fresh server, and
+/// pin that the full output stream — pre-kill lines from the first
+/// server plus post-recover lines from the second — is **byte-for-byte**
+/// identical to the uninterrupted run on one server. Trace records,
+/// metric cadence, arrival classes, and the final `done` accounting all
+/// have to survive the journal round-trip for this to hold.
+#[test]
+fn journal_recover_stream_matches_uninterrupted_byte_for_byte() {
+    let mut golden_srv = Server::new();
+    let mut golden = cmd(&mut golden_srv, &open_line("j", true));
+    golden.extend(cmd(
+        &mut golden_srv,
+        r#"{"cmd":"step","sim":"j","events":30}"#,
+    ));
+    golden.extend(cmd(&mut golden_srv, r#"{"cmd":"run","sim":"j"}"#));
+    assert!(golden.iter().any(|l| ev_of(l) == "done"));
+
+    let mut first = Server::new();
+    let mut stream = cmd(&mut first, &open_line("j", true));
+    stream.extend(cmd(&mut first, r#"{"cmd":"step","sim":"j","events":30}"#));
+    let journal = first.journal_bytes();
+    drop(first); // the crash: all live state gone
+
+    let mut second = Server::new();
+    let report = second.recover_from_bytes(&journal).expect("recover failed");
+    assert_eq!(report.recovered, vec!["j".to_string()]);
+    assert!(report.skipped.is_empty());
+    stream.extend(cmd(&mut second, r#"{"cmd":"run","sim":"j"}"#));
+
+    assert_eq!(
+        stream.join("\n"),
+        golden.join("\n"),
+        "recovered stream diverged from the uninterrupted run"
+    );
+}
+
+/// Journaling captures live *and* paused sessions (a paused session
+/// comes back paused and resumable) but deliberately drops `done` ones.
+#[test]
+fn journal_covers_paused_sessions_and_skips_done() {
+    let mut server = Server::new();
+    cmd(&mut server, &open_line("live", false));
+    cmd(&mut server, &open_line("paused", false));
+    cmd(&mut server, r#"{"cmd":"step","sim":"paused","events":10}"#);
+    cmd(&mut server, r#"{"cmd":"pause","sim":"paused"}"#);
+    cmd(&mut server, &open_line("finished", false));
+    cmd(&mut server, r#"{"cmd":"run","sim":"finished"}"#);
+    let journal = server.journal_bytes();
+    drop(server);
+
+    let mut recovered = Server::new();
+    let report = recovered.recover_from_bytes(&journal).unwrap();
+    assert_eq!(
+        report.recovered,
+        vec!["live".to_string(), "paused".to_string()]
+    );
+    let metrics = cmd(&mut recovered, r#"{"cmd":"metrics","sim":"paused"}"#);
+    assert_eq!(field_str(&metrics[0], "state"), "paused");
+    let resumed = cmd(&mut recovered, r#"{"cmd":"resume","sim":"paused"}"#);
+    assert_eq!(ev_of(&resumed[0]), "resumed");
+    let gone = cmd(&mut recovered, r#"{"cmd":"metrics","sim":"finished"}"#);
+    assert_eq!(ev_of(&gone[0]), "error", "done session should not recover");
+}
+
+/// Truncated or bit-flipped journal payloads are rejected or partially
+/// skipped — never a panic. (Checksummed integrity is the checkpoint
+/// container's job; this pins that the inner decoder is still total.)
+#[test]
+fn mangled_journal_payloads_never_panic() {
+    let mut server = Server::new();
+    cmd(&mut server, &open_line("a", true));
+    cmd(&mut server, &open_line("b", false));
+    cmd(&mut server, r#"{"cmd":"step","sim":"a","events":20}"#);
+    let journal = server.journal_bytes();
+
+    for cut in 0..journal.len() {
+        let _ = Server::new().recover_from_bytes(&journal[..cut]);
+    }
+    for at in (0..journal.len()).step_by(7) {
+        for bit in [0, 3, 7] {
+            let mut bad = journal.clone();
+            bad[at] ^= 1 << bit;
+            let _ = Server::new().recover_from_bytes(&bad);
+        }
+    }
+}
+
+/// Session admission is bounded: opens beyond the limit get a
+/// structured `"session-limit"` error, closing frees a slot, and
+/// recovery honours the same bound by skipping the overflow.
+#[test]
+fn session_limit_is_enforced_with_structured_rejection() {
+    let mut server = Server::new();
+    server.set_max_sessions(2);
+    assert_eq!(
+        ev_of(&cmd(&mut server, &open_line("a", false))[0]),
+        "opened"
+    );
+    assert_eq!(
+        ev_of(&cmd(&mut server, &open_line("b", false))[0]),
+        "opened"
+    );
+    let rejected = cmd(&mut server, &open_line("c", false));
+    assert_eq!(rejected.len(), 1);
+    assert_eq!(ev_of(&rejected[0]), "error");
+    assert_eq!(field_str(&rejected[0], "code"), "session-limit");
+    cmd(&mut server, r#"{"cmd":"close","sim":"a"}"#);
+    assert_eq!(
+        ev_of(&cmd(&mut server, &open_line("c", false))[0]),
+        "opened"
+    );
+
+    let journal = server.journal_bytes();
+    let mut small = Server::new();
+    small.set_max_sessions(1);
+    let report = small.recover_from_bytes(&journal).unwrap();
+    assert_eq!(report.recovered.len(), 1);
+    assert_eq!(report.skipped.len(), 1);
+    assert_eq!(report.skipped[0].1, "session limit reached");
+}
+
+/// Oversized request lines are rejected with a structured error and the
+/// server keeps serving normal lines afterwards.
+#[test]
+fn oversized_lines_are_rejected_not_buffered() {
+    let mut server = Server::new();
+    let giant = "x".repeat(bc_serve::MAX_LINE_LEN + 1);
+    let out = server.handle_line(&giant);
+    assert_eq!(out.len(), 1);
+    assert_eq!(ev_of(&out[0]), "error");
+    assert_eq!(field_str(&out[0], "code"), "line-too-long");
+    // The binary's bounded reader emits this variant for lines it
+    // discarded without accumulating; same shape, same code.
+    assert_eq!(
+        field_str(&bc_serve::oversized_line_error(), "code"),
+        "line-too-long"
+    );
+    assert_eq!(
+        ev_of(&cmd(&mut server, &open_line("ok", false))[0]),
+        "opened"
+    );
+}
+
+/// A panic inside one session's operation quarantines that session
+/// (structured `"poisoned"` error, state visible in `metrics`) and
+/// leaves the server and every other session fully operational.
+#[test]
+fn panicking_session_is_quarantined_not_fatal() {
+    let mut server = Server::new();
+    cmd(&mut server, &open_line("sick", true));
+    cmd(&mut server, &open_line("healthy", false));
+
+    let out = server.inject_panic("sick");
+    assert_eq!(out.len(), 1);
+    assert_eq!(ev_of(&out[0]), "error");
+    assert_eq!(field_str(&out[0], "code"), "poisoned");
+
+    let step = cmd(&mut server, r#"{"cmd":"step","sim":"sick"}"#);
+    assert_eq!(ev_of(&step[0]), "error");
+    let metrics = cmd(&mut server, r#"{"cmd":"metrics","sim":"sick"}"#);
+    assert_eq!(field_str(&metrics[0], "state"), "poisoned");
+    assert_eq!(field_str(&metrics[0], "msg"), "injected fault");
+
+    // The quarantined session is not journaled back to life.
+    let journal = server.journal_bytes();
+    let mut recovered = Server::new();
+    let report = recovered.recover_from_bytes(&journal).unwrap();
+    assert_eq!(report.recovered, vec!["healthy".to_string()]);
+
+    // The healthy session and the server itself are unharmed.
+    let done = cmd(&mut server, r#"{"cmd":"run","sim":"healthy"}"#)
+        .into_iter()
+        .find(|l| ev_of(l) == "done");
+    assert!(done.is_some(), "healthy session failed after quarantine");
+    assert_eq!(
+        ev_of(&cmd(&mut server, r#"{"cmd":"close","sim":"sick"}"#)[0]),
+        "closed"
+    );
+}
+
 /// The workspace pool recycles: closing and reopening sessions reuses
 /// released workspaces instead of allocating fresh ones.
 #[test]
